@@ -1,0 +1,214 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every experiment table (E1-E5, see DESIGN.md and
+   EXPERIMENTS.md) and runs the E6 micro-benchmarks (bechamel timings on
+   the solo runtime plus a parallel-runtime throughput table).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- --quick # skip the slow E2 refutations and E6
+     dune exec bench/main.exe -- e3 e5   # selected experiments only *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let selected name =
+  let names = Array.to_list Sys.argv |> List.filter (fun a -> String.length a = 2 && a.[0] = 'e') in
+  names = [] || List.mem name names
+
+(* ------------------------------------------------------------------ *)
+(* E6: micro-benchmarks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ns_per_op_table : (string * float) list ref = ref []
+
+let bechamel_run ~name (tests : Bechamel.Test.t list) =
+  let open Bechamel in
+  let open Toolkit in
+  let grouped = Test.make_grouped ~name ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun key v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> ns_per_op_table := (key, est) :: !ns_per_op_table
+      | _ -> ())
+    results
+
+(* Max register single-operation cost on the solo runtime: the Theorem 1
+   construction (wide fetch&add + bit fiddling) vs the read/write
+   collect-based baseline vs the atomic reference. *)
+let bench_max_register () =
+  let open Bechamel in
+  let n = 4 in
+  let module R = (val Solo_runtime.make ~self:0 ~n ()) in
+  let module Faa = Faa_max_register.Make (R) in
+  let module Rw = Rw_max_register.Make (R) in
+  let module A = Atomic_objects.Make (R) in
+  let faa = Faa.create () and rw = Rw.create () and am = A.Max_register.create () in
+  let i = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"faa write+read"
+        (Staged.stage (fun () ->
+             incr i;
+             Faa.write_max faa (!i mod 16);
+             ignore (Faa.read_max faa)));
+      Test.make ~name:"rw write+read"
+        (Staged.stage (fun () ->
+             incr i;
+             Rw.write_max rw (!i mod 16);
+             ignore (Rw.read_max rw)));
+      Test.make ~name:"atomic write+read"
+        (Staged.stage (fun () ->
+             incr i;
+             A.Max_register.write_max am (!i mod 16);
+             ignore (A.Max_register.read_max am)));
+    ]
+  in
+  bechamel_run ~name:"maxreg" tests
+
+(* Snapshot: Theorem 2's wide fetch&add snapshot vs the AAD read/write
+   snapshot, update+scan pairs, n = 4. *)
+let bench_snapshot () =
+  let open Bechamel in
+  let n = 4 in
+  let module R = (val Solo_runtime.make ~self:0 ~n ()) in
+  let module Faa = Faa_snapshot.Make (R) in
+  let module Aad = Rw_snapshot.Make (R) in
+  let faa = Faa.create () and aad = Aad.create () in
+  let i = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"faa update+scan"
+        (Staged.stage (fun () ->
+             incr i;
+             Faa.update faa (!i mod 64);
+             ignore (Faa.scan faa)));
+      Test.make ~name:"aad update+scan"
+        (Staged.stage (fun () ->
+             incr i;
+             Aad.update aad (!i mod 64);
+             ignore (Aad.scan aad)));
+    ]
+  in
+  bechamel_run ~name:"snapshot" tests
+
+(* Wide fetch&add raw cost as the stored value grows (the Sec 6 cost). *)
+let bench_wide_faa () =
+  let open Bechamel in
+  let module R = (val Solo_runtime.make ~self:0 ~n:4 ()) in
+  let module P = Prim.Make (R) in
+  let mk bits =
+    let r = P.Faa_wide.make (Bignum.pow2 bits) in
+    Test.make
+      ~name:(Printf.sprintf "faa @ %d bits" bits)
+      (Staged.stage (fun () -> ignore (P.Faa_wide.fetch_and_add r (Bignum.Signed.of_int 1))))
+  in
+  bechamel_run ~name:"widefaa" [ mk 16; mk 256; mk 4096; mk 65536 ]
+
+(* Fetch&increment: Theorem 9's construction (readable T&S scan) vs the
+   atomic reference.  The T&S construction's cost grows linearly in the
+   counter value — the lock-free price — so measure bursts on fresh
+   instances. *)
+let bench_fetch_inc () =
+  let open Bechamel in
+  let module R = (val Solo_runtime.make ~self:0 ~n:4 ()) in
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let module A = Atomic_objects.Make (R) in
+  let tests =
+    [
+      Test.make ~name:"thm9 fi 30 ops"
+        (Staged.stage (fun () ->
+             let f = F.create () in
+             for _ = 1 to 30 do
+               ignore (F.fetch_inc f)
+             done));
+      Test.make ~name:"atomic fi 30 ops"
+        (Staged.stage (fun () ->
+             let f = A.Fetch_inc.create () in
+             for _ = 1 to 30 do
+               ignore (A.Fetch_inc.fetch_inc f)
+             done));
+    ]
+  in
+  bechamel_run ~name:"fetchinc" tests
+
+(* Simple-type counter (Algorithm 1): cost grows with history length, so
+   measure a fixed-size burst on a fresh instance each run. *)
+let bench_simple_counter () =
+  let open Bechamel in
+  let n = 4 in
+  let module R = (val Solo_runtime.make ~self:0 ~n ()) in
+  let module Snap = Faa_snapshot.Make (R) in
+  let module C = Simple_type.Make (Simple_instances.Counter_type) (Snap) in
+  let tests =
+    [
+      Test.make ~name:"alg1 counter 50 ops"
+        (Staged.stage (fun () ->
+             let c = C.create ~n () in
+             for k = 1 to 50 do
+               ignore
+                 (C.execute c ~self:0
+                    (if k mod 4 = 0 then Spec.Counter.Read else Spec.Counter.Add 1))
+             done));
+    ]
+  in
+  bechamel_run ~name:"simple" tests
+
+(* Parallel-runtime throughput: real domains hammering one object. *)
+let bench_parallel () =
+  Format.printf "@.| parallel runtime (4 domains x 20k ops each) | ops/s@.";
+  let n = 4 and per = 20_000 in
+  let total = float_of_int (n * per) in
+  let time_par name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "| %-44s | %.0f@." name (total /. dt)
+  in
+  let module R = (val Par_runtime.make ~n ()) in
+  let module Faa = Faa_max_register.Make (R) in
+  let module A = Atomic_objects.Make (R) in
+  let faa = Faa.create () in
+  time_par "Thm 1 max register (wide F&A)" (fun () ->
+      ignore
+        (Par_runtime.run ~n (fun p ->
+             for k = 1 to per do
+               if k mod 4 = 0 then ignore (Faa.read_max faa)
+               else Faa.write_max faa ((k mod 16) + p)
+             done)));
+  let am = A.Max_register.create () in
+  time_par "atomic max register" (fun () ->
+      ignore
+        (Par_runtime.run ~n (fun p ->
+             for k = 1 to per do
+               if k mod 4 = 0 then ignore (A.Max_register.read_max am)
+               else A.Max_register.write_max am ((k mod 16) + p)
+             done)))
+
+let e6 () =
+  Format.printf "%s@." (String.make 78 '-');
+  Format.printf "E6: micro-benchmarks (solo runtime; ns per operation via bechamel OLS)@.";
+  Format.printf "%s@." (String.make 78 '-');
+  bench_max_register ();
+  bench_snapshot ();
+  bench_wide_faa ();
+  bench_fetch_inc ();
+  bench_simple_counter ();
+  List.iter
+    (fun (name, ns) -> Format.printf "| %-44s | %10.1f ns/op@." name ns)
+    (List.sort compare !ns_per_op_table);
+  bench_parallel ()
+
+let () =
+  if selected "e1" then Experiments.e1 ();
+  if selected "e2" then Experiments.e2 ~quick ();
+  if selected "e3" then Experiments.e3 ();
+  if selected "e4" then Experiments.e4 ();
+  if selected "e5" then Experiments.e5 ();
+  if selected "e7" then Experiments.e7 ();
+  if selected "e6" && not quick then e6 ();
+  Format.printf "@.All selected experiments completed.@."

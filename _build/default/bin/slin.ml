@@ -1,0 +1,353 @@
+(* slin — command-line front end.
+
+   Subcommands:
+     slin experiment [e1|e2|e3|e4|e5] [--quick]   regenerate experiment tables
+     slin check OBJECT [--max-nodes N] [--max-depth D]
+                                                  strong-linearizability game
+     slin agree OBJECT [--trials N] [--crash-prob P] [--seed S]
+                                                  run Algorithm B (Lemma 12)
+     slin trace OBJECT [--seed S]                 print one random execution
+
+   OBJECT names: faa-max, faa-snapshot, counter, readable-ts,
+   multishot-ts, fetch-inc, set, hw-queue, agm-stack, rw-max,
+   mwmr-register, cas-queue, set-empty-race, set-repaired (check/trace); queue, stack, ooo-queue,
+   hw-queue (agree). *)
+
+open Cmdliner
+
+(* --- checkable objects ------------------------------------------------ *)
+
+type checkable =
+  | Checkable : {
+      spec_name : string;
+      make : (module Runtime_intf.S) -> 'op -> 'resp;
+      workload : 'op list array;
+      spec : (module Spec.S with type op = 'op and type resp = 'resp);
+      default_depth : int option;
+    }
+      -> checkable
+
+let checkables : (string * checkable) list =
+  [
+    ( "faa-max",
+      Checkable
+        {
+          spec_name = "max register from fetch&add (Thm 1)";
+          make = Executors.faa_max_register;
+          workload =
+            [|
+              [ Spec.Max_register.WriteMax 1; Spec.Max_register.ReadMax ];
+              [ Spec.Max_register.WriteMax 2 ];
+              [ Spec.Max_register.ReadMax ];
+            |];
+          spec = (module Spec.Max_register);
+          default_depth = None;
+        } );
+    ( "faa-snapshot",
+      Checkable
+        {
+          spec_name = "atomic snapshot from fetch&add (Thm 2)";
+          make = Executors.faa_snapshot3;
+          workload =
+            [|
+              [ Executors.Snap3.Update (0, 1); Executors.Snap3.Update (0, 2) ];
+              [ Executors.Snap3.Update (1, 3) ];
+              [ Executors.Snap3.Scan; Executors.Snap3.Scan ];
+            |];
+          spec = (module Executors.Snap3);
+          default_depth = None;
+        } );
+    ( "counter",
+      Checkable
+        {
+          spec_name = "simple-type counter over F&A snapshot (Thm 4)";
+          make = Executors.simple_counter;
+          workload =
+            [|
+              [ Spec.Counter.Add 1 ];
+              [ Spec.Counter.Add 2 ];
+              [ Spec.Counter.Read; Spec.Counter.Read ];
+            |];
+          spec = (module Spec.Counter);
+          default_depth = None;
+        } );
+    ( "readable-ts",
+      Checkable
+        {
+          spec_name = "readable test&set from test&set (Thm 5)";
+          make = Executors.readable_ts;
+          workload =
+            [|
+              [ Spec.Test_and_set.TestAndSet ];
+              [ Spec.Test_and_set.TestAndSet ];
+              [ Spec.Test_and_set.Read; Spec.Test_and_set.Read ];
+            |];
+          spec = (module Spec.Test_and_set);
+          default_depth = None;
+        } );
+    ( "multishot-ts",
+      Checkable
+        {
+          spec_name = "multi-shot test&set (Thm 6)";
+          make = Executors.multishot_ts_atomic;
+          workload =
+            [|
+              [ Spec.Multishot_test_and_set.TestAndSet; Spec.Multishot_test_and_set.Reset ];
+              [ Spec.Multishot_test_and_set.TestAndSet ];
+              [ Spec.Multishot_test_and_set.Read ];
+            |];
+          spec = (module Spec.Multishot_test_and_set);
+          default_depth = None;
+        } );
+    ( "fetch-inc",
+      Checkable
+        {
+          spec_name = "fetch&increment from test&set (Thm 9)";
+          make = Executors.ts_fetch_inc;
+          workload =
+            [|
+              [ Spec.Fetch_and_inc.FetchInc ];
+              [ Spec.Fetch_and_inc.FetchInc ];
+              [ Spec.Fetch_and_inc.Read ];
+            |];
+          spec = (module Spec.Fetch_and_inc);
+          default_depth = None;
+        } );
+    ( "set",
+      Checkable
+        {
+          spec_name = "set from test&set, full stack (Thm 10)";
+          make = Executors.ts_set_full;
+          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |];
+          spec = (module Spec.Set_obj);
+          default_depth = None;
+        } );
+    ( "hw-queue",
+      Checkable
+        {
+          spec_name = "Herlihy-Wing queue (baseline, not SL)";
+          make = Executors.hw_queue;
+          workload =
+            [|
+              [ Spec.Queue_spec.Enq 1 ];
+              [ Spec.Queue_spec.Enq 2 ];
+              [ Spec.Queue_spec.Deq ];
+              [ Spec.Queue_spec.Deq ];
+            |];
+          spec = (module Spec.Queue_spec);
+          default_depth = Some 22;
+        } );
+    ( "agm-stack",
+      Checkable
+        {
+          spec_name = "AGM-style stack (baseline, not SL)";
+          make = Executors.agm_stack;
+          workload =
+            [|
+              [ Spec.Stack_spec.Push 1 ];
+              [ Spec.Stack_spec.Push 2 ];
+              [ Spec.Stack_spec.Pop ];
+              [ Spec.Stack_spec.Pop ];
+            |];
+          spec = (module Spec.Stack_spec);
+          default_depth = Some 24;
+        } );
+    ( "rw-max",
+      Checkable
+        {
+          spec_name = "read/write max register (baseline, not SL)";
+          make = Executors.rw_max_register;
+          workload =
+            [|
+              [ Spec.Max_register.WriteMax 1 ];
+              [ Spec.Max_register.WriteMax 2 ];
+              [ Spec.Max_register.ReadMax; Spec.Max_register.ReadMax ];
+            |];
+          spec = (module Spec.Max_register);
+          default_depth = None;
+        } );
+    ( "mwmr-register",
+      Checkable
+        {
+          spec_name = "MWMR register from SWMR (baseline, not SL)";
+          make = Executors.mwmr_register;
+          workload =
+            [|
+              [ Spec.Register.Write 1 ];
+              [ Spec.Register.Write 2 ];
+              [ Spec.Register.Read; Spec.Register.Read ];
+            |];
+          spec = (module Spec.Register);
+          default_depth = None;
+        } );
+    ( "set-empty-race",
+      Checkable
+        {
+          spec_name = "Alg 2 set, EMPTY race (the Thm 10 finding)";
+          make = Executors.ts_set_atomic_fi;
+          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |];
+          spec = (module Spec.Set_obj);
+          default_depth = None;
+        } );
+    ( "set-repaired",
+      Checkable
+        {
+          spec_name = "repaired set: conservative EMPTY (finding follow-up)";
+          make =
+            (fun (module R : Runtime_intf.S) ->
+              let module A = Atomic_objects.Make (R) in
+              let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
+              let t = S.create ~name:"cset" () in
+              fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+                match op with
+                | Spec.Set_obj.Put x ->
+                    S.put t x;
+                    Spec.Set_obj.Ok_
+                | Spec.Set_obj.Take -> (
+                    match S.take t with
+                    | None -> Spec.Set_obj.Empty
+                    | Some x -> Spec.Set_obj.Item x));
+          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |];
+          spec = (module Spec.Set_obj);
+          default_depth = Some 18;
+        } );
+    ( "cas-queue",
+      Checkable
+        {
+          spec_name = "CAS universal queue (baseline, SL)";
+          make = Executors.cas_queue;
+          workload =
+            [|
+              [ Spec.Queue_spec.Enq 1 ];
+              [ Spec.Queue_spec.Enq 2 ];
+              [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
+            |];
+          spec = (module Spec.Queue_spec);
+          default_depth = Some 30;
+        } );
+  ]
+
+let object_names = List.map fst checkables
+
+let run_check name max_nodes max_depth =
+  match List.assoc_opt name checkables with
+  | None ->
+      Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " object_names);
+      1
+  | Some (Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      Format.printf "object: %s@." c.spec_name;
+      (match Harness.find_non_linearizable ~check:L.is_linearizable ~runs:150 prog with
+      | None -> Format.printf "linearizability: ok on 150 random schedules@."
+      | Some seed -> Format.printf "linearizability: VIOLATED at seed %d@." seed);
+      let v = L.check_strong ~max_nodes ?max_depth:depth prog in
+      Format.printf "strong linearizability: %a@." L.pp_verdict v;
+      0
+
+let run_trace name seed =
+  match List.assoc_opt name checkables with
+  | None ->
+      Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " object_names);
+      1
+  | Some (Checkable c) ->
+      let (module S) = c.spec in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let w = Sim.run_random ~seed prog in
+      Format.printf "object: %s (seed %d)@.%a" c.spec_name seed (Trace.pp S.pp_op S.pp_resp)
+        (Sim.trace w);
+      0
+
+(* --- agreement objects ------------------------------------------------ *)
+
+let agree_objects = [ "queue"; "stack"; "ooo-queue"; "hw-queue" ]
+
+let run_agree name trials crash_prob seed =
+  let inputs3 = [| 100; 200; 300 |] in
+  let stats =
+    match name with
+    | "queue" ->
+        Some
+          (Agreement.run_many ~make:K_ordering.atomic_queue ~ordering:K_ordering.queue_witness
+             ~inputs:inputs3 ~trials ~crash_prob ~seed ())
+    | "stack" ->
+        Some
+          (Agreement.run_many ~make:K_ordering.atomic_stack ~ordering:K_ordering.stack_witness
+             ~inputs:inputs3 ~trials ~crash_prob ~seed ())
+    | "ooo-queue" ->
+        Some
+          (Agreement.run_many
+             ~make:(K_ordering.atomic_ooo_queue ~k:2)
+             ~ordering:(K_ordering.ooo_queue_witness ~k:2)
+             ~inputs:[| 1; 2; 3; 4; 5 |] ~trials ~crash_prob ~seed ())
+    | "hw-queue" ->
+        Some
+          (Agreement.run_many
+             ~make:(K_ordering.hw_queue ~capacity:3)
+             ~ordering:K_ordering.queue_witness ~inputs:inputs3 ~trials ~crash_prob ~seed ())
+    | _ -> None
+  in
+  match stats with
+  | None ->
+      Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " agree_objects);
+      1
+  | Some s ->
+      Format.printf "%s: %a@." name Agreement.pp_stats s;
+      0
+
+(* --- cmdliner plumbing ------------------------------------------------ *)
+
+let experiment_cmd =
+  let which = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Skip the slow refutations.") in
+  let run which quick =
+    let sel name = which = [] || List.mem name which in
+    if sel "e1" then Experiments.e1 ();
+    if sel "e2" then Experiments.e2 ~quick ();
+    if sel "e3" then Experiments.e3 ();
+    if sel "e4" then Experiments.e4 ();
+    if sel "e5" then Experiments.e5 ();
+    if sel "e7" then Experiments.e7 ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate experiment tables E1-E5 (see EXPERIMENTS.md).")
+    Term.(const run $ which $ quick)
+
+let check_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let max_nodes =
+    Arg.(value & opt int 2_000_000 & info [ "max-nodes" ] ~doc:"Node budget for the game.")
+  in
+  let max_depth =
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~doc:"Truncate the execution tree.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
+    Term.(const run_check $ obj $ max_nodes $ max_depth)
+
+let agree_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let trials = Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Random schedules to run.") in
+  let crash_prob =
+    Arg.(value & opt float 0.0 & info [ "crash-prob" ] ~doc:"Probability of crashing a process.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "agree" ~doc:"Run Algorithm B (Lemma 12) k-set agreement on OBJECT.")
+    Term.(const run_agree $ obj $ trials $ crash_prob $ seed)
+
+let trace_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print one random execution trace of OBJECT's standard workload.")
+    Term.(const run_trace $ obj $ seed)
+
+let () =
+  let doc = "strongly-linearizable objects from consensus-number-2 primitives" in
+  let info = Cmd.info "slin" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; check_cmd; agree_cmd; trace_cmd ]))

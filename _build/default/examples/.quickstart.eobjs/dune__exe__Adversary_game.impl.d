@@ -1,0 +1,1 @@
+examples/adversary_game.ml: Agreement Array Format Fun K_ordering List Random Sim String

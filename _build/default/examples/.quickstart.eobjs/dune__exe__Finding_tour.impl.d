@@ -1,0 +1,1 @@
+examples/finding_tour.ml: Atomic_objects Format Harness Lincheck List Object_intf Runtime_intf Sim Spec String Trace Ts_set Ts_set_conservative

@@ -1,0 +1,1 @@
+examples/hyperproperty_check.ml: Array Faa_snapshot Format Harness Lincheck List Printf Runtime_intf Rw_snapshot Spec String

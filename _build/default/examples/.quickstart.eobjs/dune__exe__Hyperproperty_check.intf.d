@@ -1,0 +1,1 @@
+examples/hyperproperty_check.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Faa_max_register Faa_snapshot Format Lincheck List Sim Simple_instances Simple_type Solo_runtime Spec String Trace

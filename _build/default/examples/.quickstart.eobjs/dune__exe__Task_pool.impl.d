@@ -1,0 +1,1 @@
+examples/task_pool.ml: Format Fun List Printf Readable_ts Sim Ts_fetch_inc Ts_set

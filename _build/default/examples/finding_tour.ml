@@ -1,0 +1,123 @@
+(* A guided tour of the Theorem 10 finding.
+
+   The strong-linearizability checker refuted the paper's own Algorithm 2
+   (the set from test&set): its EMPTY-returning take is linearized "at
+   its last step that reads Max", a point that is only selected
+   retroactively.  This example walks the whole story end to end:
+
+   1. refute:   the game loses on Put(1) | Put(2) | Take;
+   2. witness:  replay the branch point and print the two futures that
+                contradict every possible commitment;
+   3. diagnose: the same workload verifies when the take cannot return
+                EMPTY;
+   4. repair:   a conservative EMPTY (only from a fully settled stable
+                round) restores strong linearizability —
+   5. price:    — and forfeits lock-freedom: a put crashed between its
+                fetch&increment and its write starves takes forever.
+
+     dune exec examples/finding_tour.exe *)
+
+module L = Lincheck.Make (Spec.Set_obj)
+
+let exec_of (type a) (module M : Object_intf.SET with type t = a) (t : a) :
+    Spec.Set_obj.op -> Spec.Set_obj.resp = function
+  | Spec.Set_obj.Put x ->
+      M.put t x;
+      Spec.Set_obj.Ok_
+  | Spec.Set_obj.Take -> (
+      match M.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+let alg2_exec (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set.Make (R) (A.Fetch_inc) in
+  exec_of (module S) (S.create ~name:"set" ())
+
+let repaired_exec (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
+  exec_of (module S) (S.create ~name:"cset" ())
+
+let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |]
+
+let () =
+  Format.printf "== 1. Refute: Algorithm 2 on Put(1) | Put(2) | Take ==@.";
+  (match L.check_strong ~max_nodes:4_000_000 (Harness.program ~make:alg2_exec ~workload) with
+  | L.Not_strongly_linearizable { witness; nodes } ->
+      Format.printf "   NOT strongly linearizable — witness %s, %d nodes (exhaustive).@."
+        (String.concat "" (List.map string_of_int witness))
+        nodes
+  | v -> Format.printf "   unexpected: %a@." L.pp_verdict v);
+  Format.printf "@."
+
+let () =
+  Format.printf "== 2. The branch point ==@.";
+  (* Drive the take to the step just before it reads Items[2] in its
+     final round, with put(1) completed (its item missed) and put(2)
+     holding a reserved-but-unwritten slot. *)
+  let prefix = [ 0; 0; 1; 1; 2; 2; 2; 2; 2; 2; 0 ] in
+  let prog = Harness.program ~make:alg2_exec ~workload in
+  let w = Sim.run_schedule prog prefix in
+  Format.printf "   after schedule %s:@."
+    (String.concat "" (List.map string_of_int prefix));
+  Format.printf "   - put(1) is COMPLETE (take already scanned past its slot);@.";
+  Format.printf "   - put(2) reserved slot 2 but has not written it;@.";
+  Format.printf "   - the take is one read away from slot 2.@.";
+  List.iter
+    (fun p ->
+      let w' = Sim.run_schedule prog (prefix @ [ p ]) in
+      let rec drain w' =
+        match Sim.enabled w' with
+        | [] -> ()
+        | q :: _ ->
+            Sim.step w' q;
+            drain w'
+      in
+      drain w';
+      let take_resp =
+        List.filter_map
+          (function
+            | Trace.Return { proc = 2; resp } ->
+                Some (Format.asprintf "%a" Spec.Set_obj.pp_resp resp)
+            | _ -> None)
+          (Sim.trace w')
+      in
+      Format.printf "   future via p%d: take returns %s@." p
+        (String.concat "," take_resp))
+    (Sim.enabled w);
+  Format.printf
+    "   EMPTY forces the take BEFORE the completed put(1); Item 2 forces a@.\
+    \   different committed response — no prefix-closed choice survives both.@.@."
+
+let () =
+  Format.printf "== 3. Repair: conservative EMPTY (all slots settled) ==@.";
+  (match
+     L.check_strong ~max_nodes:4_000_000 ~max_depth:18
+       (Harness.program ~make:repaired_exec ~workload)
+   with
+  | L.Strongly_linearizable { nodes } ->
+      Format.printf "   strongly linearizable (%d nodes) — the race is gone.@." nodes
+  | v -> Format.printf "   unexpected: %a@." L.pp_verdict v);
+  Format.printf "@."
+
+let () =
+  Format.printf "== 4. The price: lock-freedom ==@.";
+  let small = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |] in
+  let prog = Harness.program ~make:repaired_exec ~workload:small in
+  let w = Sim.create ~n:2 in
+  prog.Sim.boot w;
+  Sim.step w 0;
+  Sim.step w 0;
+  (* put(1) reserved its slot; crash it before the write *)
+  Sim.crash w 0;
+  let steps = ref 0 in
+  while List.mem 1 (Sim.enabled w) && !steps < 400 do
+    Sim.step w 1;
+    incr steps
+  done;
+  Format.printf "   put crashed between fetch&increment and write;@.";
+  Format.printf "   take took %d steps and %s.@." !steps
+    (if Sim.finished w 1 then "completed (unexpected!)" else "is still spinning — starvation");
+  Format.printf
+    "@.Whether a lock-free strongly-linearizable set with a sound EMPTY exists@.\
+     from consensus-number-2 primitives appears to be open.  Details:@.\
+     DESIGN.md section 6, EXPERIMENTS.md, test/test_ablations.ml.@."

@@ -1,0 +1,1 @@
+lib/baselines/agm_stack.ml: Inf_array Object_intf Prim Printf Runtime_intf

@@ -1,0 +1,1 @@
+lib/baselines/aww_fetch_inc.ml: Array Inf_array Prim Printf Runtime_intf

@@ -1,0 +1,1 @@
+lib/baselines/cas_universal.ml: Prim Runtime_intf

@@ -1,0 +1,1 @@
+lib/baselines/hw_queue.ml: Inf_array Object_intf Prim Printf Runtime_intf

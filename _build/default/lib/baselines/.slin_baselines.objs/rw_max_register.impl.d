@@ -1,0 +1,1 @@
+lib/baselines/rw_max_register.ml: Array Object_intf Printf Runtime_intf

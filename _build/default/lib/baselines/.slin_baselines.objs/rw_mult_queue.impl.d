@@ -1,0 +1,1 @@
+lib/baselines/rw_mult_queue.ml: Array K_ordering List Prim Printf Runtime_intf Spec

@@ -1,0 +1,1 @@
+lib/baselines/rw_snapshot.ml: Array Object_intf Printf Runtime_intf

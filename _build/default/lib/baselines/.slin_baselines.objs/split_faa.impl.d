@@ -1,0 +1,1 @@
+lib/baselines/split_faa.ml: Prim Runtime_intf

@@ -1,0 +1,1 @@
+lib/baselines/tournament_ts.ml: Array Prim Printf Runtime_intf

@@ -1,0 +1,46 @@
+(* A wait-free-push stack from fetch&add and swap, after the structure of
+   Afek–Gafni–Morrison's Common2 stack [2]: push reserves a slot in an
+   infinite array with fetch&add on a top counter and writes its item
+   there; pop reads the counter and sweeps downward, claiming with swap.
+
+   It is linearizable (pushes order by their slot index; a pop takes the
+   highest written slot it reaches), and Attiya–Enea showed the stack of
+   [2] is not strongly linearizable — as Theorem 17 says any such stack
+   must be, since it uses only consensus-number-2 primitives.  Our game
+   solver refutes this implementation directly (experiment E2).
+
+   Pop retries when it sweeps past everything without claiming — a pop
+   concurrent with slow pushes cannot soundly report "empty", so like the
+   Herlihy–Wing dequeue it spins until an item appears.  Workloads keep
+   pops matched by pushes. *)
+
+module Make (R : Runtime_intf.S) : Object_intf.STACK = struct
+  module P = Prim.Make (R)
+
+  type t = { top : P.Faa_int.t; slots : int option P.Swap.t Inf_array.t }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "agm." in
+    {
+      top = P.Faa_int.make ~name:(prefix ^ "top") 0;
+      slots = Inf_array.create (fun i -> P.Swap.make ~name:(Printf.sprintf "%sslot%d" prefix i) None);
+    }
+
+  let push t x =
+    let i = P.Faa_int.fetch_and_add t.top 1 in
+    ignore (P.Swap.swap (Inf_array.get t.slots i) (Some x))
+
+  let pop t =
+    let rec sweep i =
+      if i < 0 then None
+      else
+        match P.Swap.swap (Inf_array.get t.slots i) None with
+        | Some x -> Some x
+        | None -> sweep (i - 1)
+    in
+    let rec retry () =
+      let top = P.Faa_int.read t.top in
+      match sweep (top - 1) with Some x -> Some x | None -> retry ()
+    in
+    retry ()
+end

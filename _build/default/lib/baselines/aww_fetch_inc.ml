@@ -1,0 +1,39 @@
+(* The one-shot fetch&increment from test&set of Afek–Weisberger(–Weisman)
+   [4, 5]: each process sweeps an array of test&set objects in ascending
+   order and returns the index at which it wins.
+
+   One-shot means every process invokes fetch&increment at most once, so
+   a sweep is bounded by n and the implementation is wait-free.  The
+   paper notes this implementation IS strongly linearizable (operations
+   linearize at their winning test&set, a fixed point), and that
+   Theorem 9's lock-free readable fetch&increment is its straightforward
+   generalization — whereas the wait-free multi-shot constructions of
+   [3, 4, 5] are not strongly linearizable.  We enforce the one-shot
+   restriction at runtime. *)
+
+module Make (R : Runtime_intf.S) : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val fetch_inc : t -> int
+  (** @raise Invalid_argument if the calling process invokes twice. *)
+end = struct
+  module P = Prim.Make (R)
+
+  type t = { cells : P.Test_and_set.t Inf_array.t; used : bool array }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "aww." in
+    {
+      cells = Inf_array.create (fun i -> P.Test_and_set.make ~name:(Printf.sprintf "%sts%d" prefix i) ());
+      used = Array.make (R.n_procs ()) false;
+    }
+
+  let fetch_inc t =
+    let me = R.self () in
+    if t.used.(me) then invalid_arg "Aww_fetch_inc: one-shot object invoked twice";
+    t.used.(me) <- true;
+    let rec go i = if P.Test_and_set.test_and_set (Inf_array.get t.cells i) = 0 then i else go (i + 1) in
+    go 1
+end

@@ -1,0 +1,36 @@
+(* The lock-free universal construction from compare&swap: the whole
+   object state lives behind one pointer; an operation snapshots the
+   state, computes the successor locally, and installs it with CAS,
+   retrying on interference.
+
+   Operations linearize at their successful CAS — a fixed point in the
+   execution — so the construction is strongly linearizable.  This is the
+   upper baseline of the paper's introduction: the only previously known
+   wait-free/lock-free strongly-linearizable implementations use such
+   universal (infinite consensus number) primitives, and Theorems 17/19
+   show that for queues and stacks nothing weaker can work. *)
+
+module Make (R : Runtime_intf.S) (S : sig
+  type state
+  type op
+  type resp
+
+  val init : state
+  val apply : state -> op -> state * resp
+end) : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val execute : t -> S.op -> S.resp
+end = struct
+  module P = Prim.Make (R)
+
+  type t = S.state P.Cas.t
+
+  let create ?name () = P.Cas.make ?name S.init
+
+  let rec execute t op =
+    let s = P.Cas.read t in
+    let s', r = S.apply s op in
+    if P.Cas.compare_and_swap t ~expect:s s' then r else execute t op
+end

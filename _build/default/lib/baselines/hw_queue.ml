@@ -1,0 +1,44 @@
+(* The Herlihy–Wing queue from fetch&add and swap: enqueue reserves a
+   slot with fetch&add on [back] and writes its item there; dequeue
+   sweeps slots 0..back-1 claiming with swap, retrying while it finds
+   nothing (a dequeue concurrent with slow enqueues cannot soundly report
+   "empty").
+
+   The canonical linearizable queue from consensus-number-2 primitives —
+   and, by Theorem 17, necessarily not strongly linearizable; the same
+   holds for Li's lock-free queue [25], which refines this structure.
+   The game solver refutes it (experiment E2) and Algorithm B run on it
+   loses agreement (experiment E4; see also [K_ordering.hw_queue], a
+   bounded-capacity copy of this algorithm packaged for Algorithm B's
+   collect/replay). *)
+
+module Make (R : Runtime_intf.S) : Object_intf.QUEUE = struct
+  module P = Prim.Make (R)
+
+  type t = { back : P.Faa_int.t; slots : int option P.Swap.t Inf_array.t }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "hw." in
+    {
+      back = P.Faa_int.make ~name:(prefix ^ "back") 0;
+      slots = Inf_array.create (fun i -> P.Swap.make ~name:(Printf.sprintf "%sslot%d" prefix i) None);
+    }
+
+  let enqueue t x =
+    let i = P.Faa_int.fetch_and_add t.back 1 in
+    ignore (P.Swap.swap (Inf_array.get t.slots i) (Some x))
+
+  let dequeue t =
+    let rec sweep i limit =
+      if i >= limit then None
+      else
+        match P.Swap.swap (Inf_array.get t.slots i) None with
+        | Some x -> Some x
+        | None -> sweep (i + 1) limit
+    in
+    let rec retry () =
+      let limit = P.Faa_int.read t.back in
+      match sweep 0 limit with Some x -> Some x | None -> retry ()
+    in
+    retry ()
+end

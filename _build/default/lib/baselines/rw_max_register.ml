@@ -1,0 +1,26 @@
+(* A wait-free linearizable max register from single-writer registers:
+   write_max raises the writer's own component; read_max collects all
+   components and returns the largest.
+
+   Linearizable because components only grow: the maximum seen by a
+   collect always lies between the object's value at the collect's start
+   and at its end.  By Denysyuk–Woelfel (DISC 2015) no max register has a
+   wait-free strongly-linearizable implementation from registers, so this
+   baseline sits on the impossible side of the paper's Figure 1 — in
+   contrast to Theorem 1's one-step fetch&add construction. *)
+
+module Make (R : Runtime_intf.S) : Object_intf.MAX_REGISTER = struct
+  type t = int R.obj array
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "rwmax." in
+    Array.init (R.n_procs ()) (fun i -> R.obj ~name:(Printf.sprintf "%sr%d" prefix i) 0)
+
+  let write_max t v =
+    if v < 0 then invalid_arg "Rw_max_register.write_max: negative";
+    let i = R.self () in
+    let cur = R.read ~info:"own-read" t.(i) in
+    if v > cur then R.access ~info:"own-write" t.(i) (fun _ -> (v, ()))
+
+  let read_max t = Array.fold_left (fun acc r -> max acc (R.read ~info:"collect" r)) 0 t
+end

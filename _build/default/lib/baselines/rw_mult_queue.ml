@@ -1,0 +1,183 @@
+(* A queue with multiplicity from single-writer registers, in the spirit
+   of Castañeda–Rajsbaum–Raynal [11] (the paper's §5 notes these relaxed
+   implementations exist from read/write operations, and its Theorem 17
+   implies they cannot be strongly linearizable).
+
+   Structure: process i owns two single-writer registers — a log of its
+   enqueued entries (timestamped by collecting everyone's logs and taking
+   max+1, ties broken by process id) and a log of "taken" announcements.
+   enqueue = collect + publish; dequeue = collect logs and announcements,
+   pick the oldest unannounced entry, announce it.  Both are wait-free.
+
+   Two dequeues that collect before either announces can return the SAME
+   item — exactly the multiplicity relaxation: the duplication can only
+   happen between concurrent dequeues (a completed dequeue's announcement
+   is visible to every later collect).  [Mult_check] validates executions
+   against that relaxed specification.
+
+   The [instance] packaging (collect/replay) lets Lemma 12's Algorithm B
+   run on it; since the implementation is not strongly linearizable,
+   agreement violations appear — the mechanism behind the paper's claim
+   that the implementations of [11] are not strongly linearizable. *)
+
+module Make (R : Runtime_intf.S) = struct
+  module P = Prim.Make (R)
+
+  type entry = { ts : int; owner : int; seq : int; item : int }
+
+  type t = {
+    logs : entry list P.Register.t array;  (* newest first; SWMR *)
+    taken : (int * int) list P.Register.t array;  (* (owner, seq) uids; SWMR *)
+    my_seq : int array;
+  }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "mq." in
+    let n = R.n_procs () in
+    {
+      logs = Array.init n (fun i -> P.Register.make ~name:(Printf.sprintf "%slog%d" prefix i) []);
+      taken = Array.init n (fun i -> P.Register.make ~name:(Printf.sprintf "%staken%d" prefix i) []);
+      my_seq = Array.make n 0;
+    }
+
+  let collect_logs t = Array.map (fun r -> P.Register.read r) t.logs
+  let collect_taken t = Array.map (fun r -> P.Register.read r) t.taken
+
+  let enqueue t x =
+    let me = R.self () in
+    let views = collect_logs t in
+    let ts =
+      1 + Array.fold_left (fun acc log -> List.fold_left (fun a e -> max a e.ts) acc log) 0 views
+    in
+    let seq = t.my_seq.(me) in
+    t.my_seq.(me) <- seq + 1;
+    let mine = views.(me) in
+    P.Register.write t.logs.(me) ({ ts; owner = me; seq; item = x } :: mine)
+
+  (* Oldest available entry in a collected view: min (ts, owner, seq)
+     among entries whose uid is unannounced. *)
+  let oldest_available logs taken =
+    let announced = Array.to_list taken |> List.concat in
+    Array.to_list logs |> List.concat
+    |> List.filter (fun e -> not (List.mem (e.owner, e.seq) announced))
+    |> List.fold_left
+         (fun best e ->
+           match best with
+           | None -> Some e
+           | Some b -> if (e.ts, e.owner, e.seq) < (b.ts, b.owner, b.seq) then Some e else best)
+         None
+
+  let dequeue t =
+    let me = R.self () in
+    let logs = collect_logs t in
+    let taken = collect_taken t in
+    match oldest_available logs taken with
+    | None -> None
+    | Some e ->
+        P.Register.write t.taken.(me) ((e.owner, e.seq) :: taken.(me));
+        Some e.item
+end
+
+(* The stack with multiplicity is the same construction with the age
+   order reversed: a pop claims the YOUNGEST unannounced entry.  The
+   paper's §5 treats the two relaxations in parallel; so do we. *)
+module Make_stack (R : Runtime_intf.S) = struct
+  module Q = Make (R)
+
+  type t = Q.t
+
+  let create = Q.create
+  let push (t : t) x = Q.enqueue t x
+
+  let youngest_available logs taken =
+    let announced = Array.to_list taken |> List.concat in
+    Array.to_list logs |> List.concat
+    |> List.filter (fun e -> not (List.mem (e.Q.owner, e.Q.seq) announced))
+    |> List.fold_left
+         (fun best e ->
+           match best with
+           | None -> Some e
+           | Some b ->
+               if (e.Q.ts, e.Q.owner, e.Q.seq) > (b.Q.ts, b.Q.owner, b.Q.seq) then Some e
+               else best)
+         None
+
+  let pop (t : t) =
+    let module P = Prim.Make (R) in
+    let logs = Q.collect_logs t in
+    let taken = Q.collect_taken t in
+    match youngest_available logs taken with
+    | None -> None
+    | Some e ->
+        P.Register.write t.Q.taken.(R.self ()) ((e.Q.owner, e.Q.seq) :: taken.(R.self ()));
+        Some e.Q.item
+end
+
+(* Algorithm B packaging (same shape as [K_ordering.atomic_queue]). *)
+let instance (module R : Runtime_intf.S) :
+    (Spec.Queue_spec.op, Spec.Queue_spec.resp) K_ordering.instance =
+  let module Q = Make (R) in
+  let q = Q.create () in
+  K_ordering.Instance
+    {
+      apply =
+        (fun op ->
+          match op with
+          | Spec.Queue_spec.Enq x ->
+              Q.enqueue q x;
+              Spec.Queue_spec.Ok_
+          | Spec.Queue_spec.Deq -> (
+              match Q.dequeue q with
+              | None -> Spec.Queue_spec.Empty
+              | Some x -> Spec.Queue_spec.Item x));
+      collect = (fun () -> (Q.collect_logs q, Q.collect_taken q));
+      replay =
+        (fun (logs, taken) ops ->
+          let taken = Array.copy taken in
+          List.map
+            (fun op ->
+              match op with
+              | Spec.Queue_spec.Enq _ ->
+                  invalid_arg "rw_mult_queue.replay: decision sequences only"
+              | Spec.Queue_spec.Deq -> (
+                  match Q.oldest_available logs taken with
+                  | None -> Spec.Queue_spec.Empty
+                  | Some e ->
+                      taken.(0) <- (e.owner, e.seq) :: taken.(0);
+                      Spec.Queue_spec.Item e.item))
+            ops);
+    }
+
+let stack_instance (module R : Runtime_intf.S) :
+    (Spec.Stack_spec.op, Spec.Stack_spec.resp) K_ordering.instance =
+  let module S = Make_stack (R) in
+  let s = S.create () in
+  K_ordering.Instance
+    {
+      apply =
+        (fun op ->
+          match op with
+          | Spec.Stack_spec.Push x ->
+              S.push s x;
+              Spec.Stack_spec.Ok_
+          | Spec.Stack_spec.Pop -> (
+              match S.pop s with
+              | None -> Spec.Stack_spec.Empty
+              | Some x -> Spec.Stack_spec.Item x));
+      collect = (fun () -> (S.Q.collect_logs s, S.Q.collect_taken s));
+      replay =
+        (fun (logs, taken) ops ->
+          let taken = Array.copy taken in
+          List.map
+            (fun op ->
+              match op with
+              | Spec.Stack_spec.Push _ ->
+                  invalid_arg "rw_mult_queue.stack replay: decision sequences only"
+              | Spec.Stack_spec.Pop -> (
+                  match S.youngest_available logs taken with
+                  | None -> Spec.Stack_spec.Empty
+                  | Some e ->
+                      taken.(0) <- (e.S.Q.owner, e.S.Q.seq) :: taken.(0);
+                      Spec.Stack_spec.Item e.S.Q.item))
+            ops);
+    }

@@ -1,0 +1,63 @@
+(* The Afek–Attiya–Dolev–Gafni–Merritt–Shavit wait-free atomic snapshot
+   from single-writer registers [1].
+
+   Each process's register holds (value, sequence number, embedded view).
+   An update first performs a scan and stores the resulting view next to
+   the new value; a scan repeatedly collects all registers and returns
+   either the values of two identical consecutive collects (a "clean"
+   double collect) or, once it has seen some process move twice, that
+   process's embedded view — which was obtained entirely within the
+   scan's own interval.
+
+   This is THE motivating example for strong linearizability: Golab,
+   Higham and Woelfel showed that composing it with a randomized program
+   lets a strong adversary bias outcomes — it is linearizable but not
+   strongly linearizable.  Our game solver refutes it mechanically
+   (experiment E2), and the randomized-consensus example program shows
+   the adversary's bias concretely. *)
+
+module Make (R : Runtime_intf.S) : Object_intf.SNAPSHOT = struct
+  type entry = { value : int; seq : int; view : int array }
+
+  type t = entry R.obj array
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "aad." in
+    let n = R.n_procs () in
+    Array.init n (fun i ->
+        R.obj ~name:(Printf.sprintf "%sr%d" prefix i) { value = 0; seq = 0; view = Array.make n 0 })
+
+  let collect t = Array.map (fun r -> R.read ~info:"collect" r) t
+
+  let scan t =
+    let n = Array.length t in
+    let moved = Array.make n 0 in
+    let rec attempt (prev : entry array) =
+      let cur = collect t in
+      let all_equal = ref true in
+      for j = 0 to n - 1 do
+        if cur.(j).seq <> prev.(j).seq then all_equal := false
+      done;
+      if !all_equal then Array.map (fun e -> e.value) cur
+      else begin
+        (* Find a process that moved twice since the scan began: its
+           embedded view lies within our interval. *)
+        let borrowed = ref None in
+        for j = 0 to n - 1 do
+          if cur.(j).seq <> prev.(j).seq then begin
+            moved.(j) <- moved.(j) + 1;
+            if moved.(j) >= 2 && !borrowed = None then borrowed := Some cur.(j).view
+          end
+        done;
+        match !borrowed with Some view -> Array.copy view | None -> attempt cur
+      end
+    in
+    let first = collect t in
+    attempt first
+
+  let update t v =
+    if v < 0 then invalid_arg "Rw_snapshot.update: negative";
+    let i = R.self () in
+    let view = scan t in
+    R.access ~info:"update-write" t.(i) (fun e -> ({ value = v; seq = e.seq + 1; view }, ()))
+end

@@ -1,0 +1,58 @@
+(* A "wide" fetch&add built naively from two narrow fetch&add words —
+   the §6 open problem's strawman.
+
+   The paper closes by asking whether wide fetch&add objects (the §3
+   constructions store unbounded values in one register) can be
+   implemented, strongly linearizably, from narrow ones.  The obvious
+   split-word attempt fails before strong linearizability even enters:
+   carry propagation between the words is a separate step, so increments
+   that overflow the low word and concurrent reads can observe torn
+   values.  The checker refutes plain linearizability of this
+   implementation (test suite / experiment E2), substantiating why the
+   question is open rather than routine.
+
+   Layout: value = high * 2^width + low, with low kept in [0, 2^width).
+   add d (0 < d < 2^width): faa low by d; on overflow, carry: faa high
+   by 1 and faa low by -2^width.  read: read high then low. *)
+
+module Make
+    (R : Runtime_intf.S) (W : sig
+      val width : int  (* bits of the low word *)
+    end) : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val fetch_add : t -> int -> int
+  (** Returns the pre-add value reconstructed from the two words —
+      possibly torn, which is the point. *)
+
+  val read : t -> int
+end = struct
+  module P = Prim.Make (R)
+
+  let base = 1 lsl W.width
+
+  type t = { low : P.Faa_int.t; high : P.Faa_int.t }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "split." in
+    { low = P.Faa_int.make ~name:(prefix ^ "low") 0; high = P.Faa_int.make ~name:(prefix ^ "high") 0 }
+
+  let fetch_add t d =
+    if d <= 0 || d >= base then invalid_arg "Split_faa.fetch_add: delta out of range";
+    (* Best-effort reconstruction of the pre-add value: high first, then
+       the low-word fetch&add — correct solo, torn under concurrency. *)
+    let high0 = P.Faa_int.read t.high in
+    let old_low = P.Faa_int.fetch_and_add t.low d in
+    if old_low + d >= base then begin
+      ignore (P.Faa_int.fetch_and_add t.high 1);
+      ignore (P.Faa_int.fetch_and_add t.low (-base))
+    end;
+    (high0 * base) + old_low
+
+  let read t =
+    let high = P.Faa_int.read t.high in
+    let low = P.Faa_int.read t.low in
+    (high * base) + low
+end

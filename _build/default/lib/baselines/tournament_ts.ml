@@ -1,0 +1,51 @@
+(* A naive tournament test&set: n-process test&set from 2-process
+   test&sets arranged in a binary tree.  Each process climbs from its
+   leaf; at every internal node it plays that node's 2-process test&set
+   (only the two subtree winners can reach a node, so the 2-process
+   restriction is respected) and advances on a win; the process that wins
+   the root returns 0, everyone else returns 1.
+
+   This construction is NOT linearizable, and the checker proves it
+   (test and experiment E2): a process can lose — and complete, returning
+   1 — before the eventual winner has even invoked, so no sequential
+   execution can put a winning test&set first.  This is exactly why the
+   genuine n-process test&set from 2-process test&set of
+   Afek–Gafni–Tromp–Vitányi (1992) needs more machinery than a
+   tournament, and it makes the object a useful negative control for the
+   checker: "uses only 2-process test&set" (Theorem 19's base objects)
+   does not by itself make an implementation correct. *)
+
+module Make (R : Runtime_intf.S) : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val test_and_set : t -> int
+  (** One-shot: each process may call at most once. *)
+end = struct
+  module P = Prim.Make (R)
+
+  type t = { nodes : P.Test_and_set.t array; leaves : int }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "tour." in
+    let n = R.n_procs () in
+    let leaves = ref 1 in
+    while !leaves < n do
+      leaves := !leaves * 2
+    done;
+    {
+      nodes =
+        Array.init !leaves (fun i ->
+            P.Test_and_set.make ~name:(Printf.sprintf "%snode%d" prefix i) ~procs:2 ());
+      leaves = !leaves;
+    }
+
+  let test_and_set t =
+    let rec climb node =
+      if node <= 1 then 0  (* won every round including the root *)
+      else if P.Test_and_set.test_and_set t.nodes.(node / 2) = 0 then climb (node / 2)
+      else 1
+    in
+    climb (t.leaves + R.self ())
+end

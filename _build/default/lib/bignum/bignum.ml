@@ -1,0 +1,339 @@
+(* Arbitrary-precision naturals on 31-bit limbs, little-endian.
+
+   Invariant: the limb array has no trailing zero limb; zero is the empty
+   array.  31-bit limbs keep every intermediate of [divmod_small] and
+   [mul_small] within 62 bits, so plain [int] arithmetic never overflows on
+   64-bit platforms. *)
+
+exception Underflow
+
+let limb_bits = 31
+let limb_mask = (1 lsl limb_bits) - 1
+let small_max = 1 lsl 30
+
+type t = int array
+
+let zero : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero x = Array.length x = 0
+
+let of_int k =
+  if k < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs k = if k = 0 then [] else (k land limb_mask) :: limbs (k lsr limb_bits) in
+  Array.of_list (limbs k)
+
+let one = of_int 1
+
+(* An OCaml int has 63 value bits; three 31-bit limbs may not fit. *)
+let to_int_opt x =
+  let n = Array.length x in
+  if n = 0 then Some 0
+  else if n > 3 then None
+  else
+    let rec build i acc =
+      if i < 0 then Some acc
+      else
+        let shifted = acc lsl limb_bits in
+        if shifted lsr limb_bits <> acc || shifted < 0 then None
+        else build (i - 1) (shifted lor x.(i))
+    in
+    build (n - 1) 0
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some k -> k
+  | None -> failwith "Bignum.to_int_exn: does not fit in int"
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let hash (x : t) = Hashtbl.hash x
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  assert (!carry = 0);
+  normalize r
+
+let succ x = add x one
+
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if lb > la then raise Underflow;
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + (1 lsl limb_bits);
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then raise Underflow;
+  normalize r
+
+let mul_small (a : t) k : t =
+  if k < 0 || k >= small_max then invalid_arg "Bignum.mul_small: factor out of range";
+  if k = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * k) + !carry in
+      r.(i) <- p land limb_mask;
+      carry := p lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let divmod_small (a : t) k : t * int =
+  if k < 1 || k >= small_max then invalid_arg "Bignum.divmod_small: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / k;
+    rem := cur mod k
+  done;
+  (normalize q, !rem)
+
+let to_string x =
+  if is_zero x then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go x =
+      if not (is_zero x) then begin
+        (* Peel 9 decimal digits at a time. *)
+        let q, r = divmod_small x 1_000_000_000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go x;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignum.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignum.of_string: not a digit";
+      acc := add (mul_small !acc 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let pow2 k =
+  if k < 0 then invalid_arg "Bignum.pow2: negative";
+  let limb = k / limb_bits and off = k mod limb_bits in
+  let r = Array.make (limb + 1) 0 in
+  r.(limb) <- 1 lsl off;
+  r
+
+let bit (x : t) k =
+  if k < 0 then invalid_arg "Bignum.bit: negative index";
+  let limb = k / limb_bits and off = k mod limb_bits in
+  limb < Array.length x && x.(limb) land (1 lsl off) <> 0
+
+let set_bit (x : t) k =
+  if k < 0 then invalid_arg "Bignum.set_bit: negative index";
+  let limb = k / limb_bits and off = k mod limb_bits in
+  let n = max (Array.length x) (limb + 1) in
+  let r = Array.make n 0 in
+  Array.blit x 0 r 0 (Array.length x);
+  r.(limb) <- r.(limb) lor (1 lsl off);
+  r
+
+let clear_bit (x : t) k =
+  if k < 0 then invalid_arg "Bignum.clear_bit: negative index";
+  let limb = k / limb_bits and off = k mod limb_bits in
+  if limb >= Array.length x then x
+  else begin
+    let r = Array.copy x in
+    r.(limb) <- r.(limb) land lnot (1 lsl off);
+    normalize r
+  end
+
+let logbin f (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do
+    r.(i) <- f (if i < la then a.(i) else 0) (if i < lb then b.(i) else 0)
+  done;
+  normalize r
+
+let logand = logbin ( land )
+let logor = logbin ( lor )
+let logxor = logbin ( lxor )
+
+let shift_left (x : t) k =
+  if k < 0 then invalid_arg "Bignum.shift_left: negative";
+  if is_zero x || k = 0 then x
+  else begin
+    let limbs = k / limb_bits and off = k mod limb_bits in
+    let la = Array.length x in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = x.(i) lsl off in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right (x : t) k =
+  if k < 0 then invalid_arg "Bignum.shift_right: negative";
+  if is_zero x || k = 0 then x
+  else begin
+    let limbs = k / limb_bits and off = k mod limb_bits in
+    let la = Array.length x in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = x.(i + limbs) lsr off in
+        let hi = if off > 0 && i + limbs + 1 < la then x.(i + limbs + 1) lsl (limb_bits - off) else 0 in
+        r.(i) <- (lo lor hi) land limb_mask
+      done;
+      normalize r
+    end
+  end
+
+let num_bits (x : t) =
+  let la = Array.length x in
+  if la = 0 then 0
+  else begin
+    let top = x.(la - 1) in
+    let rec width k = if top lsr k = 0 then k else width (k + 1) in
+    ((la - 1) * limb_bits) + width 0
+  end
+
+let popcount (x : t) =
+  let count_limb v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+    go v 0
+  in
+  Array.fold_left (fun acc v -> acc + count_limb v) 0 x
+
+let to_hex x =
+  if is_zero x then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let nibbles = ((Array.length x * limb_bits) + 3) / 4 in
+    let started = ref false in
+    for j = nibbles - 1 downto 0 do
+      let v =
+        (if bit x ((4 * j) + 3) then 8 else 0)
+        + (if bit x ((4 * j) + 2) then 4 else 0)
+        + (if bit x ((4 * j) + 1) then 2 else 0)
+        + if bit x (4 * j) then 1 else 0
+      in
+      if v <> 0 || !started then begin
+        started := true;
+        Buffer.add_char buf "0123456789abcdef".[v]
+      end
+    done;
+    Buffer.contents buf
+  end
+
+(* The strided operations accumulate into a mutable limb buffer rather
+   than going through [set_bit] (which copies), keeping them linear in
+   the number of bits touched. *)
+
+let set_bit_mut (a : int array) k =
+  let limb = k / limb_bits and off = k mod limb_bits in
+  a.(limb) <- a.(limb) lor (1 lsl off)
+
+let extract_stride (x : t) ~offset ~stride =
+  if offset < 0 then invalid_arg "Bignum.extract_stride: negative offset";
+  if stride < 1 then invalid_arg "Bignum.extract_stride: stride < 1";
+  let w = num_bits x in
+  if w <= offset then zero
+  else begin
+    let count = 1 + ((w - 1 - offset) / stride) in
+    let buf = Array.make ((count / limb_bits) + 1) 0 in
+    let pos = ref offset in
+    for j = 0 to count - 1 do
+      if bit x !pos then set_bit_mut buf j;
+      pos := !pos + stride
+    done;
+    normalize buf
+  end
+
+let deposit_stride (v : t) ~offset ~stride =
+  if offset < 0 then invalid_arg "Bignum.deposit_stride: negative offset";
+  if stride < 1 then invalid_arg "Bignum.deposit_stride: stride < 1";
+  let w = num_bits v in
+  if w = 0 then zero
+  else begin
+    let top = offset + ((w - 1) * stride) in
+    let buf = Array.make ((top / limb_bits) + 1) 0 in
+    for j = 0 to w - 1 do
+      if bit v j then set_bit_mut buf (offset + (j * stride))
+    done;
+    normalize buf
+  end
+
+module Signed = struct
+  type nat = t
+
+  let nat_add = add
+  let nat_sub = sub
+
+  type t = { neg : bool; mag : nat }
+
+  let zero = { neg = false; mag = zero }
+
+  let of_nat ?(neg = false) mag = { neg; mag }
+
+  let of_int k = if k < 0 then { neg = true; mag = of_int (-k) } else { neg = false; mag = of_int k }
+
+  let add a b =
+    if a.neg = b.neg then { a with mag = nat_add a.mag b.mag }
+    else if compare a.mag b.mag >= 0 then { a with mag = nat_sub a.mag b.mag }
+    else { b with mag = nat_sub b.mag a.mag }
+
+  let apply x d = if d.neg then nat_sub x d.mag else nat_add x d.mag
+
+  let pp fmt d =
+    if d.neg && not (is_zero d.mag) then Format.pp_print_char fmt '-';
+    pp fmt d.mag
+end

@@ -1,0 +1,1 @@
+lib/core/agreement.ml: Array Format Fun K_ordering List Printf Random Runtime_intf Sim

@@ -1,0 +1,1 @@
+lib/core/agreement.mli: Format K_ordering Runtime_intf Sim

@@ -1,0 +1,1 @@
+lib/core/atomic_objects.ml: Array Object_intf Runtime_intf

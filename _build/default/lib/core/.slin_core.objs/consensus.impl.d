@@ -1,0 +1,1 @@
+lib/core/consensus.ml: Array Prim Printf Runtime_intf

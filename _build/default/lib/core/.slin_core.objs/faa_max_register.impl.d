@@ -1,0 +1,1 @@
+lib/core/faa_max_register.ml: Array Bignum Object_intf Prim Runtime_intf

@@ -1,0 +1,1 @@
+lib/core/faa_snapshot.ml: Array Bignum Object_intf Prim Runtime_intf

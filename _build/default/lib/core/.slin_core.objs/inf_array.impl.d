@@ -1,0 +1,1 @@
+lib/core/inf_array.ml: Hashtbl Mutex

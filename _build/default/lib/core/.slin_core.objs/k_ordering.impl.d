@@ -1,0 +1,1 @@
+lib/core/k_ordering.ml: Array List Prim Printf Runtime_intf Spec

@@ -1,0 +1,1 @@
+lib/core/k_ordering.mli: Runtime_intf Spec

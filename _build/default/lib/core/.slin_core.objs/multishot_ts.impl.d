@@ -1,0 +1,1 @@
+lib/core/multishot_ts.ml: Inf_array Object_intf Printf

@@ -1,0 +1,1 @@
+lib/core/object_intf.ml:

@@ -1,0 +1,1 @@
+lib/core/readable_ts.ml: Object_intf Prim Runtime_intf

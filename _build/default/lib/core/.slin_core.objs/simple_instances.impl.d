@@ -1,0 +1,1 @@
+lib/core/simple_instances.ml: Format List Spec

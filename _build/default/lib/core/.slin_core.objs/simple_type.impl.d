@@ -1,0 +1,1 @@
+lib/core/simple_type.ml: Array Hashtbl List Mutex Object_intf

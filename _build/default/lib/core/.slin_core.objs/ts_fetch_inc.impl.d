@@ -1,0 +1,1 @@
+lib/core/ts_fetch_inc.ml: Inf_array Object_intf Printf

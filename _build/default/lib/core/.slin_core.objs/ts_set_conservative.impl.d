@@ -1,0 +1,1 @@
+lib/core/ts_set_conservative.ml: Inf_array Object_intf Prim Printf Runtime_intf

@@ -1,0 +1,72 @@
+(** Lemma 12 / Algorithm B: k-set agreement from a lock-free
+    strongly-linearizable implementation of a k-ordering object over
+    readable base objects.
+
+    Process [p_i] with input [x]: writes [x] to [M[i]]; executes its
+    proposal sequence on the shared instance, bumping its slot of a
+    counter array [T] before {e every} step of the instance (the
+    instrumented runtime inserts the extra write); collects
+    [T]-[bases]-[T] until the two [T] collects agree — then the base
+    states are a consistent snapshot; locally replays its decision
+    sequence from the snapshot; decides [M[d i responses]].
+
+    Strong linearizability of the instance is what makes decisions agree
+    (every solo extension extends a common prefix-closed linearization);
+    with a merely linearizable instance the local extensions can extend
+    incompatible linearizations and disagree — experiments E3/E4. *)
+
+type outcome = {
+  decisions : int option array;  (** per process; [None] if crashed first *)
+  inputs : int array;
+}
+
+val distinct_decisions : outcome -> int list
+(** Sorted distinct decided values. *)
+
+val valid : outcome -> bool
+(** Every decision is some process's input. *)
+
+val agreement : k:int -> outcome -> bool
+(** At most [k] distinct decisions. *)
+
+val program :
+  make:((module Runtime_intf.S) -> ('op, 'resp) K_ordering.instance) ->
+  ordering:('op, 'resp) K_ordering.witness ->
+  inputs:int array ->
+  decisions:int option array ->
+  ('op, 'resp) Sim.program
+(** The Algorithm B program for custom scheduling; [decisions] is filled
+    in as processes decide.  The trace records the proposal operations of
+    the underlying object. *)
+
+val run_random :
+  make:((module Runtime_intf.S) -> ('op, 'resp) K_ordering.instance) ->
+  ordering:('op, 'resp) K_ordering.witness ->
+  inputs:int array ->
+  seed:int ->
+  ?crash_after:(int * int) list ->
+  unit ->
+  outcome
+(** One run under a seeded random schedule, with optional crash
+    injection ([(proc, after_total_steps)] pairs). *)
+
+type stats = {
+  trials : int;
+  agreement_violations : int;
+  validity_violations : int;
+  max_distinct : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run_many :
+  make:((module Runtime_intf.S) -> ('op, 'resp) K_ordering.instance) ->
+  ordering:('op, 'resp) K_ordering.witness ->
+  inputs:int array ->
+  trials:int ->
+  ?crash_prob:float ->
+  seed:int ->
+  unit ->
+  stats
+(** Many seeded runs; [crash_prob] is the per-run probability of crashing
+    one random process early. *)

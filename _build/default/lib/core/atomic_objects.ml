@@ -1,0 +1,87 @@
+(* Atomic reference objects: every operation is a single base-object
+   access, so every one of these is trivially strongly linearizable (the
+   linearization point is the access itself and never moves).
+
+   They play three roles:
+   - the "atomic base objects" some theorems assume (e.g. Theorem 6 uses
+     an atomic max register and atomic readable test&sets);
+   - the specification-level oracles the checkers are sanity-tested
+     against;
+   - the strongly-linearizable queue/stack needed to run Lemma 12's
+     Algorithm B positively — these use a single whole-state object, i.e.
+     a universal (CAS-class) primitive, which is exactly what the paper
+     says is required: by Theorem 17 no consensus-number-2 primitive
+     could replace it. *)
+
+module Make (R : Runtime_intf.S) = struct
+  module Max_register : Object_intf.MAX_REGISTER = struct
+    type t = int R.obj
+
+    let create ?name () = R.obj ?name 0
+
+    let write_max t v =
+      if v < 0 then invalid_arg "Max_register.write_max: negative";
+      R.access ~info:"writeMax" t (fun s -> (max s v, ()))
+
+    let read_max t = R.read ~info:"readMax" t
+  end
+
+  module Readable_ts : Object_intf.READABLE_TS = struct
+    type t = int R.obj
+
+    let create ?name () = R.obj ?name 0
+    let test_and_set t = R.access ~info:"test&set" t (fun s -> (1, s))
+    let read t = R.read t
+  end
+
+  module Multishot_ts : Object_intf.MULTISHOT_TS = struct
+    type t = int R.obj
+
+    let create ?name () = R.obj ?name 0
+    let test_and_set t = R.access ~info:"test&set" t (fun s -> (1, s))
+    let read t = R.read t
+    let reset t = R.access ~info:"reset" t (fun _ -> (0, ()))
+  end
+
+  module Fetch_inc : Object_intf.FETCH_INC = struct
+    type t = int R.obj
+
+    let create ?name () = R.obj ?name 1
+    let fetch_inc t = R.access ~info:"fetch&inc" t (fun s -> (s + 1, s))
+    let read t = R.read t
+  end
+
+  module Snapshot : Object_intf.SNAPSHOT = struct
+    type t = int array R.obj
+
+    let create ?name () = R.obj ?name (Array.make (R.n_procs ()) 0)
+
+    let update t v =
+      if v < 0 then invalid_arg "Snapshot.update: negative";
+      let p = R.self () in
+      R.access ~info:"update" t (fun s ->
+          let s' = Array.copy s in
+          s'.(p) <- v;
+          (s', ()))
+
+    let scan t = R.read ~info:"scan" t
+  end
+
+  module Queue : Object_intf.QUEUE = struct
+    type t = int list R.obj  (* front first *)
+
+    let create ?name () = R.obj ?name []
+    let enqueue t x = R.access ~info:"enq" t (fun s -> (s @ [ x ], ()))
+
+    let dequeue t =
+      R.access ~info:"deq" t (function [] -> ([], None) | x :: rest -> (rest, Some x))
+  end
+
+  module Stack : Object_intf.STACK = struct
+    type t = int list R.obj  (* top first *)
+
+    let create ?name () = R.obj ?name []
+    let push t x = R.access ~info:"push" t (fun s -> (x :: s, ()))
+    let pop t = R.access ~info:"pop" t (function [] -> ([], None) | x :: rest -> (rest, Some x))
+  end
+end

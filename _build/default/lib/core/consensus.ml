@@ -1,0 +1,87 @@
+(* Consensus protocols — the paper's yardstick (§2) made executable.
+
+   The consensus number of a primitive is the largest n for which it
+   solves n-process consensus (with registers).  These three protocols
+   exhibit the hierarchy the paper's results live on:
+
+   - [Two_from_ts]: 2-process consensus from one test&set and two
+     registers — test&set has consensus number 2 (its whole point);
+   - [Two_from_queue]: 2-process consensus from a two-element pre-filled
+     queue — queues also sit at level 2, which is why Theorem 17 is about
+     what queues can NOT give you (strong linearizability), not about
+     raw consensus power;
+   - [Any_from_cas]: n-process consensus from compare&swap — the
+     universal primitive the known strongly-linearizable constructions
+     rely on.
+
+   Each returns the decided value; agreement and validity are exercised
+   by the tests under adversarial schedules and crashes. *)
+
+module Two_from_ts (R : Runtime_intf.S) = struct
+  module P = Prim.Make (R)
+
+  type t = { proposals : int option P.Register.t array; ts : P.Test_and_set.t }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "cons." in
+    {
+      proposals = Array.init 2 (fun i -> P.Register.make ~name:(Printf.sprintf "%sprop%d" prefix i) None);
+      ts = P.Test_and_set.make ~name:(prefix ^ "ts") ~procs:2 ();
+    }
+
+  (* Only processes 0 and 1 may propose. *)
+  let propose t v =
+    let me = R.self () in
+    if me > 1 then invalid_arg "Two_from_ts: 2-process protocol";
+    P.Register.write t.proposals.(me) (Some v);
+    if P.Test_and_set.test_and_set t.ts = 0 then v
+    else
+      match P.Register.read t.proposals.(1 - me) with
+      | Some w -> w
+      | None ->
+          (* The winner wrote its proposal before playing test&set. *)
+          assert false
+end
+
+module Two_from_queue (R : Runtime_intf.S) = struct
+  module P = Prim.Make (R)
+
+  type token = Winner | Loser
+
+  type t = { proposals : int option P.Register.t array; queue : token list R.obj }
+
+  (* The queue is pre-filled in the initial configuration: the first
+     dequeuer drains the winner token (Herlihy's classic argument for
+     queues having consensus number >= 2). *)
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "consq." in
+    {
+      proposals =
+        Array.init 2 (fun i -> P.Register.make ~name:(Printf.sprintf "%sprop%d" prefix i) None);
+      queue = R.obj ~name:(prefix ^ "q") [ Winner; Loser ];
+    }
+
+  let propose t v =
+    let me = R.self () in
+    if me > 1 then invalid_arg "Two_from_queue: 2-process protocol";
+    P.Register.write t.proposals.(me) (Some v);
+    let tok =
+      R.access ~info:"deq" t.queue (function [] -> ([], Loser) | x :: rest -> (rest, x))
+    in
+    match tok with
+    | Winner -> v
+    | Loser -> (
+        match P.Register.read t.proposals.(1 - me) with Some w -> w | None -> assert false)
+end
+
+module Any_from_cas (R : Runtime_intf.S) = struct
+  module P = Prim.Make (R)
+
+  type t = int option P.Cas.t
+
+  let create ?name () : t = P.Cas.make ?name None
+
+  let propose (t : t) v =
+    ignore (P.Cas.compare_and_swap t ~expect:None (Some v));
+    match P.Cas.read t with Some w -> w | None -> assert false
+end

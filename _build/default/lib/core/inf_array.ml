@@ -1,0 +1,27 @@
+(* Infinite arrays of base objects.
+
+   Several constructions use an unbounded array of base objects (the TS
+   arrays of §4.1–§4.3, the M array of §4.2, the Items array of
+   Algorithm 2).  Entries are created on demand; in the paper's model all
+   of them exist in the initial configuration, and since creating a base
+   object is not a step of any process, lazy creation is
+   indistinguishable from that.  The table itself is bookkeeping, not a
+   shared base object: it is guarded by a mutex only so the parallel
+   runtime can use it. *)
+
+type 'a t = { make : int -> 'a; table : (int, 'a) Hashtbl.t; lock : Mutex.t }
+
+let create make = { make; table = Hashtbl.create 16; lock = Mutex.create () }
+
+let get t i =
+  Mutex.lock t.lock;
+  let v =
+    match Hashtbl.find_opt t.table i with
+    | Some v -> v
+    | None ->
+        let v = t.make i in
+        Hashtbl.add t.table i v;
+        v
+  in
+  Mutex.unlock t.lock;
+  v

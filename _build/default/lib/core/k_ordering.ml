@@ -1,0 +1,292 @@
+(* Definition 11: k-ordering objects.
+
+   An object is k-ordering when there are per-process proposal and
+   decision invocation sequences and a decision function d such that
+   executing the proposals on the object, then locally simulating the
+   decisions, solves k-set agreement (via Lemma 12's Algorithm B, see
+   [Agreement]).  This module packages the witnesses the paper gives in
+   §5 — queue, stack, queue/stack with multiplicity, m-stuttering
+   queue/stack, k-out-of-order queue — together with instances (shared
+   implementations supporting Algorithm B's collect/replay) to run them
+   on.
+
+   The instances:
+   - [atomic_queue]/[atomic_stack]/[atomic_ooo_queue] keep the whole
+     state in a single base object, i.e. they rely on a universal
+     (CAS-class) primitive.  They are trivially strongly linearizable, so
+     Algorithm B must succeed on them — and by Theorems 17/19 universal
+     power is unavoidable here.
+   - [hw_queue] is the Herlihy–Wing queue built from fetch&add and swap
+     (consensus number 2).  It is linearizable but (Theorem 17) cannot be
+     strongly linearizable, and Algorithm B run on it can disagree —
+     experiment E4 exhibits exactly that. *)
+
+(* A k-ordering witness: the data of Definition 11 for an n-process
+   system.  [degree] is k; [prop]/[dec] are the proposal and decision
+   invocation sequences; [decide i resps] maps the concatenated responses
+   of process i's proposal and decision sequences to the index of the
+   process whose input is adopted. *)
+type ('op, 'resp) witness = {
+  w_name : string;
+  degree : n:int -> int;
+  prop : n:int -> int -> 'op list;
+  dec : n:int -> int -> 'op list;
+  decide : n:int -> int -> 'resp list -> int;
+}
+
+(* A running shared instance, with the two extra capabilities Algorithm B
+   needs: [collect] reads every base object (one read step each —
+   possible because base objects are readable, Lemma 16) and returns
+   their joint state; [replay] simulates a fresh copy of the
+   implementation starting from collected states, locally (no shared
+   steps). *)
+type ('op, 'resp) instance =
+  | Instance : {
+      apply : 'op -> 'resp;
+      collect : unit -> 'snap;
+      replay : 'snap -> 'op list -> 'resp list;
+    }
+      -> ('op, 'resp) instance
+
+(* ------------------------------------------------------------------ *)
+(* Witnesses (§5's examples, verbatim)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let queue_witness : (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness =
+  {
+    w_name = "queue";
+    degree = (fun ~n -> ignore n; 1);
+    prop = (fun ~n i -> ignore n; [ Spec.Queue_spec.Enq i ]);
+    dec = (fun ~n i -> ignore (n, i); [ Spec.Queue_spec.Deq ]);
+    decide =
+      (fun ~n i resps ->
+        ignore (n, i);
+        match List.rev resps with
+        | Spec.Queue_spec.Item l :: _ -> l
+        | _ -> invalid_arg "queue_witness: dequeue returned no item");
+  }
+
+let stack_witness : (Spec.Stack_spec.op, Spec.Stack_spec.resp) witness =
+  {
+    w_name = "stack";
+    degree = (fun ~n -> ignore n; 1);
+    prop = (fun ~n i -> ignore n; [ Spec.Stack_spec.Push i ]);
+    dec = (fun ~n i -> ignore i; List.init (n + 1) (fun _ -> Spec.Stack_spec.Pop));
+    decide =
+      (fun ~n i resps ->
+        ignore (n, i);
+        (* The last non-Empty pop response is the bottom of the stack:
+           the first push in the linearization. *)
+        let last_item =
+          List.fold_left
+            (fun acc r -> match r with Spec.Stack_spec.Item l -> Some l | _ -> acc)
+            None resps
+        in
+        match last_item with
+        | Some l -> l
+        | None -> invalid_arg "stack_witness: no pop returned an item");
+  }
+
+(* Queues and stacks with multiplicity: the relaxation is only observable
+   under concurrency, so their sequential analysis — and hence the
+   witness — is the exact objects' (paper §5). *)
+let queue_multiplicity_witness = { queue_witness with w_name = "queue-multiplicity" }
+let stack_multiplicity_witness = { stack_witness with w_name = "stack-multiplicity" }
+
+let stuttering_queue_witness ~m : (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness =
+  {
+    w_name = Printf.sprintf "%d-stuttering-queue" m;
+    degree = (fun ~n -> ignore n; 1);
+    prop = (fun ~n i -> ignore n; List.init (m + 1) (fun _ -> Spec.Queue_spec.Enq i));
+    dec = (fun ~n i -> ignore (n, i); [ Spec.Queue_spec.Deq ]);
+    decide =
+      (fun ~n i resps ->
+        ignore (n, i);
+        match List.rev resps with
+        | Spec.Queue_spec.Item l :: _ -> l
+        | _ -> invalid_arg "stuttering_queue_witness: dequeue returned no item");
+  }
+
+let stuttering_stack_witness ~m : (Spec.Stack_spec.op, Spec.Stack_spec.resp) witness =
+  {
+    w_name = Printf.sprintf "%d-stuttering-stack" m;
+    degree = (fun ~n -> ignore n; 1);
+    prop = (fun ~n i -> ignore n; List.init (m + 1) (fun _ -> Spec.Stack_spec.Push i));
+    dec = (fun ~n i -> ignore i; List.init ((n * (m + 1)) + 1) (fun _ -> Spec.Stack_spec.Pop));
+    decide =
+      (fun ~n i resps ->
+        ignore (n, i);
+        let last_item =
+          List.fold_left
+            (fun acc r -> match r with Spec.Stack_spec.Item l -> Some l | _ -> acc)
+            None resps
+        in
+        match last_item with
+        | Some l -> l
+        | None -> invalid_arg "stuttering_stack_witness: no pop returned an item");
+  }
+
+let ooo_queue_witness ~k : (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness =
+  {
+    w_name = Printf.sprintf "%d-ooo-queue" k;
+    degree = (fun ~n -> ignore n; k);
+    prop = (fun ~n i -> ignore n; [ Spec.Queue_spec.Enq i ]);
+    dec = (fun ~n i -> ignore (n, i); [ Spec.Queue_spec.Deq ]);
+    decide =
+      (fun ~n i resps ->
+        ignore (n, i);
+        match List.rev resps with
+        | Spec.Queue_spec.Item l :: _ -> l
+        | _ -> invalid_arg "ooo_queue_witness: dequeue returned no item");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let queue_step (s : int list) : Spec.Queue_spec.op -> int list * Spec.Queue_spec.resp = function
+  | Spec.Queue_spec.Enq x -> (s @ [ x ], Spec.Queue_spec.Ok_)
+  | Spec.Queue_spec.Deq -> (
+      match s with
+      | [] -> ([], Spec.Queue_spec.Empty)
+      | x :: rest -> (rest, Spec.Queue_spec.Item x))
+
+let atomic_queue (module R : Runtime_intf.S) :
+    (Spec.Queue_spec.op, Spec.Queue_spec.resp) instance =
+  let q = R.obj ~name:"aqueue" [] in
+  Instance
+    {
+      apply = (fun op -> R.access ~info:"queue-op" q (fun s -> queue_step s op));
+      collect = (fun () -> R.read q);
+      replay =
+        (fun snap ops ->
+          let _, resps =
+            List.fold_left
+              (fun (s, acc) op ->
+                let s', r = queue_step s op in
+                (s', r :: acc))
+              (snap, []) ops
+          in
+          List.rev resps);
+    }
+
+let stack_step (s : int list) : Spec.Stack_spec.op -> int list * Spec.Stack_spec.resp = function
+  | Spec.Stack_spec.Push x -> (x :: s, Spec.Stack_spec.Ok_)
+  | Spec.Stack_spec.Pop -> (
+      match s with
+      | [] -> ([], Spec.Stack_spec.Empty)
+      | x :: rest -> (rest, Spec.Stack_spec.Item x))
+
+let atomic_stack (module R : Runtime_intf.S) :
+    (Spec.Stack_spec.op, Spec.Stack_spec.resp) instance =
+  let s0 = R.obj ~name:"astack" [] in
+  Instance
+    {
+      apply = (fun op -> R.access ~info:"stack-op" s0 (fun s -> stack_step s op));
+      collect = (fun () -> R.read s0);
+      replay =
+        (fun snap ops ->
+          let _, resps =
+            List.fold_left
+              (fun (s, acc) op ->
+                let s', r = stack_step s op in
+                (s', r :: acc))
+              (snap, []) ops
+          in
+          List.rev resps);
+    }
+
+(* A k-out-of-order queue that genuinely exercises the relaxation: a
+   dequeue by process p removes the (p mod k)-th oldest item (clamped to
+   the queue length).  Deterministic, single-object, hence strongly
+   linearizable; a valid refinement of the k-ooo specification. *)
+let atomic_ooo_queue ~k (module R : Runtime_intf.S) :
+    (Spec.Queue_spec.op, Spec.Queue_spec.resp) instance =
+  let q = R.obj ~name:"oooqueue" [] in
+  let step p (s : int list) : Spec.Queue_spec.op -> int list * Spec.Queue_spec.resp = function
+    | Spec.Queue_spec.Enq x -> (s @ [ x ], Spec.Queue_spec.Ok_)
+    | Spec.Queue_spec.Deq ->
+        if s = [] then ([], Spec.Queue_spec.Empty)
+        else
+          let idx = p mod min k (List.length s) in
+          let item = List.nth s idx in
+          (List.filteri (fun j _ -> j <> idx) s, Spec.Queue_spec.Item item)
+  in
+  Instance
+    {
+      apply = (fun op -> R.access ~info:"ooo-op" q (fun s -> step (R.self ()) s op));
+      collect = (fun () -> (R.self (), R.read q));
+      replay =
+        (fun (p, snap) ops ->
+          let _, resps =
+            List.fold_left
+              (fun (s, acc) op ->
+                let s', r = step p s op in
+                (s', r :: acc))
+              (snap, []) ops
+          in
+          List.rev resps);
+    }
+
+(* Herlihy–Wing queue from fetch&add and swap (consensus number 2).
+   enqueue: reserve a slot with fetch&add on [back], then write the item;
+   dequeue: repeatedly sweep slots 0..back-1, claiming with swap.
+   Linearizable; by Theorem 17 necessarily NOT strongly linearizable.
+   [capacity] bounds the slots that exist (enough for the finite
+   workloads of Algorithm B: one slot per proposal enqueue). *)
+let hw_queue ~capacity (module R : Runtime_intf.S) :
+    (Spec.Queue_spec.op, Spec.Queue_spec.resp) instance =
+  let module P = Prim.Make (R) in
+  let back = P.Faa_int.make ~name:"hw.back" 0 in
+  let slots = Array.init capacity (fun i -> P.Swap.make ~name:(Printf.sprintf "hw.slot%d" i) None) in
+  let apply : Spec.Queue_spec.op -> Spec.Queue_spec.resp = function
+    | Spec.Queue_spec.Enq x ->
+        let i = P.Faa_int.fetch_and_add back 1 in
+        if i >= capacity then invalid_arg "hw_queue: capacity exceeded";
+        ignore (P.Swap.swap slots.(i) (Some x));
+        Spec.Queue_spec.Ok_
+    | Spec.Queue_spec.Deq ->
+        (* Loops while the queue is observably empty; terminates in
+           Algorithm B's local replays and in workloads with enough
+           enqueues. *)
+        let rec sweep i limit =
+          if i >= limit then None
+          else
+            match P.Swap.swap slots.(i) None with
+            | Some x -> Some x
+            | None -> sweep (i + 1) limit
+        in
+        let rec retry () =
+          let limit = min capacity (P.Faa_int.read back) in
+          match sweep 0 limit with Some x -> Spec.Queue_spec.Item x | None -> retry ()
+        in
+        retry ()
+  in
+  Instance
+    {
+      apply;
+      collect =
+        (fun () ->
+          let b = P.Faa_int.read back in
+          let items = Array.map (fun s -> P.Swap.read s) slots in
+          (b, items));
+      replay =
+        (fun (b, items) ops ->
+          let items = Array.copy items in
+          let apply_local : Spec.Queue_spec.op -> Spec.Queue_spec.resp = function
+            | Spec.Queue_spec.Enq _ -> invalid_arg "hw_queue.replay: decision sequences only"
+            | Spec.Queue_spec.Deq ->
+                let limit = min capacity b in
+                let rec sweep i =
+                  if i >= limit then Spec.Queue_spec.Empty
+                  else
+                    match items.(i) with
+                    | Some x ->
+                        items.(i) <- None;
+                        Spec.Queue_spec.Item x
+                    | None -> sweep (i + 1)
+                in
+                sweep 0
+          in
+          List.map apply_local ops);
+    }

@@ -1,0 +1,79 @@
+(** Definition 11: k-ordering objects — witnesses and instances.
+
+    An object is k-ordering when per-process proposal and decision
+    invocation sequences and a decision function [d] exist such that
+    executing the proposals on the object and locally simulating the
+    decisions solves k-set agreement (via {!Agreement}, Lemma 12's
+    Algorithm B).  This module packages the paper's §5 witnesses —
+    queue, stack, queue/stack with multiplicity, m-stuttering
+    queue/stack, k-out-of-order queue — and instances to run them on. *)
+
+(** The data of Definition 11 for an n-process system. *)
+type ('op, 'resp) witness = {
+  w_name : string;
+  degree : n:int -> int;  (** k *)
+  prop : n:int -> int -> 'op list;  (** proposal sequence of process i *)
+  dec : n:int -> int -> 'op list;  (** decision sequence of process i *)
+  decide : n:int -> int -> 'resp list -> int;
+      (** maps the concatenated proposal+decision responses of process i
+          to the index of the adopted process *)
+}
+
+(** A running shared instance with Algorithm B's two extra capabilities:
+    [collect] reads every base object (one read step each — possible
+    because base objects are readable, Lemma 16) and returns their joint
+    state; [replay] simulates a fresh local copy from collected states
+    (no shared steps). *)
+type ('op, 'resp) instance =
+  | Instance : {
+      apply : 'op -> 'resp;
+      collect : unit -> 'snap;
+      replay : 'snap -> 'op list -> 'resp list;
+    }
+      -> ('op, 'resp) instance
+
+(** {1 Witnesses (§5's examples)} *)
+
+val queue_witness : (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness
+(** k = 1: propose by enqueueing your index, decide the first dequeue. *)
+
+val stack_witness : (Spec.Stack_spec.op, Spec.Stack_spec.resp) witness
+(** k = 1: propose by pushing; decide the last non-empty of n+1 pops
+    (the bottom of the stack = first push). *)
+
+val queue_multiplicity_witness : (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness
+val stack_multiplicity_witness : (Spec.Stack_spec.op, Spec.Stack_spec.resp) witness
+
+val stuttering_queue_witness : m:int -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness
+(** k = 1: m+1 enqueues guarantee one takes effect. *)
+
+val stuttering_stack_witness : m:int -> (Spec.Stack_spec.op, Spec.Stack_spec.resp) witness
+(** k = 1: m+1 pushes; n(m+1)+1 pops. *)
+
+val ooo_queue_witness : k:int -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) witness
+(** Degree k: a dequeue returns one of the k oldest items. *)
+
+(** {1 Instances} *)
+
+val atomic_queue :
+  (module Runtime_intf.S) -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) instance
+(** Whole state in one base object (CAS-class) — strongly linearizable;
+    by Theorem 17 the universal power is unavoidable. *)
+
+val atomic_stack :
+  (module Runtime_intf.S) -> (Spec.Stack_spec.op, Spec.Stack_spec.resp) instance
+
+val atomic_ooo_queue :
+  k:int -> (module Runtime_intf.S) -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) instance
+(** A k-out-of-order queue that really relaxes: a dequeue by process p
+    removes the (p mod k)-th oldest item.  Deterministic single-object,
+    hence strongly linearizable; makes the k bound of E3 tight. *)
+
+val hw_queue :
+  capacity:int ->
+  (module Runtime_intf.S) ->
+  (Spec.Queue_spec.op, Spec.Queue_spec.resp) instance
+(** The Herlihy–Wing queue from fetch&add and swap: linearizable, by
+    Theorem 17 necessarily NOT strongly linearizable — Algorithm B run
+    on it can disagree (experiment E4).  [capacity] bounds the slot
+    array (one slot per proposal enqueue suffices). *)

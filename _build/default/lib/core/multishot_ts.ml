@@ -1,0 +1,37 @@
+(* Theorem 6: a wait-free strongly-linearizable readable, multi-shot
+   test&set from (atomic) readable test&set and max register.
+
+   An epoch counter [curr] (a max register) selects the current one-shot
+   test&set in an infinite array [ts]: test&set and read act on
+   ts[curr]; a reset re-reads [curr] into c, reads ts[c], and only if it
+   is already set advances the epoch with writeMax(c+1).  (We start
+   epochs at 0 where the paper starts at 1 — an index shift with no
+   semantic content.)
+
+   Composition (the paper's Corollaries):
+   - with the atomic max register and Theorem 5's readable test&set:
+     Theorem 6 itself / Corollary 7's wait-free version via Theorem 1's
+     fetch&add max register;
+   - with a lock-free max register: Corollary 8's lock-free version.
+   Strong linearizability composes (Attiya–Enea, Theorem 10 of [9]), so
+   any strongly-linearizable instantiations of the two parameters yield a
+   strongly-linearizable multi-shot test&set. *)
+
+module Make (M : Object_intf.MAX_REGISTER) (T : Object_intf.READABLE_TS) :
+  Object_intf.MULTISHOT_TS = struct
+  type t = { curr : M.t; ts : T.t Inf_array.t }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "msts." in
+    {
+      curr = M.create ~name:(prefix ^ "curr") ();
+      ts = Inf_array.create (fun i -> T.create ~name:(Printf.sprintf "%sts%d" prefix i) ());
+    }
+
+  let test_and_set t = T.test_and_set (Inf_array.get t.ts (M.read_max t.curr))
+  let read t = T.read (Inf_array.get t.ts (M.read_max t.curr))
+
+  let reset t =
+    let c = M.read_max t.curr in
+    if T.read (Inf_array.get t.ts c) = 1 then M.write_max t.curr (c + 1)
+end

@@ -1,0 +1,94 @@
+(** Object interfaces shared by the constructions.
+
+    Each interface describes one of the object types the paper implements
+    or uses as a building block.  Constructions are functors producing
+    these interfaces, so they compose: e.g. Theorem 6's multi-shot
+    test&set is a functor over any {!MAX_REGISTER} and {!READABLE_TS},
+    instantiated with atomic base objects (Theorem 6 as stated), with
+    Theorem 1's fetch&add max register (Corollary 7), or with the
+    lock-free read/write max register (Corollary 8). *)
+
+(** Max register (§3.1): ReadMax returns the largest value ever written. *)
+module type MAX_REGISTER = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val write_max : t -> int -> unit
+
+  val read_max : t -> int
+  (** Initial value 0; arguments to {!write_max} must be non-negative. *)
+end
+
+(** Single-writer atomic snapshot (§3.2): component [i] is written only by
+    process [i]. *)
+module type SNAPSHOT = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val update : t -> int -> unit
+  (** Sets the calling process's component (non-negative values). *)
+
+  val scan : t -> int array
+  (** Returns an atomic view of all components (initially all 0). *)
+end
+
+(** One-shot readable test&set (§4.1): at most one [test_and_set] returns
+    0 ("wins"); [read] returns the current state. *)
+module type READABLE_TS = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val test_and_set : t -> int
+  val read : t -> int
+end
+
+(** Multi-shot readable test&set (§4.1): adds [reset]. *)
+module type MULTISHOT_TS = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val test_and_set : t -> int
+  val read : t -> int
+  val reset : t -> unit
+end
+
+(** Readable fetch&increment (§4.2).  Initial value 1, as in the paper's
+    use as an index allocator. *)
+module type FETCH_INC = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val fetch_inc : t -> int
+  (** Returns the pre-increment value. *)
+
+  val read : t -> int
+end
+
+(** Set (§4.3): [put] adds an item (idempotent), [take] removes and
+    returns an arbitrary present item, or [None] when empty. *)
+module type SET = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val put : t -> int -> unit
+  val take : t -> int option
+end
+
+(** Queue / stack (used by §5's reduction and the baselines). *)
+module type QUEUE = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val enqueue : t -> int -> unit
+  val dequeue : t -> int option
+end
+
+module type STACK = sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+end

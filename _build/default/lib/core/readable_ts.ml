@@ -1,0 +1,31 @@
+(* Theorem 5: a wait-free strongly-linearizable readable test&set from
+   (plain, non-readable) test&set and a read/write register.
+
+   The register [state] mirrors the object's state at all times.  A
+   test&set first applies the underlying ts, then writes 1 into [state];
+   a read just reads [state].  Linearization (from the paper's proof):
+   reads linearize at their read of [state]; the winning test&set
+   linearizes at the first write of 1 into [state], immediately followed
+   by every other test&set that had already accessed [ts] by then; all
+   remaining test&sets linearize at their access to [ts].  These points
+   never move in extensions, hence strong linearizability. *)
+
+module Make (R : Runtime_intf.S) : Object_intf.READABLE_TS = struct
+  module P = Prim.Make (R)
+
+  type t = { state : int P.Register.t; ts : P.Test_and_set.t }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "rts." in
+    {
+      state = P.Register.make ~name:(prefix ^ "state") 0;
+      ts = P.Test_and_set.make ~name:(prefix ^ "ts") ();
+    }
+
+  let test_and_set t =
+    let r = P.Test_and_set.test_and_set t.ts in
+    P.Register.write t.state 1;
+    r
+
+  let read t = P.Register.read t.state
+end

@@ -1,0 +1,131 @@
+(* Simple-type instances (§3.3).
+
+   Each instance plugs a commute/overwrite structure into Algorithm 1.
+   Operation and response types deliberately reuse the corresponding
+   [Spec] modules so that checker workloads need no translation.
+
+   The overwrite relations (recall [overwrites o2 o1] means: running [o1]
+   immediately before [o2] does not change the state left by [o2]):
+   - any operation overwrites a pure read (reads do not change state);
+   - WriteMax(v1) overwrites WriteMax(v2) iff v1 >= v2;
+   - inserts of the same element overwrite each other;
+   - increments/adds/ticks do NOT overwrite each other — they commute. *)
+
+module Counter_type = struct
+  type op = Spec.Counter.op
+  type resp = Spec.Counter.resp
+  type state = int
+
+  let init = 0
+
+  let apply s : op -> state * resp = function
+    | Spec.Counter.Read -> (s, Spec.Counter.Value s)
+    | Spec.Counter.Add d -> (s + d, Spec.Counter.Ack)
+
+  let overwrites (o2 : op) (o1 : op) =
+    match (o2, o1) with
+    | _, Spec.Counter.Read -> true  (* reads change nothing *)
+    | Spec.Counter.Read, Spec.Counter.Add _ -> false
+    | Spec.Counter.Add _, Spec.Counter.Add _ -> false  (* they commute *)
+end
+
+module Monotonic_counter_type = struct
+  type op = Spec.Monotonic_counter.op
+  type resp = Spec.Monotonic_counter.resp
+  type state = int
+
+  let init = 0
+
+  let apply s : op -> state * resp = function
+    | Spec.Monotonic_counter.Read -> (s, Spec.Monotonic_counter.Value s)
+    | Spec.Monotonic_counter.Inc -> (s + 1, Spec.Monotonic_counter.Ack)
+
+  let overwrites (o2 : op) (o1 : op) =
+    match (o2, o1) with
+    | _, Spec.Monotonic_counter.Read -> true
+    | Spec.Monotonic_counter.Read, Spec.Monotonic_counter.Inc -> false
+    | Spec.Monotonic_counter.Inc, Spec.Monotonic_counter.Inc -> false
+end
+
+module Max_register_type = struct
+  type op = Spec.Max_register.op
+  type resp = Spec.Max_register.resp
+  type state = int
+
+  let init = 0
+
+  let apply s : op -> state * resp = function
+    | Spec.Max_register.ReadMax -> (s, Spec.Max_register.Value s)
+    | Spec.Max_register.WriteMax v -> (max s v, Spec.Max_register.Ack)
+
+  let overwrites (o2 : op) (o1 : op) =
+    match (o2, o1) with
+    | _, Spec.Max_register.ReadMax -> true
+    | Spec.Max_register.ReadMax, Spec.Max_register.WriteMax _ -> false
+    | Spec.Max_register.WriteMax v2, Spec.Max_register.WriteMax v1 -> v2 >= v1
+end
+
+module Logical_clock_type = struct
+  type op = Spec.Logical_clock.op
+  type resp = Spec.Logical_clock.resp
+  type state = int
+
+  let init = 0
+
+  let apply s : op -> state * resp = function
+    | Spec.Logical_clock.Read -> (s, Spec.Logical_clock.Time s)
+    | Spec.Logical_clock.Tick -> (s + 1, Spec.Logical_clock.Ack)
+
+  let overwrites (o2 : op) (o1 : op) =
+    match (o2, o1) with
+    | _, Spec.Logical_clock.Read -> true
+    | Spec.Logical_clock.Read, Spec.Logical_clock.Tick -> false
+    | Spec.Logical_clock.Tick, Spec.Logical_clock.Tick -> false
+end
+
+(* An add-only ("union") set: Insert and a Contains query.  Inserts of
+   the same element overwrite each other; of different elements they
+   commute. *)
+module Union_set_type = struct
+  type op = Insert of int | Contains of int
+  type resp = Ack | Yes | No
+  type state = int list  (* sorted, distinct *)
+
+  let init = []
+
+  let apply s : op -> state * resp = function
+    | Insert x -> ((if List.mem x s then s else List.sort compare (x :: s)), Ack)
+    | Contains x -> (s, if List.mem x s then Yes else No)
+
+  let overwrites (o2 : op) (o1 : op) =
+    match (o2, o1) with
+    | _, Contains _ -> true
+    | Contains _, Insert _ -> false
+    | Insert x2, Insert x1 -> x2 = x1
+
+  let pp_op fmt = function
+    | Insert x -> Format.fprintf fmt "Insert %d" x
+    | Contains x -> Format.fprintf fmt "Contains %d" x
+
+  let pp_resp fmt = function
+    | Ack -> Format.fprintf fmt "Ack"
+    | Yes -> Format.fprintf fmt "Yes"
+    | No -> Format.fprintf fmt "No"
+
+  let equal_resp (a : resp) (b : resp) = a = b
+end
+
+(* The union set also gets a Spec-style module so the checkers can verify
+   the construction against it. *)
+module Union_set_spec = struct
+  type state = int list
+  type op = Union_set_type.op
+  type resp = Union_set_type.resp
+
+  let name = "union-set"
+  let init = []
+  let apply s o = [ Union_set_type.apply s o ]
+  let equal_resp = Union_set_type.equal_resp
+  let pp_op = Union_set_type.pp_op
+  let pp_resp = Union_set_type.pp_resp
+end

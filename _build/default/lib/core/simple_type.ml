@@ -1,0 +1,196 @@
+(* Theorems 3–4 / Algorithm 1: a wait-free strongly-linearizable
+   implementation of any "simple type" from atomic snapshots
+   (Aspnes–Herlihy, as analyzed by Ovens–Woelfel and re-proved in the
+   paper via forward simulation).
+
+   A simple type is an object in which any two operations either commute
+   or one overwrites the other.  The construction maintains a grow-only
+   DAG of operation nodes: each node carries an invocation, its computed
+   response, and pointers to the last node of every process at the time
+   the operation started (the [preceding] array).  The only shared base
+   object is one snapshot, [root], holding the id of each process's
+   latest node.  To execute an invocation a process:
+
+   1. scans [root] and gathers the whole graph G reachable through
+      [preceding] pointers,
+   2. linearizes G with LINGRAPH: start from the real-time partial order,
+      add dominance edges (the dominated operation goes first) whenever
+      they do not close a cycle, and take a canonical topological sort —
+      canonical so that all processes seeing the same G compute the same
+      sequence,
+   3. computes its response as the one obtained by running its invocation
+      after that sequence,
+   4. publishes a new node by updating its component of [root].
+
+   Nodes are immutable once published; following a [preceding] pointer is
+   a local computation, not a base-object step (in the paper, nodes live
+   in memory that is written once before its address is released).  The
+   node table below is that memory; its mutex matters only under the
+   parallel runtime.
+
+   Instantiating the snapshot with Theorem 2's fetch&add snapshot yields
+   Theorem 4: any simple type, wait-free and strongly linearizable, from
+   fetch&add. *)
+
+module type SIMPLE_TYPE = sig
+  type op
+  type resp
+  type state
+
+  val init : state
+  val apply : state -> op -> state * resp
+
+  val overwrites : op -> op -> bool
+  (** [overwrites o2 o1]: after executing [o2], the state is the same
+      whether or not [o1] was executed immediately before it. *)
+end
+
+module Make (S : SIMPLE_TYPE) (Snap : Object_intf.SNAPSHOT) : sig
+  type t
+
+  val create : ?name:string -> n:int -> unit -> t
+  (** [n] is the number of processes (the snapshot width). *)
+
+  val execute : t -> self:int -> S.op -> S.resp
+  (** Executes one high-level operation on behalf of process [self]. *)
+end = struct
+  type node = {
+    node_id : int;  (* = seq * n + proc + 1; 0 means "none" *)
+    proc : int;
+    op : S.op;
+    preceding : int array;  (* node ids; 0 = none *)
+  }
+
+  type t = {
+    root : Snap.t;
+    table : (int, node) Hashtbl.t;
+    table_lock : Mutex.t;
+    seq : int array;  (* per-process local publication counter *)
+    n : int;
+  }
+
+  let create ?name ~n () =
+    {
+      root = Snap.create ?name ();
+      table = Hashtbl.create 64;
+      table_lock = Mutex.create ();
+      seq = Array.make n 0;
+      n;
+    }
+
+  let find_node t id =
+    Mutex.lock t.table_lock;
+    let v = Hashtbl.find t.table id in
+    Mutex.unlock t.table_lock;
+    v
+
+  let publish_node t node =
+    Mutex.lock t.table_lock;
+    Hashtbl.replace t.table node.node_id node;
+    Mutex.unlock t.table_lock
+
+  (* Gather the graph reachable from the ids in [view]. *)
+  let collect_graph t view =
+    let seen = Hashtbl.create 32 in
+    let rec visit id =
+      if id <> 0 && not (Hashtbl.mem seen id) then begin
+        let node = find_node t id in
+        Hashtbl.add seen id node;
+        Array.iter visit node.preceding
+      end
+    in
+    Array.iter visit view;
+    Hashtbl.fold (fun _ node acc -> node :: acc) seen []
+
+  (* [dominates a b]: b is dominated by a — a overwrites b but not
+     vice-versa, or they overwrite each other and b's process id is
+     smaller (the paper's tie-break). *)
+  let dominates a b =
+    let ab = S.overwrites a.op b.op and ba = S.overwrites b.op a.op in
+    (ab && not ba) || (ab && ba && b.proc < a.proc)
+
+  (* LINGRAPH + canonical topological sort.  [nodes] is the collected
+     graph; the real-time order is the reachability order of [preceding]
+     pointers. *)
+  let linearize nodes =
+    let nodes = Array.of_list (List.sort (fun a b -> compare a.node_id b.node_id) nodes) in
+    let k = Array.length nodes in
+    let index_of = Hashtbl.create k in
+    Array.iteri (fun i node -> Hashtbl.replace index_of node.node_id i) nodes;
+    (* before.(i).(j): node i must be linearized before node j. *)
+    let before = Array.make_matrix k k false in
+    let add_closure a b =
+      (* a -> b, then close transitively. *)
+      if not before.(a).(b) then begin
+        before.(a).(b) <- true;
+        for x = 0 to k - 1 do
+          for y = 0 to k - 1 do
+            if
+              (x = a || before.(x).(a))
+              && (y = b || before.(b).(y))
+              && not before.(x).(y) && x <> y
+            then before.(x).(y) <- true
+          done
+        done
+      end
+    in
+    (* Real-time edges: each direct preceding pointer, transitively
+       closed.  (Reachability through preceding pointers is exactly the
+       order recorded by the algorithm.) *)
+    Array.iteri
+      (fun j node ->
+        Array.iter
+          (fun pid ->
+            if pid <> 0 then
+              match Hashtbl.find_opt index_of pid with
+              | Some i -> add_closure i j
+              | None -> ())
+          node.preceding)
+      nodes;
+    (* Dominance edges, dominated first, skipping cycle-closing ones.
+       The scan order (increasing node_id pairs) is canonical. *)
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        if dominates nodes.(i) nodes.(j) && not before.(i).(j) then add_closure j i
+        else if dominates nodes.(j) nodes.(i) && not before.(j).(i) then add_closure i j
+      done
+    done;
+    (* Canonical topological sort: repeatedly take the minimal-id node
+       with no unprocessed predecessor. *)
+    let emitted = Array.make k false in
+    let order = ref [] in
+    for _ = 1 to k do
+      let pick = ref (-1) in
+      for i = k - 1 downto 0 do
+        if not emitted.(i) then begin
+          let free = ref true in
+          for j = 0 to k - 1 do
+            if (not emitted.(j)) && before.(j).(i) then free := false
+          done;
+          if !free then pick := i
+        end
+      done;
+      assert (!pick >= 0);
+      emitted.(!pick) <- true;
+      order := nodes.(!pick) :: !order
+    done;
+    List.rev !order
+
+  let response_after sequence op =
+    let state = List.fold_left (fun st node -> fst (S.apply st node.op)) S.init sequence in
+    snd (S.apply state op)
+
+  let execute t ~self op =
+    let view = Snap.scan t.root in
+    let graph = collect_graph t view in
+    let sequence = linearize graph in
+    let resp = response_after sequence op in
+    let seq = t.seq.(self) in
+    t.seq.(self) <- seq + 1;
+    let node =
+      { node_id = (seq * t.n) + self + 1; proc = self; op; preceding = Array.copy view }
+    in
+    publish_node t node;
+    Snap.update t.root node.node_id;
+    resp
+end

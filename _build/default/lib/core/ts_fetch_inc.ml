@@ -1,0 +1,32 @@
+(* Theorem 9: a lock-free strongly-linearizable readable fetch&increment
+   from test&set (via Theorem 5's readable test&set).
+
+   An infinite array M of readable test&sets encodes the counter: the
+   object's state is the smallest index whose test&set is still 0.
+   fetch&increment applies test&set to M[1], M[2], ... until it wins
+   (obtains 0) and returns that index; read scans with reads until it
+   sees a 0.  Operations linearize when they obtain their 0 — a fixed
+   point, hence strong linearizability.  The scan is unbounded only when
+   other fetch&increments keep completing, hence lock-freedom (not
+   wait-freedom: the paper poses wait-free fetch&inc from test&set as an
+   open question).
+
+   This generalizes the one-shot fetch&increment of Afek–Weisberger–
+   Weisman, which the paper notes is strongly linearizable — unlike their
+   multi-shot version (see the baselines library). *)
+
+module Make (T : Object_intf.READABLE_TS) : Object_intf.FETCH_INC = struct
+  type t = T.t Inf_array.t
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "fi." in
+    Inf_array.create (fun i -> T.create ~name:(Printf.sprintf "%sm%d" prefix i) ())
+
+  let fetch_inc t =
+    let rec go i = if T.test_and_set (Inf_array.get t i) = 0 then i else go (i + 1) in
+    go 1
+
+  let read t =
+    let rec go i = if T.read (Inf_array.get t i) = 0 then i else go (i + 1) in
+    go 1
+end

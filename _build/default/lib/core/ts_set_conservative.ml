@@ -1,0 +1,66 @@
+(* A repair of Algorithm 2's EMPTY case — and what it costs.
+
+   The finding (DESIGN.md §6): Algorithm 2's take may conclude EMPTY
+   while a slot it already scanned is written by a put that then
+   completes, leaving the take's linearization point to be fixed
+   retroactively.  The repair here makes EMPTY conservative: a take
+   concludes EMPTY only from a stable round in which {e every} allocated
+   slot is both written and taken — an unwritten slot (a put between its
+   fetch&increment and its write) blocks the verdict, so the race of the
+   finding cannot arise and the strong-linearizability game verifies the
+   bounded workloads that refute Algorithm 2.
+
+   The price is progress: if a put crashes between reserving its slot and
+   writing it, a take on an (actually empty) set retries forever while no
+   other operation completes — the implementation is no longer lock-free,
+   only obstruction-free for EMPTY answers.  The tests measure exactly
+   that starvation.  Whether a lock-free strongly-linearizable set (with
+   a sound EMPTY) exists from consensus-number-2 primitives is, to our
+   knowledge, open — the paper's Theorem 10 claimed Algorithm 2 settles
+   it, which the finding disputes. *)
+
+module Make (R : Runtime_intf.S) (F : Object_intf.FETCH_INC) : Object_intf.SET = struct
+  module P = Prim.Make (R)
+
+  type t = {
+    items : int option P.Register.t Inf_array.t;
+    ts : P.Test_and_set.t Inf_array.t;
+    max : F.t;
+  }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "cset." in
+    {
+      items =
+        Inf_array.create (fun i -> P.Register.make ~name:(Printf.sprintf "%sitem%d" prefix i) None);
+      ts = Inf_array.create (fun i -> P.Test_and_set.make ~name:(Printf.sprintf "%sts%d" prefix i) ());
+      max = F.create ~name:(prefix ^ "max") ();
+    }
+
+  let put t x =
+    let slot = F.fetch_inc t.max in
+    P.Register.write (Inf_array.get t.items slot) (Some x)
+
+  exception Took of int
+
+  let take t =
+    let rec round ~max_old =
+      (* A round may conclude EMPTY only when every allocated slot is
+         written AND taken, and the region did not grow since the last
+         round. *)
+      let all_settled = ref true in
+      let max_new = F.read t.max - 1 in
+      match
+        for c = 1 to max_new do
+          match P.Register.read (Inf_array.get t.items c) with
+          | None -> all_settled := false  (* reserved but unwritten: cannot rule it out *)
+          | Some x ->
+              if P.Test_and_set.test_and_set (Inf_array.get t.ts c) = 0 then raise (Took x)
+        done
+      with
+      | () ->
+          if !all_settled && max_new = max_old then None else round ~max_old:max_new
+      | exception Took x -> Some x
+    in
+    round ~max_old:0
+end

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Agreement Array Executors Faa_max_register Faa_snapshot Format Harness K_ordering Lincheck List Printf Progress Rw_mult_queue Sim Simple_instances Spec String Unix

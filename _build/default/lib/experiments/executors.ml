@@ -1,0 +1,256 @@
+(* Executors: adapters from specification operations to implementation
+   calls, one per (object, implementation) pair used in the experiments.
+   Each takes the world's runtime and returns the operation interpreter
+   the workload harness drives. *)
+
+module Snap2 = Spec.Snapshot (struct
+  let n = 2
+end)
+
+module Snap3 = Spec.Snapshot (struct
+  let n = 3
+end)
+
+(* --- the paper's constructions --------------------------------------- *)
+
+let faa_max_register (module R : Runtime_intf.S) =
+  let module M = Faa_max_register.Make (R) in
+  let t = M.create ~name:"max" () in
+  fun (op : Spec.Max_register.op) : Spec.Max_register.resp ->
+    match op with
+    | Spec.Max_register.WriteMax v ->
+        M.write_max t v;
+        Spec.Max_register.Ack
+    | Spec.Max_register.ReadMax -> Spec.Max_register.Value (M.read_max t)
+
+let faa_snapshot3 (module R : Runtime_intf.S) =
+  let module S = Faa_snapshot.Make (R) in
+  let t = S.create ~name:"snap" () in
+  fun (op : Snap3.op) : Snap3.resp ->
+    match op with
+    | Snap3.Update (_, v) ->
+        S.update t v;
+        Snap3.Ack
+    | Snap3.Scan -> Snap3.View (Array.to_list (S.scan t))
+
+let simple_counter (module R : Runtime_intf.S) =
+  let module Snap = Faa_snapshot.Make (R) in
+  let module C = Simple_type.Make (Simple_instances.Counter_type) (Snap) in
+  let t = C.create ~name:"counter" ~n:(R.n_procs ()) () in
+  fun (op : Spec.Counter.op) -> C.execute t ~self:(R.self ()) op
+
+(* Theorem 3 proper: the simple-type construction over an ATOMIC
+   snapshot (Theorem 4 = the same functor over Theorem 2's snapshot). *)
+let simple_counter_atomic_snap (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module C = Simple_type.Make (Simple_instances.Counter_type) (A.Snapshot) in
+  let t = C.create ~name:"counter" ~n:(R.n_procs ()) () in
+  fun (op : Spec.Counter.op) -> C.execute t ~self:(R.self ()) op
+
+let union_set (module R : Runtime_intf.S) =
+  let module Snap = Faa_snapshot.Make (R) in
+  let module U = Simple_type.Make (Simple_instances.Union_set_type) (Snap) in
+  let t = U.create ~name:"uset" ~n:(R.n_procs ()) () in
+  fun (op : Simple_instances.Union_set_type.op) -> U.execute t ~self:(R.self ()) op
+
+let simple_max_register (module R : Runtime_intf.S) =
+  let module Snap = Faa_snapshot.Make (R) in
+  let module M = Simple_type.Make (Simple_instances.Max_register_type) (Snap) in
+  let t = M.create ~name:"stmax" ~n:(R.n_procs ()) () in
+  fun (op : Spec.Max_register.op) -> M.execute t ~self:(R.self ()) op
+
+let simple_logical_clock (module R : Runtime_intf.S) =
+  let module Snap = Faa_snapshot.Make (R) in
+  let module C = Simple_type.Make (Simple_instances.Logical_clock_type) (Snap) in
+  let t = C.create ~name:"clock" ~n:(R.n_procs ()) () in
+  fun (op : Spec.Logical_clock.op) -> C.execute t ~self:(R.self ()) op
+
+let readable_ts (module R : Runtime_intf.S) =
+  let module T = Readable_ts.Make (R) in
+  let t = T.create ~name:"rts" () in
+  fun (op : Spec.Test_and_set.op) : Spec.Test_and_set.resp ->
+    match op with
+    | Spec.Test_and_set.TestAndSet -> Spec.Test_and_set.Value (T.test_and_set t)
+    | Spec.Test_and_set.Read -> Spec.Test_and_set.Value (T.read t)
+
+let multishot_ts_atomic (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module T = Multishot_ts.Make (A.Max_register) (A.Readable_ts) in
+  let t = T.create ~name:"msts" () in
+  fun (op : Spec.Multishot_test_and_set.op) : Spec.Multishot_test_and_set.resp ->
+    match op with
+    | Spec.Multishot_test_and_set.TestAndSet ->
+        Spec.Multishot_test_and_set.Value (T.test_and_set t)
+    | Spec.Multishot_test_and_set.Read -> Spec.Multishot_test_and_set.Value (T.read t)
+    | Spec.Multishot_test_and_set.Reset ->
+        T.reset t;
+        Spec.Multishot_test_and_set.Ack
+
+let multishot_ts_composed (module R : Runtime_intf.S) =
+  let module M = Faa_max_register.Make (R) in
+  let module RT = Readable_ts.Make (R) in
+  let module T = Multishot_ts.Make (M) (RT) in
+  let t = T.create ~name:"msts" () in
+  fun (op : Spec.Multishot_test_and_set.op) : Spec.Multishot_test_and_set.resp ->
+    match op with
+    | Spec.Multishot_test_and_set.TestAndSet ->
+        Spec.Multishot_test_and_set.Value (T.test_and_set t)
+    | Spec.Multishot_test_and_set.Read -> Spec.Multishot_test_and_set.Value (T.read t)
+    | Spec.Multishot_test_and_set.Reset ->
+        T.reset t;
+        Spec.Multishot_test_and_set.Ack
+
+let ts_fetch_inc (module R : Runtime_intf.S) =
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let t = F.create ~name:"fi" () in
+  fun (op : Spec.Fetch_and_inc.op) : Spec.Fetch_and_inc.resp ->
+    match op with
+    | Spec.Fetch_and_inc.FetchInc -> Spec.Fetch_and_inc.Value (F.fetch_inc t)
+    | Spec.Fetch_and_inc.Read -> Spec.Fetch_and_inc.Value (F.read t)
+
+let ts_set_atomic_fi (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set.Make (R) (A.Fetch_inc) in
+  let t = S.create ~name:"set" () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        S.put t x;
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take -> (
+        match S.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+let ts_set_full (module R : Runtime_intf.S) =
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let module S = Ts_set.Make (R) (F) in
+  let t = S.create ~name:"set" () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        S.put t x;
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take -> (
+        match S.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+(* --- baselines -------------------------------------------------------- *)
+
+let hw_queue (module R : Runtime_intf.S) =
+  let module Q = Hw_queue.Make (R) in
+  let t = Q.create () in
+  fun (op : Spec.Queue_spec.op) : Spec.Queue_spec.resp ->
+    match op with
+    | Spec.Queue_spec.Enq x ->
+        Q.enqueue t x;
+        Spec.Queue_spec.Ok_
+    | Spec.Queue_spec.Deq -> (
+        match Q.dequeue t with None -> Spec.Queue_spec.Empty | Some x -> Spec.Queue_spec.Item x)
+
+let agm_stack (module R : Runtime_intf.S) =
+  let module S = Agm_stack.Make (R) in
+  let t = S.create () in
+  fun (op : Spec.Stack_spec.op) : Spec.Stack_spec.resp ->
+    match op with
+    | Spec.Stack_spec.Push x ->
+        S.push t x;
+        Spec.Stack_spec.Ok_
+    | Spec.Stack_spec.Pop -> (
+        match S.pop t with None -> Spec.Stack_spec.Empty | Some x -> Spec.Stack_spec.Item x)
+
+let rw_max_register (module R : Runtime_intf.S) =
+  let module M = Rw_max_register.Make (R) in
+  let t = M.create () in
+  fun (op : Spec.Max_register.op) : Spec.Max_register.resp ->
+    match op with
+    | Spec.Max_register.WriteMax v ->
+        M.write_max t v;
+        Spec.Max_register.Ack
+    | Spec.Max_register.ReadMax -> Spec.Max_register.Value (M.read_max t)
+
+let rw_snapshot2 (module R : Runtime_intf.S) =
+  let module S = Rw_snapshot.Make (R) in
+  let t = S.create () in
+  fun (op : Snap2.op) : Snap2.resp ->
+    match op with
+    | Snap2.Update (_, v) ->
+        S.update t v;
+        Snap2.Ack
+    | Snap2.Scan -> Snap2.View (Array.to_list (S.scan t))
+
+let rw_snapshot3 (module R : Runtime_intf.S) =
+  let module S = Rw_snapshot.Make (R) in
+  let t = S.create () in
+  fun (op : Snap3.op) : Snap3.resp ->
+    match op with
+    | Snap3.Update (_, v) ->
+        S.update t v;
+        Snap3.Ack
+    | Snap3.Scan -> Snap3.View (Array.to_list (S.scan t))
+
+(* Multi-writer register from single-writer registers (Vitányi–Awerbuch
+   timestamps): the classic consensus-number-1 baseline that is
+   linearizable but not strongly linearizable (Helmi–Higham–Woelfel). *)
+let mwmr_register (module R : Runtime_intf.S) =
+  let n = R.n_procs () in
+  let own = Array.init n (fun i -> R.obj ~name:(Printf.sprintf "own%d" i) (0, i, 0)) in
+  let collect () = Array.map (fun o -> R.read o) own in
+  fun (op : Spec.Register.op) : Spec.Register.resp ->
+    match op with
+    | Spec.Register.Write v ->
+        let views = collect () in
+        let ts = Array.fold_left (fun acc (t, _, _) -> max acc t) 0 views in
+        R.access own.(R.self ()) (fun _ -> ((ts + 1, R.self (), v), ()));
+        Spec.Register.Ack
+    | Spec.Register.Read ->
+        let views = collect () in
+        let _, _, v = Array.fold_left max (min_int, min_int, 0) views in
+        Spec.Register.Value v
+
+let cas_queue (module R : Runtime_intf.S) =
+  let module U =
+    Cas_universal.Make
+      (R)
+      (struct
+        type state = int list
+        type op = Spec.Queue_spec.op
+        type resp = Spec.Queue_spec.resp
+
+        let init = []
+
+        let apply s : op -> state * resp = function
+          | Spec.Queue_spec.Enq x -> (s @ [ x ], Spec.Queue_spec.Ok_)
+          | Spec.Queue_spec.Deq -> (
+              match s with
+              | [] -> ([], Spec.Queue_spec.Empty)
+              | x :: r -> (r, Spec.Queue_spec.Item x))
+      end)
+  in
+  let t = U.create ~name:"casq" () in
+  fun op -> U.execute t op
+
+let aww_one_shot_fi (module R : Runtime_intf.S) =
+  let module F = Aww_fetch_inc.Make (R) in
+  let t = F.create () in
+  fun (op : Spec.Fetch_and_inc.op) : Spec.Fetch_and_inc.resp ->
+    match op with
+    | Spec.Fetch_and_inc.FetchInc -> Spec.Fetch_and_inc.Value (F.fetch_inc t)
+    | Spec.Fetch_and_inc.Read -> invalid_arg "one-shot object has no read"
+
+let tournament_ts (module R : Runtime_intf.S) =
+  let module T = Tournament_ts.Make (R) in
+  let t = T.create () in
+  fun (op : Spec.Test_and_set.op) : Spec.Test_and_set.resp ->
+    match op with
+    | Spec.Test_and_set.TestAndSet -> Spec.Test_and_set.Value (T.test_and_set t)
+    | Spec.Test_and_set.Read -> invalid_arg "tournament T&S is not readable"
+
+let atomic_max_register (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let t = A.Max_register.create ~name:"amax" () in
+  fun (op : Spec.Max_register.op) : Spec.Max_register.resp ->
+    match op with
+    | Spec.Max_register.WriteMax v ->
+        A.Max_register.write_max t v;
+        Spec.Max_register.Ack
+    | Spec.Max_register.ReadMax -> Spec.Max_register.Value (A.Max_register.read_max t)

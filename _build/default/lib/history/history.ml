@@ -1,0 +1,64 @@
+(* Histories: the invocation/response structure of a trace (paper §2).
+
+   An operation record pairs an invocation with its response (if any) and
+   remembers the positions of both events, from which the real-time
+   precedence relation is derived: OP precedes OP' iff OP's response
+   appears before OP''s invocation. *)
+
+type ('op, 'resp) op_record = {
+  id : int;  (* dense, in invocation order *)
+  proc : int;
+  op : 'op;
+  resp : 'resp option;  (* None while pending *)
+  inv_index : int;  (* position of the Invoke event in the trace *)
+  res_index : int option;  (* position of the Return event, if completed *)
+}
+
+let is_complete r = r.resp <> None
+let is_pending r = r.resp = None
+
+(* [precedes a b]: a completed strictly before b was invoked. *)
+let precedes a b = match a.res_index with Some ra -> ra < b.inv_index | None -> false
+
+let overlapping a b = (not (precedes a b)) && not (precedes b a)
+
+(* Extract the operation records of a trace, in invocation order.
+   Assumes well-formedness (one pending operation per process at a time),
+   which the simulator guarantees. *)
+let of_trace (t : ('op, 'resp) Trace.t) : ('op, 'resp) op_record list =
+  let records = ref [] in
+  let open_ops : (int, ('op, 'resp) op_record) Hashtbl.t = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  List.iteri
+    (fun idx ev ->
+      match ev with
+      | Trace.Step _ -> ()
+      | Trace.Invoke { proc; op } ->
+          if Hashtbl.mem open_ops proc then
+            invalid_arg (Printf.sprintf "History.of_trace: p%d invoked twice concurrently" proc);
+          let r = { id = !next_id; proc; op; resp = None; inv_index = idx; res_index = None } in
+          incr next_id;
+          Hashtbl.add open_ops proc r;
+          records := r :: !records
+      | Trace.Return { proc; resp } -> (
+          match Hashtbl.find_opt open_ops proc with
+          | None ->
+              invalid_arg (Printf.sprintf "History.of_trace: p%d returned without invoking" proc)
+          | Some r ->
+              Hashtbl.remove open_ops proc;
+              let completed = { r with resp = Some resp; res_index = Some idx } in
+              records := completed :: List.filter (fun x -> x.id <> r.id) !records))
+    t;
+  List.sort (fun a b -> compare a.id b.id) !records
+
+let complete_ops records = List.filter is_complete records
+let pending_ops records = List.filter is_pending records
+
+let pp_op_record pp_op pp_resp fmt r =
+  Format.fprintf fmt "#%d p%d %a%s" r.id r.proc pp_op r.op
+    (match r.resp with
+    | None -> " (pending)"
+    | Some v -> Format.asprintf " -> %a" pp_resp v)
+
+let pp pp_op pp_resp fmt records =
+  List.iter (fun r -> Format.fprintf fmt "%a@." (pp_op_record pp_op pp_resp) r) records

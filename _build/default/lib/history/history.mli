@@ -1,0 +1,48 @@
+(** Histories: the invocation/response structure of a trace (paper §2).
+
+    A history pairs every invocation with its response (if any) and keeps
+    the positions of both events, from which the real-time precedence
+    relation is derived.  Operation records are the unit the checkers
+    work on. *)
+
+type ('op, 'resp) op_record = {
+  id : int;  (** dense, in invocation order — stable under trace extension *)
+  proc : int;
+  op : 'op;
+  resp : 'resp option;  (** [None] while pending *)
+  inv_index : int;  (** position of the [Invoke] event in the trace *)
+  res_index : int option;  (** position of the [Return] event, if completed *)
+}
+
+val is_complete : _ op_record -> bool
+val is_pending : _ op_record -> bool
+
+val precedes : ('op, 'resp) op_record -> ('op, 'resp) op_record -> bool
+(** [precedes a b]: [a]'s response appears strictly before [b]'s
+    invocation — the paper's "OP precedes OP'". *)
+
+val overlapping : ('op, 'resp) op_record -> ('op, 'resp) op_record -> bool
+(** Neither precedes the other. *)
+
+val of_trace : ('op, 'resp) Trace.t -> ('op, 'resp) op_record list
+(** Operation records of a trace, sorted by [id].  Requires
+    well-formedness (at most one pending operation per process), which
+    the simulator guarantees.
+    @raise Invalid_argument on a malformed trace. *)
+
+val complete_ops : ('op, 'resp) op_record list -> ('op, 'resp) op_record list
+val pending_ops : ('op, 'resp) op_record list -> ('op, 'resp) op_record list
+
+val pp_op_record :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'resp -> unit) ->
+  Format.formatter ->
+  ('op, 'resp) op_record ->
+  unit
+
+val pp :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'resp -> unit) ->
+  Format.formatter ->
+  ('op, 'resp) op_record list ->
+  unit

@@ -1,0 +1,1 @@
+lib/lincheck/harness.ml: Array Fun List Runtime_intf Sim

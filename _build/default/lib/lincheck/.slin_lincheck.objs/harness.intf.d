@@ -1,0 +1,1 @@
+lib/lincheck/harness.mli: Runtime_intf Sim Trace

@@ -1,0 +1,1 @@
+lib/lincheck/lincheck.ml: Array Format Hashtbl History List Sim Spec String Trace

@@ -1,0 +1,1 @@
+lib/lincheck/mult_check.ml: Array History List Spec Trace

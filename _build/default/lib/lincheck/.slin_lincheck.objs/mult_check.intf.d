@@ -1,0 +1,1 @@
+lib/lincheck/mult_check.mli: Spec Trace

@@ -1,0 +1,1 @@
+lib/lincheck/progress.ml: Format Hashtbl List Random Sim Trace

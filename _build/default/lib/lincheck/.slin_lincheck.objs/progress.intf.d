@@ -1,0 +1,1 @@
+lib/lincheck/progress.mli: Format Sim Trace

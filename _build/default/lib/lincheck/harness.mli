@@ -1,0 +1,24 @@
+(** Workload harness: turn an object implementation plus per-process
+    operation lists into a {!Sim.program} whose trace records exactly the
+    high-level operations — the shape both checkers consume. *)
+
+val program :
+  make:((module Runtime_intf.S) -> 'op -> 'resp) ->
+  workload:'op list array ->
+  ('op, 'resp) Sim.program
+(** [program ~make ~workload] spawns one process per entry of [workload],
+    each performing its operations in order.  [make] is called once per
+    world (i.e. once per explored schedule); it creates a fresh instance
+    and returns the operation executor shared by all processes —
+    per-process local state inside the implementation is keyed by
+    [R.self ()]. *)
+
+val find_non_linearizable :
+  check:(('op, 'resp) Trace.t -> bool) ->
+  runs:int ->
+  ?crash_prob:float ->
+  ('op, 'resp) Sim.program ->
+  int option
+(** Run [runs] seeded random schedules (every fifth run crashes a process
+    when [crash_prob > 0]) and return the first seed whose trace fails
+    [check], if any. *)

@@ -1,0 +1,249 @@
+(* Linearizability and strong-linearizability checking.
+
+   [Make (S)] provides two checkers for programs whose high-level
+   operations follow specification [S]:
+
+   - [check_trace] decides whether one execution trace is linearizable:
+     is there a sequential execution of [S] containing every completed
+     operation (with its actual response), possibly some pending ones, and
+     respecting real-time order?  (Paper §2's definition.)
+
+   - [check_strong] decides whether a {e prefix-closed} linearization
+     function exists on the tree of all executions of a program (up to a
+     node budget): an assignment of a linearization L(v) to every node v
+     such that L(child) extends L(parent) by appending operations only.
+     This is precisely strong linearizability (Golab–Higham–Woelfel)
+     restricted to the explored tree, so:
+
+       - a [Not_strongly_linearizable] verdict is a {e proof} that the
+         implementation is not strongly linearizable (the finite witness
+         tree embeds in the full execution tree);
+       - a [Strongly_linearizable] verdict is exhaustive for the given
+         workload: no adversary scheduling that workload can violate
+         prefix-closedness.
+
+   The game solver enumerates, at each node, the {e minimal} valid
+   linearizations extending the parent's choice — sequences that place
+   every completed operation and only those pending operations forced
+   before a completed one.  Minimality is sound: if L is a prefix of L'
+   then every child strategy for L' is also one for L, so committing to
+   unforced pending operations never helps. *)
+
+exception Budget_exhausted
+
+module Make (S : Spec.S) = struct
+  type entry = { op_id : int; eresp : S.resp }
+
+  type linearization = entry list
+
+  let pp_entry records fmt e =
+    let r = List.find (fun (r : _ History.op_record) -> r.id = e.op_id) records in
+    Format.fprintf fmt "#%d p%d %a -> %a" r.History.id r.History.proc S.pp_op r.History.op
+      S.pp_resp e.eresp
+
+  let pp_linearization records fmt l =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+      (pp_entry records) fmt l
+
+  (* ---------------------------------------------------------------- *)
+  (* Shared machinery                                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Nondeterministic specs: a sequence of (op, resp) pairs corresponds to
+     a set of possible states.  [step_states] advances the whole set,
+     keeping only outcomes whose response matches. *)
+  let step_states states op resp =
+    List.concat_map (fun s -> S.apply s op) states
+    |> List.filter_map (fun (s', r) -> if S.equal_resp r resp then Some s' else None)
+    |> List.sort_uniq compare
+
+  (* All (resp, next-states) groups reachable by applying [op] to any
+     state in [states]. *)
+  let outcome_groups states op =
+    let outcomes = List.concat_map (fun s -> S.apply s op) states in
+    let acc : (S.resp * S.state list) list ref = ref [] in
+    List.iter
+      (fun (s', r) ->
+        let rec insert = function
+          | [] -> [ (r, [ s' ]) ]
+          | (r0, ss) :: rest ->
+              if S.equal_resp r0 r then (r0, s' :: ss) :: rest else (r0, ss) :: insert rest
+        in
+        acc := insert !acc)
+      outcomes;
+    List.map (fun (r, ss) -> (r, List.sort_uniq compare ss)) !acc
+
+  (* Precedence masks for a list of records (ids are dense 0..n-1). *)
+  let build_masks (records : (S.op, S.resp) History.op_record list) =
+    let arr = Array.of_list records in
+    let n = Array.length arr in
+    if n > 60 then invalid_arg "Lincheck: more than 60 operations";
+    let pred = Array.make n 0 in
+    Array.iteri
+      (fun i ri ->
+        Array.iteri
+          (fun j rj -> if i <> j && History.precedes rj ri then pred.(i) <- pred.(i) lor (1 lsl j))
+          arr;
+        ignore ri)
+      arr;
+    (arr, pred)
+
+  (* Validate a linearization prefix against the (possibly extended)
+     records of a node: responses of now-completed operations must match
+     the committed ones, and the sequence must still be spec-valid.
+     Returns the state set after the prefix, or None. *)
+  let validate_prefix (records : (S.op, S.resp) History.op_record list) (lin : linearization) =
+    let arr = Array.of_list records in
+    let rec go states = function
+      | [] -> Some states
+      | e :: rest ->
+          if e.op_id >= Array.length arr then None
+          else
+            let r = arr.(e.op_id) in
+            let resp_ok =
+              match r.History.resp with None -> true | Some actual -> S.equal_resp actual e.eresp
+            in
+            if not resp_ok then None
+            else
+              let states' = step_states states r.History.op e.eresp in
+              if states' = [] then None else go states' rest
+    in
+    go [ S.init ] lin
+
+  (* Enumerate the minimal valid linearizations of [records] extending
+     [lin] (whose state set is [states0]): place every completed
+     operation; pending operations appear only in the interior (the last
+     element of every extension is completed, or the extension is empty).
+     Returns deduplicated entry lists. *)
+  let extensions (records : (S.op, S.resp) History.op_record list) (lin : linearization) states0 =
+    let arr, pred = build_masks records in
+    let n = Array.length arr in
+    let in_lin = List.fold_left (fun m e -> m lor (1 lsl e.op_id)) 0 lin in
+    let completed_mask = ref 0 in
+    Array.iteri (fun i r -> if History.is_complete r then completed_mask := !completed_mask lor (1 lsl i)) arr;
+    let completed_mask = !completed_mask in
+    let results = ref [] in
+    let seen = Hashtbl.create 16 in
+    let emit rev_acc =
+      let ext = List.rev rev_acc in
+      let key = List.map (fun e -> (e.op_id, Format.asprintf "%a" S.pp_resp e.eresp)) ext in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        results := ext :: !results
+      end
+    in
+    let rec go mask states rev_acc =
+      if completed_mask land lnot mask = 0 then emit rev_acc
+      else
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 && pred.(i) land lnot mask = 0 then begin
+            let r = arr.(i) in
+            match r.History.resp with
+            | Some actual ->
+                let states' = step_states states r.History.op actual in
+                if states' <> [] then
+                  go (mask lor (1 lsl i)) states' ({ op_id = i; eresp = actual } :: rev_acc)
+            | None ->
+                List.iter
+                  (fun (resp, states') ->
+                    go (mask lor (1 lsl i)) states' ({ op_id = i; eresp = resp } :: rev_acc))
+                  (outcome_groups states r.History.op)
+          end
+        done
+    in
+    go in_lin states0 [];
+    List.map (fun ext -> lin @ ext) !results
+
+  (* ---------------------------------------------------------------- *)
+  (* Single-trace linearizability                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  let check_trace (t : (S.op, S.resp) Trace.t) : linearization option =
+    let records = History.of_trace t in
+    match extensions records [] [ S.init ] with [] -> None | l :: _ -> Some l
+
+  let is_linearizable t = check_trace t <> None
+
+  (* ---------------------------------------------------------------- *)
+  (* Strong linearizability on the execution tree                      *)
+  (* ---------------------------------------------------------------- *)
+
+  type verdict =
+    | Strongly_linearizable of { nodes : int }
+    | Not_linearizable of { schedule : int list }
+    | Not_strongly_linearizable of { witness : int list; nodes : int }
+    | Out_of_budget of { nodes : int }
+
+  let pp_verdict fmt = function
+    | Strongly_linearizable { nodes } ->
+        Format.fprintf fmt "strongly linearizable (%d nodes explored)" nodes
+    | Not_linearizable { schedule } ->
+        Format.fprintf fmt "NOT linearizable (schedule: %s)"
+          (String.concat "" (List.map string_of_int schedule))
+    | Not_strongly_linearizable { witness; nodes } ->
+        Format.fprintf fmt "linearizable but NOT strongly linearizable (witness: %s; %d nodes)"
+          (String.concat "" (List.map string_of_int witness))
+          nodes
+    | Out_of_budget { nodes } -> Format.fprintf fmt "inconclusive: budget of %d nodes exhausted" nodes
+
+  exception Found_not_linearizable of int list
+
+  (* [max_depth] truncates the tree: nodes at that depth get no children.
+     Truncation preserves soundness of refutation — a prefix-closed
+     linearization function on the full tree restricts to one on any
+     truncated subtree, so if none exists on the subtree none exists at
+     all — but makes a Strongly_linearizable verdict relative to the
+     explored depth.  It is needed for implementations whose operations
+     can spin (e.g. a queue's dequeue retrying on empty), which make the
+     full tree infinite. *)
+  let check_strong ?(max_nodes = 200_000) ?max_depth (prog : (S.op, S.resp) Sim.program) :
+      verdict =
+    let nodes = ref 0 in
+    (* Cache node data: records and enabled set per schedule. *)
+    let cache : (int list, (S.op, S.resp) History.op_record list * int list) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let node_data path =
+      match Hashtbl.find_opt cache path with
+      | Some d -> d
+      | None ->
+          incr nodes;
+          if !nodes > max_nodes then raise Budget_exhausted;
+          let w = Sim.run_schedule prog (List.rev path) in
+          let d = (History.of_trace (Sim.trace w), Sim.enabled w) in
+          Hashtbl.add cache path d;
+          d
+    in
+    let witness = ref [] in
+    (* [path] is kept reversed for cheap extension. *)
+    let rec solve path (lin : linearization) =
+      let records, children = node_data path in
+      let children =
+        match max_depth with Some d when List.length path >= d -> [] | _ -> children
+      in
+      match validate_prefix records lin with
+      | None -> false
+      | Some states -> (
+          match extensions records lin states with
+          | [] ->
+              (* No valid linearization extends the parent's choice.  If
+                 even the empty prefix admits none, the execution itself is
+                 not linearizable. *)
+              if extensions records [] [ S.init ] = [] then
+                raise (Found_not_linearizable (List.rev path));
+              if List.length path > List.length !witness then witness := List.rev path;
+              false
+          | candidates ->
+              if children = [] then true
+              else
+                List.exists
+                  (fun cand -> List.for_all (fun p -> solve (p :: path) cand) children)
+                  candidates)
+    in
+    match solve [] [] with
+    | true -> Strongly_linearizable { nodes = !nodes }
+    | false -> Not_strongly_linearizable { witness = !witness; nodes = !nodes }
+    | exception Found_not_linearizable schedule -> Not_linearizable { schedule }
+    | exception Budget_exhausted -> Out_of_budget { nodes = !nodes }
+end

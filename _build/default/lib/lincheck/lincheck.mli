@@ -1,0 +1,65 @@
+(** Linearizability and strong-linearizability checking.
+
+    [Make (S)] builds checkers for executions whose high-level operations
+    follow specification [S]:
+
+    - single-trace {e linearizability} (paper §2): is there a sequential
+      execution of [S] containing every completed operation with its
+      actual response, some of the pending ones, and respecting real-time
+      order?
+    - {e strong linearizability} (Golab–Higham–Woelfel, paper §2) of a
+      whole program: does a {e prefix-closed} linearization function
+      exist on the tree of all its executions?  Decided as a game:
+      assign every explored node a linearization extending its parent's.
+
+    Soundness: a refutation ([Not_strongly_linearizable]) holds for the
+    real implementation — the finite witness tree embeds in the full
+    execution tree.  A verification ([Strongly_linearizable]) is
+    exhaustive for the given workload, node budget and depth bound. *)
+
+exception Budget_exhausted
+
+module Make (S : Spec.S) : sig
+  type entry = { op_id : int; eresp : S.resp }
+  (** One linearized operation: the operation record id (dense, in
+      invocation order) and the response it is committed to. *)
+
+  type linearization = entry list
+
+  val pp_linearization :
+    (S.op, S.resp) History.op_record list -> Format.formatter -> linearization -> unit
+
+  (** {1 Single-trace linearizability} *)
+
+  val check_trace : (S.op, S.resp) Trace.t -> linearization option
+  (** [check_trace t] is a linearization of [t] (completed operations
+      plus any pending ones needed to justify them), or [None]. *)
+
+  val is_linearizable : (S.op, S.resp) Trace.t -> bool
+
+  (** {1 Strong linearizability} *)
+
+  type verdict =
+    | Strongly_linearizable of { nodes : int }
+        (** A prefix-closed linearization function exists on the explored
+            tree ([nodes] nodes). *)
+    | Not_linearizable of { schedule : int list }
+        (** Some execution is not even linearizable; [schedule] replays
+            it via {!Sim.run_schedule}. *)
+    | Not_strongly_linearizable of { witness : int list; nodes : int }
+        (** Every execution is linearizable but no prefix-closed choice
+            exists; [witness] is the deepest schedule prefix at which
+            every candidate extension died. *)
+    | Out_of_budget of { nodes : int }  (** Inconclusive. *)
+
+  val pp_verdict : Format.formatter -> verdict -> unit
+
+  val check_strong :
+    ?max_nodes:int -> ?max_depth:int -> (S.op, S.resp) Sim.program -> verdict
+  (** [check_strong prog] solves the game on [prog]'s execution tree.
+      [max_nodes] (default 200k) bounds distinct explored nodes;
+      [max_depth] truncates the tree — needed when operations can spin
+      (e.g. dequeue retrying on empty), and sound for refutation: a
+      prefix-closed function on the full tree restricts to every
+      truncated subtree. *)
+end

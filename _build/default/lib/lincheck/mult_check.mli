@@ -1,0 +1,22 @@
+(** Linearizability with multiplicity (paper §5, footnote 3; after
+    Castañeda–Rajsbaum–Raynal).
+
+    The relaxation: dequeues (pops) that are pairwise concurrent may
+    return the same item; such duplicated operations are linearized
+    consecutively.  Because the relaxation is only available to
+    {e concurrent} operations, the check is interval-sensitive and cannot
+    be phrased as a {!Spec.S} state machine — it gets its own search.
+
+    Only plain linearizability is decided here; the strong-
+    linearizability status of multiplicity objects is settled by the
+    paper's Theorem 17 (they are 1-ordering), exhibited in this
+    repository by running Algorithm B on {!Rw_mult_queue}. *)
+
+type kind =
+  | Queue  (** FIFO discipline *)
+  | Stack  (** LIFO discipline; encode Push/Pop as [Enq]/[Deq] *)
+
+val check : kind -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t -> bool
+(** [check kind t]: is [t] linearizable as a [kind] with multiplicity?
+    Pending operations may be included when needed.
+    @raise Invalid_argument beyond 60 operations. *)

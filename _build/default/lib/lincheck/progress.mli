@@ -1,0 +1,25 @@
+(** Progress-property measurements (paper §2: wait-freedom,
+    lock-freedom), empirical side.
+
+    Wait-freedom of an implementation shows up as a steps-per-operation
+    bound independent of the schedule; lock-freedom as completions
+    continuing in every run.  [measure] runs a program under many random
+    schedules (optionally with crash injection) and reports the worst
+    counts observed — experiment E1's progress column. *)
+
+type report = {
+  runs : int;
+  max_steps_per_op : int;  (** worst steps any single operation took *)
+  total_completed : int;  (** operations completed across all runs *)
+  total_steps : int;  (** base-object steps across all runs *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val op_step_counts : ('op, 'resp) Trace.t -> int list
+(** Steps taken by each completed operation of a trace. *)
+
+val measure : ?seed:int -> ?runs:int -> ?crash_prob:float -> ('op, 'resp) Sim.program -> report
+(** [measure prog] runs [prog] under [runs] (default 100) random
+    schedules; with probability [crash_prob] a run crashes one random
+    process early. *)

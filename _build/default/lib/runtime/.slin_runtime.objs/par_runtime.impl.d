@@ -1,0 +1,1 @@
+lib/runtime/par_runtime.ml: Array Domain Mutex Runtime_intf

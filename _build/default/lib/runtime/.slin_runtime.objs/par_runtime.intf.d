@@ -1,0 +1,1 @@
+lib/runtime/par_runtime.mli: Runtime_intf

@@ -1,0 +1,1 @@
+lib/runtime/solo_runtime.mli: Runtime_intf

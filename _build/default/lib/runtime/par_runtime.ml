@@ -1,0 +1,51 @@
+(* Parallel runtime on OCaml 5 domains, for wall-clock benchmarks.
+
+   Every base object carries its own mutex; an access locks, applies the
+   transition, unlocks — one linearizable step, as the model requires.
+   This is not meant to be a lock-free production runtime: it exists so
+   the constructions can be timed under real parallelism (experiment E6).
+
+   [run ~n f] spawns [n] domains executing [f 0 .. f (n-1)] and returns
+   their results.  Process identity is carried in domain-local storage so
+   that [self ()] works from any depth of the algorithm. *)
+
+let proc_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+let size_key : int ref = ref 1
+
+let make ~n () : (module Runtime_intf.S) =
+  size_key := n;
+  (module struct
+    type 'a obj = { mutable state : 'a; lock : Mutex.t }
+
+    let obj ?name init =
+      ignore name;
+      { state = init; lock = Mutex.create () }
+
+    let access ?info o f =
+      ignore info;
+      Mutex.lock o.lock;
+      let r =
+        match f o.state with
+        | s, r ->
+            o.state <- s;
+            Mutex.unlock o.lock;
+            r
+        | exception e ->
+            Mutex.unlock o.lock;
+            raise e
+      in
+      r
+
+    let read ?info o = access ?info o (fun s -> (s, s))
+    let self () = Domain.DLS.get proc_key
+    let n_procs () = !size_key
+  end)
+
+let run ~n (f : int -> 'a) : 'a array =
+  let domains =
+    Array.init n (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set proc_key i;
+            f i))
+  in
+  Array.map Domain.join domains

@@ -1,0 +1,16 @@
+(** Parallel runtime on OCaml 5 domains, for wall-clock benchmarks
+    (experiment E6).
+
+    Every base object carries its own mutex; an access locks, applies the
+    transition, unlocks — one linearizable step, as the model requires.
+    Not a lock-free production runtime: it exists to time the
+    constructions under real parallelism. *)
+
+val make : n:int -> unit -> (module Runtime_intf.S)
+(** [make ~n ()] is a runtime for [n] domains.  [self ()] reads the
+    domain-local process id installed by {!run}; objects may be created
+    before or during the run. *)
+
+val run : n:int -> (int -> 'a) -> 'a array
+(** [run ~n f] spawns [n] domains computing [f 0 .. f (n-1)] (each with
+    its process id installed for [self ()]) and joins them all. *)

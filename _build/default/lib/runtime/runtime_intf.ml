@@ -1,0 +1,45 @@
+(** The shared-memory model of Attiya–Castañeda–Enea §2.
+
+    An implementation is a distributed algorithm in which processes
+    communicate only by applying {e atomic} operations to shared {e base
+    objects}.  This signature is what an algorithm sees; it is implemented
+    by three runtimes:
+
+    - {!Sim} — the deterministic simulator.  Every {!access} is one atomic
+      step; an explicit scheduler interleaves processes, so executions are
+      replayable and enumerable (this is what makes strong-linearizability
+      checking possible).
+    - {!Solo_runtime} — a degenerate single-process runtime in which
+      accesses apply immediately.  Used for the local solo simulations of
+      Lemma 12's Algorithm B.
+    - {!Par_runtime} — a [Domain]-based runtime in which every base object
+      is protected by its own mutex, used for wall-clock benchmarks.
+
+    Algorithms are written as functors over this signature and therefore
+    run unchanged on all three. *)
+
+module type S = sig
+  type 'a obj
+  (** A shared base object holding state of type ['a]. *)
+
+  val obj : ?name:string -> 'a -> 'a obj
+  (** [obj ?name init] creates a base object in state [init].  Creation is
+      part of the initial configuration, not a step of any process. *)
+
+  val access : ?info:string -> 'a obj -> ('a -> 'a * 'r) -> 'r
+  (** [access o f] atomically replaces the state [s] of [o] by [fst (f s)]
+      and returns [snd (f s)].  This is {e one step} of the calling
+      process: in the simulator the process is suspended until the
+      scheduler grants the step, and [f] is applied at the moment the step
+      is granted.  [f] must be pure.  [info] labels the step in traces. *)
+
+  val read : ?info:string -> 'a obj -> 'a
+  (** [read o] is [access o (fun s -> (s, s))]: the read operation of a
+      {e readable} base object (paper §5, Lemma 16).  One atomic step. *)
+
+  val self : unit -> int
+  (** Index of the calling process ([0 .. n_procs () - 1]). *)
+
+  val n_procs : unit -> int
+  (** Number of processes in the system. *)
+end

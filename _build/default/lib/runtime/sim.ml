@@ -1,0 +1,183 @@
+(* Deterministic effect-based simulator.
+
+   Each process is a fiber.  [access] performs the [Suspend] effect before
+   applying its state transition, so one resume = one atomic step; the
+   scheduler (the caller of [step]) decides the interleaving.  Within a
+   resume, the fiber also runs all its local computation up to the next
+   access — local computation is free, exactly as in the paper's model
+   where only base-object operations are steps. *)
+
+type _ Effect.t += Suspend : unit Effect.t
+
+exception Invalid_schedule of string
+
+type fiber =
+  | Absent
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Running  (* transient marker while a resume is in progress *)
+  | Finished
+  | Crashed
+
+type ('op, 'resp) t = {
+  procs : int;
+  fibers : fiber array;
+  steps : int array;
+  mutable current : int;  (* process being resumed; -1 outside [step] *)
+  mutable rev_trace : ('op, 'resp) Trace.event list;
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Sim.create: need at least one process";
+  {
+    procs = n;
+    fibers = Array.make n Absent;
+    steps = Array.make n 0;
+    current = -1;
+    rev_trace = [];
+  }
+
+let n w = w.procs
+
+let record w e = w.rev_trace <- e :: w.rev_trace
+
+let runtime (type op resp) (w : (op, resp) t) : (module Runtime_intf.S) =
+  (module struct
+    type 'a obj = { mutable state : 'a; obj_name : string }
+
+    let obj_counter = ref 0
+
+    let obj ?name init =
+      incr obj_counter;
+      let obj_name =
+        match name with Some s -> s | None -> Printf.sprintf "obj%d" !obj_counter
+      in
+      { state = init; obj_name }
+
+    let access ?info o f =
+      Effect.perform Suspend;
+      (* The step was granted: apply the transition atomically (no other
+         fiber can run until the next Suspend). *)
+      let s, r = f o.state in
+      o.state <- s;
+      record w (Trace.Step { proc = w.current; obj = o.obj_name; info });
+      r
+
+    let read ?info o = access ?info o (fun s -> (s, s))
+    let self () = w.current
+    let n_procs () = w.procs
+  end)
+
+let spawn w ~proc body =
+  if proc < 0 || proc >= w.procs then invalid_arg "Sim.spawn: process out of range";
+  (match w.fibers.(proc) with
+  | Absent -> ()
+  | _ -> invalid_arg "Sim.spawn: process already has a body");
+  w.fibers.(proc) <- Not_started body
+
+let operation w ~op ~resp f =
+  let p = w.current in
+  if p < 0 then invalid_arg "Sim.operation: not inside a fiber";
+  record w (Trace.Invoke { proc = p; op });
+  let r = f () in
+  (* [f] may have suspended and resumed many times; re-read the current
+     process rather than trusting [p] — they are equal because only [p]'s
+     resumes run this code. *)
+  record w (Trace.Return { proc = w.current; resp = resp r });
+  r
+
+let enabled w =
+  let acc = ref [] in
+  for p = w.procs - 1 downto 0 do
+    match w.fibers.(p) with
+    | Not_started _ | Suspended _ -> acc := p :: !acc
+    | Absent | Running | Finished | Crashed -> ()
+  done;
+  !acc
+
+let finished w p = match w.fibers.(p) with Finished -> true | _ -> false
+let steps_of w p = w.steps.(p)
+
+let crash w p =
+  if p < 0 || p >= w.procs then invalid_arg "Sim.crash: process out of range";
+  match w.fibers.(p) with
+  | Finished -> ()  (* crashing a finished process has no effect *)
+  | _ -> w.fibers.(p) <- Crashed
+
+let handler w p =
+  {
+    Effect.Deep.retc = (fun () -> w.fibers.(p) <- Finished);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) -> w.fibers.(p) <- Suspended k)
+        | _ -> None);
+  }
+
+let step w p =
+  if p < 0 || p >= w.procs then raise (Invalid_schedule (Printf.sprintf "p%d out of range" p));
+  match w.fibers.(p) with
+  | Absent -> raise (Invalid_schedule (Printf.sprintf "p%d has no body" p))
+  | Running -> raise (Invalid_schedule (Printf.sprintf "p%d re-entered" p))
+  | Finished -> raise (Invalid_schedule (Printf.sprintf "p%d already finished" p))
+  | Crashed -> raise (Invalid_schedule (Printf.sprintf "p%d crashed" p))
+  | Not_started body ->
+      w.fibers.(p) <- Running;
+      w.current <- p;
+      w.steps.(p) <- w.steps.(p) + 1;
+      Effect.Deep.match_with body () (handler w p);
+      w.current <- -1
+  | Suspended k ->
+      w.fibers.(p) <- Running;
+      w.current <- p;
+      w.steps.(p) <- w.steps.(p) + 1;
+      Effect.Deep.continue k ();
+      w.current <- -1
+
+let trace w = List.rev w.rev_trace
+
+type ('op, 'resp) program = { procs : int; boot : ('op, 'resp) t -> unit }
+
+let boot_world prog =
+  let w = create ~n:prog.procs in
+  prog.boot w;
+  w
+
+let run_schedule prog schedule =
+  let w = boot_world prog in
+  List.iter (fun p -> step w p) schedule;
+  w
+
+let run_to_completion ?(choose = fun ps -> List.hd ps) prog =
+  let w = boot_world prog in
+  let rec loop () =
+    match enabled w with
+    | [] -> ()
+    | ps ->
+        step w (choose ps);
+        loop ()
+  in
+  loop ();
+  w
+
+let run_random ~seed ?(crash_after = []) ?max_steps prog =
+  let w = boot_world prog in
+  let rng = Random.State.make [| seed |] in
+  let total = ref 0 in
+  let continue_run () = match max_steps with None -> true | Some m -> !total < m in
+  let rec loop () =
+    List.iter (fun (p, at) -> if !total >= at then crash w p) crash_after;
+    match enabled w with
+    | [] -> ()
+    | ps when continue_run () ->
+        let p = List.nth ps (Random.State.int rng (List.length ps)) in
+        step w p;
+        incr total;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  w

@@ -1,0 +1,28 @@
+(* Degenerate runtime for solo executions.
+
+   Accesses apply immediately — no scheduling, no suspension.  This models
+   a process running alone, which is exactly what Lemma 12's Algorithm B
+   needs: after collecting a consistent snapshot of the base objects, a
+   process locally simulates a solo extension of the execution.  The
+   collected states are injected by the implementation itself, which
+   re-creates its base objects with the collected states as initial values
+   (type-safely, since the implementation knows its own state types). *)
+
+let make ~self:self_id ~n () : (module Runtime_intf.S) =
+  (module struct
+    type 'a obj = { mutable state : 'a }
+
+    let obj ?name init =
+      ignore name;
+      { state = init }
+
+    let access ?info o f =
+      ignore info;
+      let s, r = f o.state in
+      o.state <- s;
+      r
+
+    let read ?info o = access ?info o (fun s -> (s, s))
+    let self () = self_id
+    let n_procs () = n
+  end)

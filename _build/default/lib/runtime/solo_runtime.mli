@@ -1,0 +1,12 @@
+(** Degenerate runtime for solo executions: accesses apply immediately,
+    with no scheduling or suspension.
+
+    Models a process running alone.  Lemma 12's Algorithm B uses it for
+    the local solo simulation of decision sequences (the implementation
+    re-creates its base objects with collected states as initial values);
+    tests and benchmarks use it for sequential semantics. *)
+
+val make : self:int -> n:int -> unit -> (module Runtime_intf.S)
+(** [make ~self ~n ()] is a fresh runtime whose [self ()] is [self] and
+    [n_procs ()] is [n].  Every call returns an independent instance with
+    its own objects. *)

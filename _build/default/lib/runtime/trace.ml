@@ -1,0 +1,31 @@
+(* Execution traces produced by the simulator.
+
+   A trace is the sequence of observable events of one execution: high-level
+   invocations and responses (which form the history checked for
+   linearizability) plus one entry per base-object step (used for step
+   accounting, debugging and the collect of Lemma 12's Algorithm B). *)
+
+type ('op, 'resp) event =
+  | Invoke of { proc : int; op : 'op }
+  | Return of { proc : int; resp : 'resp }
+  | Step of { proc : int; obj : string; info : string option }
+
+type ('op, 'resp) t = ('op, 'resp) event list
+(* Chronological order (earliest first). *)
+
+let pp_event pp_op pp_resp fmt = function
+  | Invoke { proc; op } -> Format.fprintf fmt "p%d: invoke %a" proc pp_op op
+  | Return { proc; resp } -> Format.fprintf fmt "p%d: return %a" proc pp_resp resp
+  | Step { proc; obj; info } ->
+      Format.fprintf fmt "p%d: step %s%s" proc obj
+        (match info with None -> "" | Some i -> " [" ^ i ^ "]")
+
+let pp pp_op pp_resp fmt (t : _ t) =
+  List.iteri (fun i e -> Format.fprintf fmt "%3d  %a@." i (pp_event pp_op pp_resp) e) t
+
+(* The history of a trace: invocation and response events only. *)
+let history (t : ('op, 'resp) t) : ('op, 'resp) t =
+  List.filter (function Invoke _ | Return _ -> true | Step _ -> false) t
+
+let step_count (t : _ t) =
+  List.length (List.filter (function Step _ -> true | _ -> false) t)

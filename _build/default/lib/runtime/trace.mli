@@ -1,0 +1,35 @@
+(** Execution traces produced by the simulator.
+
+    A trace is the chronological sequence of observable events of one
+    execution: high-level invocations and responses (the {e history},
+    checked for linearizability) plus one entry per base-object step
+    (used for step accounting and debugging). *)
+
+type ('op, 'resp) event =
+  | Invoke of { proc : int; op : 'op }
+  | Return of { proc : int; resp : 'resp }
+  | Step of { proc : int; obj : string; info : string option }
+
+type ('op, 'resp) t = ('op, 'resp) event list
+(** Earliest event first. *)
+
+val pp_event :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'resp -> unit) ->
+  Format.formatter ->
+  ('op, 'resp) event ->
+  unit
+
+val pp :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'resp -> unit) ->
+  Format.formatter ->
+  ('op, 'resp) t ->
+  unit
+(** One numbered line per event. *)
+
+val history : ('op, 'resp) t -> ('op, 'resp) t
+(** Invocation and response events only. *)
+
+val step_count : ('op, 'resp) t -> int
+(** Number of base-object steps in the trace. *)

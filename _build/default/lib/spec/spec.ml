@@ -1,0 +1,432 @@
+(* Sequential specifications.
+
+   A specification is a (possibly nondeterministic) state machine: [apply
+   s o] lists every allowed [(state', response)] outcome of operation [o]
+   in state [s].  Deterministic objects return singleton lists; relaxed
+   objects (stuttering / out-of-order, paper §5) return several outcomes.
+   The linearizability checkers enumerate over these outcomes.
+
+   States must be immutable values: the checkers keep many of them alive
+   at once. *)
+
+module type S = sig
+  type state
+  type op
+  type resp
+
+  val name : string
+  val init : state
+  val apply : state -> op -> (state * resp) list
+
+  val equal_resp : resp -> resp -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_resp : Format.formatter -> resp -> unit
+end
+
+let det x = [ x ]
+
+(* ------------------------------------------------------------------ *)
+(* Read/write register                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Register = struct
+  type state = int
+  type op = Read | Write of int [@@deriving show { with_path = false }, eq]
+  type resp = Value of int | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = "register"
+  let init = 0
+
+  let apply s = function
+    | Read -> det (s, Value s)
+    | Write v -> det (v, Ack)
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Max register (§3.1): ReadMax returns the largest value written      *)
+(* ------------------------------------------------------------------ *)
+
+module Max_register = struct
+  type state = int
+  type op = ReadMax | WriteMax of int [@@deriving show { with_path = false }, eq]
+  type resp = Value of int | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = "max-register"
+  let init = 0
+
+  let apply s = function
+    | ReadMax -> det (s, Value s)
+    | WriteMax v -> det (max s v, Ack)
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* n-component single-writer atomic snapshot (§3.2)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The component written by Update is the invoking process's own; the
+   process index is part of the operation so the spec stays a plain state
+   machine. *)
+module Snapshot (P : sig
+  val n : int
+end) =
+struct
+  type state = int list  (* length n *)
+  type op = Scan | Update of int * int  (* process, value *)
+  [@@deriving show { with_path = false }, eq]
+
+  type resp = View of int list | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = Printf.sprintf "snapshot-%d" P.n
+  let init = List.init P.n (fun _ -> 0)
+
+  let apply s = function
+    | Scan -> det (s, View s)
+    | Update (p, v) ->
+        if p < 0 || p >= P.n then invalid_arg "Snapshot: process out of range";
+        det (List.mapi (fun i x -> if i = p then v else x) s, Ack)
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and logical clocks (§3.3 simple types)                     *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type state = int
+  type op = Read | Add of int  (* Add may be negative: non-monotonic counter *)
+  [@@deriving show { with_path = false }, eq]
+
+  type resp = Value of int | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = "counter"
+  let init = 0
+
+  let apply s = function
+    | Read -> det (s, Value s)
+    | Add d -> det (s + d, Ack)
+
+  let equal_resp = equal_resp
+end
+
+module Monotonic_counter = struct
+  type state = int
+  type op = Read | Inc [@@deriving show { with_path = false }, eq]
+  type resp = Value of int | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = "monotonic-counter"
+  let init = 0
+
+  let apply s = function
+    | Read -> det (s, Value s)
+    | Inc -> det (s + 1, Ack)
+
+  let equal_resp = equal_resp
+end
+
+(* A logical clock: Tick advances the clock and returns an ack (so Ticks
+   commute, as the simple-type construction requires); Read returns the
+   current time. *)
+module Logical_clock = struct
+  type state = int
+  type op = Read | Tick [@@deriving show { with_path = false }, eq]
+  type resp = Time of int | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = "logical-clock"
+  let init = 0
+
+  let apply s = function
+    | Read -> det (s, Time s)
+    | Tick -> det (s + 1, Ack)
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Test&set family (§4.1)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot test&set: the first TestAndSet returns 0 (wins) and sets the
+   state to 1; all others return 1.  With Read it is the readable variant;
+   specs are permissive: Read is always allowed. *)
+module Test_and_set = struct
+  type state = int  (* 0 or 1 *)
+  type op = TestAndSet | Read [@@deriving show { with_path = false }, eq]
+  type resp = Value of int [@@deriving show { with_path = false }, eq]
+
+  let name = "test&set"
+  let init = 0
+
+  let apply s = function
+    | TestAndSet -> det (1, Value s)
+    | Read -> det (s, Value s)
+
+  let equal_resp = equal_resp
+end
+
+(* Multi-shot readable test&set (§4.1): Reset returns the state to 0. *)
+module Multishot_test_and_set = struct
+  type state = int
+  type op = TestAndSet | Read | Reset [@@deriving show { with_path = false }, eq]
+  type resp = Value of int | Ack [@@deriving show { with_path = false }, eq]
+
+  let name = "multishot-test&set"
+  let init = 0
+
+  let apply s = function
+    | TestAndSet -> det (1, Value s)
+    | Read -> det (s, Value s)
+    | Reset -> det (0, Ack)
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fetch&increment / fetch&add / swap (§4.2, §6)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Fetch_and_inc = struct
+  type state = int
+  type op = FetchInc | Read [@@deriving show { with_path = false }, eq]
+  type resp = Value of int [@@deriving show { with_path = false }, eq]
+
+  let name = "fetch&inc"
+  let init = 1
+  (* The paper's §4.2 object starts at 1 (indices into the array M). *)
+
+  let apply s = function
+    | FetchInc -> det (s + 1, Value s)
+    | Read -> det (s, Value s)
+
+  let equal_resp = equal_resp
+end
+
+module Fetch_and_add = struct
+  type state = int
+  type op = FetchAdd of int | Read [@@deriving show { with_path = false }, eq]
+  type resp = Value of int [@@deriving show { with_path = false }, eq]
+
+  let name = "fetch&add"
+  let init = 0
+
+  let apply s = function
+    | FetchAdd d -> det (s + d, Value s)
+    | Read -> det (s, Value s)
+
+  let equal_resp = equal_resp
+end
+
+module Swap = struct
+  type state = int
+  type op = SwapOp of int | Read [@@deriving show { with_path = false }, eq]
+  type resp = Value of int [@@deriving show { with_path = false }, eq]
+
+  let name = "swap"
+  let init = 0
+
+  let apply s = function
+    | SwapOp v -> det (v, Value s)
+    | Read -> det (s, Value s)
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sets (§4.3)                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Put(x) adds x (idempotent, returns OK); Take returns EMPTY or removes
+   and returns an arbitrary member — inherently nondeterministic. *)
+module Set_obj = struct
+  type state = int list  (* sorted, distinct *)
+  type op = Put of int | Take [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = "set"
+  let init = []
+
+  let apply s = function
+    | Put x -> det ((if List.mem x s then s else List.sort compare (x :: s)), Ok_)
+    | Take ->
+        if s = [] then det (s, Empty)
+        else List.map (fun x -> (List.filter (fun y -> y <> x) s, Item x)) s
+
+  let equal_resp = equal_resp
+end
+
+(* Multiset (§4.3, footnote 2): without the at-most-one-put-per-item
+   assumption, Algorithm 2 implements a multiset — Put always adds an
+   occurrence and Take removes one occurrence of any present item. *)
+module Multiset_obj = struct
+  type state = int list  (* sorted with repetitions *)
+  type op = Put of int | Take [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = "multiset"
+  let init = []
+
+  let remove_one x s =
+    let rec go = function
+      | [] -> []
+      | y :: rest -> if y = x then rest else y :: go rest
+    in
+    go s
+
+  let apply s = function
+    | Put x -> det (List.sort compare (x :: s), Ok_)
+    | Take ->
+        if s = [] then det (s, Empty)
+        else List.sort_uniq compare s |> List.map (fun x -> (remove_one x s, Item x))
+
+  let equal_resp = equal_resp
+end
+
+(* ------------------------------------------------------------------ *)
+(* Queues and stacks, exact and relaxed (§5)                           *)
+(* ------------------------------------------------------------------ *)
+
+module Queue_spec = struct
+  type state = int list  (* front first *)
+  type op = Enq of int | Deq [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = "queue"
+  let init = []
+
+  let apply s = function
+    | Enq x -> det (s @ [ x ], Ok_)
+    | Deq -> ( match s with [] -> det ([], Empty) | x :: rest -> det (rest, Item x))
+
+  let equal_resp = equal_resp
+end
+
+module Stack_spec = struct
+  type state = int list  (* top first *)
+  type op = Push of int | Pop [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = "stack"
+  let init = []
+
+  let apply s = function
+    | Push x -> det (x :: s, Ok_)
+    | Pop -> ( match s with [] -> det ([], Empty) | x :: rest -> det (rest, Item x))
+
+  let equal_resp = equal_resp
+end
+
+(* m-stuttering queue (§5, footnote 4): each operation type carries a
+   stutter counter; while the counter is below m the object may
+   nondeterministically leave the state unchanged (the operation "has no
+   effect": an Enq acks without enqueueing, a Deq returns the oldest item
+   without removing it); at m the operation must take effect, so at least
+   one in every m+1 consecutive same-type operations is effective. *)
+module Stuttering_queue (P : sig
+  val m : int
+end) =
+struct
+  type state = { items : int list; enq_stutter : int; deq_stutter : int }
+
+  let pp_state fmt s =
+    Format.fprintf fmt "{items=[%s]; e=%d; d=%d}"
+      (String.concat ";" (List.map string_of_int s.items))
+      s.enq_stutter s.deq_stutter
+
+  let _ = pp_state
+
+  type op = Enq of int | Deq [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = Printf.sprintf "%d-stuttering-queue" P.m
+  let init = { items = []; enq_stutter = 0; deq_stutter = 0 }
+
+  let apply s = function
+    | Enq x ->
+        let effective = ({ s with items = s.items @ [ x ]; enq_stutter = 0 }, Ok_) in
+        if s.enq_stutter >= P.m then [ effective ]
+        else [ effective; ({ s with enq_stutter = s.enq_stutter + 1 }, Ok_) ]
+    | Deq -> (
+        match s.items with
+        | [] -> [ ({ s with deq_stutter = 0 }, Empty) ]
+        (* Returning Empty reflects the true state: not a stutter. *)
+        | x :: rest ->
+            let effective = ({ s with items = rest; deq_stutter = 0 }, Item x) in
+            if s.deq_stutter >= P.m then [ effective ]
+            else [ effective; ({ s with deq_stutter = s.deq_stutter + 1 }, Item x) ])
+
+  let equal_resp = equal_resp
+end
+
+module Stuttering_stack (P : sig
+  val m : int
+end) =
+struct
+  type state = { items : int list; push_stutter : int; pop_stutter : int }
+  type op = Push of int | Pop [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = Printf.sprintf "%d-stuttering-stack" P.m
+  let init = { items = []; push_stutter = 0; pop_stutter = 0 }
+
+  let apply s = function
+    | Push x ->
+        let effective = ({ s with items = x :: s.items; push_stutter = 0 }, Ok_) in
+        if s.push_stutter >= P.m then [ effective ]
+        else [ effective; ({ s with push_stutter = s.push_stutter + 1 }, Ok_) ]
+    | Pop -> (
+        match s.items with
+        | [] -> [ ({ s with pop_stutter = 0 }, Empty) ]
+        | x :: rest ->
+            let effective = ({ s with items = rest; pop_stutter = 0 }, Item x) in
+            if s.pop_stutter >= P.m then [ effective ]
+            else [ effective; ({ s with pop_stutter = s.pop_stutter + 1 }, Item x) ])
+
+  let equal_resp = equal_resp
+end
+
+(* k-out-of-order queue (§5): Deq returns (and removes) one of the k
+   oldest items. *)
+module Ooo_queue (P : sig
+  val k : int
+end) =
+struct
+  type state = int list
+  type op = Enq of int | Deq [@@deriving show { with_path = false }, eq]
+  type resp = Ok_ | Empty | Item of int [@@deriving show { with_path = false }, eq]
+
+  let name = Printf.sprintf "%d-ooo-queue" P.k
+  let init = []
+
+  let apply s = function
+    | Enq x -> det (s @ [ x ], Ok_)
+    | Deq ->
+        if s = [] then det ([], Empty)
+        else
+          List.filteri (fun i _ -> i < P.k) s
+          |> List.mapi (fun i x -> (List.filteri (fun j _ -> j <> i) s, Item x))
+
+  let equal_resp = equal_resp
+end
+
+(* Queue/stack with multiplicity (§5, [11]): concurrent Deqs/Pops may
+   return the same item.  The relaxation is only observable under
+   concurrency, so {e sequential} executions coincide with the exact
+   object's; Definition 11's analysis is over sequential executions, and
+   the paper notes the exact objects' proposal/decision sequences carry
+   over unchanged.  We therefore reuse the exact specs, under names that
+   keep the experiment tables honest. *)
+module Queue_multiplicity = struct
+  include Queue_spec
+
+  let name = "queue-multiplicity"
+end
+
+module Stack_multiplicity = struct
+  include Stack_spec
+
+  let name = "stack-multiplicity"
+end

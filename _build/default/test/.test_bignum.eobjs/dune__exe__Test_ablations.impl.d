@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Atomic_objects Fun Harness Inf_array Lincheck List Prim Readable_ts Runtime_intf Sim Solo_runtime Spec Split_faa Trace Ts_fetch_inc Ts_set Ts_set_conservative

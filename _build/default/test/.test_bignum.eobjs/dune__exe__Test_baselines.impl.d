@@ -1,0 +1,1 @@
+test/test_baselines.ml: Agm_stack Alcotest Array Aww_fetch_inc Cas_universal Harness Hw_queue Lincheck Runtime_intf Rw_max_register Rw_snapshot Solo_runtime Spec

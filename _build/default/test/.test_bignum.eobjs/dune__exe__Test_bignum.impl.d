@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Format List QCheck QCheck_alcotest Stdlib

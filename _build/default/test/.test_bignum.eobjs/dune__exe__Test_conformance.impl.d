@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Atomic_objects Executors Format List QCheck QCheck_alcotest Runtime_intf Solo_runtime Spec String Ts_set_conservative

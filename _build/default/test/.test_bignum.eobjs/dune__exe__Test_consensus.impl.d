@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Fun Harness Lincheck List Runtime_intf Sim Spec Tournament_ts

@@ -1,0 +1,1 @@
+test/test_k_ordering.ml: Agreement Alcotest Harness K_ordering Lincheck List Runtime_intf Spec

@@ -1,0 +1,1 @@
+test/test_k_ordering.mli:

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Array Format Lincheck List Printf Progress QCheck QCheck_alcotest Sim Spec String Trace

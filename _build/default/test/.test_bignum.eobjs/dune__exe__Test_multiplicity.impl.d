@@ -1,0 +1,1 @@
+test/test_multiplicity.ml: Agreement Alcotest Harness K_ordering Lincheck Mult_check Runtime_intf Rw_mult_queue Sim Solo_runtime Spec Trace

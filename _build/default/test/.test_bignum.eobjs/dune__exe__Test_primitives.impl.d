@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Bignum List Prim QCheck QCheck_alcotest Sim Solo_runtime String

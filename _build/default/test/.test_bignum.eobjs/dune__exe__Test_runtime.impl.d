@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Format List Par_runtime QCheck QCheck_alcotest Sim Solo_runtime String Trace

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest List QCheck QCheck_alcotest Spec String

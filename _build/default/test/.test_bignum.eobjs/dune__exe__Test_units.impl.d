@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Atomic_objects Bignum History Inf_array List Prim Solo_runtime Trace

@@ -1,0 +1,294 @@
+(* Ablations tied to the paper's side remarks:
+   - footnote 2 (§4.3): Algorithm 2 without the distinct-items assumption
+     implements a multiset;
+   - §6 open problem: the naive wide-from-narrow fetch&add strawman is
+     not even linearizable, which is why the question is open. *)
+
+module L_mset = Lincheck.Make (Spec.Multiset_obj)
+module L_faa = Lincheck.Make (Spec.Fetch_and_add)
+
+(* --- multiset semantics of Algorithm 2 -------------------------------- *)
+
+let mset_exec (module R : Runtime_intf.S) =
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let module S = Ts_set.Make (R) (F) in
+  let t = S.create ~name:"mset" () in
+  fun (op : Spec.Multiset_obj.op) : Spec.Multiset_obj.resp ->
+    match op with
+    | Spec.Multiset_obj.Put x ->
+        S.put t x;
+        Spec.Multiset_obj.Ok_
+    | Spec.Multiset_obj.Take -> (
+        match S.take t with
+        | None -> Spec.Multiset_obj.Empty
+        | Some x -> Spec.Multiset_obj.Item x)
+
+let test_multiset_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:1 ()) in
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let module S = Ts_set.Make (R) (F) in
+  let t = S.create () in
+  (* The same item put twice yields two occurrences. *)
+  S.put t 7;
+  S.put t 7;
+  Alcotest.(check (option int)) "first occurrence" (Some 7) (S.take t);
+  Alcotest.(check (option int)) "second occurrence" (Some 7) (S.take t);
+  Alcotest.(check (option int)) "drained" None (S.take t)
+
+(* FINDING (see DESIGN.md): with two puts racing a take, the checker
+   refutes strong linearizability of Algorithm 2 — the EMPTY-returning
+   take's linearization point ("its last step that reads Max") is only
+   determined retroactively, and an adversary holding a pending put can
+   force the completed take to be ordered before an already-linearized
+   put in one future and after it in another.  The refutation is
+   exhaustive (finite witness tree), so it applies to the algorithm, not
+   just to a linearization strategy.  Pinned here for the multiset
+   variant; see test_set_empty_race_refuted for Theorem 10's exact
+   setting. *)
+let test_multiset_empty_race_refuted () =
+  let workload =
+    [| [ Spec.Multiset_obj.Put 7 ]; [ Spec.Multiset_obj.Put 7 ]; [ Spec.Multiset_obj.Take ] |]
+  in
+  match
+    L_mset.check_strong ~max_nodes:2_000_000 (Harness.program ~make:mset_exec ~workload)
+  with
+  | L_mset.Not_strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "multiset: %a" L_mset.pp_verdict v
+
+module L_set = Lincheck.Make (Spec.Set_obj)
+
+let set_exec (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set.Make (R) (A.Fetch_inc) in
+  let t = S.create ~name:"set" () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        S.put t x;
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take -> (
+        match S.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+let test_set_empty_race_refuted () =
+  (* Theorem 10's exact setting — distinct items, atomic base objects —
+     same refutation. *)
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |] in
+  match
+    L_set.check_strong ~max_nodes:4_000_000 (Harness.program ~make:set_exec ~workload)
+  with
+  | L_set.Not_strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "set empty race: %a" L_set.pp_verdict v
+
+let test_set_executions_linearizable () =
+  (* The refutation is purely about prefix-closure: every execution of
+     the same workload is plainly linearizable. *)
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |] in
+  match
+    Harness.find_non_linearizable ~check:L_set.is_linearizable ~runs:300
+      (Harness.program ~make:set_exec ~workload)
+  with
+  | None -> ()
+  | Some seed -> Alcotest.failf "set: non-linearizable at seed %d" seed
+
+(* Diagnosis companion to the finding: the SAME workload verifies once
+   the EMPTY path is removed (take spins instead of concluding empty), so
+   the EMPTY linearization point is the sole cause of the refutation. *)
+let noempty_exec (module R : Runtime_intf.S) =
+  let module P = Prim.Make (R) in
+  let module A = Atomic_objects.Make (R) in
+  let items = Inf_array.create (fun _ -> P.Register.make None) in
+  let ts = Inf_array.create (fun _ -> P.Test_and_set.make ()) in
+  let max = A.Fetch_inc.create () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        let slot = A.Fetch_inc.fetch_inc max in
+        P.Register.write (Inf_array.get items slot) (Some x);
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take ->
+        let result = ref None in
+        while !result = None do
+          let max_new = A.Fetch_inc.read max - 1 in
+          let c = ref 1 in
+          while !result = None && !c <= max_new do
+            (match P.Register.read (Inf_array.get items !c) with
+            | Some x ->
+                if P.Test_and_set.test_and_set (Inf_array.get ts !c) = 0 then result := Some x
+            | None -> ());
+            incr c
+          done
+        done;
+        (match !result with Some x -> Spec.Set_obj.Item x | None -> assert false)
+
+let test_set_without_empty_verifies () =
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |] in
+  match
+    L_set.check_strong ~max_nodes:4_000_000 ~max_depth:15
+      (Harness.program ~make:noempty_exec ~workload)
+  with
+  | L_set.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "set without EMPTY: %a" L_set.pp_verdict v
+
+(* --- the repaired set: conservative EMPTY ----------------------------- *)
+
+let cset_exec (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
+  let t = S.create ~name:"cset" () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        S.put t x;
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take -> (
+        match S.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+let test_conservative_set_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:1 ()) in
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
+  let t = S.create () in
+  Alcotest.(check (option int)) "empty" None (S.take t);
+  S.put t 10;
+  S.put t 20;
+  let a = S.take t and b = S.take t in
+  Alcotest.(check (list int)) "both items" [ 10; 20 ]
+    (List.sort compare (List.filter_map Fun.id [ a; b ]));
+  Alcotest.(check (option int)) "empty again" None (S.take t)
+
+let test_conservative_set_verifies_the_race () =
+  (* The workload that refutes Algorithm 2 verifies under the repair. *)
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |] in
+  match
+    L_set.check_strong ~max_nodes:4_000_000 ~max_depth:18
+      (Harness.program ~make:cset_exec ~workload)
+  with
+  | L_set.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "conservative set: %a" L_set.pp_verdict v
+
+let test_conservative_set_not_lock_free () =
+  (* The price of the repair: a put crashed between reserving its slot
+     and writing it starves every subsequent take on an empty set. *)
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |] in
+  let prog = Harness.program ~make:cset_exec ~workload in
+  let w = Sim.create ~n:2 in
+  prog.Sim.boot w;
+  (* p0: boot resume (invoke, reach fetch&inc) then apply fetch&inc —
+     slot reserved, item write pending — then crash. *)
+  Sim.step w 0;
+  Sim.step w 0;
+  Sim.crash w 0;
+  (* p1's take can now run 500 steps without ever completing. *)
+  for _ = 1 to 500 do
+    if List.mem 1 (Sim.enabled w) then Sim.step w 1
+  done;
+  Alcotest.(check bool) "take still running" false (Sim.finished w 1);
+  let returns =
+    List.filter_map (function Trace.Return { proc; _ } -> Some proc | _ -> None) (Sim.trace w)
+  in
+  Alcotest.(check (list int)) "nothing completed" [] returns
+
+let test_original_set_is_lock_free_here () =
+  (* Contrast: Algorithm 2's take answers EMPTY under the same crash. *)
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |] in
+  let prog = Harness.program ~make:set_exec ~workload in
+  let w = Sim.create ~n:2 in
+  prog.Sim.boot w;
+  Sim.step w 0;
+  Sim.step w 0;
+  Sim.crash w 0;
+  let budget = ref 500 in
+  while (not (Sim.finished w 1)) && !budget > 0 do
+    if List.mem 1 (Sim.enabled w) then Sim.step w 1;
+    decr budget
+  done;
+  Alcotest.(check bool) "take completed" true (Sim.finished w 1);
+  let resp =
+    List.filter_map (function Trace.Return { resp; _ } -> Some resp | _ -> None) (Sim.trace w)
+  in
+  Alcotest.(check bool) "returned EMPTY" true (resp = [ Spec.Set_obj.Empty ])
+
+let test_multiset_random () =
+  let workload =
+    [|
+      [ Spec.Multiset_obj.Put 1; Spec.Multiset_obj.Put 1; Spec.Multiset_obj.Take ];
+      [ Spec.Multiset_obj.Put 2; Spec.Multiset_obj.Take ];
+      [ Spec.Multiset_obj.Take; Spec.Multiset_obj.Put 1 ];
+    |]
+  in
+  match
+    Harness.find_non_linearizable ~check:L_mset.is_linearizable ~runs:200
+      (Harness.program ~make:mset_exec ~workload)
+  with
+  | None -> ()
+  | Some seed -> Alcotest.failf "multiset: non-linearizable at seed %d" seed
+
+(* --- naive wide-from-narrow fetch&add --------------------------------- *)
+
+let split_exec (module R : Runtime_intf.S) =
+  let module F =
+    Split_faa.Make
+      (R)
+      (struct
+        let width = 2
+      end)
+  in
+  let t = F.create () in
+  fun (op : Spec.Fetch_and_add.op) : Spec.Fetch_and_add.resp ->
+    match op with
+    | Spec.Fetch_and_add.FetchAdd d -> Spec.Fetch_and_add.Value (F.fetch_add t d)
+    | Spec.Fetch_and_add.Read -> Spec.Fetch_and_add.Value (F.read t)
+
+let test_split_faa_sequential () =
+  (* Solo it is a perfectly fine counter — the defect is concurrent. *)
+  let module R = (val Solo_runtime.make ~self:0 ~n:1 ()) in
+  let module F =
+    Split_faa.Make
+      (R)
+      (struct
+        let width = 2
+      end)
+  in
+  let t = F.create () in
+  Alcotest.(check int) "fa 3 returns 0" 0 (F.fetch_add t 3);
+  Alcotest.(check int) "fa 3 returns 3" 3 (F.fetch_add t 3);
+  Alcotest.(check int) "value 6 (carried)" 6 (F.read t);
+  Alcotest.(check int) "fa 2 returns 6" 6 (F.fetch_add t 2);
+  Alcotest.(check int) "value 8" 8 (F.read t)
+
+let test_split_faa_not_linearizable () =
+  let workload =
+    [|
+      [ Spec.Fetch_and_add.FetchAdd 3 ];
+      [ Spec.Fetch_and_add.FetchAdd 3 ];
+      [ Spec.Fetch_and_add.Read; Spec.Fetch_and_add.Read ];
+    |]
+  in
+  match
+    L_faa.check_strong ~max_nodes:2_000_000 (Harness.program ~make:split_exec ~workload)
+  with
+  | L_faa.Not_linearizable { schedule } ->
+      (* The witness must replay to a genuinely bad trace. *)
+      let w = Sim.run_schedule (Harness.program ~make:split_exec ~workload) schedule in
+      Alcotest.(check bool) "witness replays" false (L_faa.is_linearizable (Sim.trace w))
+  | v -> Alcotest.failf "split faa: expected Not_linearizable, got %a" L_faa.pp_verdict v
+
+let suite =
+  [
+    ("Algorithm 2 multiset semantics (footnote 2)", `Quick, test_multiset_sequential);
+    ("multiset EMPTY race refuted (finding)", `Quick, test_multiset_empty_race_refuted);
+    ("set EMPTY race refuted (finding)", `Quick, test_set_empty_race_refuted);
+    ("set executions remain linearizable", `Quick, test_set_executions_linearizable);
+    ("set without EMPTY path verifies (diagnosis)", `Slow, test_set_without_empty_verifies);
+    ("conservative set sequential", `Quick, test_conservative_set_sequential);
+    ("conservative set verifies the race (repair)", `Slow, test_conservative_set_verifies_the_race);
+    ("conservative set not lock-free (repair cost)", `Quick, test_conservative_set_not_lock_free);
+    ("Algorithm 2 stays lock-free under the crash", `Quick, test_original_set_is_lock_free_here);
+    ("multiset random schedules", `Quick, test_multiset_random);
+    ("split F&A sequential", `Quick, test_split_faa_sequential);
+    ("split F&A not linearizable (Sec 6 strawman)", `Quick, test_split_faa_not_linearizable);
+  ]
+
+let () = Alcotest.run "ablations" [ ("ablations", suite) ]

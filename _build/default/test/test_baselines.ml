@@ -1,0 +1,268 @@
+(* Tests for the baseline implementations: the linearizable-but-not-
+   strongly-linearizable classics the paper contrasts against (E2), and
+   the CAS-class positive references. *)
+
+module LQ = Lincheck.Make (Spec.Queue_spec)
+module LS = Lincheck.Make (Spec.Stack_spec)
+module LM = Lincheck.Make (Spec.Max_register)
+module LC = Lincheck.Make (Spec.Counter)
+
+module Snap2 = Spec.Snapshot (struct
+  let n = 2
+end)
+
+module LSn2 = Lincheck.Make (Snap2)
+
+(* --- executors ------------------------------------------------------ *)
+
+let hw_exec (module R : Runtime_intf.S) =
+  let module Q = Hw_queue.Make (R) in
+  let t = Q.create () in
+  fun (op : Spec.Queue_spec.op) : Spec.Queue_spec.resp ->
+    match op with
+    | Spec.Queue_spec.Enq x ->
+        Q.enqueue t x;
+        Spec.Queue_spec.Ok_
+    | Spec.Queue_spec.Deq -> (
+        match Q.dequeue t with None -> Spec.Queue_spec.Empty | Some x -> Spec.Queue_spec.Item x)
+
+let agm_exec (module R : Runtime_intf.S) =
+  let module S = Agm_stack.Make (R) in
+  let t = S.create () in
+  fun (op : Spec.Stack_spec.op) : Spec.Stack_spec.resp ->
+    match op with
+    | Spec.Stack_spec.Push x ->
+        S.push t x;
+        Spec.Stack_spec.Ok_
+    | Spec.Stack_spec.Pop -> (
+        match S.pop t with None -> Spec.Stack_spec.Empty | Some x -> Spec.Stack_spec.Item x)
+
+let rw_max_exec (module R : Runtime_intf.S) =
+  let module M = Rw_max_register.Make (R) in
+  let t = M.create () in
+  fun (op : Spec.Max_register.op) : Spec.Max_register.resp ->
+    match op with
+    | Spec.Max_register.WriteMax v ->
+        M.write_max t v;
+        Spec.Max_register.Ack
+    | Spec.Max_register.ReadMax -> Spec.Max_register.Value (M.read_max t)
+
+let rw_snap_exec (module R : Runtime_intf.S) =
+  let module S = Rw_snapshot.Make (R) in
+  let t = S.create () in
+  fun (op : Snap2.op) : Snap2.resp ->
+    match op with
+    | Snap2.Update (p, v) ->
+        assert (p = R.self ());
+        S.update t v;
+        Snap2.Ack
+    | Snap2.Scan -> Snap2.View (Array.to_list (S.scan t))
+
+let cas_queue_exec (module R : Runtime_intf.S) =
+  let module U =
+    Cas_universal.Make
+      (R)
+      (struct
+        type state = int list
+        type op = Spec.Queue_spec.op
+        type resp = Spec.Queue_spec.resp
+
+        let init = []
+
+        let apply s : op -> state * resp = function
+          | Spec.Queue_spec.Enq x -> (s @ [ x ], Spec.Queue_spec.Ok_)
+          | Spec.Queue_spec.Deq -> (
+              match s with
+              | [] -> ([], Spec.Queue_spec.Empty)
+              | x :: r -> (r, Spec.Queue_spec.Item x))
+      end)
+  in
+  let t = U.create ~name:"casq" () in
+  fun op -> U.execute t op
+
+(* --- sequential sanity ----------------------------------------------- *)
+
+let test_hw_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module Q = Hw_queue.Make (R) in
+  let t = Q.create () in
+  Q.enqueue t 1;
+  Q.enqueue t 2;
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Q.dequeue t);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Q.dequeue t)
+
+let test_agm_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module S = Agm_stack.Make (R) in
+  let t = S.create () in
+  S.push t 1;
+  S.push t 2;
+  Alcotest.(check (option int)) "lifo 2" (Some 2) (S.pop t);
+  Alcotest.(check (option int)) "lifo 1" (Some 1) (S.pop t)
+
+let test_rw_max_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:3 ()) in
+  let module M = Rw_max_register.Make (R) in
+  let t = M.create () in
+  M.write_max t 4;
+  M.write_max t 2;
+  Alcotest.(check int) "max kept" 4 (M.read_max t)
+
+let test_rw_snapshot_sequential () =
+  let module R = (val Solo_runtime.make ~self:1 ~n:3 ()) in
+  let module S = Rw_snapshot.Make (R) in
+  let t = S.create () in
+  S.update t 9;
+  Alcotest.(check (array int)) "view" [| 0; 9; 0 |] (S.scan t)
+
+let test_aww_one_shot () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module F = Aww_fetch_inc.Make (R) in
+  let t = F.create () in
+  Alcotest.(check int) "first" 1 (F.fetch_inc t);
+  Alcotest.check_raises "one-shot enforced"
+    (Invalid_argument "Aww_fetch_inc: one-shot object invoked twice") (fun () ->
+      ignore (F.fetch_inc t))
+
+(* --- linearizability of random executions ---------------------------- *)
+
+let test_random_linearizable () =
+  let workload =
+    [|
+      [ Spec.Queue_spec.Enq 1; Spec.Queue_spec.Deq ];
+      [ Spec.Queue_spec.Enq 2; Spec.Queue_spec.Enq 3 ];
+      [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
+    |]
+  in
+  (match
+     Harness.find_non_linearizable ~check:LQ.is_linearizable ~runs:300
+       (Harness.program ~make:hw_exec ~workload)
+   with
+  | None -> ()
+  | Some seed -> Alcotest.failf "HW queue non-linearizable at seed %d" seed);
+  let workload =
+    [|
+      [ Spec.Stack_spec.Push 1; Spec.Stack_spec.Pop ];
+      [ Spec.Stack_spec.Push 2; Spec.Stack_spec.Push 3 ];
+      [ Spec.Stack_spec.Pop; Spec.Stack_spec.Pop ];
+    |]
+  in
+  (match
+     Harness.find_non_linearizable ~check:LS.is_linearizable ~runs:300
+       (Harness.program ~make:agm_exec ~workload)
+   with
+  | None -> ()
+  | Some seed -> Alcotest.failf "AGM stack non-linearizable at seed %d" seed);
+  let workload =
+    [|
+      [ Spec.Max_register.WriteMax 3; Spec.Max_register.ReadMax; Spec.Max_register.WriteMax 5 ];
+      [ Spec.Max_register.WriteMax 4; Spec.Max_register.ReadMax ];
+      [ Spec.Max_register.ReadMax; Spec.Max_register.WriteMax 1; Spec.Max_register.ReadMax ];
+    |]
+  in
+  (match
+     Harness.find_non_linearizable ~check:LM.is_linearizable ~runs:300
+       (Harness.program ~make:rw_max_exec ~workload)
+   with
+  | None -> ()
+  | Some seed -> Alcotest.failf "RW max register non-linearizable at seed %d" seed);
+  let workload =
+    [|
+      [ Snap2.Update (0, 1); Snap2.Scan; Snap2.Update (0, 3) ];
+      [ Snap2.Scan; Snap2.Update (1, 2); Snap2.Scan ];
+    |]
+  in
+  match
+    Harness.find_non_linearizable ~check:LSn2.is_linearizable ~runs:300
+      (Harness.program ~make:rw_snap_exec ~workload)
+  with
+  | None -> ()
+  | Some seed -> Alcotest.failf "AAD snapshot non-linearizable at seed %d" seed
+
+(* --- strong linearizability refutations (E2) -------------------------- *)
+
+let test_hw_not_strong () =
+  let workload =
+    [|
+      [ Spec.Queue_spec.Enq 1 ];
+      [ Spec.Queue_spec.Enq 2 ];
+      [ Spec.Queue_spec.Deq ];
+      [ Spec.Queue_spec.Deq ];
+    |]
+  in
+  match
+    LQ.check_strong ~max_nodes:3_000_000 ~max_depth:22 (Harness.program ~make:hw_exec ~workload)
+  with
+  | LQ.Not_strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "HW queue: %a" LQ.pp_verdict v
+
+let test_agm_not_strong () =
+  let workload =
+    [|
+      [ Spec.Stack_spec.Push 1 ];
+      [ Spec.Stack_spec.Push 2 ];
+      [ Spec.Stack_spec.Pop ];
+      [ Spec.Stack_spec.Pop ];
+    |]
+  in
+  match
+    LS.check_strong ~max_nodes:5_000_000 ~max_depth:24 (Harness.program ~make:agm_exec ~workload)
+  with
+  | LS.Not_strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "AGM stack: %a" LS.pp_verdict v
+
+(* --- CAS universal construction is strongly linearizable -------------- *)
+
+let test_cas_universal_strong () =
+  let workload =
+    [|
+      [ Spec.Queue_spec.Enq 1 ];
+      [ Spec.Queue_spec.Enq 2 ];
+      [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
+    |]
+  in
+  match
+    LQ.check_strong ~max_nodes:2_000_000 ~max_depth:30
+      (Harness.program ~make:cas_queue_exec ~workload)
+  with
+  | LQ.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "CAS universal queue: %a" LQ.pp_verdict v
+
+(* AWW one-shot fetch&inc is strongly linearizable (paper §1). *)
+module L_fi = Lincheck.Make (Spec.Fetch_and_inc)
+
+let aww_exec (module R : Runtime_intf.S) =
+  let module F = Aww_fetch_inc.Make (R) in
+  let t = F.create () in
+  fun (op : Spec.Fetch_and_inc.op) : Spec.Fetch_and_inc.resp ->
+    match op with
+    | Spec.Fetch_and_inc.FetchInc -> Spec.Fetch_and_inc.Value (F.fetch_inc t)
+    | Spec.Fetch_and_inc.Read -> invalid_arg "one-shot object has no read"
+
+let test_aww_strong () =
+  let workload =
+    [|
+      [ Spec.Fetch_and_inc.FetchInc ];
+      [ Spec.Fetch_and_inc.FetchInc ];
+      [ Spec.Fetch_and_inc.FetchInc ];
+    |]
+  in
+  match L_fi.check_strong (Harness.program ~make:aww_exec ~workload) with
+  | L_fi.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "AWW one-shot fetch&inc: %a" L_fi.pp_verdict v
+
+let suite =
+  [
+    ("HW queue sequential", `Quick, test_hw_sequential);
+    ("AGM stack sequential", `Quick, test_agm_sequential);
+    ("RW max register sequential", `Quick, test_rw_max_sequential);
+    ("AAD snapshot sequential", `Quick, test_rw_snapshot_sequential);
+    ("AWW one-shot semantics", `Quick, test_aww_one_shot);
+    ("random executions linearizable", `Quick, test_random_linearizable);
+    ("HW queue not strongly linearizable", `Slow, test_hw_not_strong);
+    ("AGM stack not strongly linearizable", `Slow, test_agm_not_strong);
+    ("CAS universal queue strongly linearizable", `Quick, test_cas_universal_strong);
+    ("AWW one-shot strongly linearizable", `Quick, test_aww_strong);
+  ]
+
+let () = Alcotest.run "baselines" [ ("baselines", suite) ]

@@ -1,0 +1,200 @@
+(* Sequential conformance: every implementation, run solo on random
+   operation sequences, must produce responses the specification allows.
+
+   This complements the concurrent checks: the lincheck suites validate
+   interleavings on small fixed workloads; these properties validate the
+   sequential semantics on hundreds of random longer workloads.  The spec
+   is followed as a set of possible states (relaxed objects are
+   nondeterministic); an implementation conforms when every response is
+   allowed by at least one state path. *)
+
+let conforms (type op resp state)
+    (module S : Spec.S with type op = op and type resp = resp and type state = state)
+    ~(make : (module Runtime_intf.S) -> op -> resp) (ops : op list) : bool =
+  let exec = make (Solo_runtime.make ~self:0 ~n:1 ()) in
+  let step states op resp =
+    List.concat_map (fun s -> S.apply s op) states
+    |> List.filter_map (fun (s', r) -> if S.equal_resp r resp then Some s' else None)
+    |> List.sort_uniq compare
+  in
+  let rec go states = function
+    | [] -> true
+    | op :: rest -> (
+        match step states op (exec op) with [] -> false | states' -> go states' rest)
+  in
+  go [ S.init ] ops
+
+let prop name ?(count = 300) arb check = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb check)
+
+(* --- generators ------------------------------------------------------- *)
+
+let list_of gen = QCheck.Gen.(list_size (int_bound 25) gen)
+
+let max_register_ops =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Max_register.pp_op) l))
+    (list_of
+       QCheck.Gen.(
+         frequency
+           [ (2, map (fun v -> Spec.Max_register.WriteMax v) (int_bound 40)); (1, return Spec.Max_register.ReadMax) ]))
+
+let counter_ops =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Counter.pp_op) l))
+    (list_of
+       QCheck.Gen.(
+         frequency
+           [ (2, map (fun v -> Spec.Counter.Add (v - 10)) (int_bound 20)); (1, return Spec.Counter.Read) ]))
+
+let fi_ops =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Fetch_and_inc.pp_op) l))
+    (list_of
+       QCheck.Gen.(
+         frequency
+           [ (2, return Spec.Fetch_and_inc.FetchInc); (1, return Spec.Fetch_and_inc.Read) ]))
+
+let msts_ops =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (Format.asprintf "%a" Spec.Multishot_test_and_set.pp_op) l))
+    (list_of
+       QCheck.Gen.(
+         frequency
+           [
+             (2, return Spec.Multishot_test_and_set.TestAndSet);
+             (1, return Spec.Multishot_test_and_set.Read);
+             (1, return Spec.Multishot_test_and_set.Reset);
+           ]))
+
+let set_ops =
+  (* Distinct put values, as Algorithm 2 assumes. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 25) (int_bound 2)
+      |> map (fun l ->
+             let fresh = ref 0 in
+             List.map
+               (fun c ->
+                 if c = 0 then Spec.Set_obj.Take
+                 else begin
+                   incr fresh;
+                   Spec.Set_obj.Put !fresh
+                 end)
+               l))
+  in
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Set_obj.pp_op) l))
+    gen
+
+let queue_ops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 25) (int_bound 2)
+      |> map (fun l ->
+             let fresh = ref 0 in
+             List.map
+               (fun c ->
+                 if c = 0 then Spec.Queue_spec.Deq
+                 else begin
+                   incr fresh;
+                   Spec.Queue_spec.Enq !fresh
+                 end)
+               l))
+  in
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Queue_spec.pp_op) l))
+    gen
+
+let stack_ops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 25) (int_bound 2)
+      |> map (fun l ->
+             let fresh = ref 0 in
+             List.map
+               (fun c ->
+                 if c = 0 then Spec.Stack_spec.Pop
+                 else begin
+                   incr fresh;
+                   Spec.Stack_spec.Push !fresh
+                 end)
+               l))
+  in
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Stack_spec.pp_op) l))
+    gen
+
+(* A solo queue/stack consumer must never spin: drop unmatched Deq/Pop.
+   (The HW dequeue retries while empty — on the solo runtime that would
+   loop forever, so conformance workloads keep consumers covered.) *)
+let cover_consumers is_producer ops =
+  let balance = ref 0 in
+  List.filter
+    (fun op ->
+      if is_producer op then begin
+        incr balance;
+        true
+      end
+      else if !balance > 0 then begin
+        decr balance;
+        true
+      end
+      else false)
+    ops
+
+(* --- the properties --------------------------------------------------- *)
+
+let suite =
+  [
+    prop "Thm 1 max register conforms" max_register_ops (fun ops ->
+        conforms (module Spec.Max_register) ~make:Executors.faa_max_register ops);
+    prop "Thm 4 counter conforms" ~count:100 counter_ops (fun ops ->
+        conforms (module Spec.Counter) ~make:Executors.simple_counter ops);
+    prop "Thm 4 max register conforms" ~count:100 max_register_ops (fun ops ->
+        conforms (module Spec.Max_register) ~make:Executors.simple_max_register ops);
+    prop "Thm 6 multishot T&S conforms (atomic bases)" msts_ops (fun ops ->
+        conforms (module Spec.Multishot_test_and_set) ~make:Executors.multishot_ts_atomic ops);
+    prop "Cor 7 multishot T&S conforms (composed)" msts_ops (fun ops ->
+        conforms (module Spec.Multishot_test_and_set) ~make:Executors.multishot_ts_composed ops);
+    prop "Thm 9 fetch&inc conforms" fi_ops (fun ops ->
+        conforms (module Spec.Fetch_and_inc) ~make:Executors.ts_fetch_inc ops);
+    prop "Thm 10 set conforms (full stack)" set_ops (fun ops ->
+        conforms (module Spec.Set_obj) ~make:Executors.ts_set_full ops);
+    prop "repaired set conforms" set_ops (fun ops ->
+        let make (module R : Runtime_intf.S) =
+          let module A = Atomic_objects.Make (R) in
+          let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
+          let t = S.create () in
+          fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+            match op with
+            | Spec.Set_obj.Put x ->
+                S.put t x;
+                Spec.Set_obj.Ok_
+            | Spec.Set_obj.Take -> (
+                match S.take t with
+                | None -> Spec.Set_obj.Empty
+                | Some x -> Spec.Set_obj.Item x)
+        in
+        conforms (module Spec.Set_obj) ~make ops);
+    prop "HW queue conforms" queue_ops (fun ops ->
+        let ops = cover_consumers (function Spec.Queue_spec.Enq _ -> true | _ -> false) ops in
+        conforms (module Spec.Queue_spec) ~make:Executors.hw_queue ops);
+    prop "AGM stack conforms" stack_ops (fun ops ->
+        let ops = cover_consumers (function Spec.Stack_spec.Push _ -> true | _ -> false) ops in
+        conforms (module Spec.Stack_spec) ~make:Executors.agm_stack ops);
+    prop "RW max register conforms" max_register_ops (fun ops ->
+        conforms (module Spec.Max_register) ~make:Executors.rw_max_register ops);
+    prop "CAS queue conforms" queue_ops (fun ops ->
+        conforms (module Spec.Queue_spec) ~make:Executors.cas_queue ops);
+    prop "MWMR register conforms"
+      (QCheck.make
+         ~print:(fun l -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Register.pp_op) l))
+         (list_of
+            QCheck.Gen.(
+              frequency
+                [ (2, map (fun v -> Spec.Register.Write v) (int_bound 9)); (1, return Spec.Register.Read) ])))
+      (fun ops -> conforms (module Spec.Register) ~make:Executors.mwmr_register ops);
+  ]
+
+let () = Alcotest.run "conformance" [ ("conformance", suite) ]

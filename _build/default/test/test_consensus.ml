@@ -1,0 +1,144 @@
+(* Tests for the consensus protocols (the paper's §2 yardstick) and the
+   naive tournament test&set negative control. *)
+
+(* Run a 2-process consensus protocol under many random schedules and
+   check agreement + validity. *)
+let run_consensus2 ~make_propose ~trials =
+  for seed = 1 to trials do
+    let decisions = Array.make 2 None in
+    let inputs = [| 10 + (seed mod 7); 20 + (seed mod 5) |] in
+    let prog : (string, string) Sim.program =
+      {
+        procs = 2;
+        boot =
+          (fun w ->
+            let propose = make_propose (Sim.runtime w) in
+            for p = 0 to 1 do
+              Sim.spawn w ~proc:p (fun () -> decisions.(p) <- Some (propose inputs.(p)))
+            done);
+      }
+    in
+    ignore (Sim.run_random ~seed prog);
+    (match (decisions.(0), decisions.(1)) with
+    | Some a, Some b when a <> b ->
+        Alcotest.failf "seed %d: disagreement %d vs %d" seed a b
+    | _ -> ());
+    Array.iter
+      (function
+        | Some d when not (Array.exists (( = ) d) inputs) ->
+            Alcotest.failf "seed %d: invalid decision %d" seed d
+        | _ -> ())
+      decisions
+  done
+
+let test_two_from_ts () =
+  run_consensus2 ~trials:300 ~make_propose:(fun rt ->
+      let module R = (val rt : Runtime_intf.S) in
+      let module C = Consensus.Two_from_ts (R) in
+      let t = C.create () in
+      fun v -> C.propose t v)
+
+let test_two_from_queue () =
+  run_consensus2 ~trials:300 ~make_propose:(fun rt ->
+      let module R = (val rt : Runtime_intf.S) in
+      let module C = Consensus.Two_from_queue (R) in
+      let t = C.create () in
+      fun v -> C.propose t v)
+
+let test_any_from_cas () =
+  (* n = 5 processes: CAS is universal. *)
+  for seed = 1 to 200 do
+    let n = 5 in
+    let decisions = Array.make n None in
+    let inputs = Array.init n (fun i -> 100 + i) in
+    let prog : (string, string) Sim.program =
+      {
+        procs = n;
+        boot =
+          (fun w ->
+            let module R = (val Sim.runtime w) in
+            let module C = Consensus.Any_from_cas (R) in
+            let t = C.create () in
+            for p = 0 to n - 1 do
+              Sim.spawn w ~proc:p (fun () -> decisions.(p) <- Some (C.propose t inputs.(p)))
+            done);
+      }
+    in
+    ignore (Sim.run_random ~seed ~crash_after:[ (seed mod n, seed mod 4) ] prog);
+    let distinct =
+      List.sort_uniq compare (List.filter_map Fun.id (Array.to_list decisions))
+    in
+    if List.length distinct > 1 then Alcotest.failf "seed %d: disagreement" seed
+  done
+
+let test_two_from_ts_rejects_third () =
+  let prog : (string, string) Sim.program =
+    {
+      procs = 3;
+      boot =
+        (fun w ->
+          let module R = (val Sim.runtime w) in
+          let module C = Consensus.Two_from_ts (R) in
+          let t = C.create () in
+          for p = 0 to 2 do
+            Sim.spawn w ~proc:p (fun () -> ignore (C.propose t p))
+          done);
+    }
+  in
+  Alcotest.check_raises "third proposer rejected"
+    (Invalid_argument "Two_from_ts: 2-process protocol") (fun () ->
+      ignore (Sim.run_to_completion prog))
+
+(* --- tournament test&set: correct winner count, NOT linearizable ----- *)
+
+let tournament_exec (module R : Runtime_intf.S) =
+  let module T = Tournament_ts.Make (R) in
+  let t = T.create () in
+  fun (op : Spec.Test_and_set.op) : Spec.Test_and_set.resp ->
+    match op with
+    | Spec.Test_and_set.TestAndSet -> Spec.Test_and_set.Value (T.test_and_set t)
+    | Spec.Test_and_set.Read -> invalid_arg "tournament T&S is not readable"
+
+let test_tournament_one_winner () =
+  (* Safety it does have: exactly one winner in every schedule. *)
+  for seed = 1 to 300 do
+    let winners = ref 0 in
+    let prog : (string, string) Sim.program =
+      {
+        procs = 4;
+        boot =
+          (fun w ->
+            let module R = (val Sim.runtime w) in
+            let module T = Tournament_ts.Make (R) in
+            let t = T.create () in
+            for p = 0 to 3 do
+              Sim.spawn w ~proc:p (fun () -> if T.test_and_set t = 0 then incr winners)
+            done);
+      }
+    in
+    ignore (Sim.run_random ~seed prog);
+    if !winners <> 1 then Alcotest.failf "seed %d: %d winners" seed !winners
+  done
+
+let test_tournament_not_linearizable () =
+  let module L = Lincheck.Make (Spec.Test_and_set) in
+  let workload = Array.make 4 [ Spec.Test_and_set.TestAndSet ] in
+  match L.check_strong ~max_nodes:2_000_000 (Harness.program ~make:tournament_exec ~workload) with
+  | L.Not_linearizable { schedule } ->
+      (* Replay the witness: it must really be a bad execution. *)
+      let w = Sim.run_schedule (Harness.program ~make:tournament_exec ~workload) schedule in
+      Alcotest.(check bool) "witness replays to a non-linearizable trace" false
+        (L.is_linearizable (Sim.trace w))
+  | v -> Alcotest.failf "tournament: expected Not_linearizable, got %a" L.pp_verdict v
+
+let suite =
+  [
+    ("2-process consensus from test&set", `Quick, test_two_from_ts);
+    ("2-process consensus from a queue", `Quick, test_two_from_queue);
+    ("n-process consensus from CAS", `Quick, test_any_from_cas);
+    ("2-process protocol guards", `Quick, test_two_from_ts_rejects_third);
+    ("tournament T&S: one winner", `Quick, test_tournament_one_winner);
+    ("tournament T&S: not linearizable", `Quick, test_tournament_not_linearizable);
+  ]
+
+let () = Alcotest.run "consensus" [ ("consensus", suite) ]

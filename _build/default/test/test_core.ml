@@ -1,0 +1,398 @@
+(* Tests for the paper's constructions (Theorems 1, 2, 4, 5, 6, 9, 10).
+
+   Each construction is tested three ways:
+   1. sequential semantics on the solo runtime;
+   2. strong linearizability, verified exhaustively by the game solver on
+      small workloads (this is the mechanical counterpart of the
+      theorems);
+   3. linearizability of random executions on larger workloads, plus
+      step-per-operation bounds for the wait-free constructions. *)
+
+module L_max = Lincheck.Make (Spec.Max_register)
+module L_counter = Lincheck.Make (Spec.Counter)
+module L_ts = Lincheck.Make (Spec.Test_and_set)
+module L_msts = Lincheck.Make (Spec.Multishot_test_and_set)
+module L_fi = Lincheck.Make (Spec.Fetch_and_inc)
+module L_set = Lincheck.Make (Spec.Set_obj)
+
+module Spec_snapshot3 = Spec.Snapshot (struct
+  let n = 3
+end)
+
+module L_snap = Lincheck.Make (Spec_snapshot3)
+
+(* --- executors: map spec operations onto an implementation ----------- *)
+
+let max_register_exec (module R : Runtime_intf.S) =
+  let module M = Faa_max_register.Make (R) in
+  let t = M.create ~name:"max" () in
+  fun (op : Spec.Max_register.op) : Spec.Max_register.resp ->
+    match op with
+    | Spec.Max_register.WriteMax v ->
+        M.write_max t v;
+        Spec.Max_register.Ack
+    | Spec.Max_register.ReadMax -> Spec.Max_register.Value (M.read_max t)
+
+let snapshot_exec (module R : Runtime_intf.S) =
+  let module S = Faa_snapshot.Make (R) in
+  let t = S.create ~name:"snap" () in
+  fun (op : Spec_snapshot3.op) : Spec_snapshot3.resp ->
+    match op with
+    | Spec_snapshot3.Update (p, v) ->
+        assert (p = R.self ());
+        S.update t v;
+        Spec_snapshot3.Ack
+    | Spec_snapshot3.Scan -> Spec_snapshot3.View (Array.to_list (S.scan t))
+
+(* Theorem 4 composition: simple-type counter over the fetch&add
+   snapshot. *)
+let counter_exec (module R : Runtime_intf.S) =
+  let module Snap = Faa_snapshot.Make (R) in
+  let module C = Simple_type.Make (Simple_instances.Counter_type) (Snap) in
+  let t = C.create ~name:"counter" ~n:(R.n_procs ()) () in
+  fun (op : Spec.Counter.op) -> C.execute t ~self:(R.self ()) op
+
+let readable_ts_exec (module R : Runtime_intf.S) =
+  let module T = Readable_ts.Make (R) in
+  let t = T.create ~name:"rts" () in
+  fun (op : Spec.Test_and_set.op) : Spec.Test_and_set.resp ->
+    match op with
+    | Spec.Test_and_set.TestAndSet -> Spec.Test_and_set.Value (T.test_and_set t)
+    | Spec.Test_and_set.Read -> Spec.Test_and_set.Value (T.read t)
+
+(* Theorem 6 with atomic base objects. *)
+let multishot_atomic_exec (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module T = Multishot_ts.Make (A.Max_register) (A.Readable_ts) in
+  let t = T.create ~name:"msts" () in
+  fun (op : Spec.Multishot_test_and_set.op) : Spec.Multishot_test_and_set.resp ->
+    match op with
+    | Spec.Multishot_test_and_set.TestAndSet ->
+        Spec.Multishot_test_and_set.Value (T.test_and_set t)
+    | Spec.Multishot_test_and_set.Read -> Spec.Multishot_test_and_set.Value (T.read t)
+    | Spec.Multishot_test_and_set.Reset ->
+        T.reset t;
+        Spec.Multishot_test_and_set.Ack
+
+(* Corollary 7 composition: max register from fetch&add (Thm 1) +
+   readable test&set from test&set (Thm 5) feeding Theorem 6. *)
+let multishot_composed_exec (module R : Runtime_intf.S) =
+  let module M = Faa_max_register.Make (R) in
+  let module RT = Readable_ts.Make (R) in
+  let module T = Multishot_ts.Make (M) (RT) in
+  let t = T.create ~name:"msts" () in
+  fun (op : Spec.Multishot_test_and_set.op) : Spec.Multishot_test_and_set.resp ->
+    match op with
+    | Spec.Multishot_test_and_set.TestAndSet ->
+        Spec.Multishot_test_and_set.Value (T.test_and_set t)
+    | Spec.Multishot_test_and_set.Read -> Spec.Multishot_test_and_set.Value (T.read t)
+    | Spec.Multishot_test_and_set.Reset ->
+        T.reset t;
+        Spec.Multishot_test_and_set.Ack
+
+(* Theorem 9 with Theorem 5's readable test&set. *)
+let fetch_inc_exec (module R : Runtime_intf.S) =
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let t = F.create ~name:"fi" () in
+  fun (op : Spec.Fetch_and_inc.op) : Spec.Fetch_and_inc.resp ->
+    match op with
+    | Spec.Fetch_and_inc.FetchInc -> Spec.Fetch_and_inc.Value (F.fetch_inc t)
+    | Spec.Fetch_and_inc.Read -> Spec.Fetch_and_inc.Value (F.read t)
+
+(* Theorem 10, with an atomic fetch&increment to keep the game tree
+   small; the full composition is exercised separately. *)
+let set_atomic_fi_exec (module R : Runtime_intf.S) =
+  let module A = Atomic_objects.Make (R) in
+  let module S = Ts_set.Make (R) (A.Fetch_inc) in
+  let t = S.create ~name:"set" () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        S.put t x;
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take -> (
+        match S.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+(* Theorem 10 full stack: set over Theorem 9's fetch&inc over Theorem 5's
+   readable test&set. *)
+let set_full_exec (module R : Runtime_intf.S) =
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let module S = Ts_set.Make (R) (F) in
+  let t = S.create ~name:"set" () in
+  fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+    match op with
+    | Spec.Set_obj.Put x ->
+        S.put t x;
+        Spec.Set_obj.Ok_
+    | Spec.Set_obj.Take -> (
+        match S.take t with None -> Spec.Set_obj.Empty | Some x -> Spec.Set_obj.Item x)
+
+(* --- sequential semantics ------------------------------------------- *)
+
+let test_max_register_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module M = Faa_max_register.Make (R) in
+  let t = M.create () in
+  Alcotest.(check int) "init" 0 (M.read_max t);
+  M.write_max t 5;
+  M.write_max t 3;
+  Alcotest.(check int) "max" 5 (M.read_max t);
+  M.write_max t 12;
+  Alcotest.(check int) "raised" 12 (M.read_max t)
+
+let test_snapshot_sequential () =
+  let module R = (val Solo_runtime.make ~self:1 ~n:3 ()) in
+  let module S = Faa_snapshot.Make (R) in
+  let t = S.create () in
+  Alcotest.(check (array int)) "init" [| 0; 0; 0 |] (S.scan t);
+  S.update t 42;
+  Alcotest.(check (array int)) "updated" [| 0; 42; 0 |] (S.scan t);
+  S.update t 7;
+  S.update t 7;
+  Alcotest.(check (array int)) "overwritten" [| 0; 7; 0 |] (S.scan t)
+
+let test_simple_counter_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module Snap = Faa_snapshot.Make (R) in
+  let module C = Simple_type.Make (Simple_instances.Counter_type) (Snap) in
+  let t = C.create ~n:2 () in
+  Alcotest.(check bool) "read 0" true (C.execute t ~self:0 Spec.Counter.Read = Spec.Counter.Value 0);
+  ignore (C.execute t ~self:0 (Spec.Counter.Add 5));
+  ignore (C.execute t ~self:0 (Spec.Counter.Add (-2)));
+  Alcotest.(check bool) "read 3" true (C.execute t ~self:0 Spec.Counter.Read = Spec.Counter.Value 3)
+
+let test_union_set_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module Snap = Faa_snapshot.Make (R) in
+  let module U = Simple_type.Make (Simple_instances.Union_set_type) (Snap) in
+  let t = U.create ~n:2 () in
+  let open Simple_instances.Union_set_type in
+  Alcotest.(check bool) "absent" true (U.execute t ~self:0 (Contains 3) = No);
+  ignore (U.execute t ~self:0 (Insert 3));
+  ignore (U.execute t ~self:0 (Insert 3));
+  Alcotest.(check bool) "present" true (U.execute t ~self:0 (Contains 3) = Yes)
+
+let test_multishot_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module A = Atomic_objects.Make (R) in
+  let module T = Multishot_ts.Make (A.Max_register) (A.Readable_ts) in
+  let t = T.create () in
+  Alcotest.(check int) "fresh read" 0 (T.read t);
+  Alcotest.(check int) "win" 0 (T.test_and_set t);
+  Alcotest.(check int) "lose" 1 (T.test_and_set t);
+  T.reset t;
+  Alcotest.(check int) "after reset" 0 (T.read t);
+  Alcotest.(check int) "win again" 0 (T.test_and_set t);
+  T.reset t;
+  T.reset t;
+  (* double reset is idempotent *)
+  Alcotest.(check int) "still reset" 0 (T.read t)
+
+let test_fetch_inc_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let t = F.create () in
+  Alcotest.(check int) "read 1" 1 (F.read t);
+  Alcotest.(check int) "fi 1" 1 (F.fetch_inc t);
+  Alcotest.(check int) "fi 2" 2 (F.fetch_inc t);
+  Alcotest.(check int) "read 3" 3 (F.read t)
+
+let test_set_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module RT = Readable_ts.Make (R) in
+  let module F = Ts_fetch_inc.Make (RT) in
+  let module S = Ts_set.Make (R) (F) in
+  let t = S.create () in
+  Alcotest.(check (option int)) "empty" None (S.take t);
+  S.put t 10;
+  S.put t 20;
+  let a = S.take t and b = S.take t in
+  Alcotest.(check (list int)) "both items" [ 10; 20 ]
+    (List.sort compare (List.filter_map Fun.id [ a; b ]));
+  Alcotest.(check (option int)) "empty again" None (S.take t)
+
+(* --- strong linearizability (the theorems, mechanically) ------------- *)
+
+let test_thm1_strong () =
+  let workload =
+    [|
+      [ Spec.Max_register.WriteMax 1; Spec.Max_register.ReadMax ];
+      [ Spec.Max_register.WriteMax 2 ];
+      [ Spec.Max_register.ReadMax ];
+    |]
+  in
+  match L_max.check_strong (Harness.program ~make:max_register_exec ~workload) with
+  | L_max.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 1: %a" L_max.pp_verdict v
+
+let test_thm2_strong () =
+  let workload =
+    [|
+      [ Spec_snapshot3.Update (0, 1); Spec_snapshot3.Update (0, 2) ];
+      [ Spec_snapshot3.Update (1, 3) ];
+      [ Spec_snapshot3.Scan; Spec_snapshot3.Scan ];
+    |]
+  in
+  match L_snap.check_strong (Harness.program ~make:snapshot_exec ~workload) with
+  | L_snap.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 2: %a" L_snap.pp_verdict v
+
+let test_thm4_strong () =
+  let workload =
+    [| [ Spec.Counter.Add 1 ]; [ Spec.Counter.Add 2 ]; [ Spec.Counter.Read; Spec.Counter.Read ] |]
+  in
+  match L_counter.check_strong (Harness.program ~make:counter_exec ~workload) with
+  | L_counter.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 4: %a" L_counter.pp_verdict v
+
+let test_thm5_strong () =
+  let workload =
+    [|
+      [ Spec.Test_and_set.TestAndSet ];
+      [ Spec.Test_and_set.TestAndSet ];
+      [ Spec.Test_and_set.Read; Spec.Test_and_set.Read ];
+    |]
+  in
+  match L_ts.check_strong (Harness.program ~make:readable_ts_exec ~workload) with
+  | L_ts.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 5: %a" L_ts.pp_verdict v
+
+let test_thm6_strong () =
+  let workload =
+    [|
+      [ Spec.Multishot_test_and_set.TestAndSet; Spec.Multishot_test_and_set.Reset ];
+      [ Spec.Multishot_test_and_set.TestAndSet ];
+      [ Spec.Multishot_test_and_set.Read ];
+    |]
+  in
+  match L_msts.check_strong (Harness.program ~make:multishot_atomic_exec ~workload) with
+  | L_msts.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 6: %a" L_msts.pp_verdict v
+
+let test_cor7_strong () =
+  let workload =
+    [|
+      [ Spec.Multishot_test_and_set.TestAndSet; Spec.Multishot_test_and_set.Reset ];
+      [ Spec.Multishot_test_and_set.TestAndSet ];
+    |]
+  in
+  match
+    L_msts.check_strong ~max_nodes:2_000_000
+      (Harness.program ~make:multishot_composed_exec ~workload)
+  with
+  | L_msts.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Corollary 7: %a" L_msts.pp_verdict v
+
+let test_thm9_strong () =
+  let workload =
+    [|
+      [ Spec.Fetch_and_inc.FetchInc ];
+      [ Spec.Fetch_and_inc.FetchInc ];
+      [ Spec.Fetch_and_inc.Read ];
+    |]
+  in
+  match L_fi.check_strong (Harness.program ~make:fetch_inc_exec ~workload) with
+  | L_fi.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 9: %a" L_fi.pp_verdict v
+
+let test_thm10_strong () =
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |] in
+  match L_set.check_strong (Harness.program ~make:set_atomic_fi_exec ~workload) with
+  | L_set.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 10: %a" L_set.pp_verdict v
+
+let test_thm10_full_strong () =
+  let workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |] in
+  match
+    L_set.check_strong ~max_nodes:2_000_000 (Harness.program ~make:set_full_exec ~workload)
+  with
+  | L_set.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "Theorem 10 (full): %a" L_set.pp_verdict v
+
+(* --- random-schedule linearizability on bigger workloads ------------- *)
+
+let test_random_linearizable () =
+  let snapshot_workload =
+    [|
+      [ Spec_snapshot3.Update (0, 1); Spec_snapshot3.Update (0, 3); Spec_snapshot3.Scan ];
+      [ Spec_snapshot3.Update (1, 2); Spec_snapshot3.Scan; Spec_snapshot3.Update (1, 5) ];
+      [ Spec_snapshot3.Scan; Spec_snapshot3.Update (2, 9); Spec_snapshot3.Scan ];
+    |]
+  in
+  (match
+     Harness.find_non_linearizable ~check:L_snap.is_linearizable ~runs:200
+       (Harness.program ~make:snapshot_exec ~workload:snapshot_workload)
+   with
+  | None -> ()
+  | Some seed -> Alcotest.failf "snapshot: non-linearizable at seed %d" seed);
+  let set_workload =
+    [|
+      [ Spec.Set_obj.Put 1; Spec.Set_obj.Take; Spec.Set_obj.Put 4 ];
+      [ Spec.Set_obj.Put 2; Spec.Set_obj.Take ];
+      [ Spec.Set_obj.Take; Spec.Set_obj.Put 3; Spec.Set_obj.Take ];
+    |]
+  in
+  match
+    Harness.find_non_linearizable ~check:L_set.is_linearizable ~runs:150 ~crash_prob:0.2
+      (Harness.program ~make:set_full_exec ~workload:set_workload)
+  with
+  | None -> ()
+  | Some seed -> Alcotest.failf "set: non-linearizable at seed %d" seed
+
+(* --- progress: wait-free constructions take O(1) steps per op -------- *)
+
+let test_wait_free_bounds () =
+  let workload =
+    [|
+      [ Spec.Max_register.WriteMax 3; Spec.Max_register.ReadMax; Spec.Max_register.WriteMax 9 ];
+      [ Spec.Max_register.WriteMax 7; Spec.Max_register.ReadMax ];
+      [ Spec.Max_register.ReadMax; Spec.Max_register.WriteMax 2 ];
+    |]
+  in
+  let r = Progress.measure ~runs:50 (Harness.program ~make:max_register_exec ~workload) in
+  Alcotest.(check int) "Theorem 1 is one step per op" 1 r.Progress.max_steps_per_op;
+  let workload =
+    [|
+      [ Spec_snapshot3.Update (0, 1); Spec_snapshot3.Scan ];
+      [ Spec_snapshot3.Update (1, 2); Spec_snapshot3.Scan ];
+      [ Spec_snapshot3.Scan; Spec_snapshot3.Update (2, 3) ];
+    |]
+  in
+  let r = Progress.measure ~runs:50 (Harness.program ~make:snapshot_exec ~workload) in
+  Alcotest.(check int) "Theorem 2 is one step per op" 1 r.Progress.max_steps_per_op;
+  let workload =
+    [|
+      [ Spec.Test_and_set.TestAndSet; Spec.Test_and_set.Read ];
+      [ Spec.Test_and_set.TestAndSet ];
+      [ Spec.Test_and_set.Read ];
+    |]
+  in
+  let r = Progress.measure ~runs:50 (Harness.program ~make:readable_ts_exec ~workload) in
+  Alcotest.(check bool) "Theorem 5 at most 2 steps per op" true (r.Progress.max_steps_per_op <= 2)
+
+let suite =
+  [
+    ("Thm 1 sequential", `Quick, test_max_register_sequential);
+    ("Thm 2 sequential", `Quick, test_snapshot_sequential);
+    ("Thm 4 counter sequential", `Quick, test_simple_counter_sequential);
+    ("Thm 4 union set sequential", `Quick, test_union_set_sequential);
+    ("Thm 6 sequential", `Quick, test_multishot_sequential);
+    ("Thm 9 sequential", `Quick, test_fetch_inc_sequential);
+    ("Thm 10 sequential", `Quick, test_set_sequential);
+    ("Thm 1 strongly linearizable", `Quick, test_thm1_strong);
+    ("Thm 2 strongly linearizable", `Quick, test_thm2_strong);
+    ("Thm 4 strongly linearizable", `Quick, test_thm4_strong);
+    ("Thm 5 strongly linearizable", `Quick, test_thm5_strong);
+    ("Thm 6 strongly linearizable", `Quick, test_thm6_strong);
+    ("Cor 7 strongly linearizable", `Slow, test_cor7_strong);
+    ("Thm 9 strongly linearizable", `Quick, test_thm9_strong);
+    ("Thm 10 strongly linearizable", `Quick, test_thm10_strong);
+    ("Thm 10 full stack strongly linearizable", `Slow, test_thm10_full_strong);
+    ("random schedules linearizable", `Quick, test_random_linearizable);
+    ("wait-free step bounds", `Quick, test_wait_free_bounds);
+  ]
+
+let () = Alcotest.run "core" [ ("core", suite) ]

@@ -1,0 +1,152 @@
+(* Tests for §5: k-ordering witnesses (Definition 11), Algorithm B
+   (Lemma 12), and the impossibility phenomena (Theorems 17/19) exhibited
+   on real implementations. *)
+
+module LQ = Lincheck.Make (Spec.Queue_spec)
+
+let inputs3 = [| 100; 200; 300 |]
+
+(* --- witness decision functions (Definition 11's examples) ---------- *)
+
+let test_queue_witness_decide () =
+  let w = K_ordering.queue_witness in
+  Alcotest.(check int) "deq item wins" 2
+    (w.K_ordering.decide ~n:3 0 [ Spec.Queue_spec.Ok_; Spec.Queue_spec.Item 2 ])
+
+let test_stack_witness_decide () =
+  let w = K_ordering.stack_witness in
+  (* Last non-empty pop is the first push. *)
+  Alcotest.(check int) "bottom of stack wins" 1
+    (w.K_ordering.decide ~n:3 0
+       [
+         Spec.Stack_spec.Ok_;
+         Spec.Stack_spec.Item 0;
+         Spec.Stack_spec.Item 2;
+         Spec.Stack_spec.Item 1;
+         Spec.Stack_spec.Empty;
+       ]);
+  Alcotest.(check int) "dec length is n+1" 4 (List.length (w.K_ordering.dec ~n:3 0))
+
+let test_stuttering_witness_shapes () =
+  let w = K_ordering.stuttering_queue_witness ~m:2 in
+  Alcotest.(check int) "m+1 enqueues" 3 (List.length (w.K_ordering.prop ~n:3 1));
+  let w = K_ordering.stuttering_stack_witness ~m:1 in
+  Alcotest.(check int) "n(m+1)+1 pops" 7 (List.length (w.K_ordering.dec ~n:3 0))
+
+(* --- Lemma 12 positively: strongly-linearizable instances ----------- *)
+
+let no_violations name stats =
+  if stats.Agreement.agreement_violations > 0 || stats.Agreement.validity_violations > 0 then
+    Alcotest.failf "%s: %a" name Agreement.pp_stats stats
+
+let test_b_on_atomic_queue () =
+  no_violations "atomic queue"
+    (Agreement.run_many ~make:K_ordering.atomic_queue ~ordering:K_ordering.queue_witness
+       ~inputs:inputs3 ~trials:400 ~seed:7 ())
+
+let test_b_on_atomic_stack () =
+  no_violations "atomic stack"
+    (Agreement.run_many ~make:K_ordering.atomic_stack ~ordering:K_ordering.stack_witness
+       ~inputs:inputs3 ~trials:400 ~seed:13 ())
+
+let test_b_on_stuttering_queue () =
+  (* An exact queue refines the m-stuttering queue, so the stuttering
+     witness must still reach consensus on it. *)
+  no_violations "stuttering queue witness"
+    (Agreement.run_many ~make:K_ordering.atomic_queue
+       ~ordering:(K_ordering.stuttering_queue_witness ~m:1)
+       ~inputs:inputs3 ~trials:300 ~seed:21 ())
+
+let test_b_on_stuttering_stack () =
+  no_violations "stuttering stack witness"
+    (Agreement.run_many ~make:K_ordering.atomic_stack
+       ~ordering:(K_ordering.stuttering_stack_witness ~m:1)
+       ~inputs:inputs3 ~trials:300 ~seed:23 ())
+
+let test_b_on_ooo_queue () =
+  (* n = 5 > 2k = 4: Theorem 19's regime.  The relaxed instance is
+     strongly linearizable, so k-agreement must hold — and the relaxation
+     makes the k=2 bound tight (two distinct decisions occur). *)
+  let stats =
+    Agreement.run_many
+      ~make:(K_ordering.atomic_ooo_queue ~k:2)
+      ~ordering:(K_ordering.ooo_queue_witness ~k:2)
+      ~inputs:[| 10; 20; 30; 40; 50 |] ~trials:400 ~seed:3 ()
+  in
+  no_violations "ooo queue" stats;
+  Alcotest.(check int) "k=2 bound is tight" 2 stats.Agreement.max_distinct
+
+let test_b_with_crashes () =
+  no_violations "atomic queue with crashes"
+    (Agreement.run_many ~make:K_ordering.atomic_queue ~ordering:K_ordering.queue_witness
+       ~inputs:inputs3 ~trials:400 ~crash_prob:0.5 ~seed:31 ())
+
+(* --- the impossibility phenomena on a consensus-number-2 queue ------ *)
+
+let hw_exec capacity (module R : Runtime_intf.S) =
+  let (K_ordering.Instance inst) = K_ordering.hw_queue ~capacity (module R) in
+  inst.apply
+
+(* The HW queue is linearizable on every schedule we can throw at it. *)
+let test_hw_queue_linearizable () =
+  let workload =
+    [|
+      [ Spec.Queue_spec.Enq 1; Spec.Queue_spec.Enq 3 ];
+      [ Spec.Queue_spec.Enq 2 ];
+      [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
+    |]
+  in
+  match
+    Harness.find_non_linearizable ~check:LQ.is_linearizable ~runs:300
+      (Harness.program ~make:(hw_exec 3) ~workload)
+  with
+  | None -> ()
+  | Some seed -> Alcotest.failf "HW queue: non-linearizable at seed %d" seed
+
+(* ... but not strongly linearizable (consequence of Theorem 17): the
+   game solver produces a finite refutation tree. *)
+let test_hw_queue_not_strongly_linearizable () =
+  let workload =
+    [|
+      [ Spec.Queue_spec.Enq 1 ];
+      [ Spec.Queue_spec.Enq 2 ];
+      [ Spec.Queue_spec.Deq ];
+      [ Spec.Queue_spec.Deq ];
+    |]
+  in
+  match
+    LQ.check_strong ~max_nodes:3_000_000 ~max_depth:22
+      (Harness.program ~make:(hw_exec 2) ~workload)
+  with
+  | LQ.Not_strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "HW queue: expected refutation, got %a" LQ.pp_verdict v
+
+(* Algorithm B over the HW queue can disagree — the exact failure mode
+   Lemma 12 turns into the impossibility proof.  The seed is fixed, so
+   this documents a concrete reproducible violation. *)
+let test_b_on_hw_queue_violates () =
+  let stats =
+    Agreement.run_many
+      ~make:(K_ordering.hw_queue ~capacity:3)
+      ~ordering:K_ordering.queue_witness ~inputs:inputs3 ~trials:2000 ~seed:7 ()
+  in
+  Alcotest.(check bool) "disagreements found" true (stats.Agreement.agreement_violations > 0);
+  Alcotest.(check int) "still valid decisions" 0 stats.Agreement.validity_violations
+
+let suite =
+  [
+    ("queue witness decide", `Quick, test_queue_witness_decide);
+    ("stack witness decide", `Quick, test_stack_witness_decide);
+    ("stuttering witness shapes", `Quick, test_stuttering_witness_shapes);
+    ("Lemma 12 on atomic queue", `Quick, test_b_on_atomic_queue);
+    ("Lemma 12 on atomic stack", `Quick, test_b_on_atomic_stack);
+    ("Lemma 12 stuttering queue witness", `Quick, test_b_on_stuttering_queue);
+    ("Lemma 12 stuttering stack witness", `Quick, test_b_on_stuttering_stack);
+    ("Lemma 12 k-ooo queue (Thm 19 regime)", `Quick, test_b_on_ooo_queue);
+    ("Lemma 12 under crashes", `Quick, test_b_with_crashes);
+    ("HW queue linearizable", `Quick, test_hw_queue_linearizable);
+    ("HW queue not strongly linearizable", `Slow, test_hw_queue_not_strongly_linearizable);
+    ("Algorithm B disagrees on HW queue", `Quick, test_b_on_hw_queue_violates);
+  ]
+
+let () = Alcotest.run "k_ordering" [ ("k_ordering", suite) ]

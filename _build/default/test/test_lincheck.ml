@@ -1,0 +1,314 @@
+(* Tests for the linearizability checker and the strong-linearizability
+   game solver.  These validate the checkers themselves on objects whose
+   status is known, before they are used to verify the paper's
+   constructions. *)
+
+module L_reg = Lincheck.Make (Spec.Register)
+module L_queue = Lincheck.Make (Spec.Queue_spec)
+module L_set = Lincheck.Make (Spec.Set_obj)
+module L_max = Lincheck.Make (Spec.Max_register)
+
+(* Handcrafted traces (indices don't matter beyond relative order). *)
+let inv p op = Trace.Invoke { proc = p; op }
+let ret p resp = Trace.Return { proc = p; resp }
+
+let test_sequential_register () =
+  let t =
+    [
+      inv 0 (Spec.Register.Write 1);
+      ret 0 Spec.Register.Ack;
+      inv 1 Spec.Register.Read;
+      ret 1 (Spec.Register.Value 1);
+    ]
+  in
+  Alcotest.(check bool) "linearizable" true (L_reg.is_linearizable t)
+
+let test_stale_read_rejected () =
+  (* Write(1) completes strictly before Read is invoked, yet Read sees 0. *)
+  let t =
+    [
+      inv 0 (Spec.Register.Write 1);
+      ret 0 Spec.Register.Ack;
+      inv 1 Spec.Register.Read;
+      ret 1 (Spec.Register.Value 0);
+    ]
+  in
+  Alcotest.(check bool) "not linearizable" false (L_reg.is_linearizable t)
+
+let test_concurrent_read_both_ok () =
+  let overlapping v =
+    [
+      inv 0 (Spec.Register.Write 1);
+      inv 1 Spec.Register.Read;
+      ret 1 (Spec.Register.Value v);
+      ret 0 Spec.Register.Ack;
+    ]
+  in
+  Alcotest.(check bool) "old value ok" true (L_reg.is_linearizable (overlapping 0));
+  Alcotest.(check bool) "new value ok" true (L_reg.is_linearizable (overlapping 1));
+  Alcotest.(check bool) "phantom value rejected" false (L_reg.is_linearizable (overlapping 7))
+
+let test_pending_write_justifies_read () =
+  (* The write never returns, but the read observed it: the pending write
+     must be linearized before the read. *)
+  let t =
+    [ inv 0 (Spec.Register.Write 1); inv 1 Spec.Register.Read; ret 1 (Spec.Register.Value 1) ]
+  in
+  match L_reg.check_trace t with
+  | None -> Alcotest.fail "should be linearizable via pending write"
+  | Some lin -> Alcotest.(check int) "pending write included" 2 (List.length lin)
+
+let test_queue_fifo () =
+  let t =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 0 (Spec.Queue_spec.Enq 2);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 2);
+    ]
+  in
+  Alcotest.(check bool) "lifo rejected on queue" false (L_queue.is_linearizable t);
+  let t_ok =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 0 (Spec.Queue_spec.Enq 2);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 1);
+    ]
+  in
+  Alcotest.(check bool) "fifo accepted" true (L_queue.is_linearizable t_ok)
+
+let test_set_nondeterminism () =
+  let take_of v =
+    [
+      inv 0 (Spec.Set_obj.Put 1);
+      ret 0 Spec.Set_obj.Ok_;
+      inv 1 (Spec.Set_obj.Put 2);
+      ret 1 Spec.Set_obj.Ok_;
+      inv 2 Spec.Set_obj.Take;
+      ret 2 (Spec.Set_obj.Item v);
+    ]
+  in
+  Alcotest.(check bool) "take 1 ok" true (L_set.is_linearizable (take_of 1));
+  Alcotest.(check bool) "take 2 ok" true (L_set.is_linearizable (take_of 2));
+  Alcotest.(check bool) "take 3 rejected" false (L_set.is_linearizable (take_of 3))
+
+let test_real_time_order_enforced () =
+  (* Two sequential meta-operations cannot be reordered even when the
+     responses alone would allow it: Read -> 1 before Write(1) returns is
+     fine when overlapping, but not when the read completed first. *)
+  let t =
+    [
+      inv 1 Spec.Register.Read;
+      ret 1 (Spec.Register.Value 1);
+      inv 0 (Spec.Register.Write 1);
+      ret 0 Spec.Register.Ack;
+    ]
+  in
+  Alcotest.(check bool) "future read rejected" false (L_reg.is_linearizable t)
+
+(* ------------------------------------------------------------------ *)
+(* Programs for the strong-linearizability game                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomic register: every operation is a single access — trivially
+   strongly linearizable. *)
+let atomic_register_program ops : (Spec.Register.op, Spec.Register.resp) Sim.program =
+  {
+    procs = Array.length ops;
+    boot =
+      (fun w ->
+        let module R = (val Sim.runtime w) in
+        let r = R.obj ~name:"r" 0 in
+        Array.iteri
+          (fun p my_ops ->
+            Sim.spawn w ~proc:p (fun () ->
+                List.iter
+                  (fun op ->
+                    ignore
+                      (Sim.operation w ~op
+                         ~resp:(fun x -> x)
+                         (fun () ->
+                           match op with
+                           | Spec.Register.Read ->
+                               Spec.Register.Value (R.access r (fun s -> (s, s)))
+                           | Spec.Register.Write v ->
+                               R.access r (fun _ -> (v, ()));
+                               Spec.Register.Ack)))
+                  my_ops))
+          ops);
+  }
+
+(* Broken max register: WriteMax reads then conditionally writes — loses
+   concurrent writes, so it is not even linearizable. *)
+let broken_max_program () : (Spec.Max_register.op, Spec.Max_register.resp) Sim.program =
+  {
+    procs = 3;
+    boot =
+      (fun w ->
+        let module R = (val Sim.runtime w) in
+        let r = R.obj ~name:"r" 0 in
+        let write_max v =
+          let cur = R.read r in
+          if v > cur then R.access r (fun _ -> (v, ()))
+        in
+        Sim.spawn w ~proc:0 (fun () ->
+            ignore
+              (Sim.operation w ~op:(Spec.Max_register.WriteMax 1)
+                 ~resp:(fun () -> Spec.Max_register.Ack)
+                 (fun () -> write_max 1)));
+        Sim.spawn w ~proc:1 (fun () ->
+            ignore
+              (Sim.operation w ~op:(Spec.Max_register.WriteMax 2)
+                 ~resp:(fun () -> Spec.Max_register.Ack)
+                 (fun () -> write_max 2)));
+        Sim.spawn w ~proc:2 (fun () ->
+            let read1 =
+              Sim.operation w ~op:Spec.Max_register.ReadMax
+                ~resp:(fun v -> Spec.Max_register.Value v)
+                (fun () -> R.read r)
+            in
+            let read2 =
+              Sim.operation w ~op:Spec.Max_register.ReadMax
+                ~resp:(fun v -> Spec.Max_register.Value v)
+                (fun () -> R.read r)
+            in
+            ignore (read1, read2)));
+  }
+
+(* Multi-writer register from single-writer registers (Vitányi–Awerbuch
+   style timestamps).  Linearizable, but by Helmi–Higham–Woelfel (PODC
+   2012) single-writer registers do not support lock-free strongly
+   linearizable multi-writer registers — the game should refute it. *)
+let mwmr_program () : (Spec.Register.op, Spec.Register.resp) Sim.program =
+  {
+    procs = 3;
+    boot =
+      (fun w ->
+        let module R = (val Sim.runtime w) in
+        (* own.(p) holds (timestamp, pid, value); p is its only writer. *)
+        let own = Array.init 3 (fun i -> R.obj ~name:(Printf.sprintf "own%d" i) (0, i, 0)) in
+        let collect () = Array.map (fun o -> R.read o) own in
+        let write p v =
+          let views = collect () in
+          let ts = Array.fold_left (fun acc (t, _, _) -> max acc t) 0 views in
+          R.access own.(p) (fun _ -> ((ts + 1, p, v), ()))
+        in
+        let read () =
+          let views = collect () in
+          let _, _, v = Array.fold_left max (min_int, min_int, 0) views in
+          v
+        in
+        Sim.spawn w ~proc:0 (fun () ->
+            ignore
+              (Sim.operation w ~op:(Spec.Register.Write 1)
+                 ~resp:(fun () -> Spec.Register.Ack)
+                 (fun () -> write 0 1)));
+        Sim.spawn w ~proc:1 (fun () ->
+            ignore
+              (Sim.operation w ~op:(Spec.Register.Write 2)
+                 ~resp:(fun () -> Spec.Register.Ack)
+                 (fun () -> write 1 2)));
+        Sim.spawn w ~proc:2 (fun () ->
+            for _ = 1 to 2 do
+              ignore
+                (Sim.operation w ~op:Spec.Register.Read
+                   ~resp:(fun v -> Spec.Register.Value v)
+                   (fun () -> read ()))
+            done));
+  }
+
+let test_atomic_register_strong () =
+  let ops =
+    [| [ Spec.Register.Write 1; Spec.Register.Read ]; [ Spec.Register.Write 2 ]; [ Spec.Register.Read ] |]
+  in
+  match L_reg.check_strong (atomic_register_program ops) with
+  | L_reg.Strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "expected strong, got: %a" L_reg.pp_verdict v
+
+let test_broken_max_not_linearizable () =
+  match L_max.check_strong (broken_max_program ()) with
+  | L_max.Not_linearizable _ -> ()
+  | v -> Alcotest.failf "expected not linearizable, got: %a" L_max.pp_verdict v
+
+let test_mwmr_not_strong () =
+  match L_reg.check_strong ~max_nodes:2_000_000 (mwmr_program ()) with
+  | L_reg.Not_strongly_linearizable _ -> ()
+  | v -> Alcotest.failf "expected not strongly linearizable, got: %a" L_reg.pp_verdict v
+
+(* Every single execution of the MWMR register is linearizable — the
+   defect is only in prefix-closedness.  Checked on random schedules. *)
+let test_mwmr_linearizable_executions () =
+  for seed = 1 to 50 do
+    let w = Sim.run_random ~seed (mwmr_program ()) in
+    if not (L_reg.is_linearizable (Sim.trace w)) then
+      Alcotest.failf "seed %d: execution not linearizable" seed
+  done
+
+let test_progress_measure () =
+  let ops = [| [ Spec.Register.Write 1 ]; [ Spec.Register.Read ] |] in
+  let r = Progress.measure ~runs:20 (atomic_register_program ops) in
+  Alcotest.(check int) "every run completes 2 ops" 40 r.Progress.total_completed;
+  Alcotest.(check int) "atomic ops take one step" 1 r.Progress.max_steps_per_op
+
+(* Property: the game verdict on an atomic register is Strongly_
+   linearizable for EVERY workload — atomic objects are the definition of
+   strong linearizability, so any refutation would be a checker bug. *)
+let prop_atomic_always_strong =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 3)
+        (list_size (int_bound 2) (frequency [ (1, map (fun v -> Spec.Register.Write v) (int_bound 3)); (1, return Spec.Register.Read) ])))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun w ->
+        String.concat "|"
+          (List.map
+             (fun ops -> String.concat ";" (List.map (Format.asprintf "%a" Spec.Register.pp_op) ops))
+             w))
+      gen
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"atomic register strong on random workloads" ~count:60 arb
+       (fun workload ->
+         let ops = Array.of_list workload in
+         QCheck.assume (Array.length ops >= 2);
+         match L_reg.check_strong ~max_nodes:300_000 (atomic_register_program ops) with
+         | L_reg.Strongly_linearizable _ -> true
+         | L_reg.Out_of_budget _ -> QCheck.assume_fail ()
+         | _ -> false))
+
+(* Property: the MWMR register is linearizable on every random workload —
+   the checker must never classify it Not_linearizable. *)
+let prop_mwmr_never_notlin =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"MWMR register linearizable on random schedules" ~count:100 arb
+       (fun seed ->
+         let w = Sim.run_random ~seed (mwmr_program ()) in
+         L_reg.is_linearizable (Sim.trace w)))
+
+let suite =
+  [
+    ("sequential register", `Quick, test_sequential_register);
+    ("stale read rejected", `Quick, test_stale_read_rejected);
+    ("concurrent read", `Quick, test_concurrent_read_both_ok);
+    ("pending write justifies read", `Quick, test_pending_write_justifies_read);
+    ("queue fifo", `Quick, test_queue_fifo);
+    ("set nondeterminism", `Quick, test_set_nondeterminism);
+    ("real-time order", `Quick, test_real_time_order_enforced);
+    ("atomic register strongly linearizable", `Quick, test_atomic_register_strong);
+    ("broken max not linearizable", `Quick, test_broken_max_not_linearizable);
+    ("MWMR register not strongly linearizable", `Slow, test_mwmr_not_strong);
+    ("MWMR register executions linearizable", `Quick, test_mwmr_linearizable_executions);
+    ("progress measurement", `Quick, test_progress_measure);
+    prop_atomic_always_strong;
+    prop_mwmr_never_notlin;
+  ]
+
+let () = Alcotest.run "lincheck" [ ("lincheck", suite) ]

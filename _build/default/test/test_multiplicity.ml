@@ -1,0 +1,240 @@
+(* Tests for the multiplicity relaxation (§5, footnote 3): the
+   multiplicity-aware checker, the read/write queue with multiplicity,
+   and the Theorem 17 mechanism on it. *)
+
+module LQ = Lincheck.Make (Spec.Queue_spec)
+
+let inv p op = Trace.Invoke { proc = p; op }
+let ret p resp = Trace.Return { proc = p; resp }
+
+(* --- the checker itself ---------------------------------------------- *)
+
+let test_sequential_dup_rejected () =
+  (* Two sequential deqs returning the same item: not concurrent, so the
+     multiplicity relaxation does not apply. *)
+  let t =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 1);
+      inv 2 Spec.Queue_spec.Deq;
+      ret 2 (Spec.Queue_spec.Item 1);
+    ]
+  in
+  Alcotest.(check bool) "rejected" false (Mult_check.check Mult_check.Queue t)
+
+let test_concurrent_dup_accepted () =
+  let t =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      inv 2 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 1);
+      ret 2 (Spec.Queue_spec.Item 1);
+    ]
+  in
+  Alcotest.(check bool) "accepted" true (Mult_check.check Mult_check.Queue t);
+  (* The same trace is NOT linearizable as an exact queue. *)
+  Alcotest.(check bool) "exact queue rejects" false (LQ.is_linearizable t)
+
+let test_dup_of_stale_item_rejected () =
+  (* Concurrent deqs, but the duplicate returns an item that is not the
+     one the group holds. *)
+  let t =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 0 (Spec.Queue_spec.Enq 2);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      inv 2 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 1);
+      ret 2 (Spec.Queue_spec.Item 2);
+    ]
+  in
+  (* Returning 1 and 2 is plain queue behaviour — fine. *)
+  Alcotest.(check bool) "exact behaviour accepted" true (Mult_check.check Mult_check.Queue t);
+  let t_bad =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 0 (Spec.Queue_spec.Enq 2);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 2);
+      inv 2 Spec.Queue_spec.Deq;
+      ret 2 (Spec.Queue_spec.Item 2);
+    ]
+  in
+  (* Item 2 dequeued twice by NON-overlapping deqs while 1 sits in the
+     queue: no relaxation covers that. *)
+  Alcotest.(check bool) "stale dup rejected" false (Mult_check.check Mult_check.Queue t_bad)
+
+let test_exact_behaviour_still_accepted () =
+  let t =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 1);
+      inv 2 Spec.Queue_spec.Deq;
+      ret 2 Spec.Queue_spec.Empty;
+    ]
+  in
+  Alcotest.(check bool) "exact accepted" true (Mult_check.check Mult_check.Queue t)
+
+let test_stack_kind () =
+  (* LIFO discipline under the Stack kind (Push/Pop encoded as Enq/Deq). *)
+  let t =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 0 (Spec.Queue_spec.Enq 2);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 2);
+    ]
+  in
+  Alcotest.(check bool) "lifo accepted" true (Mult_check.check Mult_check.Stack t);
+  let t_fifo =
+    [
+      inv 0 (Spec.Queue_spec.Enq 1);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 0 (Spec.Queue_spec.Enq 2);
+      ret 0 Spec.Queue_spec.Ok_;
+      inv 1 Spec.Queue_spec.Deq;
+      ret 1 (Spec.Queue_spec.Item 1);
+    ]
+  in
+  Alcotest.(check bool) "fifo rejected for stack" false (Mult_check.check Mult_check.Stack t_fifo)
+
+(* --- the read/write multiplicity queue -------------------------------- *)
+
+let mult_exec (module R : Runtime_intf.S) =
+  let module Q = Rw_mult_queue.Make (R) in
+  let q = Q.create () in
+  fun (op : Spec.Queue_spec.op) : Spec.Queue_spec.resp ->
+    match op with
+    | Spec.Queue_spec.Enq x ->
+        Q.enqueue q x;
+        Spec.Queue_spec.Ok_
+    | Spec.Queue_spec.Deq -> (
+        match Q.dequeue q with None -> Spec.Queue_spec.Empty | Some x -> Spec.Queue_spec.Item x)
+
+let test_mult_queue_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module Q = Rw_mult_queue.Make (R) in
+  let q = Q.create () in
+  Alcotest.(check (option int)) "empty" None (Q.dequeue q);
+  Q.enqueue q 1;
+  Q.enqueue q 2;
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Q.dequeue q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Q.dequeue q);
+  Alcotest.(check (option int)) "empty again" None (Q.dequeue q)
+
+let workload =
+  [|
+    [ Spec.Queue_spec.Enq 1; Spec.Queue_spec.Enq 2 ];
+    [ Spec.Queue_spec.Deq ];
+    [ Spec.Queue_spec.Deq ];
+  |]
+
+let test_mult_queue_relaxed_linearizable () =
+  (* Every random execution satisfies queue-with-multiplicity. *)
+  let prog = Harness.program ~make:mult_exec ~workload in
+  for seed = 1 to 400 do
+    let t = Sim.trace (Sim.run_random ~seed prog) in
+    if not (Mult_check.check Mult_check.Queue t) then
+      Alcotest.failf "seed %d: violates multiplicity-linearizability" seed
+  done
+
+let test_mult_queue_duplicates_happen () =
+  (* ... and the relaxation is real: some schedule duplicates an item,
+     failing the EXACT queue check. *)
+  let prog = Harness.program ~make:mult_exec ~workload in
+  let rec search seed =
+    if seed > 3000 then Alcotest.fail "no duplicating schedule found"
+    else
+      let t = Sim.trace (Sim.run_random ~seed prog) in
+      if not (LQ.is_linearizable t) then ()  (* found: relaxed-only behaviour *)
+      else search (seed + 1)
+  in
+  search 1
+
+(* --- the multiplicity stack -------------------------------------------- *)
+
+(* Encode Push/Pop as Enq/Deq so Mult_check's Stack kind applies. *)
+let mult_stack_exec (module R : Runtime_intf.S) =
+  let module S = Rw_mult_queue.Make_stack (R) in
+  let s = S.create () in
+  fun (op : Spec.Queue_spec.op) : Spec.Queue_spec.resp ->
+    match op with
+    | Spec.Queue_spec.Enq x ->
+        S.push s x;
+        Spec.Queue_spec.Ok_
+    | Spec.Queue_spec.Deq -> (
+        match S.pop s with None -> Spec.Queue_spec.Empty | Some x -> Spec.Queue_spec.Item x)
+
+let test_mult_stack_sequential () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:2 ()) in
+  let module S = Rw_mult_queue.Make_stack (R) in
+  let s = S.create () in
+  S.push s 1;
+  S.push s 2;
+  Alcotest.(check (option int)) "lifo 2" (Some 2) (S.pop s);
+  S.push s 3;
+  Alcotest.(check (option int)) "lifo 3" (Some 3) (S.pop s);
+  Alcotest.(check (option int)) "lifo 1" (Some 1) (S.pop s);
+  Alcotest.(check (option int)) "empty" None (S.pop s)
+
+let test_mult_stack_relaxed_linearizable () =
+  let prog = Harness.program ~make:mult_stack_exec ~workload in
+  for seed = 1 to 400 do
+    let t = Sim.trace (Sim.run_random ~seed prog) in
+    if not (Mult_check.check Mult_check.Stack t) then
+      Alcotest.failf "seed %d: violates stack-multiplicity" seed
+  done
+
+(* --- Theorem 17's mechanism on the multiplicity queue ----------------- *)
+
+let test_algorithm_b_violations () =
+  (* Multiplicity queues are 1-ordering (paper §5), so if this
+     implementation were strongly linearizable Algorithm B would solve
+     consensus from read/write registers — impossible.  And indeed
+     agreement breaks. *)
+  let stats =
+    Agreement.run_many ~make:Rw_mult_queue.instance ~ordering:K_ordering.queue_multiplicity_witness
+      ~inputs:[| 100; 200; 300 |] ~trials:3000 ~seed:5 ()
+  in
+  Alcotest.(check bool) "disagreements found" true (stats.Agreement.agreement_violations > 0);
+  Alcotest.(check int) "decisions stay valid" 0 stats.Agreement.validity_violations
+
+(* Same for the multiplicity stack, with the stack witness. *)
+let test_algorithm_b_stack_violations () =
+  let stats =
+    Agreement.run_many ~make:Rw_mult_queue.stack_instance
+      ~ordering:K_ordering.stack_multiplicity_witness ~inputs:[| 100; 200; 300 |] ~trials:4000
+      ~seed:9 ()
+  in
+  Alcotest.(check bool) "disagreements found" true (stats.Agreement.agreement_violations > 0);
+  Alcotest.(check int) "decisions stay valid" 0 stats.Agreement.validity_violations
+
+let suite =
+  [
+    ("sequential dup rejected", `Quick, test_sequential_dup_rejected);
+    ("concurrent dup accepted", `Quick, test_concurrent_dup_accepted);
+    ("stale dup rejected", `Quick, test_dup_of_stale_item_rejected);
+    ("exact behaviour accepted", `Quick, test_exact_behaviour_still_accepted);
+    ("stack kind", `Quick, test_stack_kind);
+    ("RW mult queue sequential", `Quick, test_mult_queue_sequential);
+    ("RW mult queue relaxed-linearizable", `Quick, test_mult_queue_relaxed_linearizable);
+    ("duplication actually occurs", `Quick, test_mult_queue_duplicates_happen);
+    ("RW mult stack sequential", `Quick, test_mult_stack_sequential);
+    ("RW mult stack relaxed-linearizable", `Quick, test_mult_stack_relaxed_linearizable);
+    ("Algorithm B disagrees on RW mult queue", `Quick, test_algorithm_b_violations);
+    ("Algorithm B disagrees on RW mult stack", `Quick, test_algorithm_b_stack_violations);
+  ]
+
+let () = Alcotest.run "multiplicity" [ ("multiplicity", suite) ]

@@ -1,0 +1,158 @@
+(* Tests for the typed base objects, run on the solo runtime (semantics)
+   and the simulator (atomicity under interleaving). *)
+
+let solo () = Solo_runtime.make ~self:0 ~n:2 ()
+
+let test_register () =
+  let module R0 = (val solo ()) in
+  let module P = Prim.Make (R0) in
+  let r = P.Register.make 5 in
+  Alcotest.(check int) "init" 5 (P.Register.read r);
+  P.Register.write r 9;
+  Alcotest.(check int) "written" 9 (P.Register.read r)
+
+let test_test_and_set () =
+  let module R0 = (val solo ()) in
+  let module P = Prim.Make (R0) in
+  let ts = P.Test_and_set.make () in
+  Alcotest.(check int) "read clean" 0 (P.Test_and_set.read ts);
+  Alcotest.(check int) "first wins" 0 (P.Test_and_set.test_and_set ts);
+  Alcotest.(check int) "second loses" 1 (P.Test_and_set.test_and_set ts);
+  Alcotest.(check int) "read set" 1 (P.Test_and_set.read ts)
+
+let test_two_process_ts () =
+  (* Three distinct processes using a 2-process test&set must be caught. *)
+  let prog : (string, string) Sim.program =
+    {
+      procs = 3;
+      boot =
+        (fun w ->
+          let module R0 = (val Sim.runtime w) in
+          let module P = Prim.Make (R0) in
+          let ts = P.Test_and_set.make ~procs:2 () in
+          for p = 0 to 2 do
+            Sim.spawn w ~proc:p (fun () -> ignore (P.Test_and_set.test_and_set ts))
+          done);
+    }
+  in
+  Alcotest.check_raises "third process rejected"
+    (Invalid_argument "Test_and_set: 2-process object used by 3 processes") (fun () ->
+      ignore (Sim.run_to_completion prog))
+
+let test_faa_wide () =
+  let module R0 = (val solo ()) in
+  let module P = Prim.Make (R0) in
+  let r = P.Faa_wide.make Bignum.zero in
+  let old = P.Faa_wide.fetch_and_add r (Bignum.Signed.of_int 5) in
+  Alcotest.(check bool) "old was 0" true (Bignum.is_zero old);
+  let old = P.Faa_wide.fetch_and_add r (Bignum.Signed.of_int (-2)) in
+  Alcotest.(check string) "old was 5" "5" (Bignum.to_string old);
+  Alcotest.(check string) "now 3" "3" (Bignum.to_string (P.Faa_wide.read r));
+  (* A wide add beyond word size. *)
+  let big = Bignum.pow2 200 in
+  ignore (P.Faa_wide.fetch_and_add r (Bignum.Signed.of_nat big));
+  Alcotest.(check bool) "wide value" true
+    (Bignum.equal (P.Faa_wide.read r) (Bignum.add big (Bignum.of_int 3)))
+
+let test_faa_int_swap_cas () =
+  let module R0 = (val solo ()) in
+  let module P = Prim.Make (R0) in
+  let f = P.Faa_int.make 10 in
+  Alcotest.(check int) "faa old" 10 (P.Faa_int.fetch_and_add f 3);
+  Alcotest.(check int) "faa new" 13 (P.Faa_int.read f);
+  let s = P.Swap.make "a" in
+  Alcotest.(check string) "swap old" "a" (P.Swap.swap s "b");
+  Alcotest.(check string) "swap new" "b" (P.Swap.read s);
+  let c = P.Cas.make 0 in
+  Alcotest.(check bool) "cas success" true (P.Cas.compare_and_swap c ~expect:0 1);
+  Alcotest.(check bool) "cas failure" false (P.Cas.compare_and_swap c ~expect:0 2);
+  Alcotest.(check int) "cas state" 1 (P.Cas.read c)
+
+(* Atomicity under the simulator: n processes race on one test&set; in
+   every schedule exactly one process wins. *)
+let prop_ts_one_winner =
+  let gen = QCheck.Gen.(list_size (return 40) (int_bound 2)) in
+  let arb = QCheck.make ~print:(fun l -> String.concat "" (List.map string_of_int l)) gen in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"one test&set winner in every schedule" ~count:300 arb
+       (fun choices ->
+         let winners = ref 0 in
+         let prog : (string, string) Sim.program =
+           {
+             procs = 3;
+             boot =
+               (fun w ->
+                 let module R0 = (val Sim.runtime w) in
+          let module P = Prim.Make (R0) in
+                 let ts = P.Test_and_set.make () in
+                 for p = 0 to 2 do
+                   Sim.spawn w ~proc:p (fun () ->
+                       if P.Test_and_set.test_and_set ts = 0 then incr winners)
+                 done);
+           }
+         in
+         let w = Sim.create ~n:3 in
+         prog.boot w;
+         List.iter
+           (fun p -> if List.mem p (Sim.enabled w) then Sim.step w p)
+           choices;
+         let rec drain () =
+           match Sim.enabled w with
+           | [] -> ()
+           | p :: _ ->
+               Sim.step w p;
+               drain ()
+         in
+         drain ();
+         !winners = 1))
+
+(* Same for fetch&add: concurrent adds never lose updates. *)
+let prop_faa_no_lost_updates =
+  let gen = QCheck.Gen.(list_size (return 60) (int_bound 2)) in
+  let arb = QCheck.make ~print:(fun l -> String.concat "" (List.map string_of_int l)) gen in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"fetch&add sums all deltas" ~count:200 arb (fun choices ->
+         let final = ref Bignum.zero in
+         let prog : (string, string) Sim.program =
+           {
+             procs = 3;
+             boot =
+               (fun w ->
+                 let module R0 = (val Sim.runtime w) in
+          let module P = Prim.Make (R0) in
+                 let r = P.Faa_wide.make Bignum.zero in
+                 for p = 0 to 2 do
+                   Sim.spawn w ~proc:p (fun () ->
+                       for _ = 1 to 3 do
+                         ignore (P.Faa_wide.fetch_and_add r (Bignum.Signed.of_int (p + 1)))
+                       done;
+                       final := P.Faa_wide.read r)
+                 done);
+           }
+         in
+         let w = Sim.create ~n:3 in
+         prog.boot w;
+         List.iter (fun p -> if List.mem p (Sim.enabled w) then Sim.step w p) choices;
+         let rec drain () =
+           match Sim.enabled w with
+           | [] -> ()
+           | p :: _ ->
+               Sim.step w p;
+               drain ()
+         in
+         drain ();
+         (* 3*(1+2+3) = 18 *)
+         Bignum.equal !final (Bignum.of_int 18)))
+
+let suite =
+  [
+    ("register", `Quick, test_register);
+    ("test&set", `Quick, test_test_and_set);
+    ("2-process test&set guard", `Quick, test_two_process_ts);
+    ("wide fetch&add", `Quick, test_faa_wide);
+    ("int faa / swap / cas", `Quick, test_faa_int_swap_cas);
+    prop_ts_one_winner;
+    prop_faa_no_lost_updates;
+  ]
+
+let () = Alcotest.run "primitives" [ ("primitives", suite) ]

@@ -1,0 +1,185 @@
+(* Tests for the sequential specifications. *)
+
+let check_det name expected got = Alcotest.(check bool) name true (expected = got)
+
+let test_register () =
+  let open Spec.Register in
+  check_det "read init" [ (0, Value 0) ] (apply init Read);
+  check_det "write then read" [ (7, Value 7) ]
+    (apply (fst (List.hd (apply init (Write 7)))) Read)
+
+let test_max_register () =
+  let open Spec.Max_register in
+  let s = fst (List.hd (apply init (WriteMax 5))) in
+  let s = fst (List.hd (apply s (WriteMax 3))) in
+  check_det "max retained" [ (5, Value 5) ] (apply s ReadMax);
+  let s = fst (List.hd (apply s (WriteMax 9))) in
+  check_det "max advanced" [ (9, Value 9) ] (apply s ReadMax)
+
+let test_snapshot () =
+  let module S = Spec.Snapshot (struct
+    let n = 3
+  end) in
+  let open S in
+  Alcotest.(check (list int)) "init view" [ 0; 0; 0 ]
+    (match apply init Scan with [ (_, View v) ] -> v | _ -> assert false);
+  let s = fst (List.hd (apply init (Update (1, 42)))) in
+  Alcotest.(check (list int)) "after update" [ 0; 42; 0 ]
+    (match apply s Scan with [ (_, View v) ] -> v | _ -> assert false);
+  Alcotest.check_raises "bad process" (Invalid_argument "Snapshot: process out of range")
+    (fun () -> ignore (apply init (Update (3, 1))))
+
+let test_counters () =
+  let open Spec.Counter in
+  let s = fst (List.hd (apply init (Add 5))) in
+  let s = fst (List.hd (apply s (Add (-2)))) in
+  check_det "non-monotonic" [ (3, Value 3) ] (apply s Read);
+  let open Spec.Logical_clock in
+  let s = fst (List.hd (apply init Tick)) in
+  check_det "clock" [ (1, Time 1) ] (apply s Read)
+
+let test_test_and_set () =
+  let open Spec.Test_and_set in
+  check_det "winner" [ (1, Value 0) ] (apply init TestAndSet);
+  check_det "loser" [ (1, Value 1) ] (apply 1 TestAndSet);
+  check_det "read" [ (1, Value 1) ] (apply 1 Read)
+
+let test_multishot_ts () =
+  let open Spec.Multishot_test_and_set in
+  let s = fst (List.hd (apply init TestAndSet)) in
+  Alcotest.(check int) "set" 1 s;
+  let s = fst (List.hd (apply s Reset)) in
+  Alcotest.(check int) "reset" 0 s;
+  check_det "winner again" [ (1, Value 0) ] (apply s TestAndSet)
+
+let test_fetch_and_inc () =
+  let open Spec.Fetch_and_inc in
+  check_det "starts at 1" [ (2, Value 1) ] (apply init FetchInc);
+  check_det "read" [ (1, Value 1) ] (apply init Read)
+
+let test_faa_swap () =
+  let open Spec.Fetch_and_add in
+  check_det "faa" [ (5, Value 0) ] (apply init (FetchAdd 5));
+  let open Spec.Swap in
+  check_det "swap" [ (9, Value 0) ] (apply init (SwapOp 9))
+
+let test_set () =
+  let open Spec.Set_obj in
+  let s = fst (List.hd (apply init (Put 2))) in
+  let s = fst (List.hd (apply s (Put 1))) in
+  let s' = fst (List.hd (apply s (Put 2))) in
+  Alcotest.(check bool) "idempotent put" true (s = s');
+  let outcomes = apply s Take in
+  Alcotest.(check int) "take branches" 2 (List.length outcomes);
+  Alcotest.(check bool) "take any member" true
+    (List.for_all (function _, Item x -> List.mem x [ 1; 2 ] | _ -> false) outcomes);
+  check_det "empty take" [ ([], Empty) ] (apply init Take)
+
+let test_queue_stack () =
+  let open Spec.Queue_spec in
+  let s = fst (List.hd (apply init (Enq 1))) in
+  let s = fst (List.hd (apply s (Enq 2))) in
+  check_det "fifo" [ ([ 2 ], Item 1) ] (apply s Deq);
+  check_det "empty deq" [ ([], Empty) ] (apply init Deq);
+  let open Spec.Stack_spec in
+  let s = fst (List.hd (apply init (Push 1))) in
+  let s = fst (List.hd (apply s (Push 2))) in
+  check_det "lifo" [ ([ 1 ], Item 2) ] (apply s Pop)
+
+let test_stuttering_queue () =
+  let module Q = Spec.Stuttering_queue (struct
+    let m = 1
+  end) in
+  let open Q in
+  (* First enq may stutter or not: two outcomes. *)
+  let outs = apply init (Enq 7) in
+  Alcotest.(check int) "enq branches" 2 (List.length outs);
+  (* Find the stuttering outcome and enq again: now it must take effect. *)
+  let stuttered =
+    List.find (fun (s, _) -> s.Q.items = []) outs |> fst
+  in
+  let outs2 = apply stuttered (Enq 8) in
+  Alcotest.(check int) "forced effective" 1 (List.length outs2);
+  Alcotest.(check bool) "item enqueued" true ((fst (List.hd outs2)).Q.items = [ 8 ]);
+  (* A stuttering deq returns the head without removing it. *)
+  let s = { Q.items = [ 1; 2 ]; enq_stutter = 0; deq_stutter = 0 } in
+  let outs3 = apply s Deq in
+  Alcotest.(check int) "deq branches" 2 (List.length outs3);
+  Alcotest.(check bool) "both return head" true
+    (List.for_all (fun (_, r) -> r = Item 1) outs3);
+  Alcotest.(check bool) "one removes, one keeps" true
+    (List.exists (fun (s', _) -> s'.Q.items = [ 2 ]) outs3
+    && List.exists (fun (s', _) -> s'.Q.items = [ 1; 2 ]) outs3)
+
+let test_stuttering_stack () =
+  let module S = Spec.Stuttering_stack (struct
+    let m = 2
+  end) in
+  let open S in
+  let rec chain s depth =
+    (* Follow only stuttering outcomes; they must run out at m. *)
+    match List.filter (fun (s', _) -> s'.S.items = []) (apply s (Push 1)) with
+    | [] -> depth
+    | (s', _) :: _ -> chain s' (depth + 1)
+  in
+  Alcotest.(check int) "at most m stutters" 2 (chain init 0)
+
+let test_ooo_queue () =
+  let module Q = Spec.Ooo_queue (struct
+    let k = 2
+  end) in
+  let open Q in
+  let s = [ 10; 20; 30 ] in
+  let outs = apply s Deq in
+  Alcotest.(check int) "k branches" 2 (List.length outs);
+  Alcotest.(check bool) "returns one of 2 oldest" true
+    (List.for_all (function _, Item x -> x = 10 || x = 20 | _ -> false) outs);
+  Alcotest.(check bool) "removal correct" true
+    (List.exists (fun (s', _) -> s' = [ 20; 30 ]) outs
+    && List.exists (fun (s', _) -> s' = [ 10; 30 ]) outs)
+
+let test_multiplicity_names () =
+  Alcotest.(check string) "queue" "queue-multiplicity" Spec.Queue_multiplicity.name;
+  Alcotest.(check string) "stack" "stack-multiplicity" Spec.Stack_multiplicity.name
+
+(* Property: in any reachable state of the m-stuttering queue, at most m
+   consecutive same-type operations are ineffective. *)
+let prop_stutter_bound =
+  let m = 2 in
+  let module Q = Spec.Stuttering_queue (struct
+    let m = 2
+  end) in
+  let gen = QCheck.Gen.(list_size (int_bound 30) (int_bound 3)) in
+  let arb = QCheck.make ~print:(fun l -> String.concat ";" (List.map string_of_int l)) gen in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"stutter counters bounded by m" ~count:200 arb (fun choices ->
+         (* Random walk over outcomes, alternating enq/deq by the choice parity. *)
+         let s = ref Q.init in
+         List.for_all
+           (fun c ->
+             let op = if c mod 2 = 0 then Q.Enq c else Q.Deq in
+             let outs = Q.apply !s op in
+             s := fst (List.nth outs (c mod List.length outs));
+             !s.Q.enq_stutter <= m && !s.Q.deq_stutter <= m)
+           choices))
+
+let suite =
+  [
+    ("register", `Quick, test_register);
+    ("max register", `Quick, test_max_register);
+    ("snapshot", `Quick, test_snapshot);
+    ("counters/clock", `Quick, test_counters);
+    ("test&set", `Quick, test_test_and_set);
+    ("multishot test&set", `Quick, test_multishot_ts);
+    ("fetch&inc", `Quick, test_fetch_and_inc);
+    ("fetch&add/swap", `Quick, test_faa_swap);
+    ("set", `Quick, test_set);
+    ("queue/stack", `Quick, test_queue_stack);
+    ("stuttering queue", `Quick, test_stuttering_queue);
+    ("stuttering stack", `Quick, test_stuttering_stack);
+    ("ooo queue", `Quick, test_ooo_queue);
+    ("multiplicity aliases", `Quick, test_multiplicity_names);
+    prop_stutter_bound;
+  ]
+
+let () = Alcotest.run "spec" [ ("spec", suite) ]

@@ -1,0 +1,121 @@
+(* Unit tests for the supporting modules that the bigger suites exercise
+   only indirectly: Trace, History, Inf_array, Atomic_objects, and the
+   Object_intf reference semantics. *)
+
+let inv p op = Trace.Invoke { proc = p; op }
+let ret p resp = Trace.Return { proc = p; resp }
+let step p obj = Trace.Step { proc = p; obj; info = None }
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_trace_history_filter () =
+  let t = [ inv 0 "a"; step 0 "r"; step 1 "r"; ret 0 "x"; inv 1 "b" ] in
+  Alcotest.(check int) "history keeps inv/ret" 3 (List.length (Trace.history t));
+  Alcotest.(check int) "step count" 2 (Trace.step_count t)
+
+(* --- History ----------------------------------------------------------- *)
+
+let records_of t = History.of_trace t
+
+let test_history_extraction () =
+  let t = [ inv 0 "a"; inv 1 "b"; ret 1 "rb"; ret 0 "ra" ] in
+  let rs = records_of t in
+  Alcotest.(check int) "two records" 2 (List.length rs);
+  let a = List.nth rs 0 and b = List.nth rs 1 in
+  Alcotest.(check int) "ids by invocation order" 0 a.History.id;
+  Alcotest.(check bool) "both complete" true History.(is_complete a && is_complete b);
+  Alcotest.(check bool) "overlapping" true (History.overlapping a b);
+  Alcotest.(check bool) "no precedence" false (History.precedes a b || History.precedes b a)
+
+let test_history_precedence () =
+  let t = [ inv 0 "a"; ret 0 "ra"; inv 1 "b"; ret 1 "rb" ] in
+  match records_of t with
+  | [ a; b ] ->
+      Alcotest.(check bool) "a precedes b" true (History.precedes a b);
+      Alcotest.(check bool) "b not precedes a" false (History.precedes b a)
+  | _ -> Alcotest.fail "expected two records"
+
+let test_history_pending () =
+  let t = [ inv 0 "a"; inv 1 "b"; ret 1 "rb" ] in
+  let rs = records_of t in
+  Alcotest.(check int) "one pending" 1 (List.length (History.pending_ops rs));
+  Alcotest.(check int) "one complete" 1 (List.length (History.complete_ops rs));
+  let p = List.hd (History.pending_ops rs) in
+  Alcotest.(check bool) "pending precedes nothing" false
+    (List.exists (History.precedes p) rs)
+
+let test_history_malformed () =
+  Alcotest.check_raises "double invoke"
+    (Invalid_argument "History.of_trace: p0 invoked twice concurrently") (fun () ->
+      ignore (records_of [ inv 0 "a"; inv 0 "b" ]));
+  Alcotest.check_raises "return without invoke"
+    (Invalid_argument "History.of_trace: p1 returned without invoking") (fun () ->
+      ignore (records_of [ ret 1 "x" ]))
+
+(* --- Inf_array ---------------------------------------------------------- *)
+
+let test_inf_array () =
+  let created = ref [] in
+  let a =
+    Inf_array.create (fun i ->
+        created := i :: !created;
+        i * 10)
+  in
+  Alcotest.(check int) "get 5" 50 (Inf_array.get a 5);
+  Alcotest.(check int) "get 5 again (cached)" 50 (Inf_array.get a 5);
+  Alcotest.(check int) "get 0" 0 (Inf_array.get a 0);
+  Alcotest.(check (list int)) "each index created once" [ 0; 5 ]
+    (List.sort compare !created)
+
+(* --- Atomic_objects ------------------------------------------------------ *)
+
+let test_atomic_objects () =
+  let module R = (val Solo_runtime.make ~self:1 ~n:3 ()) in
+  let module A = Atomic_objects.Make (R) in
+  let m = A.Max_register.create () in
+  A.Max_register.write_max m 5;
+  A.Max_register.write_max m 2;
+  Alcotest.(check int) "max register" 5 (A.Max_register.read_max m);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Max_register.write_max: negative") (fun () ->
+      A.Max_register.write_max m (-1));
+  let ts = A.Multishot_ts.create () in
+  Alcotest.(check int) "ts win" 0 (A.Multishot_ts.test_and_set ts);
+  A.Multishot_ts.reset ts;
+  Alcotest.(check int) "ts read after reset" 0 (A.Multishot_ts.read ts);
+  let f = A.Fetch_inc.create () in
+  Alcotest.(check int) "fi starts at 1" 1 (A.Fetch_inc.fetch_inc f);
+  let s = A.Snapshot.create () in
+  A.Snapshot.update s 9;
+  Alcotest.(check (array int)) "snapshot self component" [| 0; 9; 0 |] (A.Snapshot.scan s);
+  let q = A.Queue.create () in
+  A.Queue.enqueue q 1;
+  A.Queue.enqueue q 2;
+  Alcotest.(check (option int)) "queue fifo" (Some 1) (A.Queue.dequeue q);
+  let st = A.Stack.create () in
+  A.Stack.push st 1;
+  A.Stack.push st 2;
+  Alcotest.(check (option int)) "stack lifo" (Some 2) (A.Stack.pop st);
+  Alcotest.(check (option int)) "stack drain" (Some 1) (A.Stack.pop st);
+  Alcotest.(check (option int)) "stack empty" None (A.Stack.pop st)
+
+let test_wide_faa_negative_guard () =
+  let module R = (val Solo_runtime.make ~self:0 ~n:1 ()) in
+  let module P = Prim.Make (R) in
+  let r = P.Faa_wide.make (Bignum.of_int 1) in
+  Alcotest.check_raises "underflow surfaces" Bignum.Underflow (fun () ->
+      ignore (P.Faa_wide.fetch_and_add r (Bignum.Signed.of_int (-2))))
+
+let suite =
+  [
+    ("trace history filter", `Quick, test_trace_history_filter);
+    ("history extraction", `Quick, test_history_extraction);
+    ("history precedence", `Quick, test_history_precedence);
+    ("history pending", `Quick, test_history_pending);
+    ("history malformed traces", `Quick, test_history_malformed);
+    ("inf array", `Quick, test_inf_array);
+    ("atomic objects", `Quick, test_atomic_objects);
+    ("wide faa underflow", `Quick, test_wide_faa_negative_guard);
+  ]
+
+let () = Alcotest.run "units" [ ("units", suite) ]
