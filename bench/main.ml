@@ -2,17 +2,66 @@
 
    Regenerates every experiment table (E1-E5, see DESIGN.md and
    EXPERIMENTS.md) and runs the E6 micro-benchmarks (bechamel timings on
-   the solo runtime plus a parallel-runtime throughput table).
+   the solo runtime plus a parallel-runtime throughput table).  Every
+   timing also lands in BENCH_results.json so the perf trajectory is
+   tracked PR-over-PR; --quick swaps the bechamel suite for a fast
+   manual-timing pass but still writes the file.
 
      dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- --quick # skip the slow E2 refutations and E6
+     dune exec bench/main.exe -- --quick # fast pass (quick E2, no bechamel)
      dune exec bench/main.exe -- e3 e5   # selected experiments only *)
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
+let valid_experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7" ]
 
-let selected name =
-  let names = Array.to_list Sys.argv |> List.filter (fun a -> String.length a = 2 && a.[0] = 'e') in
-  names = [] || List.mem name names
+let usage_and_exit bad =
+  Printf.eprintf "unknown argument%s: %s\n"
+    (if List.length bad > 1 then "s" else "")
+    (String.concat ", " bad);
+  Printf.eprintf "usage: main.exe [--quick] [%s ...]\n" (String.concat "|" valid_experiments);
+  exit 2
+
+let quick, chosen =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args in
+  let bad_flags = List.filter (( <> ) "--quick") flags in
+  let bad_names = List.filter (fun n -> not (List.mem n valid_experiments)) names in
+  (match bad_flags @ bad_names with [] -> () | bad -> usage_and_exit bad);
+  (List.mem "--quick" flags, names)
+
+let selected name = chosen = [] || List.mem name chosen
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json: machine-readable perf record                    *)
+(* ------------------------------------------------------------------ *)
+
+(* (name, metric, value) triples; metric is "ns_per_op" or "ops_per_s". *)
+let bench_results : (string * string * float) list ref = ref []
+
+let record_result name metric value = bench_results := (name, metric, value) :: !bench_results
+
+let bench_results_file = "BENCH_results.json"
+
+let write_bench_results () =
+  let open Obs_json in
+  let results =
+    List.rev_map
+      (fun (name, metric, value) ->
+        Assoc [ ("name", String name); ("metric", String metric); ("value", Float value) ])
+      !bench_results
+  in
+  let doc =
+    Assoc
+      [
+        ("schema", String "slin-bench/v1");
+        ("quick", Bool quick);
+        ("results", List results);
+      ]
+  in
+  let oc = open_out bench_results_file in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %s (%d results)@." bench_results_file (List.length results)
 
 (* ------------------------------------------------------------------ *)
 (* E6: micro-benchmarks                                                 *)
@@ -32,7 +81,9 @@ let bechamel_run ~name (tests : Bechamel.Test.t list) =
   Hashtbl.iter
     (fun key v ->
       match Analyze.OLS.estimates v with
-      | Some [ est ] -> ns_per_op_table := (key, est) :: !ns_per_op_table
+      | Some [ est ] ->
+          ns_per_op_table := (key, est) :: !ns_per_op_table;
+          record_result key "ns_per_op" est
       | _ -> ())
     results
 
@@ -167,6 +218,7 @@ let bench_parallel () =
     let t0 = Unix.gettimeofday () in
     f ();
     let dt = Unix.gettimeofday () -. t0 in
+    record_result ("parallel " ^ name) "ops_per_s" (total /. dt);
     Format.printf "| %-44s | %.0f@." name (total /. dt)
   in
   let module R = (val Par_runtime.make ~n ()) in
@@ -203,6 +255,51 @@ let e6 () =
     (List.sort compare !ns_per_op_table);
   bench_parallel ()
 
+(* Quick E6: a single manually-timed burst per construction instead of
+   the bechamel suite — coarse, but enough to keep BENCH_results.json
+   populated on smoke runs (CI's `bench --quick` step). *)
+let e6_quick () =
+  Format.printf "%s@." (String.make 78 '-');
+  Format.printf "E6 (quick): micro-benchmarks, single manual timing per construction@.";
+  Format.printf "%s@." (String.make 78 '-');
+  let time_burst name iters f =
+    f 64 (* warm up *);
+    let t0 = Unix.gettimeofday () in
+    f iters;
+    let dt = Unix.gettimeofday () -. t0 in
+    let ns = dt *. 1e9 /. float_of_int iters in
+    record_result ("quick " ^ name) "ns_per_op" ns;
+    Format.printf "| %-44s | %10.1f ns/op@." name ns
+  in
+  let n = 4 in
+  let module R = (val Solo_runtime.make ~self:0 ~n ()) in
+  let module Faa = Faa_max_register.Make (R) in
+  let module Rw = Rw_max_register.Make (R) in
+  let module A = Atomic_objects.Make (R) in
+  let module Snap = Faa_snapshot.Make (R) in
+  let faa = Faa.create () and rw = Rw.create () and am = A.Max_register.create () in
+  let snap = Snap.create () in
+  time_burst "maxreg faa write+read" 20_000 (fun iters ->
+      for i = 1 to iters do
+        Faa.write_max faa (i mod 16);
+        ignore (Faa.read_max faa)
+      done);
+  time_burst "maxreg rw write+read" 20_000 (fun iters ->
+      for i = 1 to iters do
+        Rw.write_max rw (i mod 16);
+        ignore (Rw.read_max rw)
+      done);
+  time_burst "maxreg atomic write+read" 20_000 (fun iters ->
+      for i = 1 to iters do
+        A.Max_register.write_max am (i mod 16);
+        ignore (A.Max_register.read_max am)
+      done);
+  time_burst "snapshot faa update+scan" 5_000 (fun iters ->
+      for i = 1 to iters do
+        Snap.update snap (i mod 64);
+        ignore (Snap.scan snap)
+      done)
+
 let () =
   if selected "e1" then Experiments.e1 ();
   if selected "e2" then Experiments.e2 ~quick ();
@@ -210,5 +307,6 @@ let () =
   if selected "e4" then Experiments.e4 ();
   if selected "e5" then Experiments.e5 ();
   if selected "e7" then Experiments.e7 ();
-  if selected "e6" && not quick then e6 ();
+  if selected "e6" then if quick then e6_quick () else e6 ();
+  write_bench_results ();
   Format.printf "@.All selected experiments completed.@."

@@ -3,10 +3,12 @@
    Subcommands:
      slin experiment [e1|e2|e3|e4|e5] [--quick]   regenerate experiment tables
      slin check OBJECT [--max-nodes N] [--max-depth D]
+                      [--stats] [--json-out FILE] [--trace-out FILE]
                                                   strong-linearizability game
      slin agree OBJECT [--trials N] [--crash-prob P] [--seed S]
                                                   run Algorithm B (Lemma 12)
-     slin trace OBJECT [--seed S]                 print one random execution
+     slin trace OBJECT [--seed S] [--trace-out FILE]
+                                                  print one random execution
 
    OBJECT names: faa-max, faa-snapshot, counter, readable-ts,
    multishot-ts, fetch-inc, set, hw-queue, agm-stack, rw-max,
@@ -229,7 +231,7 @@ let checkables : (string * checkable) list =
 
 let object_names = List.map fst checkables
 
-let run_check name max_nodes max_depth =
+let run_check name max_nodes max_depth stats json_out trace_out =
   match List.assoc_opt name checkables with
   | None ->
       Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " object_names);
@@ -239,15 +241,83 @@ let run_check name max_nodes max_depth =
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      let observing = stats || json_out <> None || trace_out <> None in
+      if observing then begin
+        Sim.Metrics.reset ();
+        Sim.Metrics.enabled := true
+      end;
       Format.printf "object: %s@." c.spec_name;
       (match Harness.find_non_linearizable ~check:L.is_linearizable ~runs:150 prog with
       | None -> Format.printf "linearizability: ok on 150 random schedules@."
       | Some seed -> Format.printf "linearizability: VIOLATED at seed %d@." seed);
-      let v = L.check_strong ~max_nodes ?max_depth:depth prog in
-      Format.printf "strong linearizability: %a@." L.pp_verdict v;
-      0
+      if not observing then begin
+        (* No observability requested: exactly the historical path and
+           output, byte for byte. *)
+        let v = L.check_strong ~max_nodes ?max_depth:depth prog in
+        Format.printf "strong linearizability: %a@." L.pp_verdict v;
+        0
+      end
+      else begin
+        (* Open every output up front: a bad path must fail before the
+           (possibly long) exploration, not after it. *)
+        match
+          let sink = Option.map (fun path -> (path, Obs_jsonl.create path)) json_out in
+          Option.iter (fun path -> close_out (open_out path)) trace_out;
+          sink
+        with
+        | exception Sys_error msg ->
+            Format.eprintf "cannot open output file: %s@." msg;
+            1
+        | json_sink ->
+        let tracer = match trace_out with Some _ -> Some (Obs_trace.create ()) | None -> None in
+        (* Heartbeat for long checks: nodes so far and current rate, on
+           stderr so stdout stays machine-clean. *)
+        let on_progress ~nodes ~elapsed_ns =
+          let rate =
+            if elapsed_ns <= 0 then 0. else float_of_int nodes *. 1e9 /. float_of_int elapsed_ns
+          in
+          Printf.eprintf "heartbeat: %d nodes explored, %.0f nodes/s\n%!" nodes rate
+        in
+        let on_progress = if stats then Some on_progress else None in
+        let v, st =
+          L.check_strong_stats ~max_nodes ?max_depth:depth ?on_progress ~progress_every:25_000
+            ?tracer prog
+        in
+        Format.printf "strong linearizability: %a@." L.pp_verdict v;
+        let sim_metrics = Sim.Metrics.snapshot () in
+        if stats then begin
+          Format.printf "exploration stats:@.  @[<v>%a@]@." Lincheck.pp_stats st;
+          Format.printf "sim metrics:@.";
+          List.iter (fun (k, n) -> Format.printf "  %-28s %d@." k n) sim_metrics
+        end;
+        (match json_sink with
+        | None -> ()
+        | Some (path, sink) ->
+            Obs_jsonl.emit sink "check_run"
+              [
+                ("object", Obs_json.String name);
+                ("spec", Obs_json.String c.spec_name);
+                ("procs", Obs_json.Int (Array.length c.workload));
+                ("max_nodes", Obs_json.Int max_nodes);
+                ( "max_depth",
+                  match depth with Some d -> Obs_json.Int d | None -> Obs_json.Null );
+              ];
+            Obs_jsonl.emit sink "check_stats" (Lincheck.stats_fields st);
+            Obs_jsonl.emit sink "sim_metrics"
+              (List.map (fun (k, n) -> (k, Obs_json.Int n)) sim_metrics);
+            Obs_jsonl.emit sink "check_verdict" (L.verdict_fields v);
+            Obs_jsonl.close sink;
+            Format.printf "stats JSONL written to %s@." path);
+        (match (trace_out, tracer) with
+        | Some path, Some tr ->
+            Obs_trace.process_name tr (Printf.sprintf "slin check %s" name);
+            Obs_trace.write tr path;
+            Format.printf "Chrome trace (%d events) written to %s@." (Obs_trace.size tr) path
+        | _ -> ());
+        0
+      end
 
-let run_trace name seed =
+let run_trace name seed trace_out =
   match List.assoc_opt name checkables with
   | None ->
       Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " object_names);
@@ -258,7 +328,18 @@ let run_trace name seed =
       let w = Sim.run_random ~seed prog in
       Format.printf "object: %s (seed %d)@.%a" c.spec_name seed (Trace.pp S.pp_op S.pp_resp)
         (Sim.trace w);
-      0
+      (match trace_out with
+      | None -> 0
+      | Some path -> (
+          let tr = Obs_trace.of_sim_trace ~pp_op:S.pp_op ~pp_resp:S.pp_resp (Sim.trace w) in
+          match Obs_trace.write tr path with
+          | () ->
+              Format.printf "Chrome trace (%d events) written to %s — open at ui.perfetto.dev@."
+                (Obs_trace.size tr) path;
+              0
+          | exception Sys_error msg ->
+              Format.eprintf "cannot open output file: %s@." msg;
+              1))
 
 (* --- agreement objects ------------------------------------------------ *)
 
@@ -324,10 +405,34 @@ let check_cmd =
   let max_depth =
     Arg.(value & opt (some int) None & info [ "max-depth" ] ~doc:"Truncate the execution tree.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print exploration statistics (nodes, nodes/s, frontier depth, killed \
+             linearizations) and aggregated simulator metrics; emit a progress heartbeat on \
+             stderr during long checks.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Write stats and verdict as JSON Lines to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file of the exploration to $(docv) (open at \
+             ui.perfetto.dev).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
-    Term.(const run_check $ obj $ max_nodes $ max_depth)
+    Term.(const run_check $ obj $ max_nodes $ max_depth $ stats $ json_out $ trace_out)
 
 let agree_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -343,9 +448,18 @@ let agree_cmd =
 let trace_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the execution as a Chrome trace-event file to $(docv) (open at \
+             ui.perfetto.dev).")
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Print one random execution trace of OBJECT's standard workload.")
-    Term.(const run_trace $ obj $ seed)
+    Term.(const run_trace $ obj $ seed $ trace_out)
 
 let () =
   let doc = "strongly-linearizable objects from consensus-number-2 primitives" in

@@ -31,6 +31,55 @@
 
 exception Budget_exhausted
 
+(* Exploration statistics for one [check_strong] run.  Spec-independent,
+   hence outside the functor.  [nodes] always equals the count carried
+   by the verdict; the rest explains where the work went: how many
+   candidate linearizations the enumerator produced, how many died at a
+   child ([candidates_killed] — the game's backtracking), how many nodes
+   admitted no extension at all ([dead_ends]), and how often the
+   schedule cache saved a replay. *)
+type stats = {
+  nodes : int;  (* distinct tree nodes explored (= verdict's count) *)
+  cache_hits : int;  (* node lookups answered from the schedule cache *)
+  max_frontier_depth : int;  (* deepest schedule prefix reached *)
+  candidates_generated : int;  (* minimal linearizations enumerated *)
+  candidates_killed : int;  (* candidates refuted at some child *)
+  dead_ends : int;  (* nodes with no valid extension *)
+  validate_failures : int;  (* inherited prefixes invalidated by new responses *)
+  elapsed_ns : int;
+}
+
+let nodes_per_sec st =
+  if st.elapsed_ns <= 0 then 0. else float_of_int st.nodes *. 1e9 /. float_of_int st.elapsed_ns
+
+let pp_stats fmt st =
+  Format.fprintf fmt
+    "@[<v>nodes explored        %d@,\
+     exploration rate      %.0f nodes/s@,\
+     max frontier depth    %d@,\
+     candidates generated  %d@,\
+     linearizations killed %d@,\
+     dead-end nodes        %d@,\
+     prefix invalidations  %d@,\
+     cache hits            %d@,\
+     elapsed               %.3f s@]"
+    st.nodes (nodes_per_sec st) st.max_frontier_depth st.candidates_generated
+    st.candidates_killed st.dead_ends st.validate_failures st.cache_hits
+    (float_of_int st.elapsed_ns /. 1e9)
+
+let stats_fields st =
+  [
+    ("nodes", Obs_json.Int st.nodes);
+    ("nodes_per_sec", Obs_json.Float (nodes_per_sec st));
+    ("max_frontier_depth", Obs_json.Int st.max_frontier_depth);
+    ("candidates_generated", Obs_json.Int st.candidates_generated);
+    ("candidates_killed", Obs_json.Int st.candidates_killed);
+    ("dead_ends", Obs_json.Int st.dead_ends);
+    ("validate_failures", Obs_json.Int st.validate_failures);
+    ("cache_hits", Obs_json.Int st.cache_hits);
+    ("elapsed_ns", Obs_json.Int st.elapsed_ns);
+  ]
+
 module Make (S : Spec.S) = struct
   type entry = { op_id : int; eresp : S.resp }
 
@@ -197,53 +246,131 @@ module Make (S : Spec.S) = struct
      explored depth.  It is needed for implementations whose operations
      can spin (e.g. a queue's dequeue retrying on empty), which make the
      full tree infinite. *)
-  let check_strong ?(max_nodes = 200_000) ?max_depth (prog : (S.op, S.resp) Sim.program) :
-      verdict =
+  let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?on_progress
+      ?(progress_every = 10_000) ?tracer (prog : (S.op, S.resp) Sim.program) : verdict * stats =
+    let t0 = Obs.now_ns () in
     let nodes = ref 0 in
+    let cache_hits = ref 0 in
+    let max_frontier = ref 0 in
+    let cand_generated = ref 0 in
+    let cand_killed = ref 0 in
+    let dead_ends = ref 0 in
+    let validate_failures = ref 0 in
+    (* Heartbeat + counter-track samples, every [progress_every] fresh
+       nodes.  Nothing here feeds back into exploration. *)
+    let tick () =
+      if !nodes mod progress_every = 0 then begin
+        let elapsed_ns = Obs.now_ns () - t0 in
+        (match on_progress with Some f -> f ~nodes:!nodes ~elapsed_ns | None -> ());
+        match tracer with
+        | Some tr ->
+            let ts_us = float_of_int elapsed_ns /. 1e3 in
+            Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int !nodes);
+            Obs_trace.counter tr ~cat:"lincheck" ~ts_us "max_frontier_depth"
+              (float_of_int !max_frontier)
+        | None -> ()
+      end
+    in
     (* Cache node data: records and enabled set per schedule. *)
     let cache : (int list, (S.op, S.resp) History.op_record list * int list) Hashtbl.t =
       Hashtbl.create 1024
     in
     let node_data path =
       match Hashtbl.find_opt cache path with
-      | Some d -> d
+      | Some d ->
+          incr cache_hits;
+          d
       | None ->
           incr nodes;
           if !nodes > max_nodes then raise Budget_exhausted;
+          tick ();
           let w = Sim.run_schedule prog (List.rev path) in
           let d = (History.of_trace (Sim.trace w), Sim.enabled w) in
           Hashtbl.add cache path d;
           d
     in
     let witness = ref [] in
-    (* [path] is kept reversed for cheap extension. *)
-    let rec solve path (lin : linearization) =
+    (* [path] is kept reversed for cheap extension; [depth] is its
+       length. *)
+    let rec solve path depth (lin : linearization) =
+      if depth > !max_frontier then max_frontier := depth;
       let records, children = node_data path in
-      let children =
-        match max_depth with Some d when List.length path >= d -> [] | _ -> children
-      in
+      let children = match max_depth with Some d when depth >= d -> [] | _ -> children in
       match validate_prefix records lin with
-      | None -> false
+      | None ->
+          incr validate_failures;
+          false
       | Some states -> (
           match extensions records lin states with
           | [] ->
               (* No valid linearization extends the parent's choice.  If
                  even the empty prefix admits none, the execution itself is
                  not linearizable. *)
+              incr dead_ends;
               if extensions records [] [ S.init ] = [] then
                 raise (Found_not_linearizable (List.rev path));
-              if List.length path > List.length !witness then witness := List.rev path;
+              if depth > List.length !witness then witness := List.rev path;
               false
           | candidates ->
+              cand_generated := !cand_generated + List.length candidates;
               if children = [] then true
               else
-                List.exists
-                  (fun cand -> List.for_all (fun p -> solve (p :: path) cand) children)
-                  candidates)
+                (* [List.exists], unrolled to count refuted candidates. *)
+                let rec try_candidates = function
+                  | [] -> false
+                  | cand :: rest ->
+                      if List.for_all (fun p -> solve (p :: path) (depth + 1) cand) children
+                      then true
+                      else begin
+                        incr cand_killed;
+                        try_candidates rest
+                      end
+                in
+                try_candidates candidates)
     in
-    match solve [] [] with
-    | true -> Strongly_linearizable { nodes = !nodes }
-    | false -> Not_strongly_linearizable { witness = !witness; nodes = !nodes }
-    | exception Found_not_linearizable schedule -> Not_linearizable { schedule }
-    | exception Budget_exhausted -> Out_of_budget { nodes = !nodes }
+    let finish verdict =
+      let elapsed_ns = Obs.now_ns () - t0 in
+      (match tracer with
+      | Some tr ->
+          let ts_us = float_of_int elapsed_ns /. 1e3 in
+          Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int !nodes);
+          Obs_trace.complete tr ~cat:"lincheck" ~ts_us:0. ~dur_us:ts_us "check_strong"
+      | None -> ());
+      ( verdict,
+        {
+          nodes = !nodes;
+          cache_hits = !cache_hits;
+          max_frontier_depth = !max_frontier;
+          candidates_generated = !cand_generated;
+          candidates_killed = !cand_killed;
+          dead_ends = !dead_ends;
+          validate_failures = !validate_failures;
+          elapsed_ns;
+        } )
+    in
+    match solve [] 0 [] with
+    | true -> finish (Strongly_linearizable { nodes = !nodes })
+    | false -> finish (Not_strongly_linearizable { witness = !witness; nodes = !nodes })
+    | exception Found_not_linearizable schedule -> finish (Not_linearizable { schedule })
+    | exception Budget_exhausted -> finish (Out_of_budget { nodes = !nodes })
+
+  let check_strong ?max_nodes ?max_depth prog =
+    fst (check_strong_stats ?max_nodes ?max_depth prog)
+
+  let verdict_fields = function
+    | Strongly_linearizable { nodes } ->
+        [ ("verdict", Obs_json.String "strongly_linearizable"); ("nodes", Obs_json.Int nodes) ]
+    | Not_linearizable { schedule } ->
+        [
+          ("verdict", Obs_json.String "not_linearizable");
+          ("schedule", Obs_json.List (List.map (fun p -> Obs_json.Int p) schedule));
+        ]
+    | Not_strongly_linearizable { witness; nodes } ->
+        [
+          ("verdict", Obs_json.String "not_strongly_linearizable");
+          ("witness", Obs_json.List (List.map (fun p -> Obs_json.Int p) witness));
+          ("nodes", Obs_json.Int nodes);
+        ]
+    | Out_of_budget { nodes } ->
+        [ ("verdict", Obs_json.String "out_of_budget"); ("nodes", Obs_json.Int nodes) ]
 end

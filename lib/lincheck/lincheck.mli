@@ -19,6 +19,27 @@
 
 exception Budget_exhausted
 
+type stats = {
+  nodes : int;  (** distinct tree nodes explored (= the verdict's count) *)
+  cache_hits : int;  (** node lookups answered from the schedule cache *)
+  max_frontier_depth : int;  (** deepest schedule prefix reached *)
+  candidates_generated : int;  (** minimal linearizations enumerated *)
+  candidates_killed : int;  (** candidates refuted at some child *)
+  dead_ends : int;  (** nodes admitting no valid extension *)
+  validate_failures : int;  (** inherited prefixes invalidated by new responses *)
+  elapsed_ns : int;
+}
+(** Exploration statistics for one {!Make.check_strong_stats} run
+    (spec-independent). *)
+
+val nodes_per_sec : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line, aligned block — the CLI's [--stats] output. *)
+
+val stats_fields : stats -> (string * Obs_json.t) list
+(** The stats as JSON fields (the documented [check_stats] schema). *)
+
 module Make (S : Spec.S) : sig
   type entry = { op_id : int; eresp : S.resp }
   (** One linearized operation: the operation record id (dense, in
@@ -62,4 +83,24 @@ module Make (S : Spec.S) : sig
       (e.g. dequeue retrying on empty), and sound for refutation: a
       prefix-closed function on the full tree restricts to every
       truncated subtree. *)
+
+  val check_strong_stats :
+    ?max_nodes:int ->
+    ?max_depth:int ->
+    ?on_progress:(nodes:int -> elapsed_ns:int -> unit) ->
+    ?progress_every:int ->
+    ?tracer:Obs_trace.t ->
+    (S.op, S.resp) Sim.program ->
+    verdict * stats
+  (** Like {!check_strong}, additionally returning exploration {!stats}.
+      Instrumentation is passive: the verdict and node count are
+      identical to {!check_strong}'s (which is implemented as its
+      [fst]).  [on_progress] fires every [progress_every] (default 10k)
+      fresh nodes — the CLI's stderr heartbeat; [tracer] receives
+      [nodes] and [max_frontier_depth] counter samples at the same
+      cadence plus one [check_strong] span, on a wall-clock-microsecond
+      timeline. *)
+
+  val verdict_fields : verdict -> (string * Obs_json.t) list
+  (** The verdict as JSON fields (constructor tag plus its payload). *)
 end

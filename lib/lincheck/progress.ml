@@ -18,6 +18,14 @@ let pp_report fmt r =
   Format.fprintf fmt "runs=%d max-steps/op=%d completed=%d steps=%d" r.runs r.max_steps_per_op
     r.total_completed r.total_steps
 
+let report_fields r =
+  [
+    ("runs", Obs_json.Int r.runs);
+    ("max_steps_per_op", Obs_json.Int r.max_steps_per_op);
+    ("total_completed", Obs_json.Int r.total_completed);
+    ("total_steps", Obs_json.Int r.total_steps);
+  ]
+
 (* Steps each operation took: walk the trace keeping, per process, the
    number of Step events since its last Invoke. *)
 let op_step_counts (t : _ Trace.t) : int list =

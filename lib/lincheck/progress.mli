@@ -16,6 +16,9 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+val report_fields : report -> (string * Obs_json.t) list
+(** The report as JSON fields, for the structured-event sink. *)
+
 val op_step_counts : ('op, 'resp) Trace.t -> int list
 (** Steps taken by each completed operation of a trace. *)
 

@@ -1,0 +1,103 @@
+(* Lightweight metrics: counters, gauges and timers in a global
+   registry, plus the clock used by everything in the observability
+   layer.
+
+   All mutating operations are gated on [enabled] (default: off), so an
+   instrumented hot path pays one load-and-branch when observability is
+   not requested — instrumentation must never perturb the checker's
+   deterministic exploration or the benchmarks' timings.  [snapshot]
+   renders every registered instrument as JSON fields for the JSONL
+   sink. *)
+
+let enabled = ref false
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float; mutable touched : bool }
+
+type timer = {
+  t_name : string;
+  mutable total_ns : int;
+  mutable samples : int;
+  mutable started_at : int;  (* -1 when not running *)
+}
+
+type instrument = Counter of counter | Gauge of gauge | Timer of timer
+
+(* Registration order is preserved (newest first internally, reversed in
+   [snapshot]) so output is stable run over run. *)
+let registry : instrument list ref = ref []
+
+let counter name =
+  let c = { c_name = name; count = 0 } in
+  registry := Counter c :: !registry;
+  c
+
+let incr c = if !enabled then c.count <- c.count + 1
+let add c n = if !enabled then c.count <- c.count + n
+let count c = c.count
+
+let gauge name =
+  let g = { g_name = name; value = 0.; touched = false } in
+  registry := Gauge g :: !registry;
+  g
+
+let set g v =
+  if !enabled then begin
+    g.value <- v;
+    g.touched <- true
+  end
+
+let observe_max g v =
+  if !enabled then begin
+    if (not g.touched) || v > g.value then g.value <- v;
+    g.touched <- true
+  end
+
+let gauge_value g = g.value
+
+let timer name =
+  let t = { t_name = name; total_ns = 0; samples = 0; started_at = -1 } in
+  registry := Timer t :: !registry;
+  t
+
+let start t = if !enabled then t.started_at <- now_ns ()
+
+let stop t =
+  if !enabled && t.started_at >= 0 then begin
+    t.total_ns <- t.total_ns + (now_ns () - t.started_at);
+    t.samples <- t.samples + 1;
+    t.started_at <- -1
+  end
+
+let time t f =
+  start t;
+  Fun.protect ~finally:(fun () -> stop t) f
+
+let timer_total_ns t = t.total_ns
+let timer_samples t = t.samples
+
+let reset () =
+  List.iter
+    (function
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+          g.value <- 0.;
+          g.touched <- false
+      | Timer t ->
+          t.total_ns <- 0;
+          t.samples <- 0;
+          t.started_at <- -1)
+    !registry
+
+let snapshot () =
+  List.rev_map
+    (function
+      | Counter c -> (c.c_name, Obs_json.Int c.count)
+      | Gauge g -> (g.g_name, Obs_json.Float g.value)
+      | Timer t ->
+          ( t.t_name,
+            Obs_json.Assoc
+              [ ("total_ns", Obs_json.Int t.total_ns); ("samples", Obs_json.Int t.samples) ] ))
+    !registry

@@ -1,0 +1,63 @@
+(** Lightweight counters, gauges and timers.
+
+    A global registry of named instruments.  Every mutating operation is
+    gated on {!enabled} (default [false]), so instrumented hot paths pay
+    a single load-and-branch when observability is off — instrumentation
+    must never perturb the checker's deterministic exploration or the
+    benchmarks.  Creation ({!counter}, {!gauge}, {!timer}) always
+    registers, so a {!snapshot} lists every instrument even if untouched. *)
+
+val enabled : bool ref
+(** Master switch for all instruments (default [false]). *)
+
+val now_ns : unit -> int
+(** Wall-clock time in nanoseconds (from [Unix.gettimeofday]). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val set : gauge -> float -> unit
+
+val observe_max : gauge -> float -> unit
+(** Keep the maximum of all observed values (frontier depths, queue
+    lengths, ...). *)
+
+val gauge_value : gauge -> float
+
+(** {1 Timers} *)
+
+type timer
+
+val timer : string -> timer
+val start : timer -> unit
+
+val stop : timer -> unit
+(** Accumulates elapsed time since the matching {!start}; a [stop]
+    without a running [start] is a no-op. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time t f] brackets [f] with {!start}/{!stop} (exception-safe). *)
+
+val timer_total_ns : timer -> int
+val timer_samples : timer -> int
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zero every registered instrument. *)
+
+val snapshot : unit -> (string * Obs_json.t) list
+(** All registered instruments in registration order: counters as [Int],
+    gauges as [Float], timers as [{total_ns; samples}]. *)

@@ -1,0 +1,41 @@
+(** Minimal JSON values (RFC 8259 subset) with a printer and a parser.
+
+    The observability layer serializes metrics snapshots, checker stats
+    and Chrome trace events through this type; tests and tooling parse
+    them back.  Self-contained because the baked-in toolchain carries no
+    JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Strings are escaped; non-finite
+    floats render as [null]. *)
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON document (trailing garbage is an error). *)
+
+val of_string_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Assoc kvs)] is the value bound to [k], if any. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

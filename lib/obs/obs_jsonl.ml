@@ -1,0 +1,41 @@
+(* Structured-event sink: JSON Lines (one JSON object per line).
+
+   Every emitted record carries at least {"event": NAME, "ts_us": T};
+   callers append arbitrary JSON fields.  Channel-backed sinks flush on
+   every record so a crash mid-run loses at most the current line —
+   JSONL files stay parseable line-by-line no matter where the producer
+   died, which is the point of the format. *)
+
+type target = Channel of out_channel * bool (* close on [close]? *) | Buffer of Buffer.t
+
+type t = { target : target; mutable records : int }
+
+let to_channel oc = { target = Channel (oc, false); records = 0 }
+let to_buffer b = { target = Buffer b; records = 0 }
+
+let create path =
+  let oc = open_out path in
+  { target = Channel (oc, true); records = 0 }
+
+let emit sink ?ts_us event fields =
+  let ts_us =
+    match ts_us with Some t -> t | None -> float_of_int (Obs.now_ns ()) /. 1e3
+  in
+  let record =
+    Obs_json.Assoc (("event", Obs_json.String event) :: ("ts_us", Obs_json.Float ts_us) :: fields)
+  in
+  let line = Obs_json.to_string record in
+  sink.records <- sink.records + 1;
+  match sink.target with
+  | Channel (oc, _) ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+  | Buffer b ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n'
+
+let records sink = sink.records
+
+let close sink =
+  match sink.target with Channel (oc, true) -> close_out oc | Channel _ | Buffer _ -> ()

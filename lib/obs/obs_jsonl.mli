@@ -1,0 +1,25 @@
+(** Structured-event sink serializing to JSON Lines.
+
+    Each record is one line: [{"event": NAME, "ts_us": T, ...fields}].
+    Channel-backed sinks flush per record, so files remain parseable
+    line-by-line even if the producer dies mid-run. *)
+
+type t
+
+val create : string -> t
+(** Open [path] for writing (truncates); {!close} closes it. *)
+
+val to_channel : out_channel -> t
+(** Write to an existing channel; {!close} leaves it open. *)
+
+val to_buffer : Buffer.t -> t
+(** In-memory sink, for tests. *)
+
+val emit : t -> ?ts_us:float -> string -> (string * Obs_json.t) list -> unit
+(** [emit sink name fields] writes one record.  [ts_us] defaults to the
+    current wall clock in microseconds. *)
+
+val records : t -> int
+(** Records emitted so far. *)
+
+val close : t -> unit

@@ -1,0 +1,137 @@
+(* Chrome trace-event exporter.
+
+   Produces the JSON object format understood by chrome://tracing and
+   Perfetto (https://ui.perfetto.dev): {"traceEvents": [...]} where each
+   event carries the phase [ph] ("B"/"E" for nested spans, "X" for
+   complete slices, "i" for instants, "C" for counter tracks, "M" for
+   metadata), a microsecond timestamp [ts], and a [pid]/[tid] pair
+   selecting the track.
+
+   Two producers use this: [of_sim_trace] renders one simulated
+   execution (each process a thread-track, each high-level operation a
+   span, each base-object step an instant), and the checker emits
+   counter samples so the exploration rate over time is visible as a
+   counter track. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts_us : float;
+  pid : int;
+  tid : int;
+  dur_us : float option;
+  args : (string * Obs_json.t) list;
+}
+
+type t = { mutable rev_events : event list; mutable n : int }
+
+let create () = { rev_events = []; n = 0 }
+
+let push tr e =
+  tr.rev_events <- e :: tr.rev_events;
+  tr.n <- tr.n + 1
+
+let event tr ?(cat = "slin") ?(pid = 1) ?(tid = 0) ?dur_us ?(args = []) ~ph ~ts_us name =
+  push tr { name; cat; ph; ts_us; pid; tid; dur_us; args }
+
+let begin_span tr ?cat ?pid ?tid ?args ~ts_us name = event tr ?cat ?pid ?tid ?args ~ph:"B" ~ts_us name
+let end_span tr ?cat ?pid ?tid ?args ~ts_us name = event tr ?cat ?pid ?tid ?args ~ph:"E" ~ts_us name
+
+let complete tr ?cat ?pid ?tid ?args ~ts_us ~dur_us name =
+  event tr ?cat ?pid ?tid ?args ~ph:"X" ~dur_us ~ts_us name
+
+let instant tr ?cat ?pid ?tid ?args ~ts_us name = event tr ?cat ?pid ?tid ?args ~ph:"i" ~ts_us name
+
+let counter tr ?cat ?pid ?tid ~ts_us name value =
+  event tr ?cat ?pid ?tid ~args:[ (name, Obs_json.Float value) ] ~ph:"C" ~ts_us name
+
+let thread_name tr ?(pid = 1) ~tid name =
+  event tr ~pid ~tid ~args:[ ("name", Obs_json.String name) ] ~ph:"M" ~ts_us:0. "thread_name"
+
+let process_name tr ?(pid = 1) name =
+  event tr ~pid ~args:[ ("name", Obs_json.String name) ] ~ph:"M" ~ts_us:0. "process_name"
+
+let size tr = tr.n
+
+let json_of_event e =
+  let base =
+    [
+      ("name", Obs_json.String e.name);
+      ("cat", Obs_json.String e.cat);
+      ("ph", Obs_json.String e.ph);
+      ("ts", Obs_json.Float e.ts_us);
+      ("pid", Obs_json.Int e.pid);
+      ("tid", Obs_json.Int e.tid);
+    ]
+  in
+  let base = match e.dur_us with Some d -> base @ [ ("dur", Obs_json.Float d) ] | None -> base in
+  let base =
+    match e.ph with
+    | "i" -> base @ [ ("s", Obs_json.String "t") ] (* instant scope: thread *)
+    | _ -> base
+  in
+  let base = match e.args with [] -> base | args -> base @ [ ("args", Obs_json.Assoc args) ] in
+  Obs_json.Assoc base
+
+let to_json tr =
+  Obs_json.Assoc
+    [
+      ("traceEvents", Obs_json.List (List.rev_map json_of_event tr.rev_events));
+      ("displayTimeUnit", Obs_json.String "ms");
+    ]
+
+let to_string tr = Obs_json.to_string (to_json tr)
+
+let write tr path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string tr))
+
+(* One simulated execution as a trace: a synthetic timeline where the
+   i-th trace event happens at i microseconds.  Each process is a
+   thread-track; operations are B/E spans named by their op, responses
+   annotate the closing event, and base-object steps are instants. *)
+let of_sim_trace ~pp_op ~pp_resp (t : _ Trace.t) =
+  let tr = create () in
+  process_name tr "slin simulated execution";
+  let procs = Hashtbl.create 8 in
+  let open_op : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let seen p =
+    if not (Hashtbl.mem procs p) then begin
+      Hashtbl.add procs p ();
+      thread_name tr ~tid:p (Printf.sprintf "p%d" p)
+    end
+  in
+  List.iteri
+    (fun i ev ->
+      let ts_us = float_of_int i in
+      match ev with
+      | Trace.Invoke { proc; op } ->
+          seen proc;
+          let name = Format.asprintf "%a" pp_op op in
+          Hashtbl.replace open_op proc name;
+          begin_span tr ~cat:"op" ~tid:proc ~ts_us name
+      | Trace.Return { proc; resp } ->
+          seen proc;
+          let name = match Hashtbl.find_opt open_op proc with Some n -> n | None -> "op" in
+          Hashtbl.remove open_op proc;
+          end_span tr ~cat:"op" ~tid:proc ~ts_us
+            ~args:[ ("resp", Obs_json.String (Format.asprintf "%a" pp_resp resp)) ]
+            name
+      | Trace.Step { proc; obj; info } ->
+          seen proc;
+          let name = match info with Some i -> obj ^ " " ^ i | None -> obj in
+          instant tr ~cat:"step" ~tid:proc ~ts_us name)
+    t;
+  (* Close any span left open by a pending operation so the JSON is
+     balanced. *)
+  let last = float_of_int (List.length t) in
+  Hashtbl.iter
+    (fun proc name ->
+      end_span tr ~cat:"op" ~tid:proc ~ts_us:last
+        ~args:[ ("resp", Obs_json.String "(pending)") ]
+        name)
+    open_op;
+  tr

@@ -1,0 +1,64 @@
+(** Chrome trace-event exporter ([chrome://tracing] / Perfetto).
+
+    Builds the JSON object format [{"traceEvents": [...]}]; open the
+    written file at {{:https://ui.perfetto.dev}ui.perfetto.dev}.  Every
+    event has a phase ([ph]), a microsecond timestamp ([ts]) and a
+    [pid]/[tid] pair selecting its track. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Generic events}
+
+    All timestamps are in microseconds on whatever timeline the caller
+    chooses (wall clock for real runs, event index for simulated
+    executions). *)
+
+val begin_span :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Obs_json.t) list ->
+  ts_us:float -> string -> unit
+(** Open a nested span (phase ["B"]); close with {!end_span}. *)
+
+val end_span :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Obs_json.t) list ->
+  ts_us:float -> string -> unit
+
+val complete :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Obs_json.t) list ->
+  ts_us:float -> dur_us:float -> string -> unit
+(** Self-contained slice (phase ["X"]) with an explicit duration. *)
+
+val instant :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Obs_json.t) list ->
+  ts_us:float -> string -> unit
+(** Thread-scoped instant (phase ["i"]). *)
+
+val counter : t -> ?cat:string -> ?pid:int -> ?tid:int -> ts_us:float -> string -> float -> unit
+(** Counter-track sample (phase ["C"]): Perfetto draws these as a value
+    over time. *)
+
+val thread_name : t -> ?pid:int -> tid:int -> string -> unit
+val process_name : t -> ?pid:int -> string -> unit
+
+val size : t -> int
+(** Events recorded so far. *)
+
+(** {1 Output} *)
+
+val to_json : t -> Obs_json.t
+val to_string : t -> string
+val write : t -> string -> unit
+
+(** {1 Producers} *)
+
+val of_sim_trace :
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_resp:(Format.formatter -> 'resp -> unit) ->
+  ('op, 'resp) Trace.t ->
+  t
+(** One simulated execution on a synthetic timeline (the i-th event at
+    i µs): each process is a thread-track, each high-level operation a
+    span (its response annotates the closing event), each base-object
+    step an instant.  Spans left open by pending operations are closed
+    at the end so the trace is balanced. *)

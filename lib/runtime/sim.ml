@@ -11,6 +11,27 @@ type _ Effect.t += Suspend : unit Effect.t
 
 exception Invalid_schedule of string
 
+(* Global, opt-in metrics aggregated across every world (the checker
+   boots one world per explored schedule, so per-world counts are
+   useless for exploration-wide totals).  Gated on [enabled] so the
+   default cost per access is one load-and-branch; when enabled the
+   counts are still deterministic — they never influence scheduling. *)
+module Metrics = struct
+  let enabled = ref false
+
+  let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+  let bump key =
+    match Hashtbl.find_opt table key with
+    | Some r -> incr r
+    | None -> Hashtbl.add table key (ref 1)
+
+  let reset () = Hashtbl.reset table
+
+  let snapshot () =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table [] |> List.sort compare
+end
+
 type fiber =
   | Absent
   | Not_started of (unit -> unit)
@@ -61,6 +82,11 @@ let runtime (type op resp) (w : (op, resp) t) : (module Runtime_intf.S) =
       let s, r = f o.state in
       o.state <- s;
       record w (Trace.Step { proc = w.current; obj = o.obj_name; info });
+      if !Metrics.enabled then begin
+        Metrics.bump "access.total";
+        Metrics.bump ("access.obj." ^ o.obj_name);
+        match info with Some kind -> Metrics.bump ("access.kind." ^ kind) | None -> ()
+      end;
       r
 
     let read ?info o = access ?info o (fun s -> (s, s))
@@ -102,7 +128,9 @@ let crash w p =
   if p < 0 || p >= w.procs then invalid_arg "Sim.crash: process out of range";
   match w.fibers.(p) with
   | Finished -> ()  (* crashing a finished process has no effect *)
-  | _ -> w.fibers.(p) <- Crashed
+  | _ ->
+      if !Metrics.enabled then Metrics.bump "crash";
+      w.fibers.(p) <- Crashed
 
 let handler w p =
   {
@@ -125,12 +153,14 @@ let step w p =
   | Finished -> raise (Invalid_schedule (Printf.sprintf "p%d already finished" p))
   | Crashed -> raise (Invalid_schedule (Printf.sprintf "p%d crashed" p))
   | Not_started body ->
+      if !Metrics.enabled then Metrics.bump "step.total";
       w.fibers.(p) <- Running;
       w.current <- p;
       w.steps.(p) <- w.steps.(p) + 1;
       Effect.Deep.match_with body () (handler w p);
       w.current <- -1
   | Suspended k ->
+      if !Metrics.enabled then Metrics.bump "step.total";
       w.fibers.(p) <- Running;
       w.current <- p;
       w.steps.(p) <- w.steps.(p) + 1;
@@ -142,6 +172,7 @@ let trace w = List.rev w.rev_trace
 type ('op, 'resp) program = { procs : int; boot : ('op, 'resp) t -> unit }
 
 let boot_world prog =
+  if !Metrics.enabled then Metrics.bump "world.boot";
   let w = create ~n:prog.procs in
   prog.boot w;
   w

@@ -23,6 +23,24 @@ exception Invalid_schedule of string
 val create : n:int -> ('op, 'resp) t
 (** [create ~n] is a fresh world with [n] processes and no fibers yet. *)
 
+(** Opt-in metrics aggregated across {e all} worlds — the checker boots
+    one world per explored schedule, so per-world counts cannot describe
+    a whole exploration.  Keys: ["access.total"], ["access.obj.NAME"]
+    (per base object), ["access.kind.KIND"] (per access kind, from the
+    [info] label), ["step.total"], ["world.boot"], ["crash"].  Disabled
+    by default; when disabled every instrumentation site costs one
+    load-and-branch and nothing is recorded, so executions (and checker
+    node counts) are unaffected either way. *)
+module Metrics : sig
+  val enabled : bool ref
+
+  val reset : unit -> unit
+  (** Drop all accumulated counts. *)
+
+  val snapshot : unit -> (string * int) list
+  (** Accumulated counts, sorted by key. *)
+end
+
 val n : _ t -> int
 
 val runtime : _ t -> (module Runtime_intf.S)

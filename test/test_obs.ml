@@ -1,0 +1,282 @@
+(* Tests for the observability layer (Slin_obs): instrument arithmetic,
+   JSON printing/parsing round trips, the JSONL sink, the Chrome
+   trace-event exporter, the simulator's aggregated metrics, and the
+   agreement between [check_strong_stats] and the verdict it wraps. *)
+
+(* --- instruments ---------------------------------------------------- *)
+
+let with_obs_enabled f =
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) f
+
+let test_counter_arithmetic () =
+  with_obs_enabled (fun () ->
+      let c = Obs.counter "test.c1" in
+      Alcotest.(check int) "fresh counter" 0 (Obs.count c);
+      Obs.incr c;
+      Obs.incr c;
+      Obs.add c 40;
+      Alcotest.(check int) "2 incr + add 40" 42 (Obs.count c));
+  let c2 = Obs.counter "test.c2" in
+  Obs.incr c2;
+  Alcotest.(check int) "disabled counter stays 0" 0 (Obs.count c2)
+
+let test_gauge_arithmetic () =
+  with_obs_enabled (fun () ->
+      let g = Obs.gauge "test.g1" in
+      Obs.set g 3.5;
+      Alcotest.(check (float 0.0)) "set" 3.5 (Obs.gauge_value g);
+      Obs.observe_max g 2.0;
+      Alcotest.(check (float 0.0)) "max keeps larger" 3.5 (Obs.gauge_value g);
+      Obs.observe_max g 7.0;
+      Alcotest.(check (float 0.0)) "max takes larger" 7.0 (Obs.gauge_value g))
+
+let test_timer_arithmetic () =
+  with_obs_enabled (fun () ->
+      let t = Obs.timer "test.t1" in
+      Obs.stop t;
+      Alcotest.(check int) "stop without start is a no-op" 0 (Obs.timer_samples t);
+      let x = Obs.time t (fun () -> Sys.opaque_identity (List.init 1000 Fun.id) |> List.length) in
+      Alcotest.(check int) "timed thunk result" 1000 x;
+      Alcotest.(check int) "one sample" 1 (Obs.timer_samples t);
+      Alcotest.(check bool) "nonnegative total" true (Obs.timer_total_ns t >= 0);
+      ignore (Obs.time t (fun () -> ()));
+      Alcotest.(check int) "two samples" 2 (Obs.timer_samples t))
+
+let test_snapshot_and_reset () =
+  with_obs_enabled (fun () ->
+      let c = Obs.counter "test.snap.c" in
+      Obs.add c 5;
+      let snap = Obs.snapshot () in
+      (match List.assoc_opt "test.snap.c" snap with
+      | Some (Obs_json.Int 5) -> ()
+      | _ -> Alcotest.fail "counter missing from snapshot");
+      Obs.reset ();
+      Alcotest.(check int) "reset zeroes" 0 (Obs.count c))
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Obs_json in
+  let v =
+    Assoc
+      [
+        ("s", String "a \"quoted\" \\ line\nwith\ttabs");
+        ("i", Int (-42));
+        ("f", Float 1.5);
+        ("big", Float 1e100);
+        ("t", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Assoc [ ("x", Int 2) ]; List [] ]);
+        ("empty", Assoc []);
+      ]
+  in
+  let s = to_string v in
+  Alcotest.(check bool) "reparses to equal value" true (of_string_exn s = v);
+  (* Integral floats must stay floats across the round trip. *)
+  Alcotest.(check bool) "2.0 stays a float" true (of_string_exn (to_string (Float 2.0)) = Float 2.0)
+
+let test_json_escapes_and_unicode () =
+  let open Obs_json in
+  Alcotest.(check bool) "\\u escape decodes" true (of_string_exn {|"aAé"|} = String "aA\xc3\xa9");
+  Alcotest.(check bool) "control char escaped" true (String.length (to_string (String "\x01")) > 4);
+  Alcotest.(check bool) "control char round trip" true
+    (of_string_exn (to_string (String "\x01\x02")) = String "\x01\x02")
+
+let test_json_errors () =
+  let open Obs_json in
+  let bad s = match of_string s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "trailing garbage" true (bad "1 2");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "bogus");
+  Alcotest.(check bool) "unclosed object" true (bad "{\"a\":1")
+
+(* --- JSONL ---------------------------------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  let buf = Buffer.create 256 in
+  let sink = Obs_jsonl.to_buffer buf in
+  Obs_jsonl.emit sink ~ts_us:1.0 "alpha" [ ("k", Obs_json.Int 1) ];
+  Obs_jsonl.emit sink ~ts_us:2.0 "beta" [ ("k", Obs_json.String "v") ];
+  Obs_jsonl.emit sink "gamma" [];
+  Alcotest.(check int) "three records" 3 (Obs_jsonl.records sink);
+  let lines = String.split_on_char '\n' (Buffer.contents buf) |> List.filter (( <> ) "") in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  let parsed = List.map Obs_json.of_string_exn lines in
+  let events =
+    List.map (fun j -> Option.get (Option.bind (Obs_json.member "event" j) Obs_json.to_str)) parsed
+  in
+  Alcotest.(check (list string)) "event names in order" [ "alpha"; "beta"; "gamma" ] events;
+  List.iter
+    (fun j ->
+      match Option.bind (Obs_json.member "ts_us" j) Obs_json.to_float with
+      | Some ts -> Alcotest.(check bool) "ts_us nonnegative" true (ts >= 0.)
+      | None -> Alcotest.fail "record missing ts_us")
+    parsed
+
+(* --- Chrome trace --------------------------------------------------- *)
+
+let check_trace_events json ~expect_min =
+  match Obs_json.(Option.bind (member "traceEvents" json) to_list) with
+  | None -> Alcotest.fail "no traceEvents array"
+  | Some events ->
+      Alcotest.(check bool)
+        (Printf.sprintf "at least %d events" expect_min)
+        true
+        (List.length events >= expect_min);
+      List.iter
+        (fun e ->
+          let has k = Obs_json.member k e <> None in
+          Alcotest.(check bool) "has ph" true (has "ph");
+          Alcotest.(check bool) "has ts" true (has "ts");
+          Alcotest.(check bool) "has pid" true (has "pid");
+          Alcotest.(check bool) "has tid" true (has "tid");
+          match Obs_json.(Option.bind (member "ph" e) to_str) with
+          | Some ("B" | "E" | "X" | "i" | "C" | "M") -> ()
+          | Some ph -> Alcotest.fail ("unexpected phase " ^ ph)
+          | None -> Alcotest.fail "ph not a string")
+        events
+
+let test_chrome_trace_wellformed () =
+  let tr = Obs_trace.create () in
+  Obs_trace.process_name tr "test";
+  Obs_trace.thread_name tr ~tid:0 "worker";
+  Obs_trace.begin_span tr ~ts_us:0. "span";
+  Obs_trace.instant tr ~ts_us:1. "tick";
+  Obs_trace.counter tr ~ts_us:2. "nodes" 42.;
+  Obs_trace.end_span tr ~ts_us:3. "span";
+  Obs_trace.complete tr ~ts_us:0. ~dur_us:3. "whole";
+  Alcotest.(check int) "size counts events" 7 (Obs_trace.size tr);
+  let json = Obs_json.of_string_exn (Obs_trace.to_string tr) in
+  check_trace_events json ~expect_min:7;
+  (* The complete event must carry its duration. *)
+  let events = Option.get Obs_json.(Option.bind (member "traceEvents" json) to_list) in
+  let x =
+    List.find
+      (fun e -> Obs_json.(Option.bind (member "ph" e) to_str) = Some "X")
+      events
+  in
+  Alcotest.(check bool) "X event has dur" true (Obs_json.member "dur" x <> None)
+
+(* --- simulated executions ------------------------------------------- *)
+
+(* A one-register program: p0 writes, p1 reads — tiny enough that the
+   strong-linearizability game settles in well under a second. *)
+let reg_prog : (Spec.Register.op, Spec.Register.resp) Sim.program =
+  Harness.program
+    ~make:(fun (module R : Runtime_intf.S) ->
+      let r = R.obj ~name:"reg" 0 in
+      fun (op : Spec.Register.op) : Spec.Register.resp ->
+        match op with
+        | Spec.Register.Write v ->
+            R.access ~info:"write" r (fun _ -> (v, ()));
+            Spec.Register.Ack
+        | Spec.Register.Read -> Spec.Register.Value (R.read ~info:"read" r))
+    ~workload:[| [ Spec.Register.Write 1 ]; [ Spec.Register.Read ] |]
+
+let test_of_sim_trace () =
+  let w = Sim.run_to_completion reg_prog in
+  let tr =
+    Obs_trace.of_sim_trace ~pp_op:Spec.Register.pp_op ~pp_resp:Spec.Register.pp_resp (Sim.trace w)
+  in
+  let json = Obs_json.of_string_exn (Obs_trace.to_string tr) in
+  check_trace_events json ~expect_min:6;
+  let events = Option.get Obs_json.(Option.bind (member "traceEvents" json) to_list) in
+  let count ph =
+    List.length
+      (List.filter (fun e -> Obs_json.(Option.bind (member "ph" e) to_str) = Some ph) events)
+  in
+  (* Two completed operations: spans must balance. *)
+  Alcotest.(check int) "balanced spans" (count "B") (count "E");
+  Alcotest.(check int) "two operations" 2 (count "B");
+  Alcotest.(check bool) "steps became instants" true (count "i" >= 2)
+
+let test_sim_metrics () =
+  Sim.Metrics.reset ();
+  Sim.Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.Metrics.enabled := false;
+      Sim.Metrics.reset ())
+    (fun () ->
+      ignore (Sim.run_to_completion reg_prog);
+      let snap = Sim.Metrics.snapshot () in
+      let get k = Option.value ~default:0 (List.assoc_opt k snap) in
+      Alcotest.(check int) "one world booted" 1 (get "world.boot");
+      Alcotest.(check int) "two accesses" 2 (get "access.total");
+      Alcotest.(check int) "both on reg" 2 (get "access.obj.reg");
+      Alcotest.(check int) "one write" 1 (get "access.kind.write");
+      Alcotest.(check int) "one read" 1 (get "access.kind.read");
+      Alcotest.(check bool) "steps counted" true (get "step.total" >= 2));
+  (* Disabled: nothing accumulates. *)
+  ignore (Sim.run_to_completion reg_prog);
+  Alcotest.(check (list (pair string int))) "disabled records nothing" [] (Sim.Metrics.snapshot ())
+
+(* --- checker stats --------------------------------------------------- *)
+
+module L = Lincheck.Make (Spec.Register)
+
+let test_check_strong_stats_agree () =
+  let v_plain = L.check_strong reg_prog in
+  let ticks = ref 0 in
+  let v, st =
+    L.check_strong_stats ~on_progress:(fun ~nodes:_ ~elapsed_ns:_ -> incr ticks)
+      ~progress_every:1 reg_prog
+  in
+  let nodes_of = function
+    | L.Strongly_linearizable { nodes } -> nodes
+    | L.Not_strongly_linearizable { nodes; _ } -> nodes
+    | L.Out_of_budget { nodes } -> nodes
+    | L.Not_linearizable _ -> Alcotest.fail "register program must be linearizable"
+  in
+  Alcotest.(check string) "same verdict as check_strong"
+    (Format.asprintf "%a" L.pp_verdict v_plain)
+    (Format.asprintf "%a" L.pp_verdict v);
+  Alcotest.(check int) "stats.nodes = verdict nodes" (nodes_of v) st.Lincheck.nodes;
+  Alcotest.(check int) "heartbeat fired once per node" st.Lincheck.nodes !ticks;
+  Alcotest.(check bool) "explored something" true (st.Lincheck.nodes > 0);
+  Alcotest.(check bool) "frontier advanced" true (st.Lincheck.max_frontier_depth > 0);
+  Alcotest.(check bool) "candidates enumerated" true (st.Lincheck.candidates_generated > 0);
+  Alcotest.(check bool) "elapsed measured" true (st.Lincheck.elapsed_ns >= 0)
+
+let test_check_strong_stats_tracer () =
+  let tr = Obs_trace.create () in
+  let _v, _st = L.check_strong_stats ~tracer:tr ~progress_every:1 reg_prog in
+  let json = Obs_json.of_string_exn (Obs_trace.to_string tr) in
+  check_trace_events json ~expect_min:3;
+  let events = Option.get Obs_json.(Option.bind (member "traceEvents" json) to_list) in
+  Alcotest.(check bool) "has counter samples" true
+    (List.exists (fun e -> Obs_json.(Option.bind (member "ph" e) to_str) = Some "C") events);
+  Alcotest.(check bool) "has the check_strong span" true
+    (List.exists (fun e -> Obs_json.(Option.bind (member "name" e) to_str) = Some "check_strong")
+       events)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_arithmetic;
+          Alcotest.test_case "gauge" `Quick test_gauge_arithmetic;
+          Alcotest.test_case "timer" `Quick test_timer_arithmetic;
+          Alcotest.test_case "snapshot+reset" `Quick test_snapshot_and_reset;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes+unicode" `Quick test_json_escapes_and_unicode;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ("jsonl", [ Alcotest.test_case "round trip" `Quick test_jsonl_roundtrip ]);
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "well-formed" `Quick test_chrome_trace_wellformed;
+          Alcotest.test_case "of_sim_trace" `Quick test_of_sim_trace;
+        ] );
+      ("sim-metrics", [ Alcotest.test_case "aggregation" `Quick test_sim_metrics ]);
+      ( "checker-stats",
+        [
+          Alcotest.test_case "agrees with verdict" `Quick test_check_strong_stats_agree;
+          Alcotest.test_case "tracer events" `Quick test_check_strong_stats_tracer;
+        ] );
+    ]
