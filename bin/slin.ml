@@ -1,246 +1,94 @@
 (* slin — command-line front end.
 
    Subcommands:
-     slin experiment [e1|e2|e3|e4|e5] [--quick]   regenerate experiment tables
+     slin experiment [e1|e2|e3|e4|e5] [--quick] [--witness-dir DIR]
+                                                  regenerate experiment tables
      slin check OBJECT [--max-nodes N] [--max-depth D]
                       [--stats] [--json-out FILE] [--trace-out FILE]
+                      [--witness-out FILE] [--no-shrink]
                                                   strong-linearizability game
+     slin explain WITNESS.json [--trace-out BASE]
+                                                  replay + render a witness
      slin agree OBJECT [--trials N] [--crash-prob P] [--seed S]
                                                   run Algorithm B (Lemma 12)
      slin trace OBJECT [--seed S] [--trace-out FILE]
                                                   print one random execution
 
-   OBJECT names: faa-max, faa-snapshot, counter, readable-ts,
-   multishot-ts, fetch-inc, set, hw-queue, agm-stack, rw-max,
-   mwmr-register, cas-queue, set-empty-race, set-repaired (check/trace); queue, stack, ooo-queue,
-   hw-queue (agree). *)
+   OBJECT names come from the shared registry (Registry.names): faa-max,
+   faa-snapshot, counter, readable-ts, multishot-ts, fetch-inc, set,
+   hw-queue, agm-stack, rw-max, mwmr-register, cas-queue, set-empty-race,
+   set-repaired, tournament-ts, aww-multishot-fi (check/trace/explain);
+   queue, stack, ooo-queue, hw-queue (agree).
+
+   Exit codes (check and explain): 0 = verified / witness reproduced,
+   1 = refuted / witness did not reproduce, 2 = usage error, unknown
+   object, inconclusive (out of budget), or internal error. *)
 
 open Cmdliner
 
-(* --- checkable objects ------------------------------------------------ *)
+let unknown_object name =
+  Format.eprintf "unknown object %S; choose from: %s@." name
+    (String.concat ", " Registry.names)
 
-type checkable =
-  | Checkable : {
-      spec_name : string;
-      make : (module Runtime_intf.S) -> 'op -> 'resp;
-      workload : 'op list array;
-      spec : (module Spec.S with type op = 'op and type resp = 'resp);
-      default_depth : int option;
-    }
-      -> checkable
+(* --- check ------------------------------------------------------------ *)
 
-let checkables : (string * checkable) list =
-  [
-    ( "faa-max",
-      Checkable
-        {
-          spec_name = "max register from fetch&add (Thm 1)";
-          make = Executors.faa_max_register;
-          workload =
-            [|
-              [ Spec.Max_register.WriteMax 1; Spec.Max_register.ReadMax ];
-              [ Spec.Max_register.WriteMax 2 ];
-              [ Spec.Max_register.ReadMax ];
-            |];
-          spec = (module Spec.Max_register);
-          default_depth = None;
-        } );
-    ( "faa-snapshot",
-      Checkable
-        {
-          spec_name = "atomic snapshot from fetch&add (Thm 2)";
-          make = Executors.faa_snapshot3;
-          workload =
-            [|
-              [ Executors.Snap3.Update (0, 1); Executors.Snap3.Update (0, 2) ];
-              [ Executors.Snap3.Update (1, 3) ];
-              [ Executors.Snap3.Scan; Executors.Snap3.Scan ];
-            |];
-          spec = (module Executors.Snap3);
-          default_depth = None;
-        } );
-    ( "counter",
-      Checkable
-        {
-          spec_name = "simple-type counter over F&A snapshot (Thm 4)";
-          make = Executors.simple_counter;
-          workload =
-            [|
-              [ Spec.Counter.Add 1 ];
-              [ Spec.Counter.Add 2 ];
-              [ Spec.Counter.Read; Spec.Counter.Read ];
-            |];
-          spec = (module Spec.Counter);
-          default_depth = None;
-        } );
-    ( "readable-ts",
-      Checkable
-        {
-          spec_name = "readable test&set from test&set (Thm 5)";
-          make = Executors.readable_ts;
-          workload =
-            [|
-              [ Spec.Test_and_set.TestAndSet ];
-              [ Spec.Test_and_set.TestAndSet ];
-              [ Spec.Test_and_set.Read; Spec.Test_and_set.Read ];
-            |];
-          spec = (module Spec.Test_and_set);
-          default_depth = None;
-        } );
-    ( "multishot-ts",
-      Checkable
-        {
-          spec_name = "multi-shot test&set (Thm 6)";
-          make = Executors.multishot_ts_atomic;
-          workload =
-            [|
-              [ Spec.Multishot_test_and_set.TestAndSet; Spec.Multishot_test_and_set.Reset ];
-              [ Spec.Multishot_test_and_set.TestAndSet ];
-              [ Spec.Multishot_test_and_set.Read ];
-            |];
-          spec = (module Spec.Multishot_test_and_set);
-          default_depth = None;
-        } );
-    ( "fetch-inc",
-      Checkable
-        {
-          spec_name = "fetch&increment from test&set (Thm 9)";
-          make = Executors.ts_fetch_inc;
-          workload =
-            [|
-              [ Spec.Fetch_and_inc.FetchInc ];
-              [ Spec.Fetch_and_inc.FetchInc ];
-              [ Spec.Fetch_and_inc.Read ];
-            |];
-          spec = (module Spec.Fetch_and_inc);
-          default_depth = None;
-        } );
-    ( "set",
-      Checkable
-        {
-          spec_name = "set from test&set, full stack (Thm 10)";
-          make = Executors.ts_set_full;
-          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |];
-          spec = (module Spec.Set_obj);
-          default_depth = None;
-        } );
-    ( "hw-queue",
-      Checkable
-        {
-          spec_name = "Herlihy-Wing queue (baseline, not SL)";
-          make = Executors.hw_queue;
-          workload =
-            [|
-              [ Spec.Queue_spec.Enq 1 ];
-              [ Spec.Queue_spec.Enq 2 ];
-              [ Spec.Queue_spec.Deq ];
-              [ Spec.Queue_spec.Deq ];
-            |];
-          spec = (module Spec.Queue_spec);
-          default_depth = Some 22;
-        } );
-    ( "agm-stack",
-      Checkable
-        {
-          spec_name = "AGM-style stack (baseline, not SL)";
-          make = Executors.agm_stack;
-          workload =
-            [|
-              [ Spec.Stack_spec.Push 1 ];
-              [ Spec.Stack_spec.Push 2 ];
-              [ Spec.Stack_spec.Pop ];
-              [ Spec.Stack_spec.Pop ];
-            |];
-          spec = (module Spec.Stack_spec);
-          default_depth = Some 24;
-        } );
-    ( "rw-max",
-      Checkable
-        {
-          spec_name = "read/write max register (baseline, not SL)";
-          make = Executors.rw_max_register;
-          workload =
-            [|
-              [ Spec.Max_register.WriteMax 1 ];
-              [ Spec.Max_register.WriteMax 2 ];
-              [ Spec.Max_register.ReadMax; Spec.Max_register.ReadMax ];
-            |];
-          spec = (module Spec.Max_register);
-          default_depth = None;
-        } );
-    ( "mwmr-register",
-      Checkable
-        {
-          spec_name = "MWMR register from SWMR (baseline, not SL)";
-          make = Executors.mwmr_register;
-          workload =
-            [|
-              [ Spec.Register.Write 1 ];
-              [ Spec.Register.Write 2 ];
-              [ Spec.Register.Read; Spec.Register.Read ];
-            |];
-          spec = (module Spec.Register);
-          default_depth = None;
-        } );
-    ( "set-empty-race",
-      Checkable
-        {
-          spec_name = "Alg 2 set, EMPTY race (the Thm 10 finding)";
-          make = Executors.ts_set_atomic_fi;
-          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |];
-          spec = (module Spec.Set_obj);
-          default_depth = None;
-        } );
-    ( "set-repaired",
-      Checkable
-        {
-          spec_name = "repaired set: conservative EMPTY (finding follow-up)";
-          make =
-            (fun (module R : Runtime_intf.S) ->
-              let module A = Atomic_objects.Make (R) in
-              let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
-              let t = S.create ~name:"cset" () in
-              fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
-                match op with
-                | Spec.Set_obj.Put x ->
-                    S.put t x;
-                    Spec.Set_obj.Ok_
-                | Spec.Set_obj.Take -> (
-                    match S.take t with
-                    | None -> Spec.Set_obj.Empty
-                    | Some x -> Spec.Set_obj.Item x));
-          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |];
-          spec = (module Spec.Set_obj);
-          default_depth = Some 18;
-        } );
-    ( "cas-queue",
-      Checkable
-        {
-          spec_name = "CAS universal queue (baseline, SL)";
-          make = Executors.cas_queue;
-          workload =
-            [|
-              [ Spec.Queue_spec.Enq 1 ];
-              [ Spec.Queue_spec.Enq 2 ];
-              [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
-            |];
-          spec = (module Spec.Queue_spec);
-          default_depth = Some 30;
-        } );
-  ]
-
-let object_names = List.map fst checkables
-
-let run_check name max_nodes max_depth stats json_out trace_out =
-  match List.assoc_opt name checkables with
+let run_check name max_nodes max_depth stats json_out trace_out witness_out no_shrink =
+  match Registry.find name with
   | None ->
-      Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " object_names);
-      1
-  | Some (Checkable c) ->
+      unknown_object name;
+      2
+  | Some (Registry.Checkable c) ->
       let (module S) = c.spec in
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      let exit_of_verdict = function
+        | L.Strongly_linearizable _ -> 0
+        | L.Not_linearizable _ | L.Not_strongly_linearizable _ -> 1
+        | L.Out_of_budget _ -> 2
+      in
+      (* Witness emission shares the verdict path of both modes below.
+         Extraction re-runs the game with the same budget, so it succeeds
+         whenever the check refuted. *)
+      let emit_witness v =
+        match witness_out with
+        | None -> ()
+        | Some path -> (
+            let refutation =
+              match v with
+              | L.Not_linearizable { schedule } ->
+                  Some (Witness.Not_linearizable, schedule, None)
+              | L.Not_strongly_linearizable { witness; nodes } ->
+                  Some (Witness.Not_strongly_linearizable, witness, Some nodes)
+              | _ -> None
+            in
+            match refutation with
+            | None ->
+                Format.eprintf "no witness written to %s: the verdict is not a refutation@." path
+            | Some (kind, schedule, nodes) -> (
+                let module W = Witness.Make (S) in
+                match W.extract ~max_nodes ?max_depth:depth prog ~kind ~schedule with
+                | None -> Format.eprintf "witness extraction failed within the node budget@."
+                | Some shape ->
+                    let original_len = Witness.size shape in
+                    let shape = if no_shrink then shape else W.shrink prog shape in
+                    let json =
+                      W.to_json prog ~object_name:name ~spec_name:c.spec_name ~max_nodes
+                        ~max_depth:depth ~nodes ~original_len shape
+                    in
+                    (match
+                       Out_channel.with_open_text path (fun oc ->
+                           output_string oc (Obs_json.to_string json);
+                           output_char oc '\n')
+                     with
+                    | () ->
+                        Format.printf "witness (%s, %d steps%s) written to %s@."
+                          (Witness.kind_tag kind) (Witness.size shape)
+                          (if no_shrink then "" else Printf.sprintf ", shrunk from %d" original_len)
+                          path
+                    | exception Sys_error msg ->
+                        Format.eprintf "cannot open output file: %s@." msg)))
+      in
       let observing = stats || json_out <> None || trace_out <> None in
       if observing then begin
         Sim.Metrics.reset ();
@@ -252,10 +100,12 @@ let run_check name max_nodes max_depth stats json_out trace_out =
       | Some seed -> Format.printf "linearizability: VIOLATED at seed %d@." seed);
       if not observing then begin
         (* No observability requested: exactly the historical path and
-           output, byte for byte. *)
+           output, byte for byte (witness emission only adds output when
+           its flag is on). *)
         let v = L.check_strong ~max_nodes ?max_depth:depth prog in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
-        0
+        emit_witness v;
+        exit_of_verdict v
       end
       else begin
         (* Open every output up front: a bad path must fail before the
@@ -267,7 +117,7 @@ let run_check name max_nodes max_depth stats json_out trace_out =
         with
         | exception Sys_error msg ->
             Format.eprintf "cannot open output file: %s@." msg;
-            1
+            2
         | json_sink ->
         let tracer = match trace_out with Some _ -> Some (Obs_trace.create ()) | None -> None in
         (* Heartbeat for long checks: nodes so far and current rate, on
@@ -314,15 +164,75 @@ let run_check name max_nodes max_depth stats json_out trace_out =
             Obs_trace.write tr path;
             Format.printf "Chrome trace (%d events) written to %s@." (Obs_trace.size tr) path
         | _ -> ());
-        0
+        emit_witness v;
+        exit_of_verdict v
       end
 
+(* --- explain ---------------------------------------------------------- *)
+
+let run_explain path trace_out =
+  match Witness.parse_file path with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+  | Ok p -> (
+      match Registry.find p.Witness.p_object with
+      | None ->
+          Format.eprintf "witness references unknown object %S; this build knows: %s@."
+            p.Witness.p_object
+            (String.concat ", " Registry.names);
+          2
+      | Some (Registry.Checkable c) ->
+          let (module S) = c.spec in
+          let module W = Witness.Make (S) in
+          let prog = Harness.program ~make:c.make ~workload:c.workload in
+          let shape = Witness.shape_of_parsed p in
+          Format.printf "object: %s — %s@." p.Witness.p_object c.spec_name;
+          Format.printf "witness: %s, %d future(s), %d schedule steps (certificate had %d)@."
+            (Witness.kind_tag p.Witness.p_kind)
+            (List.length p.Witness.p_futures)
+            p.Witness.p_shrunk_len p.Witness.p_original_len;
+          Format.printf "%a" (W.pp_explain ~prog ?conflict:p.Witness.p_conflict) shape;
+          let report = W.replay prog p in
+          List.iter (fun n -> Format.printf "note: %s@." n) report.W.notes;
+          (match trace_out with
+          | None -> ()
+          | Some base ->
+              List.iteri
+                (fun i (f : Witness.recorded_future) ->
+                  match Sim.run_schedule_result prog (p.Witness.p_branch @ f.Witness.f_schedule) with
+                  | Error _ -> ()
+                  | Ok w -> (
+                      let tr =
+                        Obs_trace.of_sim_trace ~pp_op:S.pp_op ~pp_resp:S.pp_resp (Sim.trace w)
+                      in
+                      Obs_trace.process_name tr
+                        (Printf.sprintf "%s future %d" p.Witness.p_object i);
+                      let out = Printf.sprintf "%s.f%d.json" base i in
+                      match Obs_trace.write tr out with
+                      | () ->
+                          Format.printf "Chrome trace for future %d (%d events) written to %s@." i
+                            (Obs_trace.size tr) out
+                      | exception Sys_error msg ->
+                          Format.eprintf "cannot open output file: %s@." msg))
+                p.Witness.p_futures);
+          if report.W.reproduced then begin
+            Format.printf "replay: verdict REPRODUCED@.";
+            0
+          end
+          else begin
+            Format.printf "replay: NOT reproduced@.";
+            1
+          end)
+
+(* --- trace ------------------------------------------------------------ *)
+
 let run_trace name seed trace_out =
-  match List.assoc_opt name checkables with
+  match Registry.find name with
   | None ->
-      Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " object_names);
-      1
-  | Some (Checkable c) ->
+      unknown_object name;
+      2
+  | Some (Registry.Checkable c) ->
       let (module S) = c.spec in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let w = Sim.run_random ~seed prog in
@@ -339,7 +249,7 @@ let run_trace name seed trace_out =
               0
           | exception Sys_error msg ->
               Format.eprintf "cannot open output file: %s@." msg;
-              1))
+              2))
 
 (* --- agreement objects ------------------------------------------------ *)
 
@@ -373,20 +283,38 @@ let run_agree name trials crash_prob seed =
   match stats with
   | None ->
       Format.eprintf "unknown object %S; choose from: %s@." name (String.concat ", " agree_objects);
-      1
+      2
   | Some s ->
       Format.printf "%s: %a@." name Agreement.pp_stats s;
       0
 
 (* --- cmdliner plumbing ------------------------------------------------ *)
 
+let verdict_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the object verified strongly linearizable (check), or the witness \
+                          replayed to the same verdict (explain).";
+    Cmd.Exit.info 1 ~doc:"the check refuted — not linearizable, or linearizable but not \
+                          strongly (check); the witness did not reproduce (explain).";
+    Cmd.Exit.info 2
+      ~doc:
+        "usage error, unknown object, inconclusive (node budget exhausted), or internal error.";
+  ]
+
 let experiment_cmd =
   let which = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Skip the slow refutations.") in
-  let run which quick =
+  let witness_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-dir" ] ~docv:"DIR"
+          ~doc:"Write a slin-witness/v1 JSON artifact for every E2 refutation into $(docv).")
+  in
+  let run which quick witness_dir =
     let sel name = which = [] || List.mem name which in
     if sel "e1" then Experiments.e1 ();
-    if sel "e2" then Experiments.e2 ~quick ();
+    if sel "e2" then Experiments.e2 ?witness_dir ~quick ();
     if sel "e3" then Experiments.e3 ();
     if sel "e4" then Experiments.e4 ();
     if sel "e5" then Experiments.e5 ();
@@ -395,7 +323,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate experiment tables E1-E5 (see EXPERIMENTS.md).")
-    Term.(const run $ which $ quick)
+    Term.(const run $ which $ quick $ witness_dir)
 
 let check_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -429,10 +357,49 @@ let check_cmd =
             "Write a Chrome trace-event file of the exploration to $(docv) (open at \
              ui.perfetto.dev).")
   in
+  let witness_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "On a refutation, extract a self-certifying counterexample, shrink it, and write \
+             it as a slin-witness/v1 JSON artifact to $(docv); replay it later with $(b,slin \
+             explain).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Skip witness minimization: write the certificate exactly as extracted.")
+  in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
-    Term.(const run_check $ obj $ max_nodes $ max_depth $ stats $ json_out $ trace_out)
+    Term.(
+      const run_check $ obj $ max_nodes $ max_depth $ stats $ json_out $ trace_out $ witness_out
+      $ no_shrink)
+
+let explain_cmd =
+  let witness =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WITNESS.json")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"BASE"
+          ~doc:
+            "Write one Chrome trace-event file per future, $(docv).fN.json (open at \
+             ui.perfetto.dev).")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~exits:verdict_exits
+       ~doc:
+        "Replay a slin-witness/v1 artifact: re-run its schedules under the simulator, verify \
+         the recorded refutation reproduces, and render a side-by-side timeline of the \
+         diverging futures.")
+    Term.(const run_explain $ witness $ trace_out)
 
 let agree_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -464,4 +431,7 @@ let trace_cmd =
 let () =
   let doc = "strongly-linearizable objects from consensus-number-2 primitives" in
   let info = Cmd.info "slin" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; check_cmd; agree_cmd; trace_cmd ]))
+  let group = Cmd.group info [ experiment_cmd; check_cmd; explain_cmd; agree_cmd; trace_cmd ] in
+  (* All usage and internal errors land on 2, leaving 0/1 to carry the
+     verdict (see EXIT STATUS in the subcommand man pages). *)
+  exit (match Cmd.eval_value group with Ok (`Ok code) -> code | Ok (`Help | `Version) -> 0 | Error _ -> 2)

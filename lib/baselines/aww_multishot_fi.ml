@@ -1,0 +1,51 @@
+(* A multi-shot fetch&increment in the style of Afek–Weisberger–Weisman
+   [4, 5]: the test&set sweep of [Aww_fetch_inc], made multi-shot by
+   dropping the one-shot guard, plus the "obvious" O(1) read — a shared
+   hint register that every winner publishes its index into after
+   winning its cell.
+
+   The hint is where it goes wrong.  Two concurrent fetch&incs can win
+   cells i < j and then publish in the opposite order, so the hint
+   regresses from j to i; a read taken after both have returned then
+   reports a counter value that contradicts the two completed
+   operations.  The object is NOT linearizable (not merely not strongly
+   linearizable) — which is exactly why Theorem 9's readable
+   fetch&increment re-scans the test&set cells on every read instead of
+   caching a hint.  It serves the checker as a negative control whose
+   refutation is a single bad execution rather than a branch in the
+   execution tree. *)
+
+module Make (R : Runtime_intf.S) : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val fetch_inc : t -> int
+  (** The value fetched; the counter then reads one higher. *)
+
+  val read : t -> int
+  (** Current counter value, from the hint register: O(1), wrong. *)
+end = struct
+  module P = Prim.Make (R)
+
+  type t = { cells : P.Test_and_set.t Inf_array.t; hint : int R.obj }
+
+  let create ?name () =
+    let prefix = match name with Some s -> s ^ "." | None -> "awwm." in
+    {
+      cells =
+        Inf_array.create (fun i ->
+            P.Test_and_set.make ~name:(Printf.sprintf "%sts%d" prefix i) ());
+      hint = R.obj ~name:(prefix ^ "hint") 0;
+    }
+
+  let fetch_inc t =
+    let rec go i =
+      if P.Test_and_set.test_and_set (Inf_array.get t.cells i) = 0 then i else go (i + 1)
+    in
+    let i = go 1 in
+    R.access ~info:"hint-write" t.hint (fun _ -> (i, ()));
+    i
+
+  let read t = R.read ~info:"hint-read" t.hint + 1
+end

@@ -237,6 +237,14 @@ let aww_one_shot_fi (module R : Runtime_intf.S) =
     | Spec.Fetch_and_inc.FetchInc -> Spec.Fetch_and_inc.Value (F.fetch_inc t)
     | Spec.Fetch_and_inc.Read -> invalid_arg "one-shot object has no read"
 
+let aww_multishot_fi (module R : Runtime_intf.S) =
+  let module F = Aww_multishot_fi.Make (R) in
+  let t = F.create () in
+  fun (op : Spec.Fetch_and_inc.op) : Spec.Fetch_and_inc.resp ->
+    match op with
+    | Spec.Fetch_and_inc.FetchInc -> Spec.Fetch_and_inc.Value (F.fetch_inc t)
+    | Spec.Fetch_and_inc.Read -> Spec.Fetch_and_inc.Value (F.read t)
+
 let tournament_ts (module R : Runtime_intf.S) =
   let module T = Tournament_ts.Make (R) in
   let t = T.create () in

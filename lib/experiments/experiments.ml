@@ -140,8 +140,14 @@ let e1 () =
 
 module E2_row (S : Spec.S) = struct
   module L = Lincheck.Make (S)
+  module W = Witness.Make (S)
 
-  let run ~name ~expect ~make ~workload ?max_nodes ?max_depth () =
+  (* [reg] is the object's name in [Registry]; refuted rows with a
+     registry name get a minimized-witness column ("w ORIG>SHRUNK"
+     certificate step counts) and, when [witness_dir] is set, a
+     slin-witness/v1 artifact at DIR/REG.json replayable with
+     `slin explain`. *)
+  let run ~name ~expect ~make ~workload ?reg ?witness_dir ?max_nodes ?max_depth () =
     let prog = Harness.program ~make ~workload in
     let lin =
       match Harness.find_non_linearizable ~check:L.is_linearizable ~runs:150 prog with
@@ -149,12 +155,40 @@ module E2_row (S : Spec.S) = struct
       | Some seed -> Printf.sprintf "NOT LINEARIZABLE (seed %d)!" seed
     in
     let verdict = L.check_strong ?max_nodes ?max_depth prog in
-    Format.printf "| %-34s | %-30s | %-36s | expect: %s@." name lin
+    let forensics kind schedule nodes reg =
+      match W.extract ?max_nodes ?max_depth prog ~kind ~schedule with
+      | None -> "w ?"
+      | Some shape ->
+          let original_len = Witness.size shape in
+          let shape = W.shrink prog shape in
+          (match witness_dir with
+          | None -> ()
+          | Some dir ->
+              let json =
+                W.to_json prog ~object_name:reg ~spec_name:name
+                  ~max_nodes:(Option.value max_nodes ~default:200_000)
+                  ~max_depth ~nodes ~original_len shape
+              in
+              let path = Filename.concat dir (reg ^ ".json") in
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc (Obs_json.to_string json);
+                  output_char oc '\n'));
+          Printf.sprintf "w %d>%d" original_len (Witness.size shape)
+    in
+    let witness_col =
+      match (verdict, reg) with
+      | L.Not_linearizable { schedule }, Some reg ->
+          forensics Witness.Not_linearizable schedule None reg
+      | L.Not_strongly_linearizable { witness; nodes }, Some reg ->
+          forensics Witness.Not_strongly_linearizable witness (Some nodes) reg
+      | _ -> "-"
+    in
+    Format.printf "| %-34s | %-30s | %-36s | %-7s | expect: %s@." name lin
       (Format.asprintf "%a" L.pp_verdict verdict)
-      expect
+      witness_col expect
 end
 
-let e2 ~quick () =
+let e2 ?witness_dir ~quick () =
   section
     "E2: baselines from the same primitives are linearizable but NOT\n\
      strongly linearizable (mechanical refutations; cf. Thm 17 and GHW/HHW)";
@@ -167,7 +201,7 @@ let e2 ~quick () =
         [ Spec.Register.Write 2 ];
         [ Spec.Register.Read; Spec.Register.Read ];
       |]
-    ~max_nodes:2_000_000 ();
+    ~reg:"mwmr-register" ?witness_dir ~max_nodes:2_000_000 ();
   let module Row_max = E2_row (Spec.Max_register) in
   Row_max.run ~name:"RW max register <- registers" ~expect:"refuted (DW DISC'15)"
     ~make:Executors.rw_max_register
@@ -177,7 +211,7 @@ let e2 ~quick () =
         [ Spec.Max_register.WriteMax 2 ];
         [ Spec.Max_register.ReadMax; Spec.Max_register.ReadMax ];
       |]
-    ~max_nodes:2_000_000 ();
+    ~reg:"rw-max" ?witness_dir ~max_nodes:2_000_000 ();
   if not quick then begin
     let module Row_q = E2_row (Spec.Queue_spec) in
     Row_q.run ~name:"HW queue <- F&A+swap" ~expect:"refuted (Thm 17)" ~make:Executors.hw_queue
@@ -188,7 +222,7 @@ let e2 ~quick () =
           [ Spec.Queue_spec.Deq ];
           [ Spec.Queue_spec.Deq ];
         |]
-      ~max_nodes:3_000_000 ~max_depth:22 ();
+      ~reg:"hw-queue" ?witness_dir ~max_nodes:3_000_000 ~max_depth:22 ();
     let module Row_s = E2_row (Spec.Stack_spec) in
     Row_s.run ~name:"AGM stack <- F&A+swap" ~expect:"refuted (Thm 17, AE DISC'19)"
       ~make:Executors.agm_stack
@@ -199,7 +233,7 @@ let e2 ~quick () =
           [ Spec.Stack_spec.Pop ];
           [ Spec.Stack_spec.Pop ];
         |]
-      ~max_nodes:5_000_000 ~max_depth:24 ();
+      ~reg:"agm-stack" ?witness_dir ~max_nodes:5_000_000 ~max_depth:24 ();
     (* The AAD snapshot — GHW's original counterexample object.  Its
        embedded-scan helping makes the game tree explode: at workload
        sizes we can settle exhaustively the bounded game is won, and the
@@ -224,7 +258,7 @@ let e2 ~quick () =
   Row_set.run ~name:"Alg 2 set, EMPTY race (finding)" ~expect:"refuted — gap in Thm 10 proof"
     ~make:Executors.ts_set_atomic_fi
     ~workload:[| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |]
-    ~max_nodes:4_000_000 ();
+    ~reg:"set-empty-race" ?witness_dir ~max_nodes:4_000_000 ();
   (* The naive tournament n-process T&S from 2-process T&S: not even
      linearizable — a loser can complete before the eventual winner
      invokes.  Why Afek-Gafni-Tromp-Vitanyi needed more than a
@@ -233,7 +267,20 @@ let e2 ~quick () =
   Row_tts.run ~name:"tournament T&S <- 2-proc T&S" ~expect:"NOT linearizable (AGTV context)"
     ~make:Executors.tournament_ts
     ~workload:(Array.make 4 [ Spec.Test_and_set.TestAndSet ])
-    ~max_nodes:2_000_000 ();
+    ~reg:"tournament-ts" ?witness_dir ~max_nodes:2_000_000 ();
+  (* Multi-shot AWW fetch&inc with a cached-hint read: the regressing
+     hint makes Read non-linearizable outright — the second negative
+     control, and the reason Theorem 9 re-scans instead of caching. *)
+  let module Row_afi = E2_row (Spec.Fetch_and_inc) in
+  Row_afi.run ~name:"AWW multi-shot F&I, hint read" ~expect:"NOT linearizable (stale hint)"
+    ~make:Executors.aww_multishot_fi
+    ~workload:
+      [|
+        [ Spec.Fetch_and_inc.FetchInc ];
+        [ Spec.Fetch_and_inc.FetchInc ];
+        [ Spec.Fetch_and_inc.Read ];
+      |]
+    ~reg:"aww-multishot-fi" ?witness_dir ~max_nodes:2_000_000 ();
   (* Positive controls: implementations that must pass. *)
   let module Row_fi = E2_row (Spec.Fetch_and_inc) in
   Row_fi.run ~name:"AWW one-shot fetch&inc <- T&S" ~expect:"verified (paper, Sec 1)"

@@ -1,0 +1,243 @@
+(* The object registry: every (implementation, workload, spec) triple the
+   tooling can check by name.  One shared table so the CLI (`slin check`,
+   `slin explain`, `slin trace`), the E2 experiment rows and the pinned
+   witness corpus all agree on what a name means — witness artifacts
+   record the registry name as their replay key, so an entry's [make],
+   [workload] and [spec] must stay stable once a witness referencing it
+   is committed (add a new name instead of repurposing one). *)
+
+type checkable =
+  | Checkable : {
+      spec_name : string;
+      make : (module Runtime_intf.S) -> 'op -> 'resp;
+      workload : 'op list array;
+      spec : (module Spec.S with type op = 'op and type resp = 'resp);
+      default_depth : int option;
+    }
+      -> checkable
+
+let all : (string * checkable) list =
+  [
+    ( "faa-max",
+      Checkable
+        {
+          spec_name = "max register from fetch&add (Thm 1)";
+          make = Executors.faa_max_register;
+          workload =
+            [|
+              [ Spec.Max_register.WriteMax 1; Spec.Max_register.ReadMax ];
+              [ Spec.Max_register.WriteMax 2 ];
+              [ Spec.Max_register.ReadMax ];
+            |];
+          spec = (module Spec.Max_register);
+          default_depth = None;
+        } );
+    ( "faa-snapshot",
+      Checkable
+        {
+          spec_name = "atomic snapshot from fetch&add (Thm 2)";
+          make = Executors.faa_snapshot3;
+          workload =
+            [|
+              [ Executors.Snap3.Update (0, 1); Executors.Snap3.Update (0, 2) ];
+              [ Executors.Snap3.Update (1, 3) ];
+              [ Executors.Snap3.Scan; Executors.Snap3.Scan ];
+            |];
+          spec = (module Executors.Snap3);
+          default_depth = None;
+        } );
+    ( "counter",
+      Checkable
+        {
+          spec_name = "simple-type counter over F&A snapshot (Thm 4)";
+          make = Executors.simple_counter;
+          workload =
+            [|
+              [ Spec.Counter.Add 1 ];
+              [ Spec.Counter.Add 2 ];
+              [ Spec.Counter.Read; Spec.Counter.Read ];
+            |];
+          spec = (module Spec.Counter);
+          default_depth = None;
+        } );
+    ( "readable-ts",
+      Checkable
+        {
+          spec_name = "readable test&set from test&set (Thm 5)";
+          make = Executors.readable_ts;
+          workload =
+            [|
+              [ Spec.Test_and_set.TestAndSet ];
+              [ Spec.Test_and_set.TestAndSet ];
+              [ Spec.Test_and_set.Read; Spec.Test_and_set.Read ];
+            |];
+          spec = (module Spec.Test_and_set);
+          default_depth = None;
+        } );
+    ( "multishot-ts",
+      Checkable
+        {
+          spec_name = "multi-shot test&set (Thm 6)";
+          make = Executors.multishot_ts_atomic;
+          workload =
+            [|
+              [ Spec.Multishot_test_and_set.TestAndSet; Spec.Multishot_test_and_set.Reset ];
+              [ Spec.Multishot_test_and_set.TestAndSet ];
+              [ Spec.Multishot_test_and_set.Read ];
+            |];
+          spec = (module Spec.Multishot_test_and_set);
+          default_depth = None;
+        } );
+    ( "fetch-inc",
+      Checkable
+        {
+          spec_name = "fetch&increment from test&set (Thm 9)";
+          make = Executors.ts_fetch_inc;
+          workload =
+            [|
+              [ Spec.Fetch_and_inc.FetchInc ];
+              [ Spec.Fetch_and_inc.FetchInc ];
+              [ Spec.Fetch_and_inc.Read ];
+            |];
+          spec = (module Spec.Fetch_and_inc);
+          default_depth = None;
+        } );
+    ( "set",
+      Checkable
+        {
+          spec_name = "set from test&set, full stack (Thm 10)";
+          make = Executors.ts_set_full;
+          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |];
+          spec = (module Spec.Set_obj);
+          default_depth = None;
+        } );
+    ( "hw-queue",
+      Checkable
+        {
+          spec_name = "Herlihy-Wing queue (baseline, not SL)";
+          make = Executors.hw_queue;
+          workload =
+            [|
+              [ Spec.Queue_spec.Enq 1 ];
+              [ Spec.Queue_spec.Enq 2 ];
+              [ Spec.Queue_spec.Deq ];
+              [ Spec.Queue_spec.Deq ];
+            |];
+          spec = (module Spec.Queue_spec);
+          default_depth = Some 22;
+        } );
+    ( "agm-stack",
+      Checkable
+        {
+          spec_name = "AGM-style stack (baseline, not SL)";
+          make = Executors.agm_stack;
+          workload =
+            [|
+              [ Spec.Stack_spec.Push 1 ];
+              [ Spec.Stack_spec.Push 2 ];
+              [ Spec.Stack_spec.Pop ];
+              [ Spec.Stack_spec.Pop ];
+            |];
+          spec = (module Spec.Stack_spec);
+          default_depth = Some 24;
+        } );
+    ( "rw-max",
+      Checkable
+        {
+          spec_name = "read/write max register (baseline, not SL)";
+          make = Executors.rw_max_register;
+          workload =
+            [|
+              [ Spec.Max_register.WriteMax 1 ];
+              [ Spec.Max_register.WriteMax 2 ];
+              [ Spec.Max_register.ReadMax; Spec.Max_register.ReadMax ];
+            |];
+          spec = (module Spec.Max_register);
+          default_depth = None;
+        } );
+    ( "mwmr-register",
+      Checkable
+        {
+          spec_name = "MWMR register from SWMR (baseline, not SL)";
+          make = Executors.mwmr_register;
+          workload =
+            [|
+              [ Spec.Register.Write 1 ];
+              [ Spec.Register.Write 2 ];
+              [ Spec.Register.Read; Spec.Register.Read ];
+            |];
+          spec = (module Spec.Register);
+          default_depth = None;
+        } );
+    ( "set-empty-race",
+      Checkable
+        {
+          spec_name = "Alg 2 set, EMPTY race (the Thm 10 finding)";
+          make = Executors.ts_set_atomic_fi;
+          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |];
+          spec = (module Spec.Set_obj);
+          default_depth = None;
+        } );
+    ( "set-repaired",
+      Checkable
+        {
+          spec_name = "repaired set: conservative EMPTY (finding follow-up)";
+          make =
+            (fun (module R : Runtime_intf.S) ->
+              let module A = Atomic_objects.Make (R) in
+              let module S = Ts_set_conservative.Make (R) (A.Fetch_inc) in
+              let t = S.create ~name:"cset" () in
+              fun (op : Spec.Set_obj.op) : Spec.Set_obj.resp ->
+                match op with
+                | Spec.Set_obj.Put x ->
+                    S.put t x;
+                    Spec.Set_obj.Ok_
+                | Spec.Set_obj.Take -> (
+                    match S.take t with
+                    | None -> Spec.Set_obj.Empty
+                    | Some x -> Spec.Set_obj.Item x));
+          workload = [| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |];
+          spec = (module Spec.Set_obj);
+          default_depth = Some 18;
+        } );
+    ( "cas-queue",
+      Checkable
+        {
+          spec_name = "CAS universal queue (baseline, SL)";
+          make = Executors.cas_queue;
+          workload =
+            [|
+              [ Spec.Queue_spec.Enq 1 ];
+              [ Spec.Queue_spec.Enq 2 ];
+              [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
+            |];
+          spec = (module Spec.Queue_spec);
+          default_depth = Some 30;
+        } );
+    ( "tournament-ts",
+      Checkable
+        {
+          spec_name = "tournament test&set (baseline, not linearizable)";
+          make = Executors.tournament_ts;
+          workload = Array.make 4 [ Spec.Test_and_set.TestAndSet ];
+          spec = (module Spec.Test_and_set);
+          default_depth = None;
+        } );
+    ( "aww-multishot-fi",
+      Checkable
+        {
+          spec_name = "multi-shot AWW fetch&inc with hint read (not linearizable)";
+          make = Executors.aww_multishot_fi;
+          workload =
+            [|
+              [ Spec.Fetch_and_inc.FetchInc ];
+              [ Spec.Fetch_and_inc.FetchInc ];
+              [ Spec.Fetch_and_inc.Read ];
+            |];
+          spec = (module Spec.Fetch_and_inc);
+          default_depth = None;
+        } );
+  ]
+
+let names = List.map fst all
+let find name = List.assoc_opt name all

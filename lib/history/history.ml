@@ -62,3 +62,10 @@ let pp_op_record pp_op pp_resp fmt r =
 
 let pp pp_op pp_resp fmt records =
   List.iter (fun r -> Format.fprintf fmt "%a@." (pp_op_record pp_op pp_resp) r) records
+
+let label pp_op pp_resp r = Format.asprintf "%a" (pp_op_record pp_op pp_resp) r
+
+let pp_inline pp_op pp_resp fmt records =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+    (pp_op_record pp_op pp_resp) fmt records

@@ -46,3 +46,19 @@ val pp :
   Format.formatter ->
   ('op, 'resp) op_record list ->
   unit
+
+val label :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'resp -> unit) ->
+  ('op, 'resp) op_record ->
+  string
+(** One-line rendering of a record ([#3 p2 Deq -> Item 1]) — the unit of
+    conflict reporting in witness artifacts. *)
+
+val pp_inline :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'resp -> unit) ->
+  Format.formatter ->
+  ('op, 'resp) op_record list ->
+  unit
+(** Whole history on one (wrapped) line, records separated by [";"]. *)

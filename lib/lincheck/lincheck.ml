@@ -357,6 +357,15 @@ module Make (S : Spec.S) = struct
   let check_strong ?max_nodes ?max_depth prog =
     fst (check_strong_stats ?max_nodes ?max_depth prog)
 
+  (* Exposed (under [Internal]) for the witness forensics in
+     [Witness.Make], which replays the enumerator on small certificate
+     subtrees.  Not part of the checking API proper. *)
+  module Internal = struct
+    let validate_prefix = validate_prefix
+
+    let extensions = extensions
+  end
+
   let verdict_fields = function
     | Strongly_linearizable { nodes } ->
         [ ("verdict", Obs_json.String "strongly_linearizable"); ("nodes", Obs_json.Int nodes) ]

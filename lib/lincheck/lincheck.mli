@@ -103,4 +103,25 @@ module Make (S : Spec.S) : sig
 
   val verdict_fields : verdict -> (string * Obs_json.t) list
   (** The verdict as JSON fields (constructor tag plus its payload). *)
+
+  (** {1 Internals}
+
+      The two building blocks of the game solver, exposed so
+      {!Witness.Make} can replay them on small certificate subtrees.
+      Not intended for direct use. *)
+  module Internal : sig
+    val validate_prefix :
+      (S.op, S.resp) History.op_record list -> linearization -> S.state list option
+    (** State set of the spec after committing [linearization] against
+        the given records, or [None] if some committed response is
+        invalidated. *)
+
+    val extensions :
+      (S.op, S.resp) History.op_record list ->
+      linearization ->
+      S.state list ->
+      linearization list
+    (** Minimal valid linearizations of the records extending the given
+        prefix (whose state set is the third argument). *)
+  end
 end

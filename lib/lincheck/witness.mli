@@ -1,0 +1,180 @@
+(** Counterexample forensics: structured, replayable witness artifacts
+    for the strong-linearizability checker's refutations.
+
+    A refutation verdict names a single schedule — the deepest dead end
+    of the game.  This module turns it into a self-certifying
+    {e certificate subtree}: a shared schedule prefix (the {e branch})
+    plus a small set of continuation schedules (the {e futures}) such
+    that no prefix-closed assignment of linearizations exists on that
+    subtree.  Because the subtree embeds in the full execution tree, its
+    refutation carries over: replaying the certificate re-proves the
+    verdict without re-running the exploration.
+
+    The pipeline: {!Make.extract} builds a certificate from a verdict,
+    {!Make.shrink} greedily minimizes it, {!Make.conflict_of} computes
+    the spec-level reason, {!Make.to_json} serializes it as a versioned
+    [slin-witness/v1] document, and {!parse} / {!Make.replay} load one
+    back and verify the verdict reproduces (the [slin explain] path). *)
+
+type kind = Not_linearizable | Not_strongly_linearizable
+
+val kind_tag : kind -> string
+
+val kind_of_tag : string -> kind option
+
+(** A certificate: futures are stored {e relative} to the branch; the
+    certificate tree is the union of the schedules [branch @ future]. *)
+type shape = { kind : kind; branch : int list; futures : int list list }
+
+(** The full schedules [branch @ future], in future order. *)
+val schedules : shape -> int list list
+
+(** Total number of schedule steps (branch + all futures). *)
+val size : shape -> int
+
+(** {1 Conflicts}
+
+    The spec-level reason the certificate refutes, phrased in terms of
+    the {e choices} each future leaves open for some operation at the
+    branch point. *)
+
+(** The response an operation is committed to in a branch
+    linearization, or [None] when it is deferred past the branch. *)
+type choice = string option
+
+type conflict =
+  | Placement of { op : string; forced_by : int; excluded_by : int }
+      (** one future forces [op] to linearize at or before the branch
+          point, another strictly after it *)
+  | Response of {
+      op : string;
+      forced_by : int;
+      resp_a : string;
+      excluded_by : int;
+      resp_b : string;
+    }  (** two futures force [op] to distinct responses at the branch *)
+  | Commitment of {
+      op : string;
+      future_a : int;
+      choices_a : choice list;
+      future_b : int;
+      choices_b : choice list;
+    }
+      (** general form: the choice sets two futures leave open for [op]
+          at the branch point are disjoint *)
+  | Generic of string  (** no single-operation explanation found *)
+
+(** One-sentence human-readable rendering. *)
+val conflict_description : conflict -> string
+
+(** {1 The serialized artifact} *)
+
+val schema_version : string
+(** ["slin-witness/v1"] *)
+
+type recorded_op = { r_id : int; r_proc : int; r_op : string; r_resp : string option }
+
+type recorded_future = { f_schedule : int list; f_history : recorded_op list }
+
+(** A parsed [slin-witness/v1] document.  [p_object] is the registry
+    name under which the witnessed object can be re-instantiated. *)
+type parsed = {
+  p_object : string;
+  p_spec : string;
+  p_procs : int;
+  p_kind : kind;
+  p_branch : int list;
+  p_futures : recorded_future list;
+  p_conflict : conflict option;
+  p_max_nodes : int option;
+  p_max_depth : int option;
+  p_nodes : int option;
+  p_original_len : int;
+  p_shrunk_len : int;
+}
+
+val shape_of_parsed : parsed -> shape
+
+val parse : Obs_json.t -> (parsed, string) result
+
+val parse_file : string -> (parsed, string) result
+
+(** {1 Spec-dependent machinery}
+
+    Everything that must replay schedules or run the checker's game.
+    The functor instantiates its own [Lincheck.Make (S)] internally; the
+    API exchanges only plain data (schedules, programs), so it composes
+    with any other instantiation. *)
+
+module Make (S : Spec.S) : sig
+  (** Does the certificate refute?  For [Not_linearizable] the (single)
+      future's history must fail linearizability outright; for
+      [Not_strongly_linearizable] the checker's game, restricted to the
+      certificate tree, must have no winning strategy.  [Error] when a
+      schedule in the certificate does not replay. *)
+  val refutes : (S.op, S.resp) Sim.program -> shape -> (bool, string) result
+
+  (** Build a certificate from a refutation verdict of
+      [Lincheck.Make(S).check_strong] on [prog].  For
+      [Not_strongly_linearizable] this re-runs the game recording
+      refutation evidence, using the same traversal and budget as the
+      original check — pass the same [max_nodes] / [max_depth].
+      [schedule] is the verdict's witness schedule (used directly for
+      [Not_linearizable]).  [None] only if the verdict cannot be
+      re-established within the budget. *)
+  val extract :
+    ?max_nodes:int ->
+    ?max_depth:int ->
+    (S.op, S.resp) Sim.program ->
+    kind:kind ->
+    schedule:int list ->
+    shape option
+
+  (** Greedy minimization to a local fixpoint: drop futures, drop
+      steps, hoist common future prefixes into the branch, reduce
+      context switches — re-verifying every candidate with {!refutes}.
+      The result refutes whenever the input does, and never has more
+      steps. *)
+  val shrink : (S.op, S.resp) Sim.program -> shape -> shape
+
+  (** The spec-level reason the certificate refutes, if a
+      single-operation explanation exists.  [None] for
+      [Not_linearizable] certificates (the history itself is the
+      explanation). *)
+  val conflict_of : (S.op, S.resp) Sim.program -> shape -> conflict option
+
+  (** Serialize as a [slin-witness/v1] document.  [object_name] must be
+      a stable registry name so [slin explain] can re-instantiate the
+      object; [original_len] is the pre-shrink certificate size. *)
+  val to_json :
+    (S.op, S.resp) Sim.program ->
+    object_name:string ->
+    spec_name:string ->
+    max_nodes:int ->
+    max_depth:int option ->
+    nodes:int option ->
+    original_len:int ->
+    shape ->
+    Obs_json.t
+
+  type replay_report = {
+    reproduced : bool;  (** verdict re-established and histories match *)
+    notes : string list;  (** every observed divergence, empty when reproduced *)
+  }
+
+  (** Re-run a parsed witness against a freshly instantiated program:
+      replays every future schedule, compares each invocation/response
+      against the recorded history, then re-checks {!refutes} on the
+      certificate. *)
+  val replay : (S.op, S.resp) Sim.program -> parsed -> replay_report
+
+  (** Step-by-step rendering of one full schedule: one line per step
+      with the simulator events it produced. *)
+  val timeline : (S.op, S.resp) Sim.program -> int list -> string list
+
+  (** Render the certificate for humans: kind, branch timeline, futures
+      (side by side when there are exactly two), per-future histories,
+      and the conflict when given. *)
+  val pp_explain :
+    prog:(S.op, S.resp) Sim.program -> ?conflict:conflict -> Format.formatter -> shape -> unit
+end

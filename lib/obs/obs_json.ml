@@ -253,3 +253,16 @@ let to_int = function Int i -> Some i | _ -> None
 let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
 let to_str = function String s -> Some s | _ -> None
 let to_list = function List l -> Some l | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_assoc = function Assoc kvs -> Some kvs | _ -> None
+
+let to_int_list v =
+  match to_list v with
+  | None -> None
+  | Some items ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Int i :: rest -> go (i :: acc) rest
+        | _ -> None
+      in
+      go [] items

@@ -39,3 +39,8 @@ val to_float : t -> float option
 
 val to_str : t -> string option
 val to_list : t -> t list option
+val to_bool : t -> bool option
+val to_assoc : t -> (string * t) list option
+
+val to_int_list : t -> int list option
+(** All-[Int] lists only — the shape schedules take in witness files. *)

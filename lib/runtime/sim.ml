@@ -182,6 +182,22 @@ let run_schedule prog schedule =
   List.iter (fun p -> step w p) schedule;
   w
 
+(* Replay entry point for untrusted schedules (witness artifacts, shrink
+   candidates): a schedule that steps a finished, crashed or out-of-range
+   process is reported as [Error] instead of an exception, with the
+   offending position for diagnostics. *)
+let run_schedule_result prog schedule =
+  let w = boot_world prog in
+  let rec go i = function
+    | [] -> Ok w
+    | p :: rest -> (
+        match step w p with
+        | () -> go (i + 1) rest
+        | exception Invalid_schedule msg ->
+            Error (Printf.sprintf "step %d (process %d): %s" i p msg))
+  in
+  go 0 schedule
+
 let run_to_completion ?(choose = fun ps -> List.hd ps) prog =
   let w = boot_world prog in
   let rec loop () =

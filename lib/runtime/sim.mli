@@ -98,6 +98,11 @@ val run_schedule : ('op, 'resp) program -> int list -> ('op, 'resp) t
 (** Boot a fresh world and apply the given schedule.
     @raise Invalid_schedule as {!step} does. *)
 
+val run_schedule_result : ('op, 'resp) program -> int list -> (('op, 'resp) t, string) result
+(** Like {!run_schedule} for untrusted schedules (witness replay, shrink
+    candidates): an invalid step yields [Error] describing the offending
+    position instead of raising. *)
+
 val run_to_completion : ?choose:(int list -> int) -> ('op, 'resp) program -> ('op, 'resp) t
 (** Boot a fresh world and keep stepping until no process is enabled.
     [choose] picks the next process among the enabled ones (default: the

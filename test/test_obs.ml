@@ -83,6 +83,76 @@ let test_json_escapes_and_unicode () =
   Alcotest.(check bool) "control char round trip" true
     (of_string_exn (to_string (String "\x01\x02")) = String "\x01\x02")
 
+(* qcheck round trips: the witness artifacts made the parser
+   load-bearing, so hammer printer∘parser = id over adversarial values —
+   escape-heavy and raw-byte strings, unicode, extreme ints, deep
+   nesting. *)
+let json_arbitrary =
+  let open QCheck.Gen in
+  let tricky_string =
+    oneofl
+      [
+        "";
+        "\"";
+        "\\";
+        "\\\\\"\\";
+        "a \"quoted\" \\ line\nwith\ttabs\r";
+        "\x01\x02\x7f\x00";
+        "h\xc3\xa9llo";
+        "\xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e";
+        "\xf0\x9f\x90\xab wide unicode";
+        String.make 200 '\\';
+      ]
+  in
+  let str =
+    oneof [ tricky_string; string_size ~gen:(char_range '\000' '\255') (int_bound 24) ]
+  in
+  let extreme_int = oneofl [ 0; 1; -1; 42; max_int; min_int; max_int - 1; min_int + 1 ] in
+  let safe_float =
+    map
+      (fun f -> if Float.is_nan f || Float.abs f = Float.infinity then 0.5 else f)
+      (oneof [ float; oneofl [ 0.0; -0.0; 2.0; 1e100; 1.5e-300; 3.141592653589793 ] ])
+  in
+  let scalar =
+    oneof
+      [
+        map (fun s -> Obs_json.String s) str;
+        map (fun i -> Obs_json.Int i) (oneof [ extreme_int; int ]);
+        map (fun f -> Obs_json.Float f) safe_float;
+        map (fun b -> Obs_json.Bool b) bool;
+        return Obs_json.Null;
+      ]
+  in
+  let tree =
+    fix
+      (fun self n ->
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (2, scalar);
+              (1, map (fun l -> Obs_json.List l) (list_size (int_bound 4) (self (n - 1))));
+              ( 1,
+                map
+                  (fun l -> Obs_json.Assoc l)
+                  (list_size (int_bound 4) (pair str (self (n - 1)))) );
+            ])
+      4
+  in
+  QCheck.make tree ~print:Obs_json.to_string
+
+let qcheck_roundtrip_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:1000 ~name:"to_string/of_string = id" json_arbitrary (fun v ->
+          Obs_json.of_string_exn (Obs_json.to_string v) = v);
+      QCheck.Test.make ~count:200 ~name:"pp/of_string = id" json_arbitrary (fun v ->
+          Obs_json.of_string_exn (Format.asprintf "%a" Obs_json.pp v) = v);
+      QCheck.Test.make ~count:200 ~name:"double round trip is stable" json_arbitrary (fun v ->
+          let s = Obs_json.to_string v in
+          Obs_json.to_string (Obs_json.of_string_exn s) = s);
+    ]
+
 let test_json_errors () =
   let open Obs_json in
   let bad s = match of_string s with Error _ -> true | Ok _ -> false in
@@ -266,7 +336,8 @@ let () =
           Alcotest.test_case "round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "escapes+unicode" `Quick test_json_escapes_and_unicode;
           Alcotest.test_case "errors" `Quick test_json_errors;
-        ] );
+        ]
+        @ qcheck_roundtrip_tests );
       ("jsonl", [ Alcotest.test_case "round trip" `Quick test_jsonl_roundtrip ]);
       ( "chrome-trace",
         [
