@@ -1,17 +1,18 @@
 (* Benchmark and experiment harness.
 
-   Regenerates every experiment table (E1-E5, see DESIGN.md and
+   Regenerates every experiment table (E1-E5, E7, E8, see DESIGN.md and
    EXPERIMENTS.md) and runs the E6 micro-benchmarks (bechamel timings on
-   the solo runtime plus a parallel-runtime throughput table).  Every
-   timing also lands in BENCH_results.json so the perf trajectory is
-   tracked PR-over-PR; --quick swaps the bechamel suite for a fast
-   manual-timing pass but still writes the file.
+   the solo runtime plus a parallel-runtime throughput table) and the
+   fuzz-throughput pass.  Every timing also lands in BENCH_results.json
+   so the perf trajectory is tracked PR-over-PR; --quick swaps the
+   bechamel suite for a fast manual-timing pass but still writes the
+   file.
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- --quick # fast pass (quick E2, no bechamel)
      dune exec bench/main.exe -- e3 e5   # selected experiments only *)
 
-let valid_experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7" ]
+let valid_experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "fuzz" ]
 
 let usage_and_exit bad =
   Printf.eprintf "unknown argument%s: %s\n"
@@ -34,8 +35,13 @@ let selected name = chosen = [] || List.mem name chosen
 (* BENCH_results.json: machine-readable perf record                    *)
 (* ------------------------------------------------------------------ *)
 
-(* (name, metric, value) triples; metric is "ns_per_op" or "ops_per_s". *)
+(* (name, metric, value) triples; metric is "ns_per_op", "ops_per_s" or
+   "schedules_per_s". *)
 let bench_results : (string * string * float) list ref = ref []
+
+(* Per-campaign fuzz summaries, serialized under the top-level "fuzz"
+   key of BENCH_results.json. *)
+let fuzz_results : (string * Obs_json.t) list ref = ref []
 
 let record_result name metric value = bench_results := (name, metric, value) :: !bench_results
 
@@ -55,6 +61,7 @@ let write_bench_results () =
         ("schema", String "slin-bench/v1");
         ("quick", Bool quick);
         ("results", List results);
+        ("fuzz", Assoc (List.rev !fuzz_results));
       ]
   in
   let oc = open_out bench_results_file in
@@ -300,6 +307,49 @@ let e6_quick () =
         ignore (Snap.scan snap)
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz throughput: schedules/sec with and without crash injection      *)
+(* ------------------------------------------------------------------ *)
+
+(* How fast the seeded crash fuzzer turns schedules over, and what crash
+   injection costs, on a wait-free object (short schedules) and the
+   Herlihy-Wing queue (long, spin-heavy schedules).  Campaigns run with
+   shrink disabled and on violation-free objects so the figure is pure
+   schedule + linearizability-check throughput. *)
+let bench_fuzz () =
+  Format.printf "@.| fuzz throughput (seeded campaigns)           | schedules/s@.";
+  let runs = if quick then 400 else 4_000 in
+  let campaign ~name ~crash =
+    match Registry.find name with
+    | None -> ()
+    | Some (Registry.Checkable c) ->
+        let (module S) = c.spec in
+        let module A = Adversary.Make (S) in
+        let prog = Harness.program ~make:c.make ~workload:c.workload in
+        let r = A.fuzz ~seed:1 ~runs ~crash ~shrink:false prog in
+        let sps = A.fuzz_schedules_per_sec r in
+        let label = Printf.sprintf "fuzz %s%s" name (if crash then " +crash" else "") in
+        record_result label "schedules_per_s" sps;
+        fuzz_results :=
+          ( label,
+            Obs_json.Assoc
+              [
+                ("object", Obs_json.String name);
+                ("crash_injection", Obs_json.Bool crash);
+                ("runs", Obs_json.Int r.A.fz_runs);
+                ("crashed_runs", Obs_json.Int r.A.fz_crashed_runs);
+                ("total_steps", Obs_json.Int r.A.fz_total_steps);
+                ("schedules_per_sec", Obs_json.Float sps);
+              ] )
+          :: !fuzz_results;
+        Format.printf "| %-44s | %.0f@." label sps
+  in
+  List.iter
+    (fun name ->
+      campaign ~name ~crash:false;
+      campaign ~name ~crash:true)
+    [ "counter"; "hw-queue" ]
+
 let () =
   if selected "e1" then Experiments.e1 ();
   if selected "e2" then Experiments.e2 ~quick ();
@@ -307,6 +357,8 @@ let () =
   if selected "e4" then Experiments.e4 ();
   if selected "e5" then Experiments.e5 ();
   if selected "e7" then Experiments.e7 ();
+  if selected "e8" then Experiments.e8 ();
   if selected "e6" then if quick then e6_quick () else e6 ();
+  if selected "fuzz" then bench_fuzz ();
   write_bench_results ();
   Format.printf "@.All selected experiments completed.@."

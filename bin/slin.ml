@@ -1,14 +1,20 @@
 (* slin — command-line front end.
 
    Subcommands:
-     slin experiment [e1|e2|e3|e4|e5] [--quick] [--witness-dir DIR]
+     slin experiment [e1|..|e5|e7|e8] [--quick] [--witness-dir DIR]
                                                   regenerate experiment tables
      slin check OBJECT [--max-nodes N] [--max-depth D]
+                      [--budget-nodes N] [--budget-ms MS] [--budget-mb MB]
                       [--stats] [--json-out FILE] [--trace-out FILE]
                       [--witness-out FILE] [--no-shrink]
                                                   strong-linearizability game
      slin explain WITNESS.json [--trace-out BASE]
                                                   replay + render a witness
+     slin fuzz OBJECT [--seed S] [--runs N] [--no-crash] [--max-steps N]
+                      [--no-shrink] [--witness-out FILE]
+                                                  seeded crash fuzzing
+     slin progress OBJECT [--max-nodes N] [--max-depth D] [--witness-out FILE]
+                                                  wait-freedom bound + lasso search
      slin agree OBJECT [--trials N] [--crash-prob P] [--seed S]
                                                   run Algorithm B (Lemma 12)
      slin trace OBJECT [--seed S] [--trace-out FILE]
@@ -17,12 +23,13 @@
    OBJECT names come from the shared registry (Registry.names): faa-max,
    faa-snapshot, counter, readable-ts, multishot-ts, fetch-inc, set,
    hw-queue, agm-stack, rw-max, mwmr-register, cas-queue, set-empty-race,
-   set-repaired, tournament-ts, aww-multishot-fi (check/trace/explain);
-   queue, stack, ooo-queue, hw-queue (agree).
+   set-repaired, tournament-ts, aww-multishot-fi (check/fuzz/progress/
+   trace/explain); queue, stack, ooo-queue, hw-queue (agree).
 
-   Exit codes (check and explain): 0 = verified / witness reproduced,
-   1 = refuted / witness did not reproduce, 2 = usage error, unknown
-   object, inconclusive (out of budget), or internal error. *)
+   Exit codes (check, explain, fuzz, progress): 0 = verified / witness
+   reproduced / no violation found, 1 = refuted / witness did not
+   reproduce / violation found, 2 = usage error, unknown object,
+   inconclusive (out of budget), or internal error. *)
 
 open Cmdliner
 
@@ -32,7 +39,8 @@ let unknown_object name =
 
 (* --- check ------------------------------------------------------------ *)
 
-let run_check name max_nodes max_depth stats json_out trace_out witness_out no_shrink =
+let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
+    trace_out witness_out no_shrink =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -41,6 +49,10 @@ let run_check name max_nodes max_depth stats json_out trace_out witness_out no_s
       let (module S) = c.spec in
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
+      (* --budget-nodes is the graceful-degradation spelling of the node
+         cap: same game, but the caller is asking for a partial answer
+         rather than expecting the budget to suffice. *)
+      let max_nodes = Option.value budget_nodes ~default:max_nodes in
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
       let exit_of_verdict = function
         | L.Strongly_linearizable _ -> 0
@@ -89,7 +101,13 @@ let run_check name max_nodes max_depth stats json_out trace_out witness_out no_s
                     | exception Sys_error msg ->
                         Format.eprintf "cannot open output file: %s@." msg)))
       in
-      let observing = stats || json_out <> None || trace_out <> None in
+      (* Wall-clock and heap budgets only exist on the stats path; a
+         budget request therefore routes there (same verdict line, plus
+         whatever observability was asked for). *)
+      let observing =
+        stats || json_out <> None || trace_out <> None || budget_ms <> None
+        || budget_mb <> None
+      in
       if observing then begin
         Sim.Metrics.reset ();
         Sim.Metrics.enabled := true
@@ -130,8 +148,8 @@ let run_check name max_nodes max_depth stats json_out trace_out witness_out no_s
         in
         let on_progress = if stats then Some on_progress else None in
         let v, st =
-          L.check_strong_stats ~max_nodes ?max_depth:depth ?on_progress ~progress_every:25_000
-            ?tracer prog
+          L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
+            ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer prog
         in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
         let sim_metrics = Sim.Metrics.snapshot () in
@@ -251,6 +269,112 @@ let run_trace name seed trace_out =
               Format.eprintf "cannot open output file: %s@." msg;
               2))
 
+(* --- fuzz ------------------------------------------------------------- *)
+
+let write_witness_json path json =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Obs_json.to_string json);
+        output_char oc '\n')
+  with
+  | () -> true
+  | exception Sys_error msg ->
+      Format.eprintf "cannot open output file: %s@." msg;
+      false
+
+let run_fuzz name seed runs no_crash max_steps no_shrink witness_out =
+  match Registry.find name with
+  | None ->
+      unknown_object name;
+      2
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module A = Adversary.Make (S) in
+      let module W = Witness.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let r =
+        A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) prog
+      in
+      Format.printf "object: %s (master seed %d)@." c.spec_name seed;
+      (* No wall-clock figures here: with a fixed seed the output is
+         byte-for-byte reproducible (the bench harness reports
+         schedules/s instead). *)
+      Format.printf "fuzz: %d runs (%d with an injected crash), %d schedule steps@."
+        r.A.fz_runs r.A.fz_crashed_runs r.A.fz_total_steps;
+      (match r.A.fz_violation with
+      | None ->
+          Format.printf "no linearizability violation found@.";
+          0
+      | Some v ->
+          let crash_str =
+            match v.A.v_crash_after with
+            | [] -> "no crash"
+            | l ->
+                String.concat ", "
+                  (List.map (fun (p, at) -> Printf.sprintf "crash p%d at step %d" p at) l)
+          in
+          Format.printf "VIOLATION: not linearizable (run seed %d, %s, %d-step schedule)@."
+            v.A.v_seed crash_str
+            (List.length v.A.v_schedule);
+          Format.printf "certificate: %d steps after shrinking@." (Witness.size v.A.v_shape);
+          (match witness_out with
+          | None -> ()
+          | Some path ->
+              let json =
+                W.to_json prog ~object_name:name ~spec_name:c.spec_name ~max_nodes:0
+                  ~max_depth:None ~nodes:None
+                  ~original_len:(List.length v.A.v_schedule)
+                  v.A.v_shape
+              in
+              if write_witness_json path json then
+                Format.printf "witness (%s, %d steps) written to %s — replay with slin explain@."
+                  (Witness.kind_tag v.A.v_shape.Witness.kind)
+                  (Witness.size v.A.v_shape) path);
+          1)
+
+(* --- progress --------------------------------------------------------- *)
+
+let run_progress name max_nodes max_depth witness_out =
+  match Registry.find name with
+  | None ->
+      unknown_object name;
+      2
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module A = Adversary.Make (S) in
+      let module W = Witness.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      Format.printf "object: %s@." c.spec_name;
+      let wf = A.wait_free_bound ~max_nodes ?max_depth:depth prog in
+      Format.printf "wait-freedom: %a%s@." A.pp_wf_report wf
+        (if A.wait_free_established wf then " — exhaustive: an adversarial bound"
+         else " — walk incomplete: establishes nothing");
+      let lf = A.find_livelock prog in
+      (match lf.A.lf_livelock with
+      | None ->
+          Format.printf "lock-freedom: no lasso found (%d adversaries tried)@."
+            lf.A.lf_candidates;
+          0
+      | Some shape ->
+          Format.printf "lock-freedom: LIVELOCK — certified %d-step lasso (stem %d, cycle %d)@."
+            (Witness.size shape)
+            (List.length shape.Witness.branch)
+            (List.length (List.concat shape.Witness.futures));
+          (match witness_out with
+          | None -> ()
+          | Some path ->
+              let json =
+                W.to_json prog ~object_name:name ~spec_name:c.spec_name ~max_nodes
+                  ~max_depth:depth ~nodes:None
+                  ~original_len:(Witness.size shape)
+                  shape
+              in
+              if write_witness_json path json then
+                Format.printf "witness (livelock) written to %s — replay with slin explain@."
+                  path);
+          1)
+
 (* --- agreement objects ------------------------------------------------ *)
 
 let agree_objects = [ "queue"; "stack"; "ooo-queue"; "hw-queue" ]
@@ -311,18 +435,29 @@ let experiment_cmd =
       & info [ "witness-dir" ] ~docv:"DIR"
           ~doc:"Write a slin-witness/v1 JSON artifact for every E2 refutation into $(docv).")
   in
+  let known = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e7"; "e8" ] in
   let run which quick witness_dir =
-    let sel name = which = [] || List.mem name which in
-    if sel "e1" then Experiments.e1 ();
-    if sel "e2" then Experiments.e2 ?witness_dir ~quick ();
-    if sel "e3" then Experiments.e3 ();
-    if sel "e4" then Experiments.e4 ();
-    if sel "e5" then Experiments.e5 ();
-    if sel "e7" then Experiments.e7 ();
-    0
+    match List.filter (fun n -> not (List.mem n known)) which with
+    | _ :: _ as bad ->
+        Format.eprintf "unknown experiment%s %s; choose from: %s@."
+          (if List.length bad > 1 then "s" else "")
+          (String.concat ", " (List.map (Printf.sprintf "%S") bad))
+          (String.concat ", " known);
+        2
+    | [] ->
+        let sel name = which = [] || List.mem name which in
+        if sel "e1" then Experiments.e1 ();
+        if sel "e2" then Experiments.e2 ?witness_dir ~quick ();
+        if sel "e3" then Experiments.e3 ();
+        if sel "e4" then Experiments.e4 ();
+        if sel "e5" then Experiments.e5 ();
+        if sel "e7" then Experiments.e7 ();
+        if sel "e8" then Experiments.e8 ();
+        0
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate experiment tables E1-E5 (see EXPERIMENTS.md).")
+    (Cmd.info "experiment" ~exits:verdict_exits
+       ~doc:"Regenerate experiment tables E1-E5, E7, E8 (see EXPERIMENTS.md).")
     Term.(const run $ which $ quick $ witness_dir)
 
 let check_cmd =
@@ -332,6 +467,36 @@ let check_cmd =
   in
   let max_depth =
     Arg.(value & opt (some int) None & info [ "max-depth" ] ~doc:"Truncate the execution tree.")
+  in
+  let budget_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-nodes" ]
+          ~doc:
+            "Degrade gracefully after exploring $(docv) nodes: report an inconclusive verdict \
+             with partial statistics and exit 2 (overrides $(b,--max-nodes))."
+          ~docv:"N")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ]
+          ~doc:
+            "Degrade gracefully after $(docv) milliseconds of exploration: report an \
+             inconclusive verdict with partial statistics and exit 2."
+          ~docv:"MS")
+  in
+  let budget_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-mb" ]
+          ~doc:
+            "Degrade gracefully when the OCaml heap exceeds $(docv) MB: report an inconclusive \
+             verdict with partial statistics and exit 2."
+          ~docv:"MB")
   in
   let stats =
     Arg.(
@@ -377,8 +542,8 @@ let check_cmd =
     (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
     Term.(
-      const run_check $ obj $ max_nodes $ max_depth $ stats $ json_out $ trace_out $ witness_out
-      $ no_shrink)
+      const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
+      $ stats $ json_out $ trace_out $ witness_out $ no_shrink)
 
 let explain_cmd =
   let witness =
@@ -400,6 +565,65 @@ let explain_cmd =
          the recorded refutation reproduces, and render a side-by-side timeline of the \
          diverging futures.")
     Term.(const run_explain $ witness $ trace_out)
+
+let fuzz_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed; the whole campaign is \
+                                                           a pure function of it.") in
+  let runs = Arg.(value & opt int 500 & info [ "runs" ] ~doc:"Random schedules to run.") in
+  let no_crash =
+    Arg.(value & flag & info [ "no-crash" ] ~doc:"Disable crash injection (schedules only).")
+  in
+  let max_steps =
+    Arg.(value & opt int 2048 & info [ "max-steps" ] ~doc:"Step cap per schedule.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report the violating schedule exactly as executed.")
+  in
+  let witness_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "On a violation, write the shrunk certificate as a slin-witness/v1 JSON artifact \
+             to $(docv); replay it later with $(b,slin explain).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits:verdict_exits
+       ~doc:
+         "Fuzz OBJECT with seeded random schedules and crash injection: every trace is \
+          checked for linearizability, and the first violation is shrunk into a replayable \
+          witness.")
+    Term.(const run_fuzz $ obj $ seed $ runs $ no_crash $ max_steps $ no_shrink $ witness_out)
+
+let progress_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let max_nodes =
+    Arg.(
+      value & opt int 2_000_000 & info [ "max-nodes" ] ~doc:"Node budget for the tree walk.")
+  in
+  let max_depth =
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~doc:"Truncate the schedule tree.")
+  in
+  let witness_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "If a livelock lasso is found, write its certificate as a slin-witness/v1 JSON \
+             artifact to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "progress" ~exits:verdict_exits
+       ~doc:
+         "Verify progress properties of OBJECT mechanically: an exhaustive worst-case \
+          steps-per-operation bound over every schedule (wait-freedom), and a lasso search \
+          for livelocks (lock-freedom refutation).")
+    Term.(const run_progress $ obj $ max_nodes $ max_depth $ witness_out)
 
 let agree_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -431,7 +655,10 @@ let trace_cmd =
 let () =
   let doc = "strongly-linearizable objects from consensus-number-2 primitives" in
   let info = Cmd.info "slin" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ experiment_cmd; check_cmd; explain_cmd; agree_cmd; trace_cmd ] in
+  let group =
+    Cmd.group info
+      [ experiment_cmd; check_cmd; explain_cmd; fuzz_cmd; progress_cmd; agree_cmd; trace_cmd ]
+  in
   (* All usage and internal errors land on 2, leaving 0/1 to carry the
      verdict (see EXIT STATUS in the subcommand man pages). *)
   exit (match Cmd.eval_value group with Ok (`Ok code) -> code | Ok (`Help | `Version) -> 0 | Error _ -> 2)

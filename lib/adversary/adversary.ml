@@ -1,0 +1,555 @@
+(* Slin_adversary: the failure-aware layer of the checker.
+
+   The paper's positive results promise wait-free / lock-free strong
+   linearizability — statements that only mean something against an
+   adversary that schedules badly and crashes processes.  This module
+   makes that adversary mechanical:
+
+   - [Make(S).check_strong_crashes] replays the strong-linearizability
+     game on the execution tree {e extended with crash edges}: at every
+     node the adversary may, while its crash budget lasts, permanently
+     remove an enabled process.  A crash edge changes no history (the
+     trace is untouched), so the crash-extended tree is strongly
+     linearizable iff the crash-free tree is — crashing a process is
+     indistinguishable from the adversary never scheduling it again, and
+     each crash-maximal node's history already appears at an interior
+     node of the crash-free tree.  The game is still worth running: it
+     mechanically cross-validates that equivalence (the checker's answer
+     must match [Lincheck.check_strong]'s on every E1 construction) and
+     exercises the pending-forever histories crashes create.
+
+   - [Make(S).wait_free_bound] walks the whole crash-free schedule tree
+     and reports the worst steps-per-operation over every complete
+     execution: an exhaustive per-workload wait-freedom bound, as
+     opposed to [Progress.measure]'s sampled one.
+
+   - [Make(S).find_livelock] refutes lock-freedom by lasso detection:
+     drive a candidate process subset round-robin, and when the drive
+     window fills with a periodic event-signature block containing no
+     completion, certify the stem + cycle as a [Livelock] witness in the
+     [slin-witness/v1] shape (verified by [Witness.Make(S).refutes]).
+
+   - [Make(S).fuzz] is the seeded crash fuzzer behind [slin fuzz]: a
+     master seed derives per-run schedules and crash plans, every trace
+     is checked for linearizability, and a violation is shrunk through
+     the witness shrinker into a replayable artifact.  Crashes need no
+     special replay support: a crash only removes a process's future
+     steps, so the recorded schedule alone reproduces the trace.
+
+   - [agreement_crash_sweep] runs Lemma 12's Algorithm B under a
+     canonical family of deterministic schedules crossed with every
+     crash plan of at most k-1 processes over a position grid, checking
+     k-set agreement's validity, agreement and termination each time. *)
+
+(* Instruments, registered once (the functor may be instantiated per
+   spec; counters live here so the registry holds one of each). *)
+let c_crash_nodes = Obs.counter "adversary.crash_game.nodes"
+let c_fuzz_runs = Obs.counter "adversary.fuzz.runs"
+let c_fuzz_steps = Obs.counter "adversary.fuzz.steps"
+let c_lasso_candidates = Obs.counter "adversary.lasso.candidates"
+let c_sweep_runs = Obs.counter "adversary.sweep.runs"
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+(* --- crash-aware strong linearizability + progress + fuzzing ---------- *)
+
+module Make (S : Spec.S) = struct
+  module L = Lincheck.Make (S)
+  module W = Witness.Make (S)
+
+  let op_str o = Format.asprintf "%a" S.pp_op o
+  let resp_str r = Format.asprintf "%a" S.pp_resp r
+
+  let event_sig = function
+    | Trace.Invoke { proc; op } -> Printf.sprintf "i%d:%s" proc (op_str op)
+    | Trace.Return { proc; resp } -> Printf.sprintf "r%d:%s" proc (resp_str resp)
+    | Trace.Step { proc; obj; info } ->
+        Printf.sprintf "s%d:%s%s" proc obj
+          (match info with Some i -> ":" ^ i | None -> "")
+
+  (* ---------------- the crash game ------------------------------------ *)
+
+  type crash_action = Step of int | Crash of int
+
+  let pp_crash_action fmt = function
+    | Step p -> Format.pp_print_int fmt p
+    | Crash p -> Format.fprintf fmt "!%d" p
+
+  let pp_crash_actions fmt l = List.iter (pp_crash_action fmt) l
+
+  type crash_verdict =
+    | Crash_strongly_linearizable of { nodes : int }
+    | Crash_not_linearizable of { actions : crash_action list }
+    | Crash_not_strongly_linearizable of { actions : crash_action list; nodes : int }
+    | Crash_inconclusive of { nodes : int; reason : Lincheck.budget_reason }
+
+  let pp_crash_verdict fmt = function
+    | Crash_strongly_linearizable { nodes } ->
+        Format.fprintf fmt "strongly linearizable under crashes (%d nodes explored)" nodes
+    | Crash_not_linearizable { actions } ->
+        Format.fprintf fmt "NOT linearizable under crashes (actions: %a)" pp_crash_actions
+          actions
+    | Crash_not_strongly_linearizable { actions; nodes } ->
+        Format.fprintf fmt "NOT strongly linearizable under crashes (actions: %a; %d nodes)"
+          pp_crash_actions actions nodes
+    | Crash_inconclusive { nodes; reason } ->
+        Format.fprintf fmt "inconclusive under crashes (%s budget, %d nodes)"
+          (Lincheck.budget_reason_tag reason)
+          nodes
+
+  exception Found_crash_not_linearizable of crash_action list
+
+  let run_actions prog actions =
+    let w = Sim.create ~n:prog.Sim.procs in
+    prog.Sim.boot w;
+    List.iter (function Step p -> Sim.step w p | Crash p -> Sim.crash w p) actions;
+    w
+
+  (* The strong-linearizability game of [Lincheck.check_strong_stats]
+     with the adversary's move set enlarged: besides stepping any
+     enabled process it may crash one, [crashes] times in total per
+     branch.  Crash edges add no trace events, so this decides strong
+     linearizability of the crash-extended execution tree; soundness and
+     the game structure are exactly the checker's. *)
+  let check_strong_crashes ?(max_nodes = 2_000_000) ?max_depth ?budget_ms ~crashes
+      (prog : (S.op, S.resp) Sim.program) : crash_verdict =
+    let t0 = Obs.now_ns () in
+    let nodes = ref 0 in
+    let tripped = ref Lincheck.Budget_nodes in
+    let stop reason =
+      tripped := reason;
+      raise Lincheck.Budget_exhausted
+    in
+    let cache : (crash_action list, (S.op, S.resp) History.op_record list * int list) Hashtbl.t
+        =
+      Hashtbl.create 1024
+    in
+    let node_data path =
+      match Hashtbl.find_opt cache path with
+      | Some d -> d
+      | None ->
+          incr nodes;
+          Obs.incr c_crash_nodes;
+          if !nodes > max_nodes then stop Lincheck.Budget_nodes;
+          (match budget_ms with
+          | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Lincheck.Budget_wall
+          | _ -> ());
+          let w = run_actions prog (List.rev path) in
+          let d = (History.of_trace (Sim.trace w), Sim.enabled w) in
+          Hashtbl.add cache path d;
+          d
+    in
+    let deepest = ref [] in
+    let deepest_len = ref 0 in
+    let rec solve path depth budget (lin : L.linearization) =
+      let records, en = node_data path in
+      let en = match max_depth with Some d when depth >= d -> [] | _ -> en in
+      let children =
+        List.map (fun p -> Step p) en
+        @ (if budget > 0 then List.map (fun p -> Crash p) en else [])
+      in
+      match L.Internal.validate_prefix records lin with
+      | None -> false
+      | Some states -> (
+          match L.Internal.extensions records lin states with
+          | [] ->
+              if L.Internal.extensions records [] [ S.init ] = [] then
+                raise (Found_crash_not_linearizable (List.rev path));
+              if depth > !deepest_len then begin
+                deepest := List.rev path;
+                deepest_len := depth
+              end;
+              false
+          | candidates ->
+              children = []
+              || List.exists
+                   (fun cand ->
+                     List.for_all
+                       (fun a ->
+                         let budget' = match a with Crash _ -> budget - 1 | Step _ -> budget in
+                         solve (a :: path) (depth + 1) budget' cand)
+                       children)
+                   candidates)
+    in
+    match solve [] 0 crashes [] with
+    | true -> Crash_strongly_linearizable { nodes = !nodes }
+    | false -> Crash_not_strongly_linearizable { actions = !deepest; nodes = !nodes }
+    | exception Found_crash_not_linearizable actions -> Crash_not_linearizable { actions }
+    | exception Lincheck.Budget_exhausted ->
+        Crash_inconclusive { nodes = !nodes; reason = !tripped }
+
+  (* ---------------- exhaustive wait-freedom bound --------------------- *)
+
+  type wf_report = {
+    wf_nodes : int;  (* schedule-tree nodes walked *)
+    wf_executions : int;  (* complete (quiescent) executions *)
+    wf_truncated : int;  (* leaves cut by the depth bound *)
+    wf_budget_hit : bool;  (* node budget stopped the walk *)
+    wf_max_steps_per_op : int;  (* worst steps any completed op took *)
+  }
+
+  let wait_free_established r = r.wf_truncated = 0 && not r.wf_budget_hit
+
+  let pp_wf_report fmt r =
+    Format.fprintf fmt "max %d steps/op over %d executions (%d nodes%s%s)"
+      r.wf_max_steps_per_op r.wf_executions r.wf_nodes
+      (if r.wf_truncated > 0 then Printf.sprintf ", %d truncated" r.wf_truncated else "")
+      (if r.wf_budget_hit then ", budget hit" else "")
+
+  (* Walk the whole crash-free schedule tree; at every quiescent leaf
+     record the per-operation step counts of the trace.  The resulting
+     maximum is an adversarial bound: no schedule of this workload makes
+     any operation take more base-object steps.  A report with
+     truncation or a budget hit establishes nothing (the tree has
+     executions the walk did not finish). *)
+  let wait_free_bound ?(max_nodes = 2_000_000) ?max_depth
+      (prog : (S.op, S.resp) Sim.program) : wf_report =
+    let nodes = ref 0 in
+    let executions = ref 0 in
+    let truncated = ref 0 in
+    let budget_hit = ref false in
+    let max_steps = ref 0 in
+    let rec go sched_rev depth =
+      if !budget_hit then ()
+      else begin
+        incr nodes;
+        if !nodes > max_nodes then budget_hit := true
+        else
+          let w = Sim.run_schedule prog (List.rev sched_rev) in
+          match Sim.enabled w with
+          | [] ->
+              incr executions;
+              List.iter
+                (fun s -> if s > !max_steps then max_steps := s)
+                (Progress.op_step_counts (Sim.trace w))
+          | _ when (match max_depth with Some d -> depth >= d | None -> false) ->
+              incr truncated
+          | ps -> List.iter (fun p -> go (p :: sched_rev) (depth + 1)) ps
+      end
+    in
+    go [] 0;
+    {
+      wf_nodes = !nodes;
+      wf_executions = !executions;
+      wf_truncated = !truncated;
+      wf_budget_hit = !budget_hit;
+      wf_max_steps_per_op = !max_steps;
+    }
+
+  (* ---------------- lock-freedom via lasso detection ------------------ *)
+
+  type lf_result = {
+    lf_candidates : int;  (* (driver set, stem) adversaries tried *)
+    lf_livelock : Witness.shape option;  (* verified Livelock certificate *)
+  }
+
+  let nonempty_subsets n =
+    (* every nonempty subset of 0..n-1 as a sorted list; for larger
+       systems fall back to singletons + the full set *)
+    if n <= 6 then
+      List.init ((1 lsl n) - 1) (fun i ->
+          let m = i + 1 in
+          List.filter (fun p -> m land (1 lsl p) <> 0) (List.init n Fun.id))
+    else List.init n (fun p -> [ p ]) @ [ List.init n Fun.id ]
+
+  (* Refute lock-freedom if possible: for each candidate driver set D,
+     first run the processes outside D (round-robin, up to [stem_cap]
+     steps — the stem), then schedule only D round-robin for [max_drive]
+     steps.  If no operation completes in the whole drive window and the
+     window's tail is a repeating (process, event-signature) block, the
+     stem + cycle form a lasso; it is returned only if the [Livelock]
+     certificate check ([W.refutes]) confirms it.  Finding nothing is
+     not a proof of lock-freedom — combine with {!wait_free_bound} (a
+     finite fully-walked tree has no infinite execution at all). *)
+  let find_livelock ?(max_drive = 240) ?(stem_cap = 64) (prog : (S.op, S.resp) Sim.program) :
+      lf_result =
+    let n = prog.Sim.procs in
+    let candidates = ref 0 in
+    let try_driver d : Witness.shape option =
+      incr candidates;
+      Obs.incr c_lasso_candidates;
+      let w = Sim.create ~n in
+      prog.Sim.boot w;
+      (* stem: give the complement a chance to run (it may fill or drain
+         shared state the livelock depends on) *)
+      let stem_rev = ref [] in
+      let rec stem_loop k =
+        if k < stem_cap then
+          match List.filter (fun p -> not (List.mem p d)) (Sim.enabled w) with
+          | [] -> ()
+          | p :: _ ->
+              Sim.step w p;
+              stem_rev := p :: !stem_rev;
+              stem_loop (k + 1)
+      in
+      stem_loop 0;
+      (* drive: round-robin over D, recording per-step signatures *)
+      let prev = ref (List.length (Sim.trace w)) in
+      let entries = Array.make max_drive (0, [ "" ]) in
+      let rec drive t =
+        if t >= max_drive then Some t
+        else
+          match List.filter (fun p -> List.mem p d) (Sim.enabled w) with
+          | [] -> None (* drivers finished: they made progress *)
+          | dps -> (
+              let p = List.nth dps (t mod List.length dps) in
+              Sim.step w p;
+              let tr = Sim.trace w in
+              let events = drop !prev tr in
+              prev := List.length tr;
+              if List.exists (function Trace.Return _ -> true | _ -> false) events then None
+              else begin
+                entries.(t) <- (p, List.map event_sig events);
+                drive (t + 1)
+              end)
+      in
+      match drive 0 with
+      | None -> None
+      | Some len ->
+          let pending =
+            History.of_trace (Sim.trace w)
+            |> List.exists (fun r -> not (History.is_complete r))
+          in
+          if not pending then None
+          else
+            (* smallest period whose tail covers three repetitions *)
+            let rec try_period l =
+              if 3 * l > len then None
+              else if
+                List.for_all
+                  (fun i -> entries.(i) = entries.(i + l))
+                  (List.init (2 * l) (fun i -> len - (3 * l) + i))
+              then Some l
+              else try_period (l + 1)
+            in
+            (match try_period 1 with
+            | None -> None
+            | Some l ->
+                let drive_sched = List.init len (fun i -> fst entries.(i)) in
+                let branch = List.rev !stem_rev @ take (len - l) drive_sched in
+                let cycle = drop (len - l) drive_sched in
+                let shape =
+                  { Witness.kind = Witness.Livelock; branch; futures = [ cycle ] }
+                in
+                (match W.refutes prog shape with Ok true -> Some shape | _ -> None))
+    in
+    let rec search = function
+      | [] -> None
+      | d :: rest -> ( match try_driver d with Some s -> Some s | None -> search rest)
+    in
+    let livelock = search (nonempty_subsets n) in
+    { lf_candidates = !candidates; lf_livelock = Option.map (W.shrink prog) livelock }
+
+  (* ---------------- seeded crash fuzzer ------------------------------- *)
+
+  type violation = {
+    v_seed : int;  (* the per-run simulator seed *)
+    v_crash_after : (int * int) list;
+    v_schedule : int list;  (* as executed; replays the trace alone *)
+    v_shape : Witness.shape;  (* shrunk Not_linearizable certificate *)
+  }
+
+  type fuzz_report = {
+    fz_runs : int;
+    fz_crashed_runs : int;
+    fz_total_steps : int;
+    fz_elapsed_ns : int;
+    fz_violation : violation option;
+  }
+
+  let fuzz_schedules_per_sec r =
+    if r.fz_elapsed_ns <= 0 then 0.
+    else float_of_int r.fz_runs *. 1e9 /. float_of_int r.fz_elapsed_ns
+
+  (* The master [seed] drives everything: per-run simulator seeds and
+     crash plans come from one PRNG stream, so a fuzz campaign is a pure
+     function of (seed, runs, crash, max_steps).  Each run schedules
+     uniformly at random (with at most one injected crash when [crash]),
+     and the trace is checked for plain linearizability — under random
+     (non-adversarial) scheduling that is the property violations
+     actually manifest as.  The first violation stops the campaign and
+     is shrunk into a replayable certificate. *)
+  let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true)
+      (prog : (S.op, S.resp) Sim.program) : fuzz_report =
+    let t0 = Obs.now_ns () in
+    let rng = Random.State.make [| seed; 0xad5e |] in
+    let total_steps = ref 0 in
+    let crashed_runs = ref 0 in
+    let violation = ref None in
+    let run = ref 0 in
+    while !violation = None && !run < runs do
+      incr run;
+      Obs.incr c_fuzz_runs;
+      let run_seed = Random.State.bits rng in
+      let crash_after =
+        if crash && Random.State.bool rng then begin
+          incr crashed_runs;
+          [ (Random.State.int rng prog.Sim.procs, Random.State.int rng 33) ]
+        end
+        else []
+      in
+      let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
+      let steps = List.length schedule in
+      total_steps := !total_steps + steps;
+      Obs.add c_fuzz_steps steps;
+      if L.check_trace (Sim.trace w) = None then begin
+        let shape0 =
+          { Witness.kind = Witness.Not_linearizable; branch = []; futures = [ schedule ] }
+        in
+        let shape = if shrink then W.shrink prog shape0 else shape0 in
+        violation := Some { v_seed = run_seed; v_crash_after = crash_after; v_schedule = schedule; v_shape = shape }
+      end
+    done;
+    {
+      fz_runs = !run;
+      fz_crashed_runs = !crashed_runs;
+      fz_total_steps = !total_steps;
+      fz_elapsed_ns = Obs.now_ns () - t0;
+      fz_violation = !violation;
+    }
+end
+
+(* --- Algorithm B under crash schedules -------------------------------- *)
+
+type sweep_report = {
+  sw_k : int;
+  sw_runs : int;
+  sw_crashed_runs : int;
+  sw_nonterminating : int;  (* runs that hit the step cap *)
+  sw_max_distinct : int;  (* most distinct decisions in any run *)
+  sw_violations : string list;  (* empty = validity/agreement/termination all held *)
+}
+
+let pp_sweep_report fmt r =
+  Format.fprintf fmt
+    "%d runs (%d with crashes): max %d distinct decisions (k=%d), %d violations%s"
+    r.sw_runs r.sw_crashed_runs r.sw_max_distinct r.sw_k
+    (List.length r.sw_violations)
+    (if r.sw_nonterminating > 0 then Printf.sprintf ", %d hit the step cap" r.sw_nonterminating
+     else "")
+
+(* Deterministic scheduling policies: round-robin rotations, fixed
+   priority orders and a few seeded-random streams.  Each policy is
+   generative (fresh state per run). *)
+let policies n =
+  let rr r =
+    ( Printf.sprintf "rr+%d" r,
+      fun () t ps -> List.nth ps ((t + r) mod List.length ps) )
+  in
+  let prio r =
+    ( Printf.sprintf "prio+%d" r,
+      fun () _ ps ->
+        let order = List.init n (fun i -> (i + r) mod n) in
+        List.find (fun p -> List.mem p ps) order )
+  in
+  let rand s =
+    ( Printf.sprintf "rand%d" s,
+      fun () ->
+        let rng = Random.State.make [| s; 0x5eed |] in
+        fun _ ps -> List.nth ps (Random.State.int rng (List.length ps)) )
+  in
+  List.init n rr
+  @ List.init n prio
+  @ List.map (fun (name, mk) -> (name, fun () -> mk ())) [ rand 1; rand 2; rand 3 ]
+
+(* All crash plans with at most [max_crashes] distinct processes, each
+   crashed at a position from [positions] (total-step counts). *)
+let crash_plans ~n ~max_crashes ~positions =
+  let rec choose k from =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun p ->
+          List.map (fun rest -> p :: rest) (choose (k - 1) (List.filter (fun q -> q > p) from)))
+        from
+  in
+  let proc_sets =
+    List.concat_map (fun k -> choose k (List.init n Fun.id)) (List.init max_crashes (fun i -> i + 1))
+  in
+  let rec assign = function
+    | [] -> [ [] ]
+    | p :: rest ->
+        List.concat_map
+          (fun plan -> List.map (fun pos -> (p, pos) :: plan) positions)
+          (assign rest)
+  in
+  [] :: List.concat_map assign proc_sets
+
+(* Run Algorithm B ([Agreement.program]) under every (policy, crash
+   plan) pair and check Lemma 12's contract each time: validity (every
+   decision is some input), agreement (at most [k] distinct decisions)
+   and termination (every surviving process decides).  [max_crashes]
+   defaults to [k - 1] — the fault level k-set agreement must tolerate. *)
+let agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes
+    ?(positions = [ 0; 1; 3; 7; 15; 31 ]) ?(max_steps = 50_000) () : sweep_report =
+  let n = Array.length inputs in
+  let max_crashes = match max_crashes with Some c -> c | None -> max 0 (k - 1) in
+  let runs = ref 0 in
+  let crashed_runs = ref 0 in
+  let nonterminating = ref 0 in
+  let max_distinct = ref 0 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun (pol_name, mk_choose) ->
+      List.iter
+        (fun plan ->
+          incr runs;
+          Obs.incr c_sweep_runs;
+          if plan <> [] then incr crashed_runs;
+          let choose = mk_choose () in
+          let decisions = Array.make n None in
+          let prog = Agreement.program ~make ~ordering ~inputs ~decisions in
+          let w = Sim.create ~n:prog.Sim.procs in
+          prog.Sim.boot w;
+          let total = ref 0 in
+          let rec loop () =
+            List.iter (fun (p, at) -> if !total >= at then Sim.crash w p) plan;
+            match Sim.enabled w with
+            | [] -> true
+            | ps when !total < max_steps ->
+                Sim.step w (choose !total ps);
+                incr total;
+                loop ()
+            | _ -> false
+          in
+          let terminated = loop () in
+          let plan_str =
+            String.concat ","
+              (List.map (fun (p, at) -> Printf.sprintf "p%d@%d" p at) plan)
+          in
+          let ctx = Printf.sprintf "policy %s, crashes [%s]" pol_name plan_str in
+          if not terminated then begin
+            incr nonterminating;
+            violate "%s: did not terminate within %d steps" ctx max_steps
+          end
+          else begin
+            let outcome = { Agreement.decisions; inputs } in
+            let distinct = List.length (Agreement.distinct_decisions outcome) in
+            if distinct > !max_distinct then max_distinct := distinct;
+            if not (Agreement.valid outcome) then violate "%s: validity violated" ctx;
+            if not (Agreement.agreement ~k outcome) then
+              violate "%s: agreement violated (%d distinct decisions, k=%d)" ctx distinct k;
+            Array.iteri
+              (fun p d ->
+                if Sim.finished w p && d = None then
+                  violate "%s: p%d terminated without deciding" ctx p)
+              decisions
+          end)
+        (crash_plans ~n ~max_crashes ~positions))
+    (policies n);
+  {
+    sw_k = k;
+    sw_runs = !runs;
+    sw_crashed_runs = !crashed_runs;
+    sw_nonterminating = !nonterminating;
+    sw_max_distinct = !max_distinct;
+    sw_violations = List.rev !violations;
+  }

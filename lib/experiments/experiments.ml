@@ -367,14 +367,14 @@ let e4 () =
 (* ------------------------------------------------------------------ *)
 
 (* ------------------------------------------------------------------ *)
-(* E7: checker scalability ablation                                     *)
+(* E8: checker scalability ablation                                     *)
 (* ------------------------------------------------------------------ *)
 
 (* How the strong-linearizability game scales with workload size — the
    practical limit of exhaustive verification (and why E2's AAD row is
    inconclusive).  Rows grow the Theorem 1 workload. *)
-let e7 () =
-  section "E7 (ablation): cost of the strong-linearizability game vs workload";
+let e8 () =
+  section "E8 (ablation): cost of the strong-linearizability game vs workload";
   let module L = Lincheck.Make (Spec.Max_register) in
   Format.printf "| %-34s | %-12s | %-10s | seconds@." "workload (Thm 1 max register)" "verdict"
     "nodes";
@@ -388,7 +388,7 @@ let e7 () =
         | L.Strongly_linearizable { nodes } -> ("SL", nodes)
         | L.Not_linearizable _ -> ("NOT-LIN", -1)
         | L.Not_strongly_linearizable { nodes; _ } -> ("NOT-SL", nodes)
-        | L.Out_of_budget { nodes } -> ("budget", nodes)
+        | L.Out_of_budget { nodes; _ } -> ("budget", nodes)
       in
       Format.printf "| %-34s | %-12s | %-10d | %.2f@." label verdict nodes dt)
     [
@@ -454,3 +454,154 @@ let e5 () =
     "(expected shape: maxreg ~ n*v bits — unary; snapshot ~ n*log2(v) bits —\n\
      binary; both exceed a machine word quickly, cf. the paper's open\n\
      question about O(log n)-bit implementations)@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: the adversary — crashes and progress properties                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per construction, three adversarial checks:
+   - the strong-linearizability game replayed on the execution tree
+     extended with crash edges (at most one crash per branch), which
+     must agree with the crash-free verdict (crash edges add no trace
+     events — the column cross-validates that equivalence mechanically);
+   - an exhaustive wait-freedom bound: worst steps/operation over every
+     schedule of the workload ("exhaustive" only when the whole tree was
+     walked — a truncated walk establishes nothing);
+   - a lock-freedom lasso search: drive every candidate process subset
+     and look for a repeating no-completion cycle, certified as a
+     [Livelock] witness. *)
+module E7_row (S : Spec.S) = struct
+  module L = Lincheck.Make (S)
+  module A = Adversary.Make (S)
+
+  let run ~name ~make ~workload ?max_nodes ?max_depth ?wf_max_nodes () =
+    let prog = Harness.program ~make ~workload in
+    let v = L.check_strong ?max_nodes ?max_depth prog in
+    let cv = A.check_strong_crashes ?max_nodes ?max_depth ~crashes:1 prog in
+    let crash_col =
+      let tag, nodes =
+        match cv with
+        | A.Crash_strongly_linearizable { nodes } -> ("SL", nodes)
+        | A.Crash_not_linearizable _ -> ("NOT-LIN", -1)
+        | A.Crash_not_strongly_linearizable { nodes; _ } -> ("NOT-SL", nodes)
+        | A.Crash_inconclusive { nodes; _ } -> ("budget", nodes)
+      in
+      let agrees =
+        match (v, cv) with
+        | L.Strongly_linearizable _, A.Crash_strongly_linearizable _
+        | L.Not_linearizable _, A.Crash_not_linearizable _
+        | L.Not_strongly_linearizable _, A.Crash_not_strongly_linearizable _ ->
+            "agrees"
+        | _, A.Crash_inconclusive _ -> "-"
+        | _ -> "DISAGREES"
+      in
+      if nodes < 0 then Printf.sprintf "%s (%s)" tag agrees
+      else Printf.sprintf "%s %dn (%s)" tag nodes agrees
+    in
+    let wf = A.wait_free_bound ?max_nodes:wf_max_nodes ?max_depth prog in
+    let wf_col =
+      if A.wait_free_established wf then
+        Printf.sprintf "steps/op <= %d exhaustive" wf.A.wf_max_steps_per_op
+      else
+        Printf.sprintf "steps/op >= %d (%s)" wf.A.wf_max_steps_per_op
+          (if wf.A.wf_budget_hit then "budget" else "truncated")
+    in
+    let lf = A.find_livelock prog in
+    let lf_col =
+      match lf.A.lf_livelock with
+      | Some shape -> Printf.sprintf "LIVELOCK (%d-step lasso)" (Witness.size shape)
+      | None -> Printf.sprintf "no lasso (%d adversaries)" lf.A.lf_candidates
+    in
+    Format.printf "| %-34s | %-22s | %-25s | %s@." name crash_col wf_col lf_col
+end
+
+(* One row per k-ordering object: Algorithm B under every crash plan of
+   at most (k-1) processes (or [max_crashes] when forced higher) crossed
+   with a canonical deterministic schedule family. *)
+let e7_sweep ~name ~make ~ordering ~inputs ~k ?max_crashes () =
+  let r = Adversary.agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes () in
+  Format.printf "| %-34s | %a@." name Adversary.pp_sweep_report r;
+  List.iteri
+    (fun i s -> if i < 3 then Format.printf "    ! %s@." s)
+    r.Adversary.sw_violations;
+  let extra = List.length r.Adversary.sw_violations - 3 in
+  if extra > 0 then Format.printf "    ! ... and %d more@." extra
+
+let e7 () =
+  section
+    "E7 (adversary): the SL game on the crash-extended tree (<= 1 crash),\n\
+     exhaustive wait-freedom bounds, and lock-freedom lasso search";
+  Format.printf "| %-34s | %-22s | %-25s | %s@." "construction" "SL + crashes" "wait-freedom"
+    "lock-freedom";
+  let module Row_max = E7_row (Spec.Max_register) in
+  Row_max.run ~name:"Thm 1: max register <- F&A" ~make:Executors.faa_max_register
+    ~workload:
+      [|
+        [ Spec.Max_register.WriteMax 1; Spec.Max_register.ReadMax ];
+        [ Spec.Max_register.WriteMax 2 ];
+        [ Spec.Max_register.ReadMax ];
+      |]
+    ();
+  let module Row_counter = E7_row (Spec.Counter) in
+  Row_counter.run ~name:"Thm 3: counter <- atomic snapshot" ~make:Executors.simple_counter_atomic_snap
+    ~workload:
+      [| [ Spec.Counter.Add 1 ]; [ Spec.Counter.Add 2 ]; [ Spec.Counter.Read; Spec.Counter.Read ] |]
+    ();
+  let module Row_ts = E7_row (Spec.Test_and_set) in
+  Row_ts.run ~name:"Thm 5: readable T&S <- T&S" ~make:Executors.readable_ts
+    ~workload:
+      [|
+        [ Spec.Test_and_set.TestAndSet ];
+        [ Spec.Test_and_set.TestAndSet ];
+        [ Spec.Test_and_set.Read; Spec.Test_and_set.Read ];
+      |]
+    ();
+  let module Row_fi = E7_row (Spec.Fetch_and_inc) in
+  Row_fi.run ~name:"Thm 9: fetch&inc <- T&S" ~make:Executors.ts_fetch_inc
+    ~workload:
+      [|
+        [ Spec.Fetch_and_inc.FetchInc ];
+        [ Spec.Fetch_and_inc.FetchInc ];
+        [ Spec.Fetch_and_inc.Read ];
+      |]
+    ();
+  let module Row_set = E7_row (Spec.Set_obj) in
+  Row_set.run ~name:"Thm 10: set <- T&S (Alg 2)" ~make:Executors.ts_set_atomic_fi
+    ~workload:[| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Take ] |]
+    ();
+  let module Row_reg = E7_row (Spec.Register) in
+  Row_reg.run ~name:"MWMR register (E2 refutation)" ~make:Executors.mwmr_register
+    ~workload:
+      [|
+        [ Spec.Register.Write 1 ];
+        [ Spec.Register.Write 2 ];
+        [ Spec.Register.Read; Spec.Register.Read ];
+      |]
+    ~max_nodes:2_000_000 ();
+  let module Row_q = E7_row (Spec.Queue_spec) in
+  Row_q.run ~name:"HW queue (E2 refutation)" ~make:Executors.hw_queue
+    ~workload:[| [ Spec.Queue_spec.Enq 1 ]; [ Spec.Queue_spec.Deq ]; [ Spec.Queue_spec.Deq ] |]
+    ~max_nodes:400_000 ~max_depth:18 ~wf_max_nodes:400_000 ();
+  Format.printf
+    "(expected: every crash-extended verdict agrees with the crash-free one;\n\
+     wait-free constructions get exhaustive bounds; the HW queue's spinning\n\
+     dequeue yields a certified livelock lasso and a truncated walk)@.";
+  hr ();
+  Format.printf
+    "E7b: Algorithm B under every <=(k-1)-crash plan x deterministic schedules@.";
+  hr ();
+  let i3 = [| 100; 200; 300 |] and i5 = [| 1; 2; 3; 4; 5 |] in
+  e7_sweep ~name:"queue (atomic), k=1, no crashes" ~make:K_ordering.atomic_queue
+    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ();
+  e7_sweep ~name:"queue (atomic), forced 1 crash" ~make:K_ordering.atomic_queue
+    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~max_crashes:1 ();
+  e7_sweep ~name:"stack (atomic), forced 1 crash" ~make:K_ordering.atomic_stack
+    ~ordering:K_ordering.stack_witness ~inputs:i3 ~k:1 ~max_crashes:1 ();
+  e7_sweep ~name:"2-ooo queue (n=5), <=1 crash" ~make:(K_ordering.atomic_ooo_queue ~k:2)
+    ~ordering:(K_ordering.ooo_queue_witness ~k:2)
+    ~inputs:i5 ~k:2 ();
+  e7_sweep ~name:"HW queue, forced 1 crash" ~make:(K_ordering.hw_queue ~capacity:3)
+    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~max_crashes:1 ();
+  Format.printf
+    "(expected: zero violations for the atomic objects even with one forced\n\
+     crash — Lemma 12 is crash-tolerant; the HW queue rows may violate)@."

@@ -223,6 +223,20 @@ let all : (string * checkable) list =
           spec = (module Spec.Test_and_set);
           default_depth = None;
         } );
+    ( "hw-queue-drain",
+      Checkable
+        {
+          spec_name = "Herlihy-Wing queue, drain-heavy (livelocks an empty deq)";
+          make = Executors.hw_queue;
+          workload =
+            [|
+              [ Spec.Queue_spec.Enq 1 ];
+              [ Spec.Queue_spec.Deq ];
+              [ Spec.Queue_spec.Deq ];
+            |];
+          spec = (module Spec.Queue_spec);
+          default_depth = Some 18;
+        } );
     ( "aww-multishot-fi",
       Checkable
         {

@@ -31,6 +31,20 @@
 
 exception Budget_exhausted
 
+(* Which budget converted the run into an inconclusive verdict.  Node
+   budgets predate the others; their rendering (pretty and JSON) is
+   pinned byte-for-byte, so the new reasons only ever add output. *)
+type budget_reason = Budget_nodes | Budget_wall | Budget_heap
+
+let budget_reason_tag = function
+  | Budget_nodes -> "nodes"
+  | Budget_wall -> "wall_ms"
+  | Budget_heap -> "heap_mb"
+
+let heap_mb_now () =
+  let words = (Gc.quick_stat ()).Gc.heap_words in
+  words * (Sys.word_size / 8) / (1024 * 1024)
+
 (* Exploration statistics for one [check_strong] run.  Spec-independent,
    hence outside the functor.  [nodes] always equals the count carried
    by the verdict; the rest explains where the work went: how many
@@ -222,7 +236,7 @@ module Make (S : Spec.S) = struct
     | Strongly_linearizable of { nodes : int }
     | Not_linearizable of { schedule : int list }
     | Not_strongly_linearizable of { witness : int list; nodes : int }
-    | Out_of_budget of { nodes : int }
+    | Out_of_budget of { nodes : int; reason : budget_reason }
 
   let pp_verdict fmt = function
     | Strongly_linearizable { nodes } ->
@@ -234,7 +248,12 @@ module Make (S : Spec.S) = struct
         Format.fprintf fmt "linearizable but NOT strongly linearizable (witness: %s; %d nodes)"
           (String.concat "" (List.map string_of_int witness))
           nodes
-    | Out_of_budget { nodes } -> Format.fprintf fmt "inconclusive: budget of %d nodes exhausted" nodes
+    | Out_of_budget { nodes; reason = Budget_nodes } ->
+        Format.fprintf fmt "inconclusive: budget of %d nodes exhausted" nodes
+    | Out_of_budget { nodes; reason = Budget_wall } ->
+        Format.fprintf fmt "inconclusive: wall-clock budget exhausted after %d nodes" nodes
+    | Out_of_budget { nodes; reason = Budget_heap } ->
+        Format.fprintf fmt "inconclusive: memory budget exhausted after %d nodes" nodes
 
   exception Found_not_linearizable of int list
 
@@ -246,9 +265,17 @@ module Make (S : Spec.S) = struct
      explored depth.  It is needed for implementations whose operations
      can spin (e.g. a queue's dequeue retrying on empty), which make the
      full tree infinite. *)
-  let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?on_progress
-      ?(progress_every = 10_000) ?tracer (prog : (S.op, S.resp) Sim.program) : verdict * stats =
+  let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
+      ?on_progress ?(progress_every = 10_000) ?tracer (prog : (S.op, S.resp) Sim.program) :
+      verdict * stats =
     let t0 = Obs.now_ns () in
+    (* A tripped budget records its reason before unwinding; only read
+       when [Budget_exhausted] escapes [solve]. *)
+    let tripped = ref Budget_nodes in
+    let stop reason =
+      tripped := reason;
+      raise Budget_exhausted
+    in
     let nodes = ref 0 in
     let cache_hits = ref 0 in
     let max_frontier = ref 0 in
@@ -282,7 +309,13 @@ module Make (S : Spec.S) = struct
           d
       | None ->
           incr nodes;
-          if !nodes > max_nodes then raise Budget_exhausted;
+          if !nodes > max_nodes then stop Budget_nodes;
+          (match budget_ms with
+          | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Budget_wall
+          | _ -> ());
+          (match budget_heap_mb with
+          | Some mb when heap_mb_now () > mb -> stop Budget_heap
+          | _ -> ());
           tick ();
           let w = Sim.run_schedule prog (List.rev path) in
           let d = (History.of_trace (Sim.trace w), Sim.enabled w) in
@@ -352,7 +385,7 @@ module Make (S : Spec.S) = struct
     | true -> finish (Strongly_linearizable { nodes = !nodes })
     | false -> finish (Not_strongly_linearizable { witness = !witness; nodes = !nodes })
     | exception Found_not_linearizable schedule -> finish (Not_linearizable { schedule })
-    | exception Budget_exhausted -> finish (Out_of_budget { nodes = !nodes })
+    | exception Budget_exhausted -> finish (Out_of_budget { nodes = !nodes; reason = !tripped })
 
   let check_strong ?max_nodes ?max_depth prog =
     fst (check_strong_stats ?max_nodes ?max_depth prog)
@@ -380,6 +413,15 @@ module Make (S : Spec.S) = struct
           ("witness", Obs_json.List (List.map (fun p -> Obs_json.Int p) witness));
           ("nodes", Obs_json.Int nodes);
         ]
-    | Out_of_budget { nodes } ->
+    | Out_of_budget { nodes; reason = Budget_nodes } ->
+        (* Pinned shape predating [budget_reason]; adding a field here
+           would break the byte-identical-output contract for node-budget
+           runs. *)
         [ ("verdict", Obs_json.String "out_of_budget"); ("nodes", Obs_json.Int nodes) ]
+    | Out_of_budget { nodes; reason } ->
+        [
+          ("verdict", Obs_json.String "out_of_budget");
+          ("nodes", Obs_json.Int nodes);
+          ("reason", Obs_json.String (budget_reason_tag reason));
+        ]
 end

@@ -19,6 +19,16 @@
 
 exception Budget_exhausted
 
+(** Which budget converted a run into the inconclusive {!Make.verdict}
+    [Out_of_budget].  [Budget_nodes] is the historical node cap; its
+    pretty and JSON renderings are pinned byte-for-byte.  [Budget_wall]
+    and [Budget_heap] come from the optional [budget_ms] /
+    [budget_heap_mb] arguments of {!Make.check_strong_stats}. *)
+type budget_reason = Budget_nodes | Budget_wall | Budget_heap
+
+val budget_reason_tag : budget_reason -> string
+(** ["nodes"], ["wall_ms"] or ["heap_mb"] — the JSON tag. *)
+
 type stats = {
   nodes : int;  (** distinct tree nodes explored (= the verdict's count) *)
   cache_hits : int;  (** node lookups answered from the schedule cache *)
@@ -71,7 +81,11 @@ module Make (S : Spec.S) : sig
         (** Every execution is linearizable but no prefix-closed choice
             exists; [witness] is the deepest schedule prefix at which
             every candidate extension died. *)
-    | Out_of_budget of { nodes : int }  (** Inconclusive. *)
+    | Out_of_budget of { nodes : int; reason : budget_reason }
+        (** Inconclusive: a budget tripped after [nodes] nodes.  The
+            paired {!stats} still carry everything observed up to the
+            stop (deepest frontier, candidate counts, elapsed time) —
+            the "partial stats" of a budgeted run. *)
 
   val pp_verdict : Format.formatter -> verdict -> unit
 
@@ -87,6 +101,8 @@ module Make (S : Spec.S) : sig
   val check_strong_stats :
     ?max_nodes:int ->
     ?max_depth:int ->
+    ?budget_ms:int ->
+    ?budget_heap_mb:int ->
     ?on_progress:(nodes:int -> elapsed_ns:int -> unit) ->
     ?progress_every:int ->
     ?tracer:Obs_trace.t ->
@@ -99,7 +115,14 @@ module Make (S : Spec.S) : sig
       fresh nodes — the CLI's stderr heartbeat; [tracer] receives
       [nodes] and [max_frontier_depth] counter samples at the same
       cadence plus one [check_strong] span, on a wall-clock-microsecond
-      timeline. *)
+      timeline.
+
+      [budget_ms] / [budget_heap_mb] bound wall-clock time and major-heap
+      size; both are checked at every fresh node, so a tripped budget
+      stops within one node expansion and yields [Out_of_budget] with the
+      corresponding {!budget_reason} and the stats gathered so far.  When
+      unset (the default) behaviour, output and node accounting are
+      unchanged. *)
 
   val verdict_fields : verdict -> (string * Obs_json.t) list
   (** The verdict as JSON fields (constructor tag plus its payload). *)

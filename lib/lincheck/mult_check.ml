@@ -20,13 +20,18 @@
 
 type kind = Queue | Stack
 
+type outcome =
+  | Decided of bool
+  | Inconclusive of { visited : int; reason : Lincheck.budget_reason }
+
 (* Search state: remaining items structure + the open duplicate group. *)
 type search_state = {
   items : int list;  (* queue: front first; stack: top first *)
   group : (int * int list) option;  (* duplicated item, op ids in the group *)
 }
 
-let check (kind : kind) (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t) : bool =
+let check_budgeted ?budget_nodes ?budget_ms (kind : kind)
+    (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t) : outcome =
   let records = History.of_trace t |> Array.of_list in
   let n = Array.length records in
   if n > 60 then invalid_arg "Mult_check: more than 60 operations";
@@ -63,7 +68,24 @@ let check (kind : kind) (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t)
         | [] -> ({ items = []; group = None }, Spec.Queue_spec.Empty) :: dup
         | x :: rest -> ({ items = rest; group = Some (x, [ i ]) }, Spec.Queue_spec.Item x) :: dup)
   in
+  (* Budget accounting mirrors [Lincheck.check_strong_stats]: one unit
+     per DFS state entered, budgets checked on entry so a tripped budget
+     stops within one expansion. *)
+  let t0 = Obs.now_ns () in
+  let visited = ref 0 in
+  let tripped = ref Lincheck.Budget_nodes in
+  let stop reason =
+    tripped := reason;
+    raise Lincheck.Budget_exhausted
+  in
   let rec dfs mask s =
+    incr visited;
+    (match budget_nodes with
+    | Some b when !visited > b -> stop Lincheck.Budget_nodes
+    | _ -> ());
+    (match budget_ms with
+    | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Lincheck.Budget_wall
+    | _ -> ());
     if completed_mask land lnot mask = 0 then true
     else begin
       let found = ref false in
@@ -86,4 +108,11 @@ let check (kind : kind) (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t)
       !found
     end
   in
-  dfs 0 { items = []; group = None }
+  match dfs 0 { items = []; group = None } with
+  | decided -> Decided decided
+  | exception Lincheck.Budget_exhausted -> Inconclusive { visited = !visited; reason = !tripped }
+
+let check kind t =
+  match check_budgeted kind t with
+  | Decided b -> b
+  | Inconclusive _ -> assert false (* no budget set, so dfs cannot trip one *)

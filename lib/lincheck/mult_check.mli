@@ -16,7 +16,23 @@ type kind =
   | Queue  (** FIFO discipline *)
   | Stack  (** LIFO discipline; encode Push/Pop as [Enq]/[Deq] *)
 
+type outcome =
+  | Decided of bool
+  | Inconclusive of { visited : int; reason : Lincheck.budget_reason }
+      (** A budget tripped after entering [visited] DFS states. *)
+
 val check : kind -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t -> bool
 (** [check kind t]: is [t] linearizable as a [kind] with multiplicity?
     Pending operations may be included when needed.
     @raise Invalid_argument beyond 60 operations. *)
+
+val check_budgeted :
+  ?budget_nodes:int ->
+  ?budget_ms:int ->
+  kind ->
+  (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t ->
+  outcome
+(** Like {!check} but with graceful degradation: [budget_nodes] bounds
+    DFS states entered and [budget_ms] bounds wall-clock time; a tripped
+    budget yields [Inconclusive] instead of an unbounded search.  With no
+    budgets set this is [Decided (check kind t)]. *)

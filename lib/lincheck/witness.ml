@@ -25,15 +25,21 @@
    ([Lincheck.Make(S).Internal]), so a certificate accepted here fails
    for exactly the reason the full game failed. *)
 
-type kind = Not_linearizable | Not_strongly_linearizable
+(* [Livelock] certificates come from the lock-freedom checker
+   (Slin_adversary): the branch is a stem schedule and the single future
+   is a cycle that keeps replaying with an identical event signature and
+   no operation completing — a lasso through the schedule graph. *)
+type kind = Not_linearizable | Not_strongly_linearizable | Livelock
 
 let kind_tag = function
   | Not_linearizable -> "not_linearizable"
   | Not_strongly_linearizable -> "not_strongly_linearizable"
+  | Livelock -> "livelock"
 
 let kind_of_tag = function
   | "not_linearizable" -> Some Not_linearizable
   | "not_strongly_linearizable" -> Some Not_strongly_linearizable
+  | "livelock" -> Some Livelock
   | _ -> None
 
 type shape = { kind : kind; branch : int list; futures : int list list }
@@ -391,6 +397,62 @@ module Make (S : Spec.S) = struct
     in
     solve root []
 
+  (* ---------------- livelock (lasso) certificates ---------------------- *)
+
+  (* Empirical lasso check: from the end of the stem, the cycle must
+     replay [lasso_reps] times with an identical event signature each
+     time and no operation completing, and some operation must still be
+     pending afterwards.  For the deterministic implementations here
+     this certifies the loop the lock-freedom checker explored; it is
+     schedule-replay evidence, not an inductive state-equality proof. *)
+  let lasso_reps = 4
+
+  let event_sig = function
+    | Trace.Invoke { proc; op } -> Printf.sprintf "i%d:%s" proc (op_str op)
+    | Trace.Return { proc; resp } -> Printf.sprintf "r%d:%s" proc (resp_str resp)
+    | Trace.Step { proc; obj; info } ->
+        Printf.sprintf "s%d:%s%s" proc obj
+          (match info with Some i -> ":" ^ i | None -> "")
+
+  let check_livelock prog ~stem ~cycle : (bool, string) result =
+    if cycle = [] then Error "a livelock witness needs a non-empty cycle"
+    else
+      match Sim.run_schedule_result prog stem with
+      | Error e -> Error e
+      | Ok w ->
+          let prev = ref (List.length (Sim.trace w)) in
+          (* One cycle replay: its event signatures and whether any
+             operation returned, or [None] when a step was invalid
+             (a process finished or crashed mid-cycle — no lasso). *)
+          let cycle_sig () =
+            match List.iter (fun p -> Sim.step w p) cycle with
+            | () ->
+                let tr = Sim.trace w in
+                let events = drop !prev tr in
+                prev := List.length tr;
+                let returned =
+                  List.exists (function Trace.Return _ -> true | _ -> false) events
+                in
+                Some (List.map event_sig events, returned)
+            | exception Sim.Invalid_schedule _ -> None
+          in
+          let rec loops i reference =
+            i >= lasso_reps
+            ||
+            match cycle_sig () with
+            | None | Some (_, true) -> false
+            | Some (s, false) -> (
+                match reference with
+                | None -> loops (i + 1) (Some s)
+                | Some r -> r = s && loops (i + 1) reference)
+          in
+          let looping = loops 0 None in
+          let pending =
+            History.of_trace (Sim.trace w)
+            |> List.exists (fun r -> not (History.is_complete r))
+          in
+          Ok (looping && pending)
+
   let refutes prog shape : (bool, string) result =
     match shape.kind with
     | Not_linearizable -> (
@@ -404,6 +466,10 @@ module Make (S : Spec.S) = struct
         match build_tree prog shape with
         | Error e -> Error e
         | Ok root -> Ok (not (solvable root)))
+    | Livelock -> (
+        match shape.futures with
+        | [ cycle ] -> check_livelock prog ~stem:shape.branch ~cycle
+        | _ -> Error "a livelock witness must have exactly one future (the cycle)")
 
   (* ---------------- extraction ---------------------------------------- *)
 
@@ -610,6 +676,12 @@ module Make (S : Spec.S) = struct
      branch) plus the diverging suffixes (the futures). *)
   let extract ?max_nodes ?max_depth prog ~kind ~(schedule : int list) : shape option =
     match kind with
+    | Livelock ->
+        (* Livelock certificates carry a stem/cycle split that a single
+           verdict schedule cannot express; Slin_adversary builds the
+           shape directly and goes straight to [shrink]/[to_json]. *)
+        ignore schedule;
+        None
     | Not_linearizable ->
         let s = { kind; branch = []; futures = [ schedule ] } in
         (match refutes prog s with Ok true -> Some s | _ -> None)
@@ -711,6 +783,13 @@ module Make (S : Spec.S) = struct
   let conflict_of prog shape : conflict option =
     match shape.kind with
     | Not_linearizable -> None
+    | Livelock ->
+        Some
+          (Generic
+             (Printf.sprintf
+                "the cycle (schedule %s) repeats with an identical event signature and no \
+                 operation completes — the adversary starves every pending operation"
+                (String.concat "" (List.map string_of_int (List.concat shape.futures)))))
     | Not_strongly_linearizable -> (
         match reach prog shape.branch with
         | None -> None
@@ -949,10 +1028,19 @@ module Make (S : Spec.S) = struct
     (match shape.kind with
     | Not_linearizable -> Format.fprintf fmt "kind: NOT linearizable@."
     | Not_strongly_linearizable ->
-        Format.fprintf fmt "kind: linearizable but NOT strongly linearizable@.");
+        Format.fprintf fmt "kind: linearizable but NOT strongly linearizable@."
+    | Livelock ->
+        Format.fprintf fmt
+          "kind: LIVELOCK (lock-freedom refuted: the cycle below repeats forever without \
+           completing any operation)@.");
+    let branch_label, future_label =
+      match shape.kind with
+      | Livelock -> ("stem", "cycle")
+      | Not_linearizable | Not_strongly_linearizable -> ("branch (shared prefix)", "future")
+    in
     let future_lines f = drop b (timeline prog (shape.branch @ f)) in
     if shape.branch <> [] then begin
-      Format.fprintf fmt "branch (shared prefix), schedule %s:@." (sched_str shape.branch);
+      Format.fprintf fmt "%s, schedule %s:@." branch_label (sched_str shape.branch);
       List.iter
         (fun l -> Format.fprintf fmt "%s@." l)
         (take b (timeline prog (shape.branch @ List.hd shape.futures)))
@@ -966,7 +1054,7 @@ module Make (S : Spec.S) = struct
     | fs ->
         List.iteri
           (fun i f ->
-            Format.fprintf fmt "future %d, schedule %s:@." i (sched_str f);
+            Format.fprintf fmt "%s %d, schedule %s:@." future_label i (sched_str f);
             List.iter (fun l -> Format.fprintf fmt "%s@." l) (future_lines f))
           fs);
     (* the complete history of each execution, as the checker sees it *)

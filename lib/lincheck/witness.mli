@@ -16,7 +16,12 @@
     [slin-witness/v1] document, and {!parse} / {!Make.replay} load one
     back and verify the verdict reproduces (the [slin explain] path). *)
 
-type kind = Not_linearizable | Not_strongly_linearizable
+(** [Livelock] certificates come from the lock-freedom checker in
+    [Slin_adversary]: the branch is a {e stem} schedule and the single
+    future is a {e cycle} that keeps replaying with an identical event
+    signature while no operation completes — a lasso through the
+    schedule graph, starving every pending operation. *)
+type kind = Not_linearizable | Not_strongly_linearizable | Livelock
 
 val kind_tag : kind -> string
 
@@ -110,8 +115,11 @@ module Make (S : Spec.S) : sig
   (** Does the certificate refute?  For [Not_linearizable] the (single)
       future's history must fail linearizability outright; for
       [Not_strongly_linearizable] the checker's game, restricted to the
-      certificate tree, must have no winning strategy.  [Error] when a
-      schedule in the certificate does not replay. *)
+      certificate tree, must have no winning strategy; for [Livelock]
+      the single future (the cycle) must replay four times from the end
+      of the branch (the stem) with an identical event signature, no
+      operation completing, and some operation left pending.  [Error]
+      when a schedule in the certificate does not replay. *)
   val refutes : (S.op, S.resp) Sim.program -> shape -> (bool, string) result
 
   (** Build a certificate from a refutation verdict of
@@ -121,7 +129,9 @@ module Make (S : Spec.S) : sig
       original check — pass the same [max_nodes] / [max_depth].
       [schedule] is the verdict's witness schedule (used directly for
       [Not_linearizable]).  [None] only if the verdict cannot be
-      re-established within the budget. *)
+      re-established within the budget.  Always [None] for [Livelock]:
+      a stem/cycle split cannot be recovered from one schedule — the
+      lock-freedom checker builds the shape directly. *)
   val extract :
     ?max_nodes:int ->
     ?max_depth:int ->

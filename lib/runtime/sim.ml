@@ -128,6 +128,7 @@ let crash w p =
   if p < 0 || p >= w.procs then invalid_arg "Sim.crash: process out of range";
   match w.fibers.(p) with
   | Finished -> ()  (* crashing a finished process has no effect *)
+  | Crashed -> ()  (* idempotent: a second crash is a no-op, not a new fault *)
   | _ ->
       if !Metrics.enabled then Metrics.bump "crash";
       w.fibers.(p) <- Crashed
@@ -210,10 +211,17 @@ let run_to_completion ?(choose = fun ps -> List.hd ps) prog =
   loop ();
   w
 
-let run_random ~seed ?(crash_after = []) ?max_steps prog =
+(* [crash_after] semantics, pinned by test/test_runtime.ml: the pair
+   [(p, at)] crashes [p] at the top of the scheduling loop once the total
+   step count has reached [at], i.e. BEFORE the (at+1)-th step is chosen.
+   So [p] takes at most [at] of the first [at] total steps and none
+   afterwards; [(p, 0)] means [p] never runs.  Re-crashing on later loop
+   iterations is harmless because [crash] is idempotent. *)
+let run_random_full ~seed ?(crash_after = []) ?max_steps prog =
   let w = boot_world prog in
   let rng = Random.State.make [| seed |] in
   let total = ref 0 in
+  let rev_sched = ref [] in
   let continue_run () = match max_steps with None -> true | Some m -> !total < m in
   let rec loop () =
     List.iter (fun (p, at) -> if !total >= at then crash w p) crash_after;
@@ -222,9 +230,13 @@ let run_random ~seed ?(crash_after = []) ?max_steps prog =
     | ps when continue_run () ->
         let p = List.nth ps (Random.State.int rng (List.length ps)) in
         step w p;
+        rev_sched := p :: !rev_sched;
         incr total;
         loop ()
     | _ -> ()
   in
   loop ();
-  w
+  (w, List.rev !rev_sched)
+
+let run_random ~seed ?crash_after ?max_steps prog =
+  fst (run_random_full ~seed ?crash_after ?max_steps prog)

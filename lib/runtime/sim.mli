@@ -72,7 +72,9 @@ val step : _ t -> int -> unit
 
 val crash : _ t -> int -> unit
 (** [crash w p] permanently removes [p] from the schedulable set, modelling
-    a crash; any pending operation of [p] stays pending forever. *)
+    a crash; any pending operation of [p] stays pending forever.  Crashing
+    a process that is already crashed or finished is a no-op (idempotent —
+    repeated injection of the same fault is not a new fault). *)
 
 val finished : _ t -> int -> bool
 (** [finished w p] is true when [p]'s body ran to completion. *)
@@ -112,6 +114,24 @@ val run_random :
   seed:int -> ?crash_after:(int * int) list -> ?max_steps:int -> ('op, 'resp) program -> ('op, 'resp) t
 (** Boot a fresh world and schedule uniformly at random ([seed] makes the
     run reproducible).  [crash_after] is a list of [(proc, step_number)]
-    pairs: [proc] is crashed once the total step count reaches
-    [step_number].  Stops after [max_steps] total steps (default: run until
-    quiescence). *)
+    pairs: [proc] is crashed at the top of the scheduling loop once the
+    total step count has reached [step_number] — i.e. {e before} the
+    [(step_number + 1)]-th step is chosen, so [proc] takes no step once
+    [step_number] total steps have run, and [(proc, 0)] means [proc]
+    never runs at all.  Stops after [max_steps] total steps (default: run
+    until quiescence). *)
+
+val run_random_full :
+  seed:int ->
+  ?crash_after:(int * int) list ->
+  ?max_steps:int ->
+  ('op, 'resp) program ->
+  ('op, 'resp) t * int list
+(** Like {!run_random} (identical RNG stream, so [run_random ~seed p] and
+    [fst (run_random_full ~seed p)] are the same execution) but also
+    returns the schedule actually executed.  Crashes need no separate
+    encoding for replay: a crash only removes a process's {e future}
+    steps, so re-running the returned schedule through {!run_schedule}
+    reproduces the identical trace — the crashed process simply never
+    appears again.  This is what makes fuzz-found violations replayable
+    as plain [slin-witness/v1] schedules. *)

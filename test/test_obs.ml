@@ -296,7 +296,7 @@ let test_check_strong_stats_agree () =
   let nodes_of = function
     | L.Strongly_linearizable { nodes } -> nodes
     | L.Not_strongly_linearizable { nodes; _ } -> nodes
-    | L.Out_of_budget { nodes } -> nodes
+    | L.Out_of_budget { nodes; _ } -> nodes
     | L.Not_linearizable _ -> Alcotest.fail "register program must be linearizable"
   in
   Alcotest.(check string) "same verdict as check_strong"

@@ -122,6 +122,53 @@ let test_run_random_crash () =
   in
   Alcotest.(check (list int)) "only p1 returned" [ 1 ] returns
 
+let test_crash_idempotent () =
+  (* A second crash of the same process, or a crash of a finished one,
+     is a no-op — not an error, not a second fault. *)
+  let w = Sim.run_schedule (race_program ()) [ 0 ] in
+  Sim.crash w 0;
+  Sim.crash w 0;
+  Alcotest.(check (list int)) "p1 still enabled" [ 1 ] (Sim.enabled w);
+  while Sim.enabled w <> [] do
+    Sim.step w 1
+  done;
+  Sim.crash w 1;
+  Alcotest.(check bool) "p1 stays finished, not crashed" true (Sim.finished w 1)
+
+let test_crash_after_semantics () =
+  (* [(p, at)] crashes p at the top of the scheduling loop once the
+     TOTAL step count has reached [at] — before step at+1 is chosen.
+     [(p, 0)] therefore means p never takes a step.  Pinned here with a
+     fully deterministic plan: p0 can never run, and p1 crashes right
+     after the first step, whatever the seed picks. *)
+  let w, sched =
+    Sim.run_random_full ~seed:99 ~crash_after:[ (0, 0); (1, 1) ] (race_program ())
+  in
+  Alcotest.(check (list int)) "exactly one step, by p1" [ 1 ] sched;
+  (match Sim.trace w with
+  | [ Trace.Invoke { proc = 1; _ } ] -> ()
+  | t ->
+      Alcotest.failf "unexpected trace:@.%a"
+        (Trace.pp Format.pp_print_string Format.pp_print_string)
+        t);
+  Alcotest.(check (list int)) "nobody left enabled" [] (Sim.enabled w)
+
+let test_run_random_full_consistency () =
+  (* run_random is fst of run_random_full (same RNG stream), and the
+     returned schedule replays the identical trace on its own — crashes
+     only remove future steps, so no crash replay support is needed. *)
+  List.iter
+    (fun crash_after ->
+      let w, sched = Sim.run_random_full ~seed:5 ~crash_after (race_program ()) in
+      let t = Sim.trace w in
+      Alcotest.(check (list ev))
+        "run_random agrees" t
+        (Sim.trace (Sim.run_random ~seed:5 ~crash_after (race_program ())));
+      Alcotest.(check (list ev))
+        "schedule alone replays the trace" t
+        (Sim.trace (Sim.run_schedule (race_program ()) sched)))
+    [ []; [ (0, 2) ]; [ (1, 0) ]; [ (0, 1); (1, 3) ] ]
+
 let test_solo_runtime () =
   let module R = (val Solo_runtime.make ~self:3 ~n:8 ()) in
   let o = R.obj 10 in
@@ -189,6 +236,9 @@ let suite =
     ("spawn errors", `Quick, test_spawn_errors);
     ("run_random deterministic", `Quick, test_run_random_deterministic);
     ("run_random crash", `Quick, test_run_random_crash);
+    ("crash idempotent", `Quick, test_crash_idempotent);
+    ("crash_after semantics", `Quick, test_crash_after_semantics);
+    ("run_random_full consistency", `Quick, test_run_random_full_consistency);
     ("solo runtime", `Quick, test_solo_runtime);
     ("parallel runtime", `Quick, test_par_runtime);
     prop_race_outcomes;
