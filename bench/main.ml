@@ -12,7 +12,7 @@
      dune exec bench/main.exe -- --quick # fast pass (quick E2, no bechamel)
      dune exec bench/main.exe -- e3 e5   # selected experiments only *)
 
-let valid_experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "fuzz" ]
+let valid_experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "fuzz"; "checker" ]
 
 let usage_and_exit bad =
   Printf.eprintf "unknown argument%s: %s\n"
@@ -350,6 +350,37 @@ let bench_fuzz () =
       campaign ~name ~crash:true)
     [ "counter"; "hw-queue" ]
 
+(* ------------------------------------------------------------------ *)
+(* Checker engine throughput: nodes/sec on the E2 refutations          *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's headline number: node throughput of the strong-
+   linearizability game on the two big E2 refutations.  Node counts are
+   identical at every [jobs] (the parallel merge is deterministic), so
+   nodes/sec rows are directly comparable; CI's perf-smoke step compares
+   a fresh jobs=1 run of the hw-queue row against the committed value. *)
+let bench_checker () =
+  Format.printf "@.| checker engine (SL game, E2 refutations)     | nodes/s@.";
+  let run ~name ~jobs =
+    match Registry.find name with
+    | None -> ()
+    | Some (Registry.Checkable c) ->
+        let (module S) = c.spec in
+        let module L = Lincheck.Make (S) in
+        let prog = Harness.program ~make:c.make ~workload:c.workload in
+        let _, s = L.check_strong_stats ?max_depth:c.default_depth ~jobs prog in
+        let nps = Lincheck.nodes_per_sec s in
+        let label = Printf.sprintf "checker %s -j %d" name jobs in
+        record_result label "nodes_per_sec" nps;
+        Format.printf "| %-44s | %.0f (%d nodes)@." label nps s.Lincheck.nodes
+  in
+  let jobs_list = if quick then [ 1 ] else [ 1; 4 ] in
+  List.iter
+    (fun jobs ->
+      run ~name:"hw-queue" ~jobs;
+      run ~name:"agm-stack" ~jobs)
+    jobs_list
+
 let () =
   if selected "e1" then Experiments.e1 ();
   if selected "e2" then Experiments.e2 ~quick ();
@@ -360,5 +391,6 @@ let () =
   if selected "e8" then Experiments.e8 ();
   if selected "e6" then if quick then e6_quick () else e6 ();
   if selected "fuzz" then bench_fuzz ();
+  if selected "checker" then bench_checker ();
   write_bench_results ();
   Format.printf "@.All selected experiments completed.@."

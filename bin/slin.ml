@@ -40,7 +40,7 @@ let unknown_object name =
 (* --- check ------------------------------------------------------------ *)
 
 let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
-    trace_out witness_out no_shrink =
+    trace_out witness_out no_shrink jobs checkpoint_stride =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -119,8 +119,13 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
       if not observing then begin
         (* No observability requested: exactly the historical path and
            output, byte for byte (witness emission only adds output when
-           its flag is on). *)
-        let v = L.check_strong ~max_nodes ?max_depth:depth prog in
+           its flag is on; --jobs/--checkpoint-stride change how the tree
+           is explored, never the verdict or its rendering). *)
+        let v =
+          fst
+            (L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs
+               ~checkpoint_stride prog)
+        in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
         emit_witness v;
         exit_of_verdict v
@@ -149,7 +154,8 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         let on_progress = if stats then Some on_progress else None in
         let v, st =
           L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
-            ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer prog
+            ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ~jobs
+            ~checkpoint_stride prog
         in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
         let sim_metrics = Sim.Metrics.snapshot () in
@@ -282,7 +288,7 @@ let write_witness_json path json =
       Format.eprintf "cannot open output file: %s@." msg;
       false
 
-let run_fuzz name seed runs no_crash max_steps no_shrink witness_out =
+let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -293,7 +299,7 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out =
       let module W = Witness.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let r =
-        A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) prog
+        A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) ~jobs prog
       in
       Format.printf "object: %s (master seed %d)@." c.spec_name seed;
       (* No wall-clock figures here: with a fixed seed the output is
@@ -435,8 +441,17 @@ let experiment_cmd =
       & info [ "witness-dir" ] ~docv:"DIR"
           ~doc:"Write a slin-witness/v1 JSON artifact for every E2 refutation into $(docv).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Solve E2's strong-linearizability games and E7's crash sweep on $(docv) \
+             domains.  Merging is deterministic: every table is identical for every \
+             $(docv).")
+  in
   let known = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e7"; "e8" ] in
-  let run which quick witness_dir =
+  let run which quick witness_dir jobs =
     match List.filter (fun n -> not (List.mem n known)) which with
     | _ :: _ as bad ->
         Format.eprintf "unknown experiment%s %s; choose from: %s@."
@@ -447,18 +462,18 @@ let experiment_cmd =
     | [] ->
         let sel name = which = [] || List.mem name which in
         if sel "e1" then Experiments.e1 ();
-        if sel "e2" then Experiments.e2 ?witness_dir ~quick ();
+        if sel "e2" then Experiments.e2 ?witness_dir ~jobs ~quick ();
         if sel "e3" then Experiments.e3 ();
         if sel "e4" then Experiments.e4 ();
         if sel "e5" then Experiments.e5 ();
-        if sel "e7" then Experiments.e7 ();
+        if sel "e7" then Experiments.e7 ~jobs ();
         if sel "e8" then Experiments.e8 ();
         0
   in
   Cmd.v
     (Cmd.info "experiment" ~exits:verdict_exits
        ~doc:"Regenerate experiment tables E1-E5, E7, E8 (see EXPERIMENTS.md).")
-    Term.(const run $ which $ quick $ witness_dir)
+    Term.(const run $ which $ quick $ witness_dir $ jobs)
 
 let check_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -538,12 +553,31 @@ let check_cmd =
       & info [ "no-shrink" ]
           ~doc:"Skip witness minimization: write the certificate exactly as extracted.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Solve the top-level subtrees of the game on $(docv) domains.  The merge is \
+             deterministic: verdict, witness and node counts are identical for every value \
+             (the stderr heartbeat is only emitted at $(docv)=1).")
+  in
+  let checkpoint_stride =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-stride" ] ~docv:"K"
+          ~doc:
+            "Anchor interval of the incremental engine: every explored node whose depth is a \
+             multiple of $(docv) is re-derived from a full replay and compared against the \
+             incrementally maintained state ($(docv)=1 checks every node).  Results are \
+             identical for every value.")
+  in
   Cmd.v
     (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
     Term.(
       const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
-      $ stats $ json_out $ trace_out $ witness_out $ no_shrink)
+      $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ checkpoint_stride)
 
 let explain_cmd =
   let witness =
@@ -591,13 +625,24 @@ let fuzz_cmd =
             "On a violation, write the shrunk certificate as a slin-witness/v1 JSON artifact \
              to $(docv); replay it later with $(b,slin explain).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Execute the campaign's runs on $(docv) domains.  Run configurations are drawn \
+             from the PRNG upfront and the first violation is the index-minimal one, so \
+             every report field except elapsed time is identical for every $(docv).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~exits:verdict_exits
        ~doc:
          "Fuzz OBJECT with seeded random schedules and crash injection: every trace is \
           checked for linearizability, and the first violation is shrunk into a replayable \
           witness.")
-    Term.(const run_fuzz $ obj $ seed $ runs $ no_crash $ max_steps $ no_shrink $ witness_out)
+    Term.(
+      const run_fuzz $ obj $ seed $ runs $ no_crash $ max_steps $ no_shrink $ witness_out
+      $ jobs)
 
 let progress_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in

@@ -117,9 +117,23 @@ module Make (S : Spec.S) = struct
      enabled process it may crash one, [crashes] times in total per
      branch.  Crash edges add no trace events, so this decides strong
      linearizability of the crash-extended execution tree; soundness and
-     the game structure are exactly the checker's. *)
-  let check_strong_crashes ?(max_nodes = 2_000_000) ?max_depth ?budget_ms ~crashes
-      (prog : (S.op, S.resp) Sim.program) : crash_verdict =
+     the game structure are exactly the checker's.
+
+     Node evaluation is the checker's incremental engine
+     ([Lincheck.Make(S).Internal]): each node's records and precedence
+     masks derive from its parent's in O(delta) — a crash edge appends
+     no events, so the child shares the parent's arrays outright — and
+     every [checkpoint_stride]-th tree level is re-derived from a full
+     trace replay and compared ([cross_check]).  One mutable spine world
+     descends a single action when the solver expands the first child of
+     the node it just evaluated; any other move rebuilds via
+     [run_actions].  The cache keys pack the action path one byte per
+     action (crash = process + 128). *)
+  let check_strong_crashes ?(max_nodes = 2_000_000) ?max_depth ?budget_ms
+      ?(checkpoint_stride = 16) ~crashes (prog : (S.op, S.resp) Sim.program) : crash_verdict =
+    let stride = max 1 checkpoint_stride in
+    if prog.Sim.procs > 128 then
+      invalid_arg "Adversary.check_strong_crashes: at most 128 processes";
     let t0 = Obs.now_ns () in
     let nodes = ref 0 in
     let tripped = ref Lincheck.Budget_nodes in
@@ -127,13 +141,29 @@ module Make (S : Spec.S) = struct
       tripped := reason;
       raise Lincheck.Budget_exhausted
     in
-    let cache : (crash_action list, (S.op, S.resp) History.op_record list * int list) Hashtbl.t
-        =
-      Hashtbl.create 1024
+    let key_char = function
+      | Step p -> Char.unsafe_chr p
+      | Crash p -> Char.unsafe_chr (p + 128)
     in
-    let node_data path =
-      match Hashtbl.find_opt cache path with
-      | Some d -> d
+    let cache : (string, L.Internal.node_info) Hashtbl.t = Hashtbl.create 1024 in
+    let apply w = function Step p -> Sim.step w p | Crash p -> Sim.crash w p in
+    let ev_path : crash_action list ref = ref [] in
+    let ev_world : (S.op, S.resp) Sim.t option ref = ref None in
+    let world_at path =
+      let w =
+        match (path, !ev_world) with
+        | a :: tl, Some w when tl == !ev_path ->
+            apply w a;
+            w
+        | _ -> run_actions prog (List.rev path)
+      in
+      ev_path := path;
+      ev_world := Some w;
+      w
+    in
+    let node_data path depth key parent_info =
+      match Hashtbl.find_opt cache key with
+      | Some info -> info
       | None ->
           incr nodes;
           Obs.incr c_crash_nodes;
@@ -141,26 +171,32 @@ module Make (S : Spec.S) = struct
           (match budget_ms with
           | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Lincheck.Budget_wall
           | _ -> ());
-          let w = run_actions prog (List.rev path) in
-          let d = (History.of_trace (Sim.trace w), Sim.enabled w) in
-          Hashtbl.add cache path d;
-          d
+          let w = world_at path in
+          let info =
+            match parent_info with
+            | Some pi -> L.Internal.extend_info pi w
+            | None -> L.Internal.info_of_world w
+          in
+          if depth mod stride = 0 then L.Internal.cross_check info w;
+          Hashtbl.add cache key info;
+          info
     in
     let deepest = ref [] in
     let deepest_len = ref 0 in
-    let rec solve path depth budget (lin : L.linearization) =
-      let records, en = node_data path in
+    let rec solve path depth key parent_info budget (lin : L.linearization) =
+      let info = node_data path depth key parent_info in
+      let en = L.Internal.enabled_of info in
       let en = match max_depth with Some d when depth >= d -> [] | _ -> en in
       let children =
         List.map (fun p -> Step p) en
         @ (if budget > 0 then List.map (fun p -> Crash p) en else [])
       in
-      match L.Internal.validate_prefix records lin with
+      match L.Internal.validate_info info lin with
       | None -> false
       | Some states -> (
-          match L.Internal.extensions records lin states with
+          match L.Internal.extensions_info info lin states with
           | [] ->
-              if L.Internal.extensions records [] [ S.init ] = [] then
+              if not (L.Internal.root_linearizable info) then
                 raise (Found_crash_not_linearizable (List.rev path));
               if depth > !deepest_len then begin
                 deepest := List.rev path;
@@ -174,11 +210,13 @@ module Make (S : Spec.S) = struct
                      List.for_all
                        (fun a ->
                          let budget' = match a with Crash _ -> budget - 1 | Step _ -> budget in
-                         solve (a :: path) (depth + 1) budget' cand)
+                         solve (a :: path) (depth + 1)
+                           (key ^ String.make 1 (key_char a))
+                           (Some info) budget' cand)
                        children)
                    candidates)
     in
-    match solve [] 0 crashes [] with
+    match solve [] 0 "" None crashes [] with
     | true -> Crash_strongly_linearizable { nodes = !nodes }
     | false -> Crash_not_strongly_linearizable { actions = !deepest; nodes = !nodes }
     | exception Found_crash_not_linearizable actions -> Crash_not_linearizable { actions }
@@ -375,44 +413,93 @@ module Make (S : Spec.S) = struct
      and the trace is checked for plain linearizability — under random
      (non-adversarial) scheduling that is the property violations
      actually manifest as.  The first violation stops the campaign and
-     is shrunk into a replayable certificate. *)
-  let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true)
+     is shrunk into a replayable certificate.
+
+     All run configurations are drawn from the PRNG upfront, in exactly
+     the order the stop-at-first-violation loop would draw them; [jobs]
+     domains then execute disjoint index classes.  The campaign "stops"
+     at the smallest violating index v — workers abandon indices past
+     the current minimum — and the report aggregates runs 0..v only, so
+     every field except [fz_elapsed_ns] is identical for every [jobs]
+     (the first violation is the index-minimal one, not the first found
+     in wall time). *)
+  let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true) ?(jobs = 1)
       (prog : (S.op, S.resp) Sim.program) : fuzz_report =
     let t0 = Obs.now_ns () in
     let rng = Random.State.make [| seed; 0xad5e |] in
-    let total_steps = ref 0 in
-    let crashed_runs = ref 0 in
-    let violation = ref None in
-    let run = ref 0 in
-    while !violation = None && !run < runs do
-      incr run;
-      Obs.incr c_fuzz_runs;
+    let nruns = max runs 0 in
+    let cfgs = Array.make nruns (0, []) in
+    for i = 0 to nruns - 1 do
       let run_seed = Random.State.bits rng in
       let crash_after =
-        if crash && Random.State.bool rng then begin
-          incr crashed_runs;
+        if crash && Random.State.bool rng then
           [ (Random.State.int rng prog.Sim.procs, Random.State.int rng 33) ]
-        end
         else []
       in
-      let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
-      let steps = List.length schedule in
-      total_steps := !total_steps + steps;
-      Obs.add c_fuzz_steps steps;
-      if L.check_trace (Sim.trace w) = None then begin
-        let shape0 =
-          { Witness.kind = Witness.Not_linearizable; branch = []; futures = [ schedule ] }
-        in
-        let shape = if shrink then W.shrink prog shape0 else shape0 in
-        violation := Some { v_seed = run_seed; v_crash_after = crash_after; v_schedule = schedule; v_shape = shape }
-      end
+      cfgs.(i) <- (run_seed, crash_after)
     done;
+    let steps_of = Array.make nruns 0 in
+    let viol_sched = Array.make nruns None in
+    let min_viol = Atomic.make max_int in
+    let rec note i =
+      let cur = Atomic.get min_viol in
+      if i < cur && not (Atomic.compare_and_set min_viol cur i) then note i
+    in
+    let run_range first stride =
+      let i = ref first in
+      while !i < nruns && !i <= Atomic.get min_viol do
+        let run_seed, crash_after = cfgs.(!i) in
+        let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
+        steps_of.(!i) <- List.length schedule;
+        if L.check_trace (Sim.trace w) = None then begin
+          viol_sched.(!i) <- Some schedule;
+          note !i
+        end;
+        i := !i + stride
+      done
+    in
+    let nworkers = max 1 (min jobs nruns) in
+    if nworkers > 1 then begin
+      let doms =
+        List.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> run_range (k + 1) nworkers))
+      in
+      run_range 0 nworkers;
+      List.iter Domain.join doms
+    end
+    else run_range 0 1;
+    let first_viol =
+      let rec find i =
+        if i >= nruns then None else if viol_sched.(i) <> None then Some i else find (i + 1)
+      in
+      find 0
+    in
+    let fz_runs = match first_viol with Some v -> v + 1 | None -> nruns in
+    let crashed_runs = ref 0 in
+    let total_steps = ref 0 in
+    for i = 0 to fz_runs - 1 do
+      if snd cfgs.(i) <> [] then incr crashed_runs;
+      total_steps := !total_steps + steps_of.(i)
+    done;
+    Obs.add c_fuzz_runs fz_runs;
+    Obs.add c_fuzz_steps !total_steps;
+    let violation =
+      match first_viol with
+      | None -> None
+      | Some v ->
+          let run_seed, crash_after = cfgs.(v) in
+          let schedule = Option.get viol_sched.(v) in
+          let shape0 =
+            { Witness.kind = Witness.Not_linearizable; branch = []; futures = [ schedule ] }
+          in
+          let shape = if shrink then W.shrink prog shape0 else shape0 in
+          Some { v_seed = run_seed; v_crash_after = crash_after; v_schedule = schedule; v_shape = shape }
+    in
     {
-      fz_runs = !run;
+      fz_runs;
       fz_crashed_runs = !crashed_runs;
       fz_total_steps = !total_steps;
       fz_elapsed_ns = Obs.now_ns () - t0;
-      fz_violation = !violation;
+      fz_violation = violation;
     }
 end
 
@@ -488,66 +575,92 @@ let crash_plans ~n ~max_crashes ~positions =
    and termination (every surviving process decides).  [max_crashes]
    defaults to [k - 1] — the fault level k-set agreement must tolerate. *)
 let agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes
-    ?(positions = [ 0; 1; 3; 7; 15; 31 ]) ?(max_steps = 50_000) () : sweep_report =
+    ?(positions = [ 0; 1; 3; 7; 15; 31 ]) ?(max_steps = 50_000) ?(jobs = 1) () : sweep_report =
   let n = Array.length inputs in
   let max_crashes = match max_crashes with Some c -> c | None -> max 0 (k - 1) in
-  let runs = ref 0 in
+  (* The (policy, plan) grid is fixed upfront; runs are independent
+     (fresh policy state, decisions array and world per run), so [jobs]
+     domains can execute disjoint index classes and the merge — in grid
+     order — reproduces the sequential report for every [jobs]. *)
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun pol -> List.map (fun plan -> (pol, plan)) (crash_plans ~n ~max_crashes ~positions))
+         (policies n))
+  in
+  let nruns = Array.length pairs in
+  let run_one ((pol_name, mk_choose), plan) =
+    let violations = ref [] in
+    let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let choose = mk_choose () in
+    let decisions = Array.make n None in
+    let prog = Agreement.program ~make ~ordering ~inputs ~decisions in
+    let w = Sim.create ~n:prog.Sim.procs in
+    prog.Sim.boot w;
+    let total = ref 0 in
+    let rec loop () =
+      List.iter (fun (p, at) -> if !total >= at then Sim.crash w p) plan;
+      match Sim.enabled w with
+      | [] -> true
+      | ps when !total < max_steps ->
+          Sim.step w (choose !total ps);
+          incr total;
+          loop ()
+      | _ -> false
+    in
+    let terminated = loop () in
+    let plan_str =
+      String.concat "," (List.map (fun (p, at) -> Printf.sprintf "p%d@%d" p at) plan)
+    in
+    let ctx = Printf.sprintf "policy %s, crashes [%s]" pol_name plan_str in
+    let distinct = ref 0 in
+    if not terminated then violate "%s: did not terminate within %d steps" ctx max_steps
+    else begin
+      let outcome = { Agreement.decisions; inputs } in
+      distinct := List.length (Agreement.distinct_decisions outcome);
+      if not (Agreement.valid outcome) then violate "%s: validity violated" ctx;
+      if not (Agreement.agreement ~k outcome) then
+        violate "%s: agreement violated (%d distinct decisions, k=%d)" ctx !distinct k;
+      Array.iteri
+        (fun p d ->
+          if Sim.finished w p && d = None then
+            violate "%s: p%d terminated without deciding" ctx p)
+        decisions
+    end;
+    (plan <> [], not terminated, !distinct, List.rev !violations)
+  in
+  let results = Array.make nruns (false, false, 0, []) in
+  let run_range first stride =
+    let i = ref first in
+    while !i < nruns do
+      results.(!i) <- run_one pairs.(!i);
+      i := !i + stride
+    done
+  in
+  let nworkers = max 1 (min jobs nruns) in
+  if nworkers > 1 then begin
+    let doms =
+      List.init (nworkers - 1) (fun w -> Domain.spawn (fun () -> run_range (w + 1) nworkers))
+    in
+    run_range 0 nworkers;
+    List.iter Domain.join doms
+  end
+  else run_range 0 1;
+  Obs.add c_sweep_runs nruns;
   let crashed_runs = ref 0 in
   let nonterminating = ref 0 in
   let max_distinct = ref 0 in
   let violations = ref [] in
-  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
-  List.iter
-    (fun (pol_name, mk_choose) ->
-      List.iter
-        (fun plan ->
-          incr runs;
-          Obs.incr c_sweep_runs;
-          if plan <> [] then incr crashed_runs;
-          let choose = mk_choose () in
-          let decisions = Array.make n None in
-          let prog = Agreement.program ~make ~ordering ~inputs ~decisions in
-          let w = Sim.create ~n:prog.Sim.procs in
-          prog.Sim.boot w;
-          let total = ref 0 in
-          let rec loop () =
-            List.iter (fun (p, at) -> if !total >= at then Sim.crash w p) plan;
-            match Sim.enabled w with
-            | [] -> true
-            | ps when !total < max_steps ->
-                Sim.step w (choose !total ps);
-                incr total;
-                loop ()
-            | _ -> false
-          in
-          let terminated = loop () in
-          let plan_str =
-            String.concat ","
-              (List.map (fun (p, at) -> Printf.sprintf "p%d@%d" p at) plan)
-          in
-          let ctx = Printf.sprintf "policy %s, crashes [%s]" pol_name plan_str in
-          if not terminated then begin
-            incr nonterminating;
-            violate "%s: did not terminate within %d steps" ctx max_steps
-          end
-          else begin
-            let outcome = { Agreement.decisions; inputs } in
-            let distinct = List.length (Agreement.distinct_decisions outcome) in
-            if distinct > !max_distinct then max_distinct := distinct;
-            if not (Agreement.valid outcome) then violate "%s: validity violated" ctx;
-            if not (Agreement.agreement ~k outcome) then
-              violate "%s: agreement violated (%d distinct decisions, k=%d)" ctx distinct k;
-            Array.iteri
-              (fun p d ->
-                if Sim.finished w p && d = None then
-                  violate "%s: p%d terminated without deciding" ctx p)
-              decisions
-          end)
-        (crash_plans ~n ~max_crashes ~positions))
-    (policies n);
+  Array.iter
+    (fun (crashed, nonterm, distinct, vs) ->
+      if crashed then incr crashed_runs;
+      if nonterm then incr nonterminating;
+      if distinct > !max_distinct then max_distinct := distinct;
+      violations := List.rev_append vs !violations)
+    results;
   {
     sw_k = k;
-    sw_runs = !runs;
+    sw_runs = nruns;
     sw_crashed_runs = !crashed_runs;
     sw_nonterminating = !nonterminating;
     sw_max_distinct = !max_distinct;

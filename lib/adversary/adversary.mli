@@ -51,6 +51,7 @@ module Make (S : Spec.S) : sig
     ?max_nodes:int ->
     ?max_depth:int ->
     ?budget_ms:int ->
+    ?checkpoint_stride:int ->
     crashes:int ->
     (S.op, S.resp) Sim.program ->
     crash_verdict
@@ -60,7 +61,14 @@ module Make (S : Spec.S) : sig
       [Lincheck.check_strong] on the same program — a mechanical
       cross-validation of the crash-robustness of every SL verdict.
       [max_nodes] defaults to 2M (crash edges enlarge the tree ~(n+1)×
-      per allowed crash). *)
+      per allowed crash).
+
+      Node evaluation shares the checker's incremental engine: each
+      node derives from its parent in O(trace delta), and every
+      [checkpoint_stride]-th (default 16, clamped to >= 1) tree level is
+      re-derived from a full replay and compared — a pure cross-check,
+      results are identical for every stride.  At most 128 processes
+      (cache keys pack one action per byte). *)
 
   (** {1 Wait-freedom, exhaustively} *)
 
@@ -131,6 +139,7 @@ module Make (S : Spec.S) : sig
     ?crash:bool ->
     ?max_steps:int ->
     ?shrink:bool ->
+    ?jobs:int ->
     (S.op, S.resp) Sim.program ->
     fuzz_report
   (** Run up to [runs] random schedules derived from the master [seed]
@@ -139,7 +148,12 @@ module Make (S : Spec.S) : sig
       one crash per run when [crash] (default true), and check every
       trace for linearizability.  The first violation stops the campaign
       and is shrunk (unless [shrink:false]) into a replayable
-      [slin-witness/v1] certificate. *)
+      [slin-witness/v1] certificate.
+
+      [jobs] (default 1) executes runs on that many domains.  Run
+      configurations are pre-drawn in sequential order and "first
+      violation" means the index-minimal one, so every report field
+      except [fz_elapsed_ns] is identical for every [jobs] value. *)
 end
 
 (** {1 Algorithm B under crash schedules} *)
@@ -165,6 +179,7 @@ val agreement_crash_sweep :
   ?max_crashes:int ->
   ?positions:int list ->
   ?max_steps:int ->
+  ?jobs:int ->
   unit ->
   sweep_report
 (** Run Lemma 12's Algorithm B under a canonical deterministic schedule
@@ -174,4 +189,6 @@ val agreement_crash_sweep :
     position from [positions].  Each run checks k-set agreement's
     contract: validity (decisions are inputs), agreement (at most [k]
     distinct decisions) and termination (every surviving process
-    decides). *)
+    decides).  [jobs] (default 1) executes the run grid on that many
+    domains; runs are independent and merged in grid order, so the
+    report is identical for every [jobs] value. *)

@@ -147,14 +147,15 @@ module E2_row (S : Spec.S) = struct
      certificate step counts) and, when [witness_dir] is set, a
      slin-witness/v1 artifact at DIR/REG.json replayable with
      `slin explain`. *)
-  let run ~name ~expect ~make ~workload ?reg ?witness_dir ?max_nodes ?max_depth () =
+  let run ~name ~expect ~make ~workload ?reg ?witness_dir ?max_nodes ?max_depth ?(jobs = 1) ()
+      =
     let prog = Harness.program ~make ~workload in
     let lin =
       match Harness.find_non_linearizable ~check:L.is_linearizable ~runs:150 prog with
       | None -> "linearizable (150 random runs)"
       | Some seed -> Printf.sprintf "NOT LINEARIZABLE (seed %d)!" seed
     in
-    let verdict = L.check_strong ?max_nodes ?max_depth prog in
+    let verdict = fst (L.check_strong_stats ?max_nodes ?max_depth ~jobs prog) in
     let forensics kind schedule nodes reg =
       match W.extract ?max_nodes ?max_depth prog ~kind ~schedule with
       | None -> "w ?"
@@ -188,7 +189,7 @@ module E2_row (S : Spec.S) = struct
       witness_col expect
 end
 
-let e2 ?witness_dir ~quick () =
+let e2 ?witness_dir ?(jobs = 1) ~quick () =
   section
     "E2: baselines from the same primitives are linearizable but NOT\n\
      strongly linearizable (mechanical refutations; cf. Thm 17 and GHW/HHW)";
@@ -201,7 +202,7 @@ let e2 ?witness_dir ~quick () =
         [ Spec.Register.Write 2 ];
         [ Spec.Register.Read; Spec.Register.Read ];
       |]
-    ~reg:"mwmr-register" ?witness_dir ~max_nodes:2_000_000 ();
+    ~reg:"mwmr-register" ?witness_dir ~max_nodes:2_000_000 ~jobs ();
   let module Row_max = E2_row (Spec.Max_register) in
   Row_max.run ~name:"RW max register <- registers" ~expect:"refuted (DW DISC'15)"
     ~make:Executors.rw_max_register
@@ -211,7 +212,7 @@ let e2 ?witness_dir ~quick () =
         [ Spec.Max_register.WriteMax 2 ];
         [ Spec.Max_register.ReadMax; Spec.Max_register.ReadMax ];
       |]
-    ~reg:"rw-max" ?witness_dir ~max_nodes:2_000_000 ();
+    ~reg:"rw-max" ?witness_dir ~max_nodes:2_000_000 ~jobs ();
   if not quick then begin
     let module Row_q = E2_row (Spec.Queue_spec) in
     Row_q.run ~name:"HW queue <- F&A+swap" ~expect:"refuted (Thm 17)" ~make:Executors.hw_queue
@@ -222,7 +223,7 @@ let e2 ?witness_dir ~quick () =
           [ Spec.Queue_spec.Deq ];
           [ Spec.Queue_spec.Deq ];
         |]
-      ~reg:"hw-queue" ?witness_dir ~max_nodes:3_000_000 ~max_depth:22 ();
+      ~reg:"hw-queue" ?witness_dir ~max_nodes:3_000_000 ~max_depth:22 ~jobs ();
     let module Row_s = E2_row (Spec.Stack_spec) in
     Row_s.run ~name:"AGM stack <- F&A+swap" ~expect:"refuted (Thm 17, AE DISC'19)"
       ~make:Executors.agm_stack
@@ -233,21 +234,24 @@ let e2 ?witness_dir ~quick () =
           [ Spec.Stack_spec.Pop ];
           [ Spec.Stack_spec.Pop ];
         |]
-      ~reg:"agm-stack" ?witness_dir ~max_nodes:5_000_000 ~max_depth:24 ();
+      ~reg:"agm-stack" ?witness_dir ~max_nodes:5_000_000 ~max_depth:24 ~jobs ();
     (* The AAD snapshot — GHW's original counterexample object.  Its
-       embedded-scan helping makes the game tree explode: at workload
-       sizes we can settle exhaustively the bounded game is won, and the
-       known refutation (GHW STOC'11) lives beyond the budget; the row
-       documents that honestly. *)
+       embedded-scan helping makes the game tree explode.  The incremental
+       engine settles this workload exhaustively (~345k nodes, previously
+       Out_of_budget at 150k): the bounded game IS won here, so the known
+       refutation (GHW STOC'11) needs a larger workload — more racing
+       updates against the double-collect — which remains beyond exhaustive
+       reach; the row documents that honestly. *)
     let module Row_sn = E2_row (Executors.Snap2) in
-    Row_sn.run ~name:"AAD snapshot <- SWMR registers" ~expect:"refuted by GHW beyond budget"
+    Row_sn.run ~name:"AAD snapshot <- SWMR registers"
+      ~expect:"SL at this workload; GHW refutation needs larger one"
       ~make:Executors.rw_snapshot2
       ~workload:
         [|
           [ Executors.Snap2.Update (0, 1); Executors.Snap2.Update (0, 2) ];
           [ Executors.Snap2.Scan; Executors.Snap2.Scan ];
         |]
-      ~max_nodes:150_000 ~max_depth:18 ()
+      ~max_nodes:1_500_000 ~max_depth:18 ~jobs ()
   end;
   (* FINDING (DESIGN.md §6): Algorithm 2's EMPTY-returning take breaks
      prefix-closure once two puts race a take — the checker refutes
@@ -258,7 +262,7 @@ let e2 ?witness_dir ~quick () =
   Row_set.run ~name:"Alg 2 set, EMPTY race (finding)" ~expect:"refuted — gap in Thm 10 proof"
     ~make:Executors.ts_set_atomic_fi
     ~workload:[| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |]
-    ~reg:"set-empty-race" ?witness_dir ~max_nodes:4_000_000 ();
+    ~reg:"set-empty-race" ?witness_dir ~max_nodes:4_000_000 ~jobs ();
   (* The naive tournament n-process T&S from 2-process T&S: not even
      linearizable — a loser can complete before the eventual winner
      invokes.  Why Afek-Gafni-Tromp-Vitanyi needed more than a
@@ -267,7 +271,7 @@ let e2 ?witness_dir ~quick () =
   Row_tts.run ~name:"tournament T&S <- 2-proc T&S" ~expect:"NOT linearizable (AGTV context)"
     ~make:Executors.tournament_ts
     ~workload:(Array.make 4 [ Spec.Test_and_set.TestAndSet ])
-    ~reg:"tournament-ts" ?witness_dir ~max_nodes:2_000_000 ();
+    ~reg:"tournament-ts" ?witness_dir ~max_nodes:2_000_000 ~jobs ();
   (* Multi-shot AWW fetch&inc with a cached-hint read: the regressing
      hint makes Read non-linearizable outright — the second negative
      control, and the reason Theorem 9 re-scans instead of caching. *)
@@ -280,7 +284,7 @@ let e2 ?witness_dir ~quick () =
         [ Spec.Fetch_and_inc.FetchInc ];
         [ Spec.Fetch_and_inc.Read ];
       |]
-    ~reg:"aww-multishot-fi" ?witness_dir ~max_nodes:2_000_000 ();
+    ~reg:"aww-multishot-fi" ?witness_dir ~max_nodes:2_000_000 ~jobs ();
   (* Positive controls: implementations that must pass. *)
   let module Row_fi = E2_row (Spec.Fetch_and_inc) in
   Row_fi.run ~name:"AWW one-shot fetch&inc <- T&S" ~expect:"verified (paper, Sec 1)"
@@ -291,7 +295,7 @@ let e2 ?witness_dir ~quick () =
         [ Spec.Fetch_and_inc.FetchInc ];
         [ Spec.Fetch_and_inc.FetchInc ];
       |]
-    ();
+    ~jobs ();
   let module Row_cq = E2_row (Spec.Queue_spec) in
   Row_cq.run ~name:"CAS universal queue" ~expect:"verified (universal primitive)"
     ~make:Executors.cas_queue
@@ -301,7 +305,7 @@ let e2 ?witness_dir ~quick () =
         [ Spec.Queue_spec.Enq 2 ];
         [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
       |]
-    ~max_nodes:2_000_000 ~max_depth:30 ()
+    ~max_nodes:2_000_000 ~max_depth:30 ~jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* E3: Lemma 12 — k-set agreement from strongly-linearizable objects   *)
@@ -371,8 +375,9 @@ let e4 () =
 (* ------------------------------------------------------------------ *)
 
 (* How the strong-linearizability game scales with workload size — the
-   practical limit of exhaustive verification (and why E2's AAD row is
-   inconclusive).  Rows grow the Theorem 1 workload. *)
+   practical limit of exhaustive verification (and why E2's AAD row
+   needed the incremental engine to settle).  Rows grow the Theorem 1
+   workload. *)
 let e8 () =
   section "E8 (ablation): cost of the strong-linearizability game vs workload";
   let module L = Lincheck.Make (Spec.Max_register) in
@@ -518,8 +523,8 @@ end
 (* One row per k-ordering object: Algorithm B under every crash plan of
    at most (k-1) processes (or [max_crashes] when forced higher) crossed
    with a canonical deterministic schedule family. *)
-let e7_sweep ~name ~make ~ordering ~inputs ~k ?max_crashes () =
-  let r = Adversary.agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes () in
+let e7_sweep ~name ~make ~ordering ~inputs ~k ?max_crashes ?(jobs = 1) () =
+  let r = Adversary.agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes ~jobs () in
   Format.printf "| %-34s | %a@." name Adversary.pp_sweep_report r;
   List.iteri
     (fun i s -> if i < 3 then Format.printf "    ! %s@." s)
@@ -527,7 +532,7 @@ let e7_sweep ~name ~make ~ordering ~inputs ~k ?max_crashes () =
   let extra = List.length r.Adversary.sw_violations - 3 in
   if extra > 0 then Format.printf "    ! ... and %d more@." extra
 
-let e7 () =
+let e7 ?(jobs = 1) () =
   section
     "E7 (adversary): the SL game on the crash-extended tree (<= 1 crash),\n\
      exhaustive wait-freedom bounds, and lock-freedom lasso search";
@@ -592,16 +597,16 @@ let e7 () =
   hr ();
   let i3 = [| 100; 200; 300 |] and i5 = [| 1; 2; 3; 4; 5 |] in
   e7_sweep ~name:"queue (atomic), k=1, no crashes" ~make:K_ordering.atomic_queue
-    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ();
+    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~jobs ();
   e7_sweep ~name:"queue (atomic), forced 1 crash" ~make:K_ordering.atomic_queue
-    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~max_crashes:1 ();
+    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~max_crashes:1 ~jobs ();
   e7_sweep ~name:"stack (atomic), forced 1 crash" ~make:K_ordering.atomic_stack
-    ~ordering:K_ordering.stack_witness ~inputs:i3 ~k:1 ~max_crashes:1 ();
+    ~ordering:K_ordering.stack_witness ~inputs:i3 ~k:1 ~max_crashes:1 ~jobs ();
   e7_sweep ~name:"2-ooo queue (n=5), <=1 crash" ~make:(K_ordering.atomic_ooo_queue ~k:2)
     ~ordering:(K_ordering.ooo_queue_witness ~k:2)
-    ~inputs:i5 ~k:2 ();
+    ~inputs:i5 ~k:2 ~jobs ();
   e7_sweep ~name:"HW queue, forced 1 crash" ~make:(K_ordering.hw_queue ~capacity:3)
-    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~max_crashes:1 ();
+    ~ordering:K_ordering.queue_witness ~inputs:i3 ~k:1 ~max_crashes:1 ~jobs ();
   Format.printf
     "(expected: zero violations for the atomic objects even with one forced\n\
      crash — Lemma 12 is crash-tolerant; the HW queue rows may violate)@."

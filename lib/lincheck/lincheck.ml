@@ -113,13 +113,18 @@ module Make (S : Spec.S) = struct
   (* Shared machinery                                                  *)
   (* ---------------------------------------------------------------- *)
 
+  (* Deduplicating a state set costs a polymorphic sort; deterministic
+     specs produce singletons on the hot path, where sorting is the
+     identity — skip it. *)
+  let sort_uniq_states = function ([] | [ _ ]) as l -> l | l -> List.sort_uniq compare l
+
   (* Nondeterministic specs: a sequence of (op, resp) pairs corresponds to
      a set of possible states.  [step_states] advances the whole set,
      keeping only outcomes whose response matches. *)
   let step_states states op resp =
     List.concat_map (fun s -> S.apply s op) states
     |> List.filter_map (fun (s', r) -> if S.equal_resp r resp then Some s' else None)
-    |> List.sort_uniq compare
+    |> sort_uniq_states
 
   (* All (resp, next-states) groups reachable by applying [op] to any
      state in [states]. *)
@@ -135,7 +140,7 @@ module Make (S : Spec.S) = struct
         in
         acc := insert !acc)
       outcomes;
-    List.map (fun (r, ss) -> (r, List.sort_uniq compare ss)) !acc
+    List.map (fun (r, ss) -> (r, sort_uniq_states ss)) !acc
 
   (* Precedence masks for a list of records (ids are dense 0..n-1). *)
   let build_masks (records : (S.op, S.resp) History.op_record list) =
@@ -152,12 +157,16 @@ module Make (S : Spec.S) = struct
       arr;
     (arr, pred)
 
+  let completed_mask_of arr =
+    let m = ref 0 in
+    Array.iteri (fun i r -> if History.is_complete r then m := !m lor (1 lsl i)) arr;
+    !m
+
   (* Validate a linearization prefix against the (possibly extended)
      records of a node: responses of now-completed operations must match
      the committed ones, and the sequence must still be spec-valid.
      Returns the state set after the prefix, or None. *)
-  let validate_prefix (records : (S.op, S.resp) History.op_record list) (lin : linearization) =
-    let arr = Array.of_list records in
+  let validate_over (arr : (S.op, S.resp) History.op_record array) (lin : linearization) =
     let rec go states = function
       | [] -> Some states
       | e :: rest ->
@@ -174,25 +183,39 @@ module Make (S : Spec.S) = struct
     in
     go [ S.init ] lin
 
-  (* Enumerate the minimal valid linearizations of [records] extending
-     [lin] (whose state set is [states0]): place every completed
-     operation; pending operations appear only in the interior (the last
-     element of every extension is completed, or the extension is empty).
-     Returns deduplicated entry lists. *)
-  let extensions (records : (S.op, S.resp) History.op_record list) (lin : linearization) states0 =
-    let arr, pred = build_masks records in
+  let validate_prefix records lin = validate_over (Array.of_list records) lin
+
+  (* Enumerate the minimal valid linearizations extending [lin] (whose
+     state set is [states0]): place every completed operation; pending
+     operations appear only in the interior (the last element of every
+     extension is completed, or the extension is empty).  Works over a
+     node's precomputed record array and masks so the solver never
+     rebuilds them per candidate.  Returns deduplicated entry lists, in
+     a deterministic order (reverse of first-emission order, which the
+     solver's candidate priority depends on). *)
+  let extensions_over (arr : (S.op, S.resp) History.op_record array) (pred : int array)
+      (completed_mask : int) (lin : linearization) states0 =
     let n = Array.length arr in
     let in_lin = List.fold_left (fun m e -> m lor (1 lsl e.op_id)) 0 lin in
-    let completed_mask = ref 0 in
-    Array.iteri (fun i r -> if History.is_complete r then completed_mask := !completed_mask lor (1 lsl i)) arr;
-    let completed_mask = !completed_mask in
     let results = ref [] in
-    let seen = Hashtbl.create 16 in
+    (* Dedup is structural: extensions bucketed by their op-id sequence
+       (packed into a string key), responses compared with [S.equal_resp].
+       Keying on [Format.asprintf "%a" S.pp_resp] was both slow and
+       unsound when the printer is not injective — two distinct responses
+       printing alike would wrongly collapse into one candidate. *)
+    let seen : (string, S.resp list list) Hashtbl.t = Hashtbl.create 16 in
     let emit rev_acc =
       let ext = List.rev rev_acc in
-      let key = List.map (fun e -> (e.op_id, Format.asprintf "%a" S.pp_resp e.eresp)) ext in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
+      let len = List.length ext in
+      let key =
+        let b = Bytes.create len in
+        List.iteri (fun i e -> Bytes.unsafe_set b i (Char.unsafe_chr e.op_id)) ext;
+        Bytes.unsafe_to_string b
+      in
+      let resps = List.map (fun e -> e.eresp) ext in
+      let bucket = Option.value (Hashtbl.find_opt seen key) ~default:[] in
+      if not (List.exists (fun rs -> List.for_all2 S.equal_resp rs resps) bucket) then begin
+        Hashtbl.replace seen key (resps :: bucket);
         results := ext :: !results
       end
     in
@@ -217,6 +240,137 @@ module Make (S : Spec.S) = struct
     in
     go in_lin states0 [];
     List.map (fun ext -> lin @ ext) !results
+
+  let extensions (records : (S.op, S.resp) History.op_record list) (lin : linearization) states0 =
+    let arr, pred = build_masks records in
+    extensions_over arr pred (completed_mask_of arr) lin states0
+
+  (* ---------------------------------------------------------------- *)
+  (* Incremental node evaluation                                       *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Everything the solver needs about one tree node, computed once and
+     cached: the record array with its precedence masks (so [extensions]
+     never rebuilds them per candidate), the enabled set, how much trace
+     the records cover, and a lazily-memoized answer to "is this node's
+     execution linearizable at all?" (the dead-end root check). *)
+  type node_info = {
+    rec_arr : (S.op, S.resp) History.op_record array;
+    pred : int array;
+    completed_mask : int;
+    enabled : int list;
+    trace_len : int;
+    mutable root_linearizable : bool option;
+  }
+
+  let info_of_world (w : (S.op, S.resp) Sim.t) =
+    let arr, pred = build_masks (History.of_trace (Sim.trace w)) in
+    {
+      rec_arr = arr;
+      pred;
+      completed_mask = completed_mask_of arr;
+      enabled = Sim.enabled w;
+      trace_len = Sim.trace_len w;
+      root_linearizable = None;
+    }
+
+  (* Extend [parent]'s evaluated state by the trace delta of [w], a world
+     whose trace extends the parent node's (the child is the parent's
+     schedule plus steps; execution is deterministic, so this holds
+     whether [w] was stepped in place or rebuilt from scratch).
+
+     Why existing rows survive: every event in the delta sits at a trace
+     position >= [parent.trace_len] > the [inv_index] of every existing
+     record, so a newly completed operation precedes no existing one and
+     no existing pair changes order — [precedes] on old pairs is final.
+     Completions only fill [resp]/[res_index] of a pending record; fresh
+     invocations append records whose precedence rows are computed
+     against the finished array.  Cost: O(delta + new_ops * n) instead
+     of O(trace * n + n^2) per node. *)
+  let extend_info (parent : node_info) (w : (S.op, S.resp) Sim.t) =
+    let enabled = Sim.enabled w in
+    let trace_len = Sim.trace_len w in
+    let delta = Sim.events_from w ~from:parent.trace_len in
+    if not (List.exists (function Trace.Step _ -> false | _ -> true) delta) then
+      (* Base-object steps only: the history is untouched, share every
+         array (and the memoized root check) with the parent. *)
+      { parent with enabled; trace_len }
+    else begin
+      let n0 = Array.length parent.rec_arr in
+      (* Open operation per process: parent's pending records, updated as
+         the delta is scanned. *)
+      let open_slot = Array.make (Sim.n w) (-1) in
+      Array.iter
+        (fun (r : _ History.op_record) ->
+          if History.is_pending r then open_slot.(r.History.proc) <- r.History.id)
+        parent.rec_arr;
+      let news = ref [] in
+      (* id -> completed copy, for records whose Return is in the delta *)
+      let updates : (int, (S.op, S.resp) History.op_record) Hashtbl.t = Hashtbl.create 8 in
+      let next_id = ref n0 in
+      List.iteri
+        (fun i ev ->
+          let idx = parent.trace_len + i in
+          match ev with
+          | Trace.Step _ -> ()
+          | Trace.Invoke { proc; op } ->
+              let r =
+                { History.id = !next_id; proc; op; resp = None; inv_index = idx; res_index = None }
+              in
+              incr next_id;
+              open_slot.(proc) <- r.History.id;
+              news := r :: !news
+          | Trace.Return { proc; resp } ->
+              let id = open_slot.(proc) in
+              if id < 0 then invalid_arg "Lincheck: return without invocation in trace delta";
+              open_slot.(proc) <- -1;
+              let r =
+                if id < n0 then parent.rec_arr.(id)
+                else List.find (fun (r : _ History.op_record) -> r.History.id = id) !news
+              in
+              Hashtbl.replace updates id
+                { r with History.resp = Some resp; res_index = Some idx })
+        delta;
+      let n = !next_id in
+      if n > 60 then invalid_arg "Lincheck: more than 60 operations";
+      let news_arr = Array.of_list (List.rev !news) in
+      let fetch id =
+        match Hashtbl.find_opt updates id with
+        | Some r -> r
+        | None -> if id < n0 then parent.rec_arr.(id) else news_arr.(id - n0)
+      in
+      let arr = Array.init n fetch in
+      let pred = Array.make n 0 in
+      Array.blit parent.pred 0 pred 0 n0;
+      for i = n0 to n - 1 do
+        let ri = arr.(i) in
+        let m = ref 0 in
+        for j = 0 to n - 1 do
+          if j <> i && History.precedes arr.(j) ri then m := !m lor (1 lsl j)
+        done;
+        pred.(i) <- !m
+      done;
+      let completed_mask =
+        Hashtbl.fold (fun id _ m -> m lor (1 lsl id)) updates parent.completed_mask
+      in
+      { rec_arr = arr; pred; completed_mask; enabled; trace_len; root_linearizable = None }
+    end
+
+  (* Anchor check: recompute the node's records from the full trace and
+     compare with the incrementally maintained ones.  Run at every node
+     whose depth is a multiple of the checkpoint stride; a divergence is
+     a checker bug, never a property of the object under test. *)
+  let cross_check (info : node_info) (w : (S.op, S.resp) Sim.t) =
+    if History.of_trace (Sim.trace w) <> Array.to_list info.rec_arr then
+      invalid_arg "Lincheck: incremental node state diverged from full replay"
+
+  let root_linearizable (info : node_info) =
+    match info.root_linearizable with
+    | Some b -> b
+    | None ->
+        let b = extensions_over info.rec_arr info.pred info.completed_mask [] [ S.init ] <> [] in
+        info.root_linearizable <- Some b;
+        b
 
   (* ---------------------------------------------------------------- *)
   (* Single-trace linearizability                                      *)
@@ -257,6 +411,49 @@ module Make (S : Spec.S) = struct
 
   exception Found_not_linearizable of int list
 
+  (* Raised inside a parallel worker when its column is past the
+     sequential stopping point and its result can no longer matter. *)
+  exception Abandoned
+
+  (* One independent exploration state — counters, node cache, spine
+     world and the recursive solver, bundled so the sequential checker
+     (one engine, whole tree) and the parallel checker (one engine per
+     top-level subtree) share the exact same code path. *)
+  type engine = {
+    en_nodes : int ref;
+    en_hits : int ref;
+    en_frontier : int ref;
+    en_cand : int ref;
+    en_killed : int ref;
+    en_dead : int ref;
+    en_vfail : int ref;
+    en_wit : (int * int list) list ref;
+        (* witness updates, newest first: (depth, forward schedule) at
+           each strictly-deeper dead end *)
+    en_tripped : budget_reason ref;
+    en_solve : int list -> int -> string -> node_info option -> linearization -> bool;
+  }
+
+  (* Result of one parallel column (a top-level subtree solved with the
+     empty inherited linearization). *)
+  type col_outcome =
+    | Col_ok of bool
+    | Col_not_lin of int list
+    | Col_tripped of budget_reason
+    | Col_abandoned
+
+  type col_result = {
+    cr_outcome : col_outcome;
+    cr_nodes : int;
+    cr_hits : int;
+    cr_frontier : int;
+    cr_cand : int;
+    cr_killed : int;
+    cr_dead : int;
+    cr_vfail : int;
+    cr_wit : (int * int list) list;  (* temporal order *)
+  }
+
   (* [max_depth] truncates the tree: nodes at that depth get no children.
      Truncation preserves soundness of refutation — a prefix-closed
      linearization function on the full tree restricts to one on any
@@ -266,137 +463,417 @@ module Make (S : Spec.S) = struct
      can spin (e.g. a queue's dequeue retrying on empty), which make the
      full tree infinite. *)
   let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
-      ?on_progress ?(progress_every = 10_000) ?tracer (prog : (S.op, S.resp) Sim.program) :
-      verdict * stats =
+      ?on_progress ?(progress_every = 10_000) ?tracer ?(jobs = 1) ?(checkpoint_stride = 16)
+      (prog : (S.op, S.resp) Sim.program) : verdict * stats =
+    let stride = max 1 checkpoint_stride in
+    let jobs = max 1 jobs in
+    if prog.Sim.procs > 255 then invalid_arg "Lincheck: more than 255 processes";
     let t0 = Obs.now_ns () in
-    (* A tripped budget records its reason before unwinding; only read
-       when [Budget_exhausted] escapes [solve]. *)
-    let tripped = ref Budget_nodes in
-    let stop reason =
-      tripped := reason;
-      raise Budget_exhausted
+    (* One engine = one independent exploration: counters, node cache,
+       spine world, recursive solver.  The sequential checker is one
+       engine over the whole tree; the parallel checker runs one engine
+       per top-level subtree — the subtrees' schedule prefixes are
+       disjoint, so their caches partition the sequential engine's and
+       their counters add up to its, column by column. *)
+    let new_engine ~on_tick ~poll () =
+      (* A tripped budget records its reason before unwinding; only read
+         when [Budget_exhausted] escapes the solver. *)
+      let tripped = ref Budget_nodes in
+      let stop reason =
+        tripped := reason;
+        raise Budget_exhausted
+      in
+      let nodes = ref 0 in
+      let cache_hits = ref 0 in
+      let max_frontier = ref 0 in
+      let cand_generated = ref 0 in
+      let cand_killed = ref 0 in
+      let dead_ends = ref 0 in
+      let validate_failures = ref 0 in
+      let wit_log = ref [] in
+      let wit_len = ref 0 in
+      (* Heartbeat + counter-track samples, every [progress_every] fresh
+         nodes (never at node 0 — an exploration that has not expanded
+         anything has nothing to report).  Nothing here feeds back into
+         exploration. *)
+      let tick () =
+        if !nodes > 0 && !nodes mod progress_every = 0 then
+          match on_tick with Some f -> f ~nodes:!nodes ~frontier:!max_frontier | None -> ()
+      in
+      (* Node cache, keyed by the schedule prefix packed into a string
+         (one byte per process index): hashing and equality become memcmp
+         on a flat buffer instead of a polymorphic walk of an int list. *)
+      let cache : (string, node_info) Hashtbl.t = Hashtbl.create 1024 in
+      (* Spine world: the live world of the most recently evaluated fresh
+         node.  Descending to that node's first fresh child is one
+         [Sim.step]; any other fresh node is a full replay.  Fibers are
+         one-shot continuations, so a world cannot be snapshotted — this
+         single mutable spine is the only execution reuse available. *)
+      let ev_world : (S.op, S.resp) Sim.t option ref = ref None in
+      let ev_path : int list ref = ref [] in
+      let world_at path =
+        match (path, !ev_world) with
+        | p :: tl, Some w when tl == !ev_path ->
+            Sim.step w p;
+            ev_path := path;
+            w
+        | _ ->
+            let w = Sim.run_schedule prog (List.rev path) in
+            ev_world := Some w;
+            ev_path := path;
+            w
+      in
+      let node_data path depth key parent =
+        match Hashtbl.find_opt cache key with
+        | Some info ->
+            incr cache_hits;
+            info
+        | None ->
+            poll ();
+            incr nodes;
+            if !nodes > max_nodes then stop Budget_nodes;
+            (match budget_ms with
+            | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Budget_wall
+            | _ -> ());
+            (match budget_heap_mb with
+            | Some mb when heap_mb_now () > mb -> stop Budget_heap
+            | _ -> ());
+            tick ();
+            let w = world_at path in
+            let info =
+              match parent with Some pi -> extend_info pi w | None -> info_of_world w
+            in
+            if depth mod stride = 0 then cross_check info w;
+            Hashtbl.add cache key info;
+            info
+      in
+      (* [path] is kept reversed for cheap extension; [depth] is its
+         length; [key] its packed cache key; [parent] the parent node's
+         evaluated state (None only at the engine's entry node). *)
+      let rec solve path depth key parent (lin : linearization) =
+        if depth > !max_frontier then max_frontier := depth;
+        let info = node_data path depth key parent in
+        let children = match max_depth with Some d when depth >= d -> [] | _ -> info.enabled in
+        match validate_over info.rec_arr lin with
+        | None ->
+            incr validate_failures;
+            false
+        | Some states -> (
+            match extensions_over info.rec_arr info.pred info.completed_mask lin states with
+            | [] ->
+                (* No valid linearization extends the parent's choice.  If
+                   even the empty prefix admits none, the execution itself is
+                   not linearizable. *)
+                incr dead_ends;
+                if not (root_linearizable info) then
+                  raise (Found_not_linearizable (List.rev path));
+                if depth > !wit_len then begin
+                  wit_len := depth;
+                  wit_log := (depth, List.rev path) :: !wit_log
+                end;
+                false
+            | candidates ->
+                cand_generated := !cand_generated + List.length candidates;
+                if children = [] then true
+                else
+                  let kids =
+                    List.map (fun p -> (p, key ^ String.make 1 (Char.unsafe_chr p))) children
+                  in
+                  (* [List.exists], unrolled to count refuted candidates. *)
+                  let rec try_candidates = function
+                    | [] -> false
+                    | cand :: rest ->
+                        if
+                          List.for_all
+                            (fun (p, k) -> solve (p :: path) (depth + 1) k (Some info) cand)
+                            kids
+                        then true
+                        else begin
+                          incr cand_killed;
+                          try_candidates rest
+                        end
+                  in
+                  try_candidates candidates)
+      in
+      {
+        en_nodes = nodes;
+        en_hits = cache_hits;
+        en_frontier = max_frontier;
+        en_cand = cand_generated;
+        en_killed = cand_killed;
+        en_dead = dead_ends;
+        en_vfail = validate_failures;
+        en_wit = wit_log;
+        en_tripped = tripped;
+        en_solve = solve;
+      }
     in
-    let nodes = ref 0 in
-    let cache_hits = ref 0 in
-    let max_frontier = ref 0 in
-    let cand_generated = ref 0 in
-    let cand_killed = ref 0 in
-    let dead_ends = ref 0 in
-    let validate_failures = ref 0 in
-    (* Heartbeat + counter-track samples, every [progress_every] fresh
-       nodes.  Nothing here feeds back into exploration. *)
-    let tick () =
-      if !nodes mod progress_every = 0 then begin
-        let elapsed_ns = Obs.now_ns () - t0 in
-        (match on_progress with Some f -> f ~nodes:!nodes ~elapsed_ns | None -> ());
-        match tracer with
-        | Some tr ->
-            let ts_us = float_of_int elapsed_ns /. 1e3 in
-            Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int !nodes);
-            Obs_trace.counter tr ~cat:"lincheck" ~ts_us "max_frontier_depth"
-              (float_of_int !max_frontier)
-        | None -> ()
+    let mk_stats ~nodes ~hits ~frontier ~cand ~killed ~dead ~vfail =
+      {
+        nodes;
+        cache_hits = hits;
+        max_frontier_depth = frontier;
+        candidates_generated = cand;
+        candidates_killed = killed;
+        dead_ends = dead;
+        validate_failures = vfail;
+        elapsed_ns = Obs.now_ns () - t0;
+      }
+    in
+    let trace_final st =
+      match tracer with
+      | Some tr ->
+          let ts_us = float_of_int st.elapsed_ns /. 1e3 in
+          Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int st.nodes);
+          Obs_trace.complete tr ~cat:"lincheck" ~ts_us:0. ~dur_us:ts_us "check_strong"
+      | None -> ()
+    in
+    let run_sequential () =
+      let on_tick =
+        match (on_progress, tracer) with
+        | None, None -> None
+        | _ ->
+            Some
+              (fun ~nodes ~frontier ->
+                let elapsed_ns = Obs.now_ns () - t0 in
+                (match on_progress with Some f -> f ~nodes ~elapsed_ns | None -> ());
+                match tracer with
+                | Some tr ->
+                    let ts_us = float_of_int elapsed_ns /. 1e3 in
+                    Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int nodes);
+                    Obs_trace.counter tr ~cat:"lincheck" ~ts_us "max_frontier_depth"
+                      (float_of_int frontier)
+                | None -> ())
+      in
+      let eng = new_engine ~on_tick ~poll:ignore () in
+      let verdict =
+        match eng.en_solve [] 0 "" None [] with
+        | true -> Strongly_linearizable { nodes = !(eng.en_nodes) }
+        | false ->
+            let witness = match !(eng.en_wit) with [] -> [] | (_, w) :: _ -> w in
+            Not_strongly_linearizable { witness; nodes = !(eng.en_nodes) }
+        | exception Found_not_linearizable schedule -> Not_linearizable { schedule }
+        | exception Budget_exhausted ->
+            Out_of_budget { nodes = !(eng.en_nodes); reason = !(eng.en_tripped) }
+      in
+      let st =
+        mk_stats ~nodes:!(eng.en_nodes) ~hits:!(eng.en_hits) ~frontier:!(eng.en_frontier)
+          ~cand:!(eng.en_cand) ~killed:!(eng.en_killed) ~dead:!(eng.en_dead)
+          ~vfail:!(eng.en_vfail)
+      in
+      trace_final st;
+      (verdict, st)
+    in
+    (* Parallel solving.  The root node's history is empty, so its only
+       minimal extension is the empty linearization: the game reduces to
+       "every top-level subtree must succeed with lin = []", and those
+       subtrees — one per process enabled at the root — are the parallel
+       columns.  Their schedule prefixes are disjoint, so each worker
+       engine's cache and counters reproduce exactly the slice of the
+       sequential run that falls inside its column; the merge walks the
+       columns in sequential order and stops where the one-engine run
+       would have stopped, making verdict, witness and node counts
+       independent of [jobs].  Heartbeat/tracer samples are not emitted
+       from workers.  Any budget trip in the walked prefix falls back to
+       an actual sequential run: budgeted work is bounded, and only the
+       sequential engine can say precisely where it stops. *)
+    let run_parallel () =
+      let trip reason =
+        let st = mk_stats ~nodes:1 ~hits:0 ~frontier:0 ~cand:0 ~killed:0 ~dead:0 ~vfail:0 in
+        trace_final st;
+        (Out_of_budget { nodes = 1; reason }, st)
+      in
+      if max_nodes < 1 then trip Budget_nodes
+      else if
+        match budget_ms with Some ms -> Obs.now_ns () - t0 > ms * 1_000_000 | None -> false
+      then trip Budget_wall
+      else if match budget_heap_mb with Some mb -> heap_mb_now () > mb | None -> false then
+        trip Budget_heap
+      else begin
+        (* Root accounting, exactly as the sequential engine does it:
+           node 1, anchored (depth 0), one generated candidate. *)
+        let w0 = Sim.run_schedule prog [] in
+        let root_info = info_of_world w0 in
+        cross_check root_info w0;
+        let columns = match max_depth with Some d when d <= 0 -> [] | _ -> root_info.enabled in
+        if columns = [] then begin
+          let st = mk_stats ~nodes:1 ~hits:0 ~frontier:0 ~cand:1 ~killed:0 ~dead:0 ~vfail:0 in
+          trace_final st;
+          (Strongly_linearizable { nodes = 1 }, st)
+        end
+        else begin
+          let cols = Array.of_list columns in
+          let ncols = Array.length cols in
+          let nworkers = min jobs ncols in
+          (* Earliest column at which the sequential walk stops (failed
+             candidate, refutation, or budget trip): columns after it are
+             irrelevant, so workers abandon them. *)
+          let min_stop = Atomic.make max_int in
+          let note_stop c =
+            let rec go () =
+              let cur = Atomic.get min_stop in
+              if c < cur && not (Atomic.compare_and_set min_stop cur c) then go ()
+            in
+            go ()
+          in
+          let results : col_result option array = Array.make ncols None in
+          let abandoned =
+            {
+              cr_outcome = Col_abandoned;
+              cr_nodes = 0;
+              cr_hits = 0;
+              cr_frontier = 0;
+              cr_cand = 0;
+              cr_killed = 0;
+              cr_dead = 0;
+              cr_vfail = 0;
+              cr_wit = [];
+            }
+          in
+          let run_column c =
+            if Atomic.get min_stop < c then results.(c) <- Some abandoned
+            else begin
+              let eng =
+                new_engine ~on_tick:None
+                  ~poll:(fun () -> if Atomic.get min_stop < c then raise Abandoned)
+                  ()
+              in
+              let p = cols.(c) in
+              let outcome =
+                match
+                  eng.en_solve [ p ] 1 (String.make 1 (Char.unsafe_chr p)) (Some root_info) []
+                with
+                | true -> Col_ok true
+                | false ->
+                    note_stop c;
+                    Col_ok false
+                | exception Found_not_linearizable schedule ->
+                    note_stop c;
+                    Col_not_lin schedule
+                | exception Budget_exhausted ->
+                    note_stop c;
+                    Col_tripped !(eng.en_tripped)
+                | exception Abandoned -> Col_abandoned
+              in
+              results.(c) <-
+                Some
+                  {
+                    cr_outcome = outcome;
+                    cr_nodes = !(eng.en_nodes);
+                    cr_hits = !(eng.en_hits);
+                    cr_frontier = !(eng.en_frontier);
+                    cr_cand = !(eng.en_cand);
+                    cr_killed = !(eng.en_killed);
+                    cr_dead = !(eng.en_dead);
+                    cr_vfail = !(eng.en_vfail);
+                    cr_wit = List.rev !(eng.en_wit);
+                  }
+            end
+          in
+          let worker k =
+            let c = ref k in
+            while !c < ncols do
+              run_column !c;
+              c := !c + nworkers
+            done
+          in
+          let spawned =
+            List.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+          in
+          worker 0;
+          List.iter Domain.join spawned;
+          (* Deterministic merge: sequential column order, strictly-deeper
+             witness rule, stop at the first non-succeeding column. *)
+          let acc_nodes = ref 1 in
+          let acc_hits = ref 0 in
+          let acc_frontier = ref 0 in
+          let acc_cand = ref 1 in
+          let acc_killed = ref 0 in
+          let acc_dead = ref 0 in
+          let acc_vfail = ref 0 in
+          let witness = ref [] in
+          let wit_len = ref 0 in
+          let finish_par verdict =
+            let st =
+              mk_stats ~nodes:!acc_nodes ~hits:!acc_hits ~frontier:!acc_frontier
+                ~cand:!acc_cand ~killed:!acc_killed ~dead:!acc_dead ~vfail:!acc_vfail
+            in
+            trace_final st;
+            (verdict, st)
+          in
+          let exception Fallback in
+          let exception Done of verdict in
+          try
+            for c = 0 to ncols - 1 do
+              let r = match results.(c) with Some r -> r | None -> raise Fallback in
+              (* The walk only reaches abandoned columns if a worker raced
+                 a stale [min_stop]; recover with the sequential engine. *)
+              (match r.cr_outcome with Col_abandoned -> raise Fallback | _ -> ());
+              if !acc_nodes + r.cr_nodes > max_nodes then raise Fallback;
+              acc_nodes := !acc_nodes + r.cr_nodes;
+              acc_hits := !acc_hits + r.cr_hits;
+              if r.cr_frontier > !acc_frontier then acc_frontier := r.cr_frontier;
+              acc_cand := !acc_cand + r.cr_cand;
+              acc_killed := !acc_killed + r.cr_killed;
+              acc_dead := !acc_dead + r.cr_dead;
+              acc_vfail := !acc_vfail + r.cr_vfail;
+              List.iter
+                (fun (d, pth) ->
+                  if d > !wit_len then begin
+                    wit_len := d;
+                    witness := pth
+                  end)
+                r.cr_wit;
+              match r.cr_outcome with
+              | Col_ok true -> ()
+              | Col_ok false ->
+                  incr acc_killed;
+                  raise
+                    (Done (Not_strongly_linearizable { witness = !witness; nodes = !acc_nodes }))
+              | Col_not_lin schedule -> raise (Done (Not_linearizable { schedule }))
+              | Col_tripped _ -> raise Fallback
+              | Col_abandoned -> assert false
+            done;
+            finish_par (Strongly_linearizable { nodes = !acc_nodes })
+          with
+          | Done v -> finish_par v
+          | Fallback -> run_sequential ()
+        end
       end
     in
-    (* Cache node data: records and enabled set per schedule. *)
-    let cache : (int list, (S.op, S.resp) History.op_record list * int list) Hashtbl.t =
-      Hashtbl.create 1024
-    in
-    let node_data path =
-      match Hashtbl.find_opt cache path with
-      | Some d ->
-          incr cache_hits;
-          d
-      | None ->
-          incr nodes;
-          if !nodes > max_nodes then stop Budget_nodes;
-          (match budget_ms with
-          | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Budget_wall
-          | _ -> ());
-          (match budget_heap_mb with
-          | Some mb when heap_mb_now () > mb -> stop Budget_heap
-          | _ -> ());
-          tick ();
-          let w = Sim.run_schedule prog (List.rev path) in
-          let d = (History.of_trace (Sim.trace w), Sim.enabled w) in
-          Hashtbl.add cache path d;
-          d
-    in
-    let witness = ref [] in
-    (* [path] is kept reversed for cheap extension; [depth] is its
-       length. *)
-    let rec solve path depth (lin : linearization) =
-      if depth > !max_frontier then max_frontier := depth;
-      let records, children = node_data path in
-      let children = match max_depth with Some d when depth >= d -> [] | _ -> children in
-      match validate_prefix records lin with
-      | None ->
-          incr validate_failures;
-          false
-      | Some states -> (
-          match extensions records lin states with
-          | [] ->
-              (* No valid linearization extends the parent's choice.  If
-                 even the empty prefix admits none, the execution itself is
-                 not linearizable. *)
-              incr dead_ends;
-              if extensions records [] [ S.init ] = [] then
-                raise (Found_not_linearizable (List.rev path));
-              if depth > List.length !witness then witness := List.rev path;
-              false
-          | candidates ->
-              cand_generated := !cand_generated + List.length candidates;
-              if children = [] then true
-              else
-                (* [List.exists], unrolled to count refuted candidates. *)
-                let rec try_candidates = function
-                  | [] -> false
-                  | cand :: rest ->
-                      if List.for_all (fun p -> solve (p :: path) (depth + 1) cand) children
-                      then true
-                      else begin
-                        incr cand_killed;
-                        try_candidates rest
-                      end
-                in
-                try_candidates candidates)
-    in
-    let finish verdict =
-      let elapsed_ns = Obs.now_ns () - t0 in
-      (match tracer with
-      | Some tr ->
-          let ts_us = float_of_int elapsed_ns /. 1e3 in
-          Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int !nodes);
-          Obs_trace.complete tr ~cat:"lincheck" ~ts_us:0. ~dur_us:ts_us "check_strong"
-      | None -> ());
-      ( verdict,
-        {
-          nodes = !nodes;
-          cache_hits = !cache_hits;
-          max_frontier_depth = !max_frontier;
-          candidates_generated = !cand_generated;
-          candidates_killed = !cand_killed;
-          dead_ends = !dead_ends;
-          validate_failures = !validate_failures;
-          elapsed_ns;
-        } )
-    in
-    match solve [] 0 [] with
-    | true -> finish (Strongly_linearizable { nodes = !nodes })
-    | false -> finish (Not_strongly_linearizable { witness = !witness; nodes = !nodes })
-    | exception Found_not_linearizable schedule -> finish (Not_linearizable { schedule })
-    | exception Budget_exhausted -> finish (Out_of_budget { nodes = !nodes; reason = !tripped })
+    if jobs > 1 then run_parallel () else run_sequential ()
 
   let check_strong ?max_nodes ?max_depth prog =
     fst (check_strong_stats ?max_nodes ?max_depth prog)
 
   (* Exposed (under [Internal]) for the witness forensics in
-     [Witness.Make], which replays the enumerator on small certificate
-     subtrees.  Not part of the checking API proper. *)
+     [Witness.Make] (which replays the enumerator on small certificate
+     subtrees) and for the crash adversary in [Adversary.Make] (which
+     runs the same incremental node evaluation over its crash-extended
+     tree).  Not part of the checking API proper. *)
   module Internal = struct
     let validate_prefix = validate_prefix
 
     let extensions = extensions
+
+    type nonrec node_info = node_info
+
+    let info_of_world = info_of_world
+
+    let extend_info = extend_info
+
+    let cross_check = cross_check
+
+    let root_linearizable = root_linearizable
+
+    let enabled_of (info : node_info) = info.enabled
+
+    let records_of (info : node_info) = Array.to_list info.rec_arr
+
+    let validate_info (info : node_info) lin = validate_over info.rec_arr lin
+
+    let extensions_info (info : node_info) lin states =
+      extensions_over info.rec_arr info.pred info.completed_mask lin states
   end
 
   let verdict_fields = function

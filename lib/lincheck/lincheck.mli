@@ -106,6 +106,8 @@ module Make (S : Spec.S) : sig
     ?on_progress:(nodes:int -> elapsed_ns:int -> unit) ->
     ?progress_every:int ->
     ?tracer:Obs_trace.t ->
+    ?jobs:int ->
+    ?checkpoint_stride:int ->
     (S.op, S.resp) Sim.program ->
     verdict * stats
   (** Like {!check_strong}, additionally returning exploration {!stats}.
@@ -122,16 +124,28 @@ module Make (S : Spec.S) : sig
       stops within one node expansion and yields [Out_of_budget] with the
       corresponding {!budget_reason} and the stats gathered so far.  When
       unset (the default) behaviour, output and node accounting are
-      unchanged. *)
+      unchanged.
+
+      [jobs] (default 1) solves the top-level subtrees on that many
+      domains; the merge is deterministic, so the verdict, witness and
+      node count are identical for every [jobs] value (heartbeat and
+      tracer samples are emitted only in the single-domain engine).
+      [checkpoint_stride] (default 16, clamped to >= 1) sets the anchor
+      interval of the incremental engine: every fresh node whose depth
+      is a multiple of the stride is re-derived from a full replay and
+      compared against the incrementally maintained state (stride 1 =
+      paranoid mode, every node anchored).  Anchoring is a pure
+      cross-check — results are identical for every stride. *)
 
   val verdict_fields : verdict -> (string * Obs_json.t) list
   (** The verdict as JSON fields (constructor tag plus its payload). *)
 
   (** {1 Internals}
 
-      The two building blocks of the game solver, exposed so
-      {!Witness.Make} can replay them on small certificate subtrees.
-      Not intended for direct use. *)
+      Building blocks of the game solver, exposed so {!Witness.Make} can
+      replay them on small certificate subtrees and so the crash
+      adversary can run the same incremental node evaluation over its
+      crash-extended tree.  Not intended for direct use. *)
   module Internal : sig
     val validate_prefix :
       (S.op, S.resp) History.op_record list -> linearization -> S.state list option
@@ -146,5 +160,38 @@ module Make (S : Spec.S) : sig
       linearization list
     (** Minimal valid linearizations of the records extending the given
         prefix (whose state set is the third argument). *)
+
+    type node_info
+    (** A tree node's evaluated state: record array, precedence masks,
+        enabled set, trace length, and a memoized root-linearizability
+        answer. *)
+
+    val info_of_world : (S.op, S.resp) Sim.t -> node_info
+    (** Evaluate a node from scratch (full trace walk). *)
+
+    val extend_info : node_info -> (S.op, S.resp) Sim.t -> node_info
+    (** [extend_info parent w] evaluates a node incrementally from its
+        parent's state and the trace delta of [w], whose trace must
+        extend the parent's.  O(delta + new_ops * n). *)
+
+    val cross_check : node_info -> (S.op, S.resp) Sim.t -> unit
+    (** Compare the incrementally maintained records against a full
+        re-derivation from [w]'s trace.
+        @raise Invalid_argument on divergence (a checker bug). *)
+
+    val root_linearizable : node_info -> bool
+    (** Does the node's execution admit any linearization at all?
+        Memoized in the [node_info]. *)
+
+    val enabled_of : node_info -> int list
+
+    val records_of : node_info -> (S.op, S.resp) History.op_record list
+
+    val validate_info : node_info -> linearization -> S.state list option
+    (** {!validate_prefix} over the node's precomputed record array. *)
+
+    val extensions_info : node_info -> linearization -> S.state list -> linearization list
+    (** {!extensions} over the node's precomputed masks — no per-call
+        rebuild. *)
   end
 end

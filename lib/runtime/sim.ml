@@ -21,15 +21,29 @@ module Metrics = struct
 
   let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
-  let bump key =
-    match Hashtbl.find_opt table key with
-    | Some r -> incr r
-    | None -> Hashtbl.add table key (ref 1)
+  (* The table is shared across domains when the parallel checker boots
+     worlds concurrently; every table access goes through this lock.
+     [bump] call sites are all gated on [enabled], so the unobserved
+     fast path never touches it. *)
+  let lock = Mutex.create ()
 
-  let reset () = Hashtbl.reset table
+  let bump key =
+    Mutex.lock lock;
+    (match Hashtbl.find_opt table key with
+    | Some r -> incr r
+    | None -> Hashtbl.add table key (ref 1));
+    Mutex.unlock lock
+
+  let reset () =
+    Mutex.lock lock;
+    Hashtbl.reset table;
+    Mutex.unlock lock
 
   let snapshot () =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table [] |> List.sort compare
+    Mutex.lock lock;
+    let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table [] in
+    Mutex.unlock lock;
+    List.sort compare l
 end
 
 type fiber =
@@ -46,6 +60,7 @@ type ('op, 'resp) t = {
   steps : int array;
   mutable current : int;  (* process being resumed; -1 outside [step] *)
   mutable rev_trace : ('op, 'resp) Trace.event list;
+  mutable trace_n : int;  (* List.length rev_trace, maintained incrementally *)
 }
 
 let create ~n =
@@ -56,11 +71,14 @@ let create ~n =
     steps = Array.make n 0;
     current = -1;
     rev_trace = [];
+    trace_n = 0;
   }
 
 let n w = w.procs
 
-let record w e = w.rev_trace <- e :: w.rev_trace
+let record w e =
+  w.rev_trace <- e :: w.rev_trace;
+  w.trace_n <- w.trace_n + 1
 
 let runtime (type op resp) (w : (op, resp) t) : (module Runtime_intf.S) =
   (module struct
@@ -169,6 +187,15 @@ let step w p =
       w.current <- -1
 
 let trace w = List.rev w.rev_trace
+
+let trace_len w = w.trace_n
+
+(* Chronological events from position [from] (inclusive) to the end of
+   the trace.  O(new events): the checker's incremental node evaluation
+   reads only the delta a step appended, never the whole trace. *)
+let events_from w ~from =
+  let rec take acc k l = if k <= 0 then acc else match l with [] -> acc | e :: rest -> take (e :: acc) (k - 1) rest in
+  take [] (w.trace_n - from) w.rev_trace
 
 type ('op, 'resp) program = { procs : int; boot : ('op, 'resp) t -> unit }
 

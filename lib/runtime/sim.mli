@@ -85,6 +85,15 @@ val steps_of : _ t -> int -> int
 val trace : ('op, 'resp) t -> ('op, 'resp) Trace.t
 (** Events so far, in chronological order. *)
 
+val trace_len : _ t -> int
+(** Number of events recorded so far ([List.length (trace w)], O(1)). *)
+
+val events_from : ('op, 'resp) t -> from:int -> ('op, 'resp) Trace.event list
+(** [events_from w ~from] is the chronological suffix of [trace w]
+    starting at position [from] — the delta since a caller last observed
+    [trace_len w = from].  Costs O(number of new events), so incremental
+    consumers never pay for the whole trace. *)
+
 (** {1 Programs and drivers}
 
     A program packages everything needed to (re-)execute a workload from

@@ -1,0 +1,208 @@
+(* Tests for the multicore checker engine (incremental replay, anchored
+   cross-checks, domain-parallel subtree solving): the determinism
+   contract — verdict, witness and every count identical across [jobs]
+   and [checkpoint_stride] — plus the heartbeat cadence, the incremental
+   node evaluation itself, and the adversary's twin loops. *)
+
+(* ---------------- engine equivalence over the registry ---------------- *)
+
+(* The deterministic slice of a run: the rendered verdict (so witness
+   schedules and node payloads are compared too) and every stats field
+   except elapsed time. *)
+let run_fingerprint name ~jobs ~checkpoint_stride ~max_nodes =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let v, s =
+        L.check_strong_stats ~max_nodes ?max_depth:c.default_depth ~jobs ~checkpoint_stride
+          prog
+      in
+      Format.asprintf "%a | nodes=%d hits=%d frontier=%d cand=%d killed=%d dead=%d vfail=%d"
+        L.pp_verdict v s.Lincheck.nodes s.Lincheck.cache_hits s.Lincheck.max_frontier_depth
+        s.Lincheck.candidates_generated s.Lincheck.candidates_killed s.Lincheck.dead_ends
+        s.Lincheck.validate_failures
+
+let engine_equivalent ?(max_nodes = 200_000) name () =
+  let base = run_fingerprint name ~jobs:1 ~checkpoint_stride:16 ~max_nodes in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun stride ->
+          let fp = run_fingerprint name ~jobs ~checkpoint_stride:stride ~max_nodes in
+          Alcotest.(check string)
+            (Printf.sprintf "%s at jobs=%d stride=%d" name jobs stride)
+            base fp)
+        [ 1; 4; 16 ])
+    [ 1; 2; 4 ]
+
+(* Objects covering every verdict constructor: SL (faa-max, counter,
+   readable-ts, set), NSL with witness (set-empty-race, hw-queue),
+   NOT-LIN (tournament-ts).  mwmr-register under a deliberately small
+   budget exercises Out_of_budget — in the parallel engine that is the
+   sequential-fallback path, which must reproduce the jobs=1 run
+   bit-for-bit. *)
+let equivalence_objects =
+  [
+    ("faa-max", None);
+    ("counter", None);
+    ("readable-ts", None);
+    ("fetch-inc", None);
+    ("set", None);
+    ("tournament-ts", None);
+    ("set-empty-race", None);
+    ("hw-queue", None);
+    ("mwmr-register", Some 50_000);
+  ]
+
+(* ---------------- heartbeat cadence ----------------------------------- *)
+
+(* [on_progress] fires exactly at every [progress_every]-th fresh node:
+   floor(nodes / every) times in a complete run, and never for node 0. *)
+let test_heartbeat_cadence () =
+  match Registry.find "counter" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let every = 50 in
+      let beats = ref 0 in
+      let _, s =
+        L.check_strong_stats
+          ~on_progress:(fun ~nodes:_ ~elapsed_ns:_ -> incr beats)
+          ~progress_every:every prog
+      in
+      Alcotest.(check int) "beats = floor(nodes/every)" (s.Lincheck.nodes / every) !beats;
+      Alcotest.(check bool) "some beats fired" true (!beats > 0);
+      (* the parallel engine never emits the heartbeat (documented): *)
+      let beats_par = ref 0 in
+      let _, s2 =
+        L.check_strong_stats
+          ~on_progress:(fun ~nodes:_ ~elapsed_ns:_ -> incr beats_par)
+          ~progress_every:every ~jobs:2 prog
+      in
+      Alcotest.(check int) "same nodes at jobs=2" s.Lincheck.nodes s2.Lincheck.nodes;
+      Alcotest.(check int) "no beats at jobs=2" 0 !beats_par
+
+(* ---------------- incremental node evaluation ------------------------- *)
+
+(* Chain [extend_info] down a long schedule, anchoring every node
+   against a full replay: any divergence raises. *)
+let test_extend_info_chain () =
+  match Registry.find "hw-queue" with
+  | None -> Alcotest.fail "hw-queue not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let w = Sim.run_schedule prog [] in
+      let info = ref (L.Internal.info_of_world w) in
+      L.Internal.cross_check !info w;
+      let steps = ref 0 in
+      let continue = ref true in
+      while !continue && !steps < 60 do
+        match Sim.enabled w with
+        | [] -> continue := false
+        | ps ->
+            (* rotate through the enabled set so the walk interleaves *)
+            Sim.step w (List.nth ps (!steps mod List.length ps));
+            info := L.Internal.extend_info !info w;
+            L.Internal.cross_check !info w;
+            incr steps
+      done;
+      Alcotest.(check bool) "walked some steps" true (!steps > 0)
+
+(* ---------------- adversary twins ------------------------------------- *)
+
+(* The crash game shares the incremental engine; its verdict must be
+   identical for every anchor stride. *)
+let test_crash_game_stride () =
+  match Registry.find "faa-max" with
+  | None -> Alcotest.fail "faa-max not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module A = Adversary.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let show stride =
+        Format.asprintf "%a" A.pp_crash_verdict
+          (A.check_strong_crashes ~checkpoint_stride:stride ~crashes:1 prog)
+      in
+      let base = show 16 in
+      List.iter
+        (fun stride ->
+          Alcotest.(check string) (Printf.sprintf "stride %d" stride) base (show stride))
+        [ 1; 4 ]
+
+(* Fuzz campaigns: every report field except elapsed time is identical
+   for every [jobs] — including on a campaign that finds a violation,
+   where "first" must mean index-minimal, not first in wall time. *)
+let fuzz_jobs_equivalent name runs () =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module A = Adversary.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let show jobs =
+        let r = A.fuzz ~seed:1 ~runs ~jobs prog in
+        let viol =
+          match r.A.fz_violation with
+          | None -> "none"
+          | Some v ->
+              Printf.sprintf "seed=%d crash=%s sched=%d shrunk=%d" v.A.v_seed
+                (String.concat ","
+                   (List.map (fun (p, at) -> Printf.sprintf "%d@%d" p at) v.A.v_crash_after))
+                (List.length v.A.v_schedule) (Witness.size v.A.v_shape)
+        in
+        Printf.sprintf "runs=%d crashed=%d steps=%d viol=%s" r.A.fz_runs r.A.fz_crashed_runs
+          r.A.fz_total_steps viol
+      in
+      let base = show 1 in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string) (Printf.sprintf "%s fuzz at jobs=%d" name jobs) base
+            (show jobs))
+        [ 2; 3 ]
+
+(* The agreement crash sweep: the whole report record is deterministic,
+   so plain equality across [jobs]. *)
+let test_sweep_jobs_equivalent () =
+  let sweep jobs =
+    Adversary.agreement_crash_sweep ~make:K_ordering.atomic_queue
+      ~ordering:K_ordering.queue_witness ~inputs:[| 100; 200; 300 |] ~k:1 ~max_crashes:1 ~jobs
+      ()
+  in
+  let base = sweep 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep report identical at jobs=%d" jobs)
+        true
+        (sweep jobs = base))
+    [ 2; 4 ]
+
+(* ---------------- suite ----------------------------------------------- *)
+
+let suite =
+  List.map
+    (fun (name, max_nodes) ->
+      Alcotest.test_case
+        (Printf.sprintf "equivalence: %s" name)
+        `Slow
+        (engine_equivalent ?max_nodes name))
+    equivalence_objects
+  @ [
+      Alcotest.test_case "heartbeat cadence" `Quick test_heartbeat_cadence;
+      Alcotest.test_case "extend_info anchored walk" `Quick test_extend_info_chain;
+      Alcotest.test_case "crash game: stride equivalence" `Quick test_crash_game_stride;
+      Alcotest.test_case "fuzz: jobs equivalence (clean)" `Slow
+        (fuzz_jobs_equivalent "faa-max" 60);
+      Alcotest.test_case "fuzz: jobs equivalence (violation)" `Slow
+        (fuzz_jobs_equivalent "hw-queue" 120);
+      Alcotest.test_case "sweep: jobs equivalence" `Slow test_sweep_jobs_equivalent;
+    ]
+
+let () = Alcotest.run "engine" [ ("engine", suite) ]
