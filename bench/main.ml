@@ -18,16 +18,35 @@ let usage_and_exit bad =
   Printf.eprintf "unknown argument%s: %s\n"
     (if List.length bad > 1 then "s" else "")
     (String.concat ", " bad);
-  Printf.eprintf "usage: main.exe [--quick] [%s ...]\n" (String.concat "|" valid_experiments);
+  Printf.eprintf "usage: main.exe [--quick] [--out FILE] [%s ...]\n"
+    (String.concat "|" valid_experiments);
   exit 2
 
-let quick, chosen =
+let quick, out_file, chosen =
   let args = List.tl (Array.to_list Sys.argv) in
-  let flags, names = List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args in
-  let bad_flags = List.filter (( <> ) "--quick") flags in
-  let bad_names = List.filter (fun n -> not (List.mem n valid_experiments)) names in
-  (match bad_flags @ bad_names with [] -> () | bad -> usage_and_exit bad);
-  (List.mem "--quick" flags, names)
+  let quick = ref false and out = ref "BENCH_results.json" in
+  let names = ref [] and bad = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--out" :: file :: rest ->
+        out := file;
+        go rest
+    | a :: rest when String.length a > 6 && String.sub a 0 6 = "--out=" ->
+        out := String.sub a 6 (String.length a - 6);
+        go rest
+    | a :: rest when List.mem a valid_experiments ->
+        names := a :: !names;
+        go rest
+    | a :: rest ->
+        bad := a :: !bad;
+        go rest
+  in
+  go args;
+  (match List.rev !bad with [] -> () | bad -> usage_and_exit bad);
+  (!quick, !out, List.rev !names)
 
 let selected name = chosen = [] || List.mem name chosen
 
@@ -45,30 +64,124 @@ let fuzz_results : (string * Obs_json.t) list ref = ref []
 
 let record_result name metric value = bench_results := (name, metric, value) :: !bench_results
 
-let bench_results_file = "BENCH_results.json"
+let bench_history_file = "bench_history.jsonl"
 
+(* Rows of the previous report at [out_file], keyed by (name, metric),
+   plus its fuzz summaries keyed by label.  A missing or unparseable
+   file contributes nothing (first run, or a hand-edited report). *)
+let read_old_results () =
+  let open Obs_json in
+  let doc =
+    if not (Sys.file_exists out_file) then None
+    else
+      match In_channel.with_open_text out_file In_channel.input_all with
+      | exception Sys_error _ -> None
+      | s -> ( match of_string s with Ok d -> Some d | Error _ -> None)
+  in
+  match doc with
+  | None -> ([], [])
+  | Some doc ->
+      let rows =
+        match Option.bind (member "results" doc) to_list with
+        | None -> []
+        | Some l ->
+            List.filter_map
+              (fun r ->
+                match
+                  ( Option.bind (member "name" r) to_str,
+                    Option.bind (member "metric" r) to_str,
+                    Option.bind (member "value" r) to_float )
+                with
+                | Some n, Some m, Some v -> Some ((n, m), v)
+                | _ -> None)
+              l
+      in
+      let fuzz =
+        match Option.bind (member "fuzz" doc) to_assoc with Some a -> a | None -> []
+      in
+      (rows, fuzz)
+
+(* One line per run, appended: full-fidelity record of what this run
+   measured (only the fresh rows, never the merged carry-over), so the
+   perf trajectory survives any number of partial runs. *)
+let append_history ~fresh =
+  let open Obs_json in
+  let t = Unix.gettimeofday () in
+  let tm = Unix.gmtime t in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let doc =
+    Assoc
+      [
+        ("schema", String "slin-bench-history/v1");
+        ("time", String stamp);
+        ("quick", Bool quick);
+        ( "experiments",
+          List
+            (List.map
+               (fun s -> String s)
+               (if chosen = [] then valid_experiments else chosen)) );
+        ( "results",
+          List
+            (List.map
+               (fun ((name, metric), value) ->
+                 Assoc
+                   [ ("name", String name); ("metric", String metric); ("value", Float value) ])
+               fresh) );
+      ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 bench_history_file in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc
+
+(* Merge this run's measurements into [out_file] by (name, metric):
+   rows the run re-measured are updated in place, rows it did not touch
+   (e.g. `bench checker` leaving the E6 timings alone) are preserved,
+   new rows append after them.  A selective run no longer clobbers the
+   rest of the report. *)
 let write_bench_results () =
   let open Obs_json in
-  let results =
-    List.rev_map
-      (fun (name, metric, value) ->
-        Assoc [ ("name", String name); ("metric", String metric); ("value", Float value) ])
-      !bench_results
+  let fresh = List.rev_map (fun (name, metric, value) -> ((name, metric), value)) !bench_results in
+  let old_rows, old_fuzz = read_old_results () in
+  let kept =
+    List.map
+      (fun (k, v) -> (k, Option.value (List.assoc_opt k fresh) ~default:v))
+      old_rows
   in
+  let added = List.filter (fun (k, _) -> not (List.mem_assoc k kept)) fresh in
+  let merged = kept @ added in
+  let results =
+    List.map
+      (fun ((name, metric), value) ->
+        Assoc [ ("name", String name); ("metric", String metric); ("value", Float value) ])
+      merged
+  in
+  let fresh_fuzz = List.rev !fuzz_results in
+  let kept_fuzz =
+    List.map (fun (k, v) -> (k, Option.value (List.assoc_opt k fresh_fuzz) ~default:v)) old_fuzz
+  in
+  let added_fuzz = List.filter (fun (k, _) -> not (List.mem_assoc k kept_fuzz)) fresh_fuzz in
   let doc =
     Assoc
       [
         ("schema", String "slin-bench/v1");
         ("quick", Bool quick);
         ("results", List results);
-        ("fuzz", Assoc (List.rev !fuzz_results));
+        ("fuzz", Assoc (kept_fuzz @ added_fuzz));
       ]
   in
-  let oc = open_out bench_results_file in
+  let oc = open_out out_file in
   output_string oc (to_string doc);
   output_char oc '\n';
   close_out oc;
-  Format.printf "@.wrote %s (%d results)@." bench_results_file (List.length results)
+  append_history ~fresh;
+  Format.printf "@.wrote %s (%d results: %d fresh, %d carried over); run appended to %s@."
+    out_file (List.length merged) (List.length fresh)
+    (List.length merged - List.length fresh)
+    bench_history_file
 
 (* ------------------------------------------------------------------ *)
 (* E6: micro-benchmarks                                                 *)

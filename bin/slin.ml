@@ -19,6 +19,10 @@
                                                   run Algorithm B (Lemma 12)
      slin trace OBJECT [--seed S] [--trace-out FILE]
                                                   print one random execution
+     slin profile OBJECT [--jobs N] [--profile-out F.json] [--trace-out F.json]
+                                                  per-domain engine telemetry
+     slin stats diff OLD.json NEW.json [--fail-on-regress PCT]
+                                                  compare two perf reports
 
    OBJECT names come from the shared registry (Registry.names): faa-max,
    faa-snapshot, counter, readable-ts, multishot-ts, fetch-inc, set,
@@ -37,10 +41,37 @@ let unknown_object name =
   Format.eprintf "unknown object %S; choose from: %s@." name
     (String.concat ", " Registry.names)
 
+(* --- profiling helpers ------------------------------------------------ *)
+
+let profile_meta ~command ~objname ~jobs =
+  [
+    ("command", Obs_json.String command);
+    ("object", Obs_json.String objname);
+    ("jobs", Obs_json.Int jobs);
+  ]
+
+(* Finish the profile and write its slin-profile/v1 report; false on an
+   unwritable path (the caller decides whether that poisons the exit
+   code). *)
+let write_profile prof ~meta path =
+  Prof.finish prof;
+  let json = Prof.to_json prof ~meta in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Obs_json.to_string json);
+        output_char oc '\n')
+  with
+  | () ->
+      Format.printf "profile report (slin-profile/v1) written to %s@." path;
+      true
+  | exception Sys_error msg ->
+      Format.eprintf "cannot open output file: %s@." msg;
+      false
+
 (* --- check ------------------------------------------------------------ *)
 
 let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
-    trace_out witness_out no_shrink jobs checkpoint_stride =
+    trace_out witness_out no_shrink jobs checkpoint_stride profile_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -106,7 +137,7 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
          whatever observability was asked for). *)
       let observing =
         stats || json_out <> None || trace_out <> None || budget_ms <> None
-        || budget_mb <> None
+        || budget_mb <> None || profile_out <> None
       in
       if observing then begin
         Sim.Metrics.reset ();
@@ -136,6 +167,7 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         match
           let sink = Option.map (fun path -> (path, Obs_jsonl.create path)) json_out in
           Option.iter (fun path -> close_out (open_out path)) trace_out;
+          Option.iter (fun path -> close_out (open_out path)) profile_out;
           sink
         with
         | exception Sys_error msg ->
@@ -152,11 +184,13 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
           Printf.eprintf "heartbeat: %d nodes explored, %.0f nodes/s\n%!" nodes rate
         in
         let on_progress = if stats then Some on_progress else None in
+        let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
         let v, st =
           L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
-            ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ~jobs
-            ~checkpoint_stride prog
+            ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ?profiler
+            ~jobs ~checkpoint_stride prog
         in
+        Option.iter Prof.finish profiler;
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
         let sim_metrics = Sim.Metrics.snapshot () in
         if stats then begin
@@ -187,6 +221,11 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
             Obs_trace.process_name tr (Printf.sprintf "slin check %s" name);
             Obs_trace.write tr path;
             Format.printf "Chrome trace (%d events) written to %s@." (Obs_trace.size tr) path
+        | _ -> ());
+        (match (profile_out, profiler) with
+        | Some path, Some prof ->
+            ignore
+              (write_profile prof ~meta:(profile_meta ~command:"check" ~objname:name ~jobs) path)
         | _ -> ());
         emit_witness v;
         exit_of_verdict v
@@ -288,7 +327,7 @@ let write_witness_json path json =
       Format.eprintf "cannot open output file: %s@." msg;
       false
 
-let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs =
+let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profile_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -298,20 +337,24 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs =
       let module A = Adversary.Make (S) in
       let module W = Witness.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
       let r =
-        A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) ~jobs prog
+        A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) ~jobs
+          ?profiler prog
       in
+      Option.iter Prof.finish profiler;
       Format.printf "object: %s (master seed %d)@." c.spec_name seed;
       (* No wall-clock figures here: with a fixed seed the output is
          byte-for-byte reproducible (the bench harness reports
          schedules/s instead). *)
       Format.printf "fuzz: %d runs (%d with an injected crash), %d schedule steps@."
         r.A.fz_runs r.A.fz_crashed_runs r.A.fz_total_steps;
-      (match r.A.fz_violation with
-      | None ->
-          Format.printf "no linearizability violation found@.";
-          0
-      | Some v ->
+      let code =
+        match r.A.fz_violation with
+        | None ->
+            Format.printf "no linearizability violation found@.";
+            0
+        | Some v ->
           let crash_str =
             match v.A.v_crash_after with
             | [] -> "no crash"
@@ -336,7 +379,14 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs =
                 Format.printf "witness (%s, %d steps) written to %s — replay with slin explain@."
                   (Witness.kind_tag v.A.v_shape.Witness.kind)
                   (Witness.size v.A.v_shape) path);
-          1)
+          1
+      in
+      (match (profile_out, profiler) with
+      | Some path, Some prof ->
+          ignore
+            (write_profile prof ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs) path)
+      | _ -> ());
+      code
 
 (* --- progress --------------------------------------------------------- *)
 
@@ -380,6 +430,95 @@ let run_progress name max_nodes max_depth witness_out =
                 Format.printf "witness (livelock) written to %s — replay with slin explain@."
                   path);
           1)
+
+(* --- profile ---------------------------------------------------------- *)
+
+let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trace_out =
+  match Registry.find name with
+  | None ->
+      unknown_object name;
+      2
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      let prof = Prof.create () in
+      let v, st =
+        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~checkpoint_stride
+          ~profiler:prof prog
+      in
+      Prof.finish prof;
+      Format.printf "object: %s@." c.spec_name;
+      Format.printf "strong linearizability: %a@." L.pp_verdict v;
+      Format.printf "exploration: %d nodes, %.0f nodes/s, jobs=%d@." st.Lincheck.nodes
+        (Lincheck.nodes_per_sec st) jobs;
+      Format.printf "%a" Prof.pp_summary prof;
+      let meta = profile_meta ~command:"profile" ~objname:name ~jobs in
+      let ok_report =
+        match profile_out with None -> true | Some path -> write_profile prof ~meta path
+      in
+      let ok_trace =
+        match trace_out with
+        | None -> true
+        | Some path -> (
+            let tr = Prof.to_trace ~process_name:(Printf.sprintf "slin profile %s" name) prof in
+            match Obs_trace.write tr path with
+            | () ->
+                Format.printf
+                  "Chrome trace (%d events) written to %s — open at ui.perfetto.dev@."
+                  (Obs_trace.size tr) path;
+                true
+            | exception Sys_error msg ->
+                Format.eprintf "cannot open output file: %s@." msg;
+                false)
+      in
+      if not (ok_report && ok_trace) then 2
+      else (
+        match v with
+        | L.Strongly_linearizable _ -> 0
+        | L.Not_linearizable _ | L.Not_strongly_linearizable _ -> 1
+        | L.Out_of_budget _ -> 2)
+
+(* --- stats diff ------------------------------------------------------- *)
+
+let read_json_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Obs_json.of_string s
+  | exception Sys_error msg -> Error msg
+
+let run_stats_diff old_path new_path fail_on_regress =
+  match (read_json_file old_path, read_json_file new_path) with
+  | Error msg, _ ->
+      Format.eprintf "%s: %s@." old_path msg;
+      2
+  | _, Error msg ->
+      Format.eprintf "%s: %s@." new_path msg;
+      2
+  | Ok old_doc, Ok new_doc -> (
+      match Stats_diff.diff ~old_doc ~new_doc with
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          2
+      | Ok entries -> (
+          Format.printf "%a" Stats_diff.pp entries;
+          match fail_on_regress with
+          | None -> 0
+          | Some pct ->
+              let regs = Stats_diff.regressions ~threshold:pct entries in
+              if regs = [] then begin
+                Format.printf "no regression beyond %.1f%%@." pct;
+                0
+              end
+              else begin
+                Format.eprintf "REGRESSION: %d row(s) worsened beyond %.1f%% (or vanished):@."
+                  (List.length regs) pct;
+                List.iter
+                  (fun e ->
+                    Format.eprintf "  %s / %s@." e.Stats_diff.e_name e.Stats_diff.e_metric)
+                  regs;
+                1
+              end))
 
 (* --- agreement objects ------------------------------------------------ *)
 
@@ -451,7 +590,16 @@ let experiment_cmd =
              $(docv).")
   in
   let known = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e7"; "e8" ] in
-  let run which quick witness_dir jobs =
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-profile/v1 per-domain profiling report of E2's \
+             strong-linearizability games to $(docv).")
+  in
+  let run which quick witness_dir jobs profile_out =
     match List.filter (fun n -> not (List.mem n known)) which with
     | _ :: _ as bad ->
         Format.eprintf "unknown experiment%s %s; choose from: %s@."
@@ -461,19 +609,27 @@ let experiment_cmd =
         2
     | [] ->
         let sel name = which = [] || List.mem name which in
+        let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
         if sel "e1" then Experiments.e1 ();
-        if sel "e2" then Experiments.e2 ?witness_dir ~jobs ~quick ();
+        if sel "e2" then Experiments.e2 ?witness_dir ~jobs ?profiler ~quick ();
         if sel "e3" then Experiments.e3 ();
         if sel "e4" then Experiments.e4 ();
         if sel "e5" then Experiments.e5 ();
         if sel "e7" then Experiments.e7 ~jobs ();
         if sel "e8" then Experiments.e8 ();
+        (match (profile_out, profiler) with
+        | Some path, Some prof ->
+            ignore
+              (write_profile prof
+                 ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs)
+                 path)
+        | _ -> ());
         0
   in
   Cmd.v
     (Cmd.info "experiment" ~exits:verdict_exits
        ~doc:"Regenerate experiment tables E1-E5, E7, E8 (see EXPERIMENTS.md).")
-    Term.(const run $ which $ quick $ witness_dir $ jobs)
+    Term.(const run $ which $ quick $ witness_dir $ jobs $ profile_out)
 
 let check_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -572,12 +728,22 @@ let check_cmd =
              incrementally maintained state ($(docv)=1 checks every node).  Results are \
              identical for every value.")
   in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-profile/v1 per-domain profiling report of the exploration to \
+             $(docv) (compare runs with $(b,slin stats diff)).")
+  in
   Cmd.v
     (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
     Term.(
       const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
-      $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ checkpoint_stride)
+      $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ checkpoint_stride
+      $ profile_out)
 
 let explain_cmd =
   let witness =
@@ -634,6 +800,15 @@ let fuzz_cmd =
              from the PRNG upfront and the first violation is the index-minimal one, so \
              every report field except elapsed time is identical for every $(docv).")
   in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-profile/v1 per-worker profiling report of the campaign to $(docv) \
+             (one lane per domain; work units are schedules executed).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~exits:verdict_exits
        ~doc:
@@ -642,7 +817,7 @@ let fuzz_cmd =
           witness.")
     Term.(
       const run_fuzz $ obj $ seed $ runs $ no_crash $ max_steps $ no_shrink $ witness_out
-      $ jobs)
+      $ jobs $ profile_out)
 
 let progress_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -697,12 +872,108 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print one random execution trace of OBJECT's standard workload.")
     Term.(const run_trace $ obj $ seed $ trace_out)
 
+let profile_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Solve the game on $(docv) domains; the report carries one lane per domain, so \
+             this is the tool for explaining parallel speedups (or slowdowns).")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 3_000_000 & info [ "max-nodes" ] ~doc:"Node budget for the game.")
+  in
+  let max_depth =
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~doc:"Truncate the execution tree.")
+  in
+  let checkpoint_stride =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-stride" ] ~docv:"K"
+          ~doc:"Anchor interval of the incremental engine (as in $(b,slin check)).")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the slin-profile/v1 JSON report to $(docv) (compare runs with $(b,slin \
+             stats diff)).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file with one lane per domain to $(docv) (open at \
+             ui.perfetto.dev).")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~exits:verdict_exits
+       ~doc:
+         "Run the strong-linearizability game on OBJECT under the engine profiler: \
+          per-domain solve/merge/idle/cross-check time, node and cache-hit counts, depth \
+          histograms and candidate-kill attribution.  Profiling is passive — the verdict is \
+          identical to $(b,slin check)'s.")
+    Term.(
+      const run_profile $ obj $ jobs $ max_nodes $ max_depth $ checkpoint_stride
+      $ profile_out $ trace_out)
+
+let stats_cmd =
+  let diff_cmd =
+    let old_f = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json") in
+    let new_f = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json") in
+    let fail_on =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "fail-on-regress" ] ~docv:"PCT"
+            ~doc:
+              "Exit 1 if any directional metric worsened by more than $(docv) percent, or if \
+               a row present in OLD.json is missing from NEW.json.  Without this flag the \
+               diff is informational and always exits 0.")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~exits:
+           [
+             Cmd.Exit.info 0 ~doc:"reports compared; no gated regression.";
+             Cmd.Exit.info 1 ~doc:"$(b,--fail-on-regress) was given and a regression exceeded \
+                                   the threshold (or a row vanished).";
+             Cmd.Exit.info 2 ~doc:"unreadable file, malformed report, or mismatched schemas.";
+           ]
+         ~doc:
+           "Compare two versioned perf reports (slin-bench/v1 or slin-profile/v1) \
+            field-by-field: throughput metrics regress downward, latency metrics regress \
+            upward, neutral counters are reported but never gated.")
+      Term.(const run_stats_diff $ old_f $ new_f $ fail_on)
+  in
+  Cmd.group
+    (Cmd.info "stats"
+       ~doc:"Tools over versioned perf reports (slin-bench/v1, slin-profile/v1).")
+    [ diff_cmd ]
+
 let () =
   let doc = "strongly-linearizable objects from consensus-number-2 primitives" in
   let info = Cmd.info "slin" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ experiment_cmd; check_cmd; explain_cmd; fuzz_cmd; progress_cmd; agree_cmd; trace_cmd ]
+      [
+        experiment_cmd;
+        check_cmd;
+        explain_cmd;
+        fuzz_cmd;
+        progress_cmd;
+        agree_cmd;
+        trace_cmd;
+        profile_cmd;
+        stats_cmd;
+      ]
   in
   (* All usage and internal errors land on 2, leaving 0/1 to carry the
      verdict (see EXIT STATUS in the subcommand man pages). *)

@@ -424,7 +424,7 @@ module Make (S : Spec.S) = struct
      (the first violation is the index-minimal one, not the first found
      in wall time). *)
   let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true) ?(jobs = 1)
-      (prog : (S.op, S.resp) Sim.program) : fuzz_report =
+      ?profiler (prog : (S.op, S.resp) Sim.program) : fuzz_report =
     let t0 = Obs.now_ns () in
     let rng = Random.State.make [| seed; 0xad5e |] in
     let nruns = max runs 0 in
@@ -446,17 +446,25 @@ module Make (S : Spec.S) = struct
       if i < cur && not (Atomic.compare_and_set min_viol cur i) then note i
     in
     let run_range first stride =
+      (* Per-worker profiler lane: one solve span for the whole range,
+         one work unit per schedule executed (fuzz has no tree nodes). *)
+      let lane = Option.map (fun p -> Prof.lane p ~domain:first) profiler in
+      (match lane with
+      | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "fuzz w%d" first) ()
+      | None -> ());
       let i = ref first in
       while !i < nruns && !i <= Atomic.get min_viol do
         let run_seed, crash_after = cfgs.(!i) in
         let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
         steps_of.(!i) <- List.length schedule;
+        (match lane with Some l -> Prof.add_nodes l 1 | None -> ());
         if L.check_trace (Sim.trace w) = None then begin
           viol_sched.(!i) <- Some schedule;
           note !i
         end;
         i := !i + stride
-      done
+      done;
+      match lane with Some l -> Prof.end_span l | None -> ()
     in
     let nworkers = max 1 (min jobs nruns) in
     if nworkers > 1 then begin

@@ -140,6 +140,7 @@ module Make (S : Spec.S) : sig
     ?max_steps:int ->
     ?shrink:bool ->
     ?jobs:int ->
+    ?profiler:Prof.t ->
     (S.op, S.resp) Sim.program ->
     fuzz_report
   (** Run up to [runs] random schedules derived from the master [seed]

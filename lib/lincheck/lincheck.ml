@@ -463,19 +463,21 @@ module Make (S : Spec.S) = struct
      can spin (e.g. a queue's dequeue retrying on empty), which make the
      full tree infinite. *)
   let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
-      ?on_progress ?(progress_every = 10_000) ?tracer ?(jobs = 1) ?(checkpoint_stride = 16)
-      (prog : (S.op, S.resp) Sim.program) : verdict * stats =
+      ?on_progress ?(progress_every = 10_000) ?(progress_every_ms = 1000) ?tracer ?profiler
+      ?(jobs = 1) ?(checkpoint_stride = 16) (prog : (S.op, S.resp) Sim.program) :
+      verdict * stats =
     let stride = max 1 checkpoint_stride in
     let jobs = max 1 jobs in
     if prog.Sim.procs > 255 then invalid_arg "Lincheck: more than 255 processes";
     let t0 = Obs.now_ns () in
+    let lane_for w = Option.map (fun p -> Prof.lane p ~domain:w) profiler in
     (* One engine = one independent exploration: counters, node cache,
        spine world, recursive solver.  The sequential checker is one
        engine over the whole tree; the parallel checker runs one engine
        per top-level subtree — the subtrees' schedule prefixes are
        disjoint, so their caches partition the sequential engine's and
        their counters add up to its, column by column. *)
-    let new_engine ~on_tick ~poll () =
+    let new_engine ~on_tick ~poll ~lane ~bump_global () =
       (* A tripped budget records its reason before unwinding; only read
          when [Budget_exhausted] escapes the solver. *)
       let tripped = ref Budget_nodes in
@@ -500,6 +502,33 @@ module Make (S : Spec.S) = struct
         if !nodes > 0 && !nodes mod progress_every = 0 then
           match on_tick with Some f -> f ~nodes:!nodes ~frontier:!max_frontier | None -> ()
       in
+      (* Elapsed-time cadence alongside the node cadence: a cache-hit
+         streak or a long anchored replay expands no fresh node for
+         seconds, starving the node-count heartbeat.  Checked on every
+         256th engine event (fresh or cached) so the clock read costs
+         nothing measurable; disabled when [progress_every_ms <= 0] or
+         when nobody is listening. *)
+      let time_cadence = on_tick <> None && progress_every_ms > 0 in
+      let next_beat = ref (t0 + (progress_every_ms * 1_000_000)) in
+      let ev_count = ref 0 in
+      let tick_time () =
+        if time_cadence then begin
+          incr ev_count;
+          if !ev_count land 255 = 0 then begin
+            let now = Obs.now_ns () in
+            if now >= !next_beat then begin
+              next_beat := now + (progress_every_ms * 1_000_000);
+              match on_tick with
+              | Some f -> f ~nodes:!nodes ~frontier:!max_frontier
+              | None -> ()
+            end
+          end
+        end
+      in
+      (* Why the last [solve] call returned false, for the profiler's
+         candidate-kill attribution.  Written on every failing return
+         path; read only at the kill site.  Never feeds back. *)
+      let last_fail = ref Prof.Kill_mismatch in
       (* Node cache, keyed by the schedule prefix packed into a string
          (one byte per process index): hashing and equality become memcmp
          on a flat buffer instead of a polymorphic walk of an int list. *)
@@ -527,10 +556,13 @@ module Make (S : Spec.S) = struct
         match Hashtbl.find_opt cache key with
         | Some info ->
             incr cache_hits;
+            (match lane with Some l -> Prof.hit l | None -> ());
+            tick_time ();
             info
         | None ->
             poll ();
             incr nodes;
+            bump_global ();
             if !nodes > max_nodes then stop Budget_nodes;
             (match budget_ms with
             | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 -> stop Budget_wall
@@ -539,11 +571,20 @@ module Make (S : Spec.S) = struct
             | Some mb when heap_mb_now () > mb -> stop Budget_heap
             | _ -> ());
             tick ();
+            tick_time ();
+            (match lane with Some l -> Prof.fresh l ~depth | None -> ());
             let w = world_at path in
             let info =
               match parent with Some pi -> extend_info pi w | None -> info_of_world w
             in
-            if depth mod stride = 0 then cross_check info w;
+            if depth mod stride = 0 then begin
+              match lane with
+              | None -> cross_check info w
+              | Some l ->
+                  let s = Obs.now_ns () in
+                  cross_check info w;
+                  Prof.cross_checked l ~start_ns:s ~stop_ns:(Obs.now_ns ())
+            end;
             Hashtbl.add cache key info;
             info
       in
@@ -557,6 +598,7 @@ module Make (S : Spec.S) = struct
         match validate_over info.rec_arr lin with
         | None ->
             incr validate_failures;
+            last_fail := Prof.Kill_mismatch;
             false
         | Some states -> (
             match extensions_over info.rec_arr info.pred info.completed_mask lin states with
@@ -571,6 +613,7 @@ module Make (S : Spec.S) = struct
                   wit_len := depth;
                   wit_log := (depth, List.rev path) :: !wit_log
                 end;
+                last_fail := Prof.Kill_dead_end;
                 false
             | candidates ->
                 cand_generated := !cand_generated + List.length candidates;
@@ -581,7 +624,11 @@ module Make (S : Spec.S) = struct
                   in
                   (* [List.exists], unrolled to count refuted candidates. *)
                   let rec try_candidates = function
-                    | [] -> false
+                    | [] ->
+                        (* every candidate died at some child: the caller's
+                           candidate is refuted by its futures *)
+                        last_fail := Prof.Kill_futures;
+                        false
                     | cand :: rest ->
                         if
                           List.for_all
@@ -590,6 +637,7 @@ module Make (S : Spec.S) = struct
                         then true
                         else begin
                           incr cand_killed;
+                          (match lane with Some l -> Prof.kill l !last_fail | None -> ());
                           try_candidates rest
                         end
                   in
@@ -645,7 +693,9 @@ module Make (S : Spec.S) = struct
                       (float_of_int frontier)
                 | None -> ())
       in
-      let eng = new_engine ~on_tick ~poll:ignore () in
+      let lane = lane_for 0 in
+      let eng = new_engine ~on_tick ~poll:ignore ~lane ~bump_global:ignore () in
+      (match lane with Some l -> Prof.begin_span l Prof.Solve () | None -> ());
       let verdict =
         match eng.en_solve [] 0 "" None [] with
         | true -> Strongly_linearizable { nodes = !(eng.en_nodes) }
@@ -654,8 +704,10 @@ module Make (S : Spec.S) = struct
             Not_strongly_linearizable { witness; nodes = !(eng.en_nodes) }
         | exception Found_not_linearizable schedule -> Not_linearizable { schedule }
         | exception Budget_exhausted ->
+            (match lane with Some l -> Prof.kill l Prof.Kill_budget | None -> ());
             Out_of_budget { nodes = !(eng.en_nodes); reason = !(eng.en_tripped) }
       in
+      (match lane with Some l -> Prof.end_span l | None -> ());
       let st =
         mk_stats ~nodes:!(eng.en_nodes) ~hits:!(eng.en_hits) ~frontier:!(eng.en_frontier)
           ~cand:!(eng.en_cand) ~killed:!(eng.en_killed) ~dead:!(eng.en_dead)
@@ -673,10 +725,13 @@ module Make (S : Spec.S) = struct
        sequential run that falls inside its column; the merge walks the
        columns in sequential order and stops where the one-engine run
        would have stopped, making verdict, witness and node counts
-       independent of [jobs].  Heartbeat/tracer samples are not emitted
-       from workers.  Any budget trip in the walked prefix falls back to
-       an actual sequential run: budgeted work is bounded, and only the
-       sequential engine can say precisely where it stops. *)
+       independent of [jobs].  Heartbeats aggregate across workers: every
+       engine bumps one shared atomic per fresh node and worker 0's
+       engine emits the beat (on its own node/time cadence) reading that
+       total — thread-safe, and zero-cost when nobody listens.  Any
+       budget trip in the walked prefix falls back to an actual
+       sequential run: budgeted work is bounded, and only the sequential
+       engine can say precisely where it stops. *)
     let run_parallel () =
       let trip reason =
         let st = mk_stats ~nodes:1 ~hits:0 ~frontier:0 ~cand:0 ~killed:0 ~dead:0 ~vfail:0 in
@@ -705,6 +760,28 @@ module Make (S : Spec.S) = struct
           let cols = Array.of_list columns in
           let ncols = Array.length cols in
           let nworkers = min jobs ncols in
+          (* Aggregated heartbeat: all engines bump this (root already
+             counted, matching the merge's accounting); worker 0 reads
+             it when its own cadence fires. *)
+          let want_ticks = on_progress <> None || tracer <> None in
+          let global_nodes = Atomic.make 1 in
+          let bump_global = if want_ticks then fun () -> Atomic.incr global_nodes else ignore in
+          let par_on_tick =
+            if not want_ticks then None
+            else
+              Some
+                (fun ~nodes:_ ~frontier ->
+                  let nodes = Atomic.get global_nodes in
+                  let elapsed_ns = Obs.now_ns () - t0 in
+                  (match on_progress with Some f -> f ~nodes ~elapsed_ns | None -> ());
+                  match tracer with
+                  | Some tr ->
+                      let ts_us = float_of_int elapsed_ns /. 1e3 in
+                      Obs_trace.counter tr ~cat:"lincheck" ~ts_us "nodes" (float_of_int nodes);
+                      Obs_trace.counter tr ~cat:"lincheck" ~ts_us "max_frontier_depth"
+                        (float_of_int frontier)
+                  | None -> ())
+          in
           (* Earliest column at which the sequential walk stops (failed
              candidate, refutation, or budget trip): columns after it are
              irrelevant, so workers abandon them. *)
@@ -730,15 +807,24 @@ module Make (S : Spec.S) = struct
               cr_wit = [];
             }
           in
-          let run_column c =
-            if Atomic.get min_stop < c then results.(c) <- Some abandoned
+          let run_column ~lane ~on_tick c =
+            if Atomic.get min_stop < c then begin
+              (match lane with
+              | Some l ->
+                  Prof.note_column l ~col:c ~proc:cols.(c) ~nodes:0 ~outcome:"abandoned"
+              | None -> ());
+              results.(c) <- Some abandoned
+            end
             else begin
               let eng =
-                new_engine ~on_tick:None
+                new_engine ~on_tick
                   ~poll:(fun () -> if Atomic.get min_stop < c then raise Abandoned)
-                  ()
+                  ~lane ~bump_global ()
               in
               let p = cols.(c) in
+              (match lane with
+              | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "col %d" c) ()
+              | None -> ());
               let outcome =
                 match
                   eng.en_solve [ p ] 1 (String.make 1 (Char.unsafe_chr p)) (Some root_info) []
@@ -752,9 +838,23 @@ module Make (S : Spec.S) = struct
                     Col_not_lin schedule
                 | exception Budget_exhausted ->
                     note_stop c;
+                    (match lane with Some l -> Prof.kill l Prof.Kill_budget | None -> ());
                     Col_tripped !(eng.en_tripped)
                 | exception Abandoned -> Col_abandoned
               in
+              (match lane with
+              | Some l ->
+                  Prof.end_span l;
+                  let tag =
+                    match outcome with
+                    | Col_ok true -> "ok"
+                    | Col_ok false -> "failed"
+                    | Col_not_lin _ -> "not-lin"
+                    | Col_tripped _ -> "budget"
+                    | Col_abandoned -> "abandoned"
+                  in
+                  Prof.note_column l ~col:c ~proc:p ~nodes:!(eng.en_nodes) ~outcome:tag
+              | None -> ());
               results.(c) <-
                 Some
                   {
@@ -771,9 +871,11 @@ module Make (S : Spec.S) = struct
             end
           in
           let worker k =
+            let lane = lane_for k in
+            let on_tick = if k = 0 then par_on_tick else None in
             let c = ref k in
             while !c < ncols do
-              run_column !c;
+              run_column ~lane ~on_tick !c;
               c := !c + nworkers
             done
           in
@@ -803,6 +905,13 @@ module Make (S : Spec.S) = struct
           in
           let exception Fallback in
           let exception Done of verdict in
+          let merge_lane = lane_for 0 in
+          (* The root node is evaluated here, not in any worker column;
+             attribute it to the merge lane so lane totals sum to the
+             verdict's node count. *)
+          (match merge_lane with Some l -> Prof.fresh l ~depth:0 | None -> ());
+          (match merge_lane with Some l -> Prof.begin_span l Prof.Merge () | None -> ());
+          let end_merge () = match merge_lane with Some l -> Prof.end_span l | None -> () in
           try
             for c = 0 to ncols - 1 do
               let r = match results.(c) with Some r -> r | None -> raise Fallback in
@@ -834,10 +943,15 @@ module Make (S : Spec.S) = struct
               | Col_tripped _ -> raise Fallback
               | Col_abandoned -> assert false
             done;
+            end_merge ();
             finish_par (Strongly_linearizable { nodes = !acc_nodes })
           with
-          | Done v -> finish_par v
-          | Fallback -> run_sequential ()
+          | Done v ->
+              end_merge ();
+              finish_par v
+          | Fallback ->
+              end_merge ();
+              run_sequential ()
         end
       end
     in

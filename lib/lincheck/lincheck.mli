@@ -105,7 +105,9 @@ module Make (S : Spec.S) : sig
     ?budget_heap_mb:int ->
     ?on_progress:(nodes:int -> elapsed_ns:int -> unit) ->
     ?progress_every:int ->
+    ?progress_every_ms:int ->
     ?tracer:Obs_trace.t ->
+    ?profiler:Prof.t ->
     ?jobs:int ->
     ?checkpoint_stride:int ->
     (S.op, S.resp) Sim.program ->
@@ -114,10 +116,18 @@ module Make (S : Spec.S) : sig
       Instrumentation is passive: the verdict and node count are
       identical to {!check_strong}'s (which is implemented as its
       [fst]).  [on_progress] fires every [progress_every] (default 10k)
-      fresh nodes — the CLI's stderr heartbeat; [tracer] receives
-      [nodes] and [max_frontier_depth] counter samples at the same
-      cadence plus one [check_strong] span, on a wall-clock-microsecond
-      timeline.
+      fresh nodes and additionally whenever [progress_every_ms] (default
+      1000, [<= 0] disables) elapse without a beat — cache-hit streaks
+      and long anchored replays expand no fresh node, and must not go
+      silent; [tracer] receives [nodes] and [max_frontier_depth] counter
+      samples at the same cadence plus one [check_strong] span, on a
+      wall-clock-microsecond timeline.
+
+      [profiler] records per-domain solve/merge/cross-check spans, node
+      and cache-hit counts, depth histograms and candidate-kill
+      attribution into a {!Prof.t} (see [Prof.to_json]).  Profiling is
+      passive too: verdict, stats and outputs are byte-identical with or
+      without it.
 
       [budget_ms] / [budget_heap_mb] bound wall-clock time and major-heap
       size; both are checked at every fresh node, so a tripped budget
@@ -128,8 +138,10 @@ module Make (S : Spec.S) : sig
 
       [jobs] (default 1) solves the top-level subtrees on that many
       domains; the merge is deterministic, so the verdict, witness and
-      node count are identical for every [jobs] value (heartbeat and
-      tracer samples are emitted only in the single-domain engine).
+      node count are identical for every [jobs] value.  Heartbeat and
+      tracer samples aggregate across workers (one shared atomic node
+      total, emitted from worker 0 on its node/time cadence), so the
+      parallel engine is no longer silent.
       [checkpoint_stride] (default 16, clamped to >= 1) sets the anchor
       interval of the incremental engine: every fresh node whose depth
       is a multiple of the stride is re-derived from a full replay and

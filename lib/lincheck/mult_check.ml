@@ -30,7 +30,7 @@ type search_state = {
   group : (int * int list) option;  (* duplicated item, op ids in the group *)
 }
 
-let check_budgeted ?budget_nodes ?budget_ms (kind : kind)
+let check_budgeted ?budget_nodes ?budget_ms ?profiler (kind : kind)
     (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t) : outcome =
   let records = History.of_trace t |> Array.of_list in
   let n = Array.length records in
@@ -108,9 +108,23 @@ let check_budgeted ?budget_nodes ?budget_ms (kind : kind)
       !found
     end
   in
-  match dfs 0 { items = []; group = None } with
-  | decided -> Decided decided
-  | exception Lincheck.Budget_exhausted -> Inconclusive { visited = !visited; reason = !tripped }
+  (* Profiling (passive): one solve span for the DFS, one work unit per
+     visited state, a budget kill when a budget trips. *)
+  let lane = Option.map (fun p -> Prof.lane p ~domain:0) profiler in
+  (match lane with Some l -> Prof.begin_span l Prof.Solve ~label:"mult dfs" () | None -> ());
+  let outcome =
+    match dfs 0 { items = []; group = None } with
+    | decided -> Decided decided
+    | exception Lincheck.Budget_exhausted ->
+        (match lane with Some l -> Prof.kill l Prof.Kill_budget | None -> ());
+        Inconclusive { visited = !visited; reason = !tripped }
+  in
+  (match lane with
+  | Some l ->
+      Prof.add_nodes l !visited;
+      Prof.end_span l
+  | None -> ());
+  outcome
 
 let check kind t =
   match check_budgeted kind t with

@@ -29,10 +29,15 @@ val check : kind -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t -> bool
 val check_budgeted :
   ?budget_nodes:int ->
   ?budget_ms:int ->
+  ?profiler:Prof.t ->
   kind ->
   (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t ->
   outcome
 (** Like {!check} but with graceful degradation: [budget_nodes] bounds
     DFS states entered and [budget_ms] bounds wall-clock time; a tripped
     budget yields [Inconclusive] instead of an unbounded search.  With no
-    budgets set this is [Decided (check kind t)]. *)
+    budgets set this is [Decided (check kind t)].
+
+    [profiler] records the DFS as one solve span on lane 0 with one work
+    unit per visited state (and a [budget] kill if a budget trips);
+    passive — the outcome is unchanged. *)

@@ -5,7 +5,14 @@
    All mutating operations are gated on [enabled] (default: off), so an
    instrumented hot path pays one load-and-branch when observability is
    not requested — instrumentation must never perturb the checker's
-   deterministic exploration or the benchmarks' timings.  [snapshot]
+   deterministic exploration or the benchmarks' timings.
+
+   Domain-safety: counters are bumped from worker domains (the parallel
+   checker and the fuzz campaign both touch e.g. the adversary's
+   counters from every worker), so they are [Atomic] — a plain mutable
+   int loses increments under contention.  Gauges and timers only
+   mutate on cold paths (per-run maxima, bracketed sections), so they
+   share one lock instead of paying an atomic per field.  [snapshot]
    renders every registered instrument as JSON fields for the JSONL
    sink. *)
 
@@ -13,7 +20,7 @@ let enabled = ref false
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; mutable value : float; mutable touched : bool }
 
 type timer = {
@@ -25,63 +32,101 @@ type timer = {
 
 type instrument = Counter of counter | Gauge of gauge | Timer of timer
 
+(* Guards the registry list and all gauge/timer fields.  Counters are
+   lock-free. *)
+let lock = Mutex.create ()
+
 (* Registration order is preserved (newest first internally, reversed in
    [snapshot]) so output is stable run over run. *)
 let registry : instrument list ref = ref []
 
+let register i =
+  Mutex.lock lock;
+  registry := i :: !registry;
+  Mutex.unlock lock
+
 let counter name =
-  let c = { c_name = name; count = 0 } in
-  registry := Counter c :: !registry;
+  let c = { c_name = name; count = Atomic.make 0 } in
+  register (Counter c);
   c
 
-let incr c = if !enabled then c.count <- c.count + 1
-let add c n = if !enabled then c.count <- c.count + n
-let count c = c.count
+let incr c = if !enabled then Atomic.incr c.count
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c.count n)
+let count c = Atomic.get c.count
 
 let gauge name =
   let g = { g_name = name; value = 0.; touched = false } in
-  registry := Gauge g :: !registry;
+  register (Gauge g);
   g
 
 let set g v =
   if !enabled then begin
+    Mutex.lock lock;
     g.value <- v;
-    g.touched <- true
+    g.touched <- true;
+    Mutex.unlock lock
   end
 
 let observe_max g v =
   if !enabled then begin
+    Mutex.lock lock;
     if (not g.touched) || v > g.value then g.value <- v;
-    g.touched <- true
+    g.touched <- true;
+    Mutex.unlock lock
   end
 
-let gauge_value g = g.value
+let gauge_value g =
+  Mutex.lock lock;
+  let v = g.value in
+  Mutex.unlock lock;
+  v
 
 let timer name =
   let t = { t_name = name; total_ns = 0; samples = 0; started_at = -1 } in
-  registry := Timer t :: !registry;
+  register (Timer t);
   t
 
-let start t = if !enabled then t.started_at <- now_ns ()
+let start t =
+  if !enabled then begin
+    let now = now_ns () in
+    Mutex.lock lock;
+    t.started_at <- now;
+    Mutex.unlock lock
+  end
 
 let stop t =
-  if !enabled && t.started_at >= 0 then begin
-    t.total_ns <- t.total_ns + (now_ns () - t.started_at);
-    t.samples <- t.samples + 1;
-    t.started_at <- -1
+  if !enabled then begin
+    let now = now_ns () in
+    Mutex.lock lock;
+    if t.started_at >= 0 then begin
+      t.total_ns <- t.total_ns + (now - t.started_at);
+      t.samples <- t.samples + 1;
+      t.started_at <- -1
+    end;
+    Mutex.unlock lock
   end
 
 let time t f =
   start t;
   Fun.protect ~finally:(fun () -> stop t) f
 
-let timer_total_ns t = t.total_ns
-let timer_samples t = t.samples
+let timer_total_ns t =
+  Mutex.lock lock;
+  let v = t.total_ns in
+  Mutex.unlock lock;
+  v
+
+let timer_samples t =
+  Mutex.lock lock;
+  let v = t.samples in
+  Mutex.unlock lock;
+  v
 
 let reset () =
+  Mutex.lock lock;
   List.iter
     (function
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Gauge g ->
           g.value <- 0.;
           g.touched <- false
@@ -89,15 +134,22 @@ let reset () =
           t.total_ns <- 0;
           t.samples <- 0;
           t.started_at <- -1)
-    !registry
+    !registry;
+  Mutex.unlock lock
 
 let snapshot () =
-  List.rev_map
-    (function
-      | Counter c -> (c.c_name, Obs_json.Int c.count)
-      | Gauge g -> (g.g_name, Obs_json.Float g.value)
-      | Timer t ->
-          ( t.t_name,
-            Obs_json.Assoc
-              [ ("total_ns", Obs_json.Int t.total_ns); ("samples", Obs_json.Int t.samples) ] ))
-    !registry
+  Mutex.lock lock;
+  let fields =
+    List.rev_map
+      (function
+        | Counter c -> (c.c_name, Obs_json.Int (Atomic.get c.count))
+        | Gauge g -> (g.g_name, Obs_json.Float g.value)
+        | Timer t ->
+            ( t.t_name,
+              Obs_json.Assoc
+                [ ("total_ns", Obs_json.Int t.total_ns); ("samples", Obs_json.Int t.samples) ]
+            ))
+      !registry
+  in
+  Mutex.unlock lock;
+  fields

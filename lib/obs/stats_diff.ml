@@ -1,0 +1,235 @@
+type direction = Higher_better | Lower_better | Neutral
+
+let has_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+(* Only scale-free ratio metrics are directional: throughput and
+   utilization up is good, per-op latency down is good.  Raw accumulators
+   (node counts, kill counts, per-phase and wall nanoseconds) are
+   neutral — reported, never gated — because absolute times jitter by
+   large factors across machines and a tiny baseline (a few us of idle)
+   turns any absolute wobble into a huge percentage. *)
+let direction_of_metric m =
+  if has_suffix m "_per_s" || has_suffix m "_per_sec" || m = "utilization" then Higher_better
+  else if m = "ns_per_op" then Lower_better
+  else Neutral
+
+type row = { row_name : string; row_metric : string; row_value : float }
+
+(* ---------------- flattening ---------------- *)
+
+let num j = Obs_json.to_float j
+
+let bench_rows doc =
+  match Obs_json.member "results" doc with
+  | Some (Obs_json.List rs) ->
+      let row r =
+        let open Obs_json in
+        match (member "name" r, member "metric" r, member "value" r) with
+        | Some (String name), Some (String metric), Some v -> (
+            match num v with
+            | Some value -> Ok { row_name = name; row_metric = metric; row_value = value }
+            | None -> Error (Printf.sprintf "result %S: value is not a number" name))
+        | _ -> Error "malformed result row (need name/metric/value)"
+      in
+      List.fold_left
+        (fun acc r ->
+          match (acc, row r) with
+          | Error _, _ -> acc
+          | _, Error e -> Error e
+          | Ok rows, Ok x -> Ok (x :: rows))
+        (Ok []) rs
+      |> Result.map List.rev
+  | _ -> Error "slin-bench/v1 document has no results array"
+
+let profile_rows doc =
+  let open Obs_json in
+  match Prof.validate doc with
+  | Error e -> Error e
+  | Ok () ->
+      let rows = ref [] in
+      let push name metric value = rows := { row_name = name; row_metric = metric; row_value = value } :: !rows in
+      let push_num name metric j = match num j with Some v -> push name metric v | None -> () in
+      (match member "wall_ns" doc with Some j -> push_num "totals" "wall_ns" j | None -> ());
+      (match member "totals" doc with
+      | Some tot ->
+          (match member "nodes" tot with Some j -> push_num "totals" "nodes" j | None -> ());
+          (match member "cache_hits" tot with Some j -> push_num "totals" "cache_hits" j | None -> ());
+          (match member "nodes_per_sec" tot with
+          | Some j -> push_num "totals" "nodes_per_sec" j
+          | None -> ());
+          (match member "phase_ns" tot with
+          | Some (Assoc kvs) -> List.iter (fun (k, v) -> push_num "totals" (k ^ "_ns") v) kvs
+          | _ -> ());
+          (match member "kills" tot with
+          | Some (Assoc kvs) -> List.iter (fun (k, v) -> push_num "totals" ("kill." ^ k) v) kvs
+          | _ -> ())
+      | None -> ());
+      (match member "lanes" doc with
+      | Some (List lanes) ->
+          List.iter
+            (fun l ->
+              match member "domain" l with
+              | Some (Int d) ->
+                  let name = Printf.sprintf "lane d%d" d in
+                  (match member "nodes" l with Some j -> push_num name "nodes" j | None -> ());
+                  (match member "utilization" l with
+                  | Some j -> push_num name "utilization" j
+                  | None -> ());
+                  (match member "phase_ns" l with
+                  | Some (Assoc kvs) -> List.iter (fun (k, v) -> push_num name (k ^ "_ns") v) kvs
+                  | _ -> ())
+              | _ -> ())
+            lanes
+      | _ -> ());
+      Ok (List.rev !rows)
+
+let rows_of doc =
+  match Obs_json.member "schema" doc with
+  | Some (Obs_json.String ("slin-bench/v1" as s)) ->
+      Result.map (fun rows -> (s, rows)) (bench_rows doc)
+  | Some (Obs_json.String ("slin-profile/v1" as s)) ->
+      Result.map (fun rows -> (s, rows)) (profile_rows doc)
+  | Some (Obs_json.String s) -> Error (Printf.sprintf "unsupported schema %S" s)
+  | _ -> Error "document has no schema tag"
+
+(* ---------------- diffing ---------------- *)
+
+type status = Unchanged | Improved | Regressed | Changed | Added | Removed
+
+type entry = {
+  e_name : string;
+  e_metric : string;
+  e_dir : direction;
+  e_old : float option;
+  e_new : float option;
+  e_pct : float;
+  e_status : status;
+}
+
+let pct_change ~old_v ~new_v =
+  if old_v = new_v then 0.
+  else if old_v = 0. then infinity *. (if new_v > 0. then 1. else -1.)
+  else 100. *. (new_v -. old_v) /. Float.abs old_v
+
+let classify dir pct =
+  if pct = 0. then Unchanged
+  else
+    match dir with
+    | Neutral -> Changed
+    | Lower_better -> if pct < 0. then Improved else Regressed
+    | Higher_better -> if pct > 0. then Improved else Regressed
+
+let diff ~old_doc ~new_doc =
+  match (rows_of old_doc, rows_of new_doc) with
+  | Error e, _ -> Error ("old report: " ^ e)
+  | _, Error e -> Error ("new report: " ^ e)
+  | Ok (s1, _), Ok (s2, _) when s1 <> s2 ->
+      Error (Printf.sprintf "schema mismatch: old is %s, new is %s" s1 s2)
+  | Ok (_, old_rows), Ok (_, new_rows) ->
+      let find rows name metric =
+        List.find_opt (fun r -> r.row_name = name && r.row_metric = metric) rows
+      in
+      let matched =
+        List.map
+          (fun o ->
+            let dir = direction_of_metric o.row_metric in
+            match find new_rows o.row_name o.row_metric with
+            | Some n ->
+                let pct = pct_change ~old_v:o.row_value ~new_v:n.row_value in
+                {
+                  e_name = o.row_name;
+                  e_metric = o.row_metric;
+                  e_dir = dir;
+                  e_old = Some o.row_value;
+                  e_new = Some n.row_value;
+                  e_pct = pct;
+                  e_status = classify dir pct;
+                }
+            | None ->
+                {
+                  e_name = o.row_name;
+                  e_metric = o.row_metric;
+                  e_dir = dir;
+                  e_old = Some o.row_value;
+                  e_new = None;
+                  e_pct = 0.;
+                  e_status = Removed;
+                })
+          old_rows
+      in
+      let added =
+        List.filter_map
+          (fun n ->
+            match find old_rows n.row_name n.row_metric with
+            | Some _ -> None
+            | None ->
+                Some
+                  {
+                    e_name = n.row_name;
+                    e_metric = n.row_metric;
+                    e_dir = direction_of_metric n.row_metric;
+                    e_old = None;
+                    e_new = Some n.row_value;
+                    e_pct = 0.;
+                    e_status = Added;
+                  })
+          new_rows
+      in
+      Ok (matched @ added)
+
+let regressions ?(threshold = 0.) entries =
+  List.filter
+    (fun e ->
+      match e.e_status with
+      | Removed -> true
+      | Regressed -> (
+          (* worsening magnitude, as a positive percent *)
+          match e.e_dir with
+          | Lower_better -> e.e_pct > threshold
+          | Higher_better -> -.e.e_pct > threshold
+          | Neutral -> false)
+      | _ -> false)
+    entries
+
+(* ---------------- rendering ---------------- *)
+
+let marker = function
+  | Unchanged -> "  ="
+  | Improved -> "  +"
+  | Regressed -> "  !"
+  | Changed -> "  ~"
+  | Added -> "  a"
+  | Removed -> "  x"
+
+let fnum = function
+  | None -> "-"
+  | Some v ->
+      if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.4g" v
+
+let pp fmt entries =
+  let w_name =
+    List.fold_left (fun w e -> max w (String.length e.e_name)) 4 entries
+  in
+  let w_metric =
+    List.fold_left (fun w e -> max w (String.length e.e_metric)) 6 entries
+  in
+  Format.fprintf fmt "%s %-*s %-*s %14s %14s %10s@." "st " w_name "name" w_metric "metric" "old"
+    "new" "delta";
+  List.iter
+    (fun e ->
+      let delta =
+        match e.e_status with
+        | Added -> "added"
+        | Removed -> "removed"
+        | Unchanged -> "="
+        | _ ->
+            if Float.is_finite e.e_pct then Printf.sprintf "%+.1f%%" e.e_pct
+            else if e.e_pct > 0. then "+inf%"
+            else "-inf%"
+      in
+      Format.fprintf fmt "%s %-*s %-*s %14s %14s %10s@." (marker e.e_status) w_name e.e_name
+        w_metric e.e_metric (fnum e.e_old) (fnum e.e_new) delta)
+    entries

@@ -1,0 +1,60 @@
+(** Field-by-field comparison of two versioned perf reports
+    ([slin-bench/v1] or [slin-profile/v1]) — the engine behind
+    [slin stats diff old.json new.json [--fail-on-regress PCT]].
+
+    Both documents are flattened into [(name, metric, value)] rows;
+    rows are matched by [(name, metric)]; each metric name implies a
+    direction (nodes/s up is good, ns/op down is good, counters are
+    neutral), and only directional rows can regress.  Rows present in
+    the old report but missing from the new one count as regressions
+    when gating — a silently dropped benchmark must not pass. *)
+
+type direction = Higher_better | Lower_better | Neutral
+
+val direction_of_metric : string -> direction
+(** Only scale-free ratio metrics are directional: throughput
+    ([..._per_s], [..._per_sec], [utilization]) is higher-better,
+    per-op latency ([ns_per_op]) is lower-better.  Everything else —
+    node counts, kill counts, raw wall/phase nanoseconds — is neutral:
+    reported, never gated (absolute times jitter across machines, and a
+    tiny baseline turns any wobble into a huge percentage). *)
+
+type row = { row_name : string; row_metric : string; row_value : float }
+
+val rows_of : Obs_json.t -> (string * row list, string) result
+(** Flatten a report into its schema tag and rows.  [slin-bench/v1]
+    yields its [results] array (fuzz campaign summaries are skipped);
+    [slin-profile/v1] yields totals (wall, nodes/s, per-phase ns, kill
+    counts) plus per-lane nodes, utilization and per-phase ns.  Unknown
+    schemas are an error. *)
+
+type status =
+  | Unchanged
+  | Improved
+  | Regressed
+  | Changed  (** a neutral-direction row whose value moved *)
+  | Added  (** present only in the new report *)
+  | Removed  (** present only in the old report *)
+
+type entry = {
+  e_name : string;
+  e_metric : string;
+  e_dir : direction;
+  e_old : float option;
+  e_new : float option;
+  e_pct : float;  (** signed percent change vs old; 0 when either side is missing *)
+  e_status : status;
+}
+
+val diff : old_doc:Obs_json.t -> new_doc:Obs_json.t -> (entry list, string) result
+(** Match rows by [(name, metric)], old-report order first, then added
+    rows.  Errors when either document fails to flatten or the two
+    schema tags differ (a bench report cannot baseline a profile). *)
+
+val regressions : ?threshold:float -> entry list -> entry list
+(** Entries that fail a [--fail-on-regress threshold] gate: directional
+    rows that worsened by strictly more than [threshold] percent
+    (default [0.]), plus every [Removed] row. *)
+
+val pp : Format.formatter -> entry list -> unit
+(** Aligned table: status marker, name, metric, old, new, percent. *)

@@ -19,31 +19,52 @@ exception Invalid_schedule of string
 module Metrics = struct
   let enabled = ref false
 
-  let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+  (* Per-domain shard tables (Domain.DLS): [bump] only ever touches the
+     calling domain's own table, so concurrent simulations neither
+     contend on a lock nor lose increments — the parallel checker boots
+     worlds from several domains at once.  Each shard registers itself
+     on first use; [snapshot] merges across shards and [reset] clears
+     them, and both must run while no other domain is simulating (the
+     engine joins its workers before reporting, so this holds at every
+     call site).  [bump] call sites are all gated on [enabled], so the
+     unobserved fast path never touches any of this. *)
+  let shards_lock = Mutex.create ()
 
-  (* The table is shared across domains when the parallel checker boots
-     worlds concurrently; every table access goes through this lock.
-     [bump] call sites are all gated on [enabled], so the unobserved
-     fast path never touches it. *)
-  let lock = Mutex.create ()
+  let shards : (string, int ref) Hashtbl.t list ref = ref []
+
+  let shard_key =
+    Domain.DLS.new_key (fun () ->
+        let t : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+        Mutex.lock shards_lock;
+        shards := t :: !shards;
+        Mutex.unlock shards_lock;
+        t)
 
   let bump key =
-    Mutex.lock lock;
-    (match Hashtbl.find_opt table key with
+    let table = Domain.DLS.get shard_key in
+    match Hashtbl.find_opt table key with
     | Some r -> incr r
-    | None -> Hashtbl.add table key (ref 1));
-    Mutex.unlock lock
+    | None -> Hashtbl.add table key (ref 1)
 
   let reset () =
-    Mutex.lock lock;
-    Hashtbl.reset table;
-    Mutex.unlock lock
+    Mutex.lock shards_lock;
+    List.iter Hashtbl.reset !shards;
+    Mutex.unlock shards_lock
 
   let snapshot () =
-    Mutex.lock lock;
-    let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table [] in
-    Mutex.unlock lock;
-    List.sort compare l
+    Mutex.lock shards_lock;
+    let merged : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun shard ->
+        Hashtbl.iter
+          (fun k r ->
+            match Hashtbl.find_opt merged k with
+            | Some acc -> acc := !acc + !r
+            | None -> Hashtbl.add merged k (ref !r))
+          shard)
+      !shards;
+    Mutex.unlock shards_lock;
+    List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) merged [])
 end
 
 type fiber =

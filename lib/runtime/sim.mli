@@ -35,10 +35,13 @@ module Metrics : sig
   val enabled : bool ref
 
   val reset : unit -> unit
-  (** Drop all accumulated counts. *)
+  (** Drop all accumulated counts (every domain's shard). *)
 
   val snapshot : unit -> (string * int) list
-  (** Accumulated counts, sorted by key. *)
+  (** Accumulated counts merged across all domains' shards, sorted by
+      key.  Call only while no other domain is simulating — the checker
+      joins its worker domains before reporting, so every existing call
+      site satisfies this. *)
 end
 
 val n : _ t -> int

@@ -59,8 +59,12 @@ let equivalence_objects =
 
 (* ---------------- heartbeat cadence ----------------------------------- *)
 
-(* [on_progress] fires exactly at every [progress_every]-th fresh node:
-   floor(nodes / every) times in a complete run, and never for node 0. *)
+(* With the time cadence disabled ([progress_every_ms:0]), [on_progress]
+   fires exactly at every [progress_every]-th fresh node: floor(nodes /
+   every) times in a complete run, and never for node 0.  The parallel
+   engine aggregates node counts across workers and emits from worker 0,
+   so jobs=2 beats too (cadence is timing-dependent there — just
+   monotone node totals, not an exact count). *)
 let test_heartbeat_cadence () =
   match Registry.find "counter" with
   | None -> Alcotest.fail "counter not registered"
@@ -73,19 +77,47 @@ let test_heartbeat_cadence () =
       let _, s =
         L.check_strong_stats
           ~on_progress:(fun ~nodes:_ ~elapsed_ns:_ -> incr beats)
-          ~progress_every:every prog
+          ~progress_every:every ~progress_every_ms:0 prog
       in
       Alcotest.(check int) "beats = floor(nodes/every)" (s.Lincheck.nodes / every) !beats;
       Alcotest.(check bool) "some beats fired" true (!beats > 0);
-      (* the parallel engine never emits the heartbeat (documented): *)
       let beats_par = ref 0 in
+      let last = ref 0 in
+      let monotone = ref true in
       let _, s2 =
         L.check_strong_stats
-          ~on_progress:(fun ~nodes:_ ~elapsed_ns:_ -> incr beats_par)
-          ~progress_every:every ~jobs:2 prog
+          ~on_progress:(fun ~nodes ~elapsed_ns:_ ->
+            incr beats_par;
+            if nodes < !last then monotone := false;
+            last := nodes)
+          ~progress_every:1 ~progress_every_ms:0 ~jobs:2 prog
       in
       Alcotest.(check int) "same nodes at jobs=2" s.Lincheck.nodes s2.Lincheck.nodes;
-      Alcotest.(check int) "no beats at jobs=2" 0 !beats_par
+      Alcotest.(check bool) "parallel engine beats" true (!beats_par > 0);
+      Alcotest.(check bool) "aggregated node totals are monotone" true !monotone;
+      Alcotest.(check bool) "beats never overshoot the node total" true
+        (!last <= s2.Lincheck.nodes)
+
+(* The wall-clock cadence: with the node cadence effectively off (a huge
+   [progress_every]) and a 1 ms time cadence, a run that expands many
+   nodes still beats — cache-hit streaks and long replays can no longer
+   go silent. *)
+let test_heartbeat_time_cadence () =
+  match Registry.find "counter" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let beats = ref 0 in
+      let _, s =
+        L.check_strong_stats
+          ~on_progress:(fun ~nodes:_ ~elapsed_ns:_ -> incr beats)
+          ~progress_every:max_int ~progress_every_ms:1 prog
+      in
+      Alcotest.(check bool) "run explored enough to take >1ms" true
+        (s.Lincheck.elapsed_ns > 1_000_000);
+      Alcotest.(check bool) "time cadence beats" true (!beats > 0)
 
 (* ---------------- incremental node evaluation ------------------------- *)
 
@@ -196,6 +228,7 @@ let suite =
     equivalence_objects
   @ [
       Alcotest.test_case "heartbeat cadence" `Quick test_heartbeat_cadence;
+      Alcotest.test_case "heartbeat time cadence" `Quick test_heartbeat_time_cadence;
       Alcotest.test_case "extend_info anchored walk" `Quick test_extend_info_chain;
       Alcotest.test_case "crash game: stride equivalence" `Quick test_crash_game_stride;
       Alcotest.test_case "fuzz: jobs equivalence (clean)" `Slow

@@ -282,6 +282,54 @@ let test_sim_metrics () =
   ignore (Sim.run_to_completion reg_prog);
   Alcotest.(check (list (pair string int))) "disabled records nothing" [] (Sim.Metrics.snapshot ())
 
+(* --- domain safety --------------------------------------------------- *)
+
+(* Counters are atomics: hammering one from several real domains (via
+   the parallel runtime, exactly how checker workers run) must lose
+   nothing.  (Gauges and timers are mutex-guarded; counters are the only
+   instrument bumped from worker domains.) *)
+let test_counter_parallel () =
+  with_obs_enabled (fun () ->
+      let c = Obs.counter "test.par.c" in
+      let domains = 4 and per = 50_000 in
+      ignore
+        (Par_runtime.run ~n:domains (fun _p ->
+             for i = 1 to per do
+               if i mod 10 = 0 then Obs.add c 3 else Obs.incr c
+             done));
+      let expect = domains * (per + (per / 10 * 2)) in
+      Alcotest.(check int) "no lost increments" expect (Obs.count c))
+
+(* Sim.Metrics shards per domain: concurrent simulations must not lose
+   counts, and the merged snapshot must equal domains x one run's
+   tallies. *)
+let test_sim_metrics_parallel () =
+  Sim.Metrics.reset ();
+  Sim.Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.Metrics.enabled := false;
+      Sim.Metrics.reset ())
+    (fun () ->
+      ignore (Sim.run_to_completion reg_prog);
+      let one = Sim.Metrics.snapshot () in
+      Sim.Metrics.reset ();
+      let domains = 4 and per = 25 in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per do
+                  ignore (Sim.run_to_completion reg_prog)
+                done))
+      in
+      List.iter Domain.join workers;
+      let merged = Sim.Metrics.snapshot () in
+      List.iter
+        (fun (k, v) ->
+          let got = Option.value ~default:0 (List.assoc_opt k merged) in
+          Alcotest.(check int) (k ^ " scales exactly") (domains * per * v) got)
+        one)
+
 (* --- checker stats --------------------------------------------------- *)
 
 module L = Lincheck.Make (Spec.Register)
@@ -344,7 +392,12 @@ let () =
           Alcotest.test_case "well-formed" `Quick test_chrome_trace_wellformed;
           Alcotest.test_case "of_sim_trace" `Quick test_of_sim_trace;
         ] );
-      ("sim-metrics", [ Alcotest.test_case "aggregation" `Quick test_sim_metrics ]);
+      ( "sim-metrics",
+        [
+          Alcotest.test_case "aggregation" `Quick test_sim_metrics;
+          Alcotest.test_case "parallel shards" `Quick test_sim_metrics_parallel;
+        ] );
+      ("domain-safety", [ Alcotest.test_case "parallel counter" `Quick test_counter_parallel ]);
       ( "checker-stats",
         [
           Alcotest.test_case "agrees with verdict" `Quick test_check_strong_stats_agree;

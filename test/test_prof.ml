@@ -1,0 +1,409 @@
+(* Tests for the engine profiler (Prof) and the report differ
+   (Stats_diff): profiling passivity (fingerprints identical with and
+   without a profiler, sequential and parallel), structural validity of
+   real and synthetic reports, the fake-clock deterministic report, a
+   qcheck pass over randomly assembled lanes, the Chrome-trace export,
+   and the stats-diff status/threshold/removed-row logic. *)
+
+(* ---------------- passivity ------------------------------------------- *)
+
+(* The deterministic slice of a run on a registry object: rendered
+   verdict plus every stats field except elapsed time. *)
+let fingerprint ?profiler ~jobs name =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let v, s = L.check_strong_stats ?profiler ~jobs prog in
+      Format.asprintf "%a nodes=%d hits=%d depth=%d gen=%d killed=%d dead=%d vf=%d" L.pp_verdict v
+        s.Lincheck.nodes s.Lincheck.cache_hits s.Lincheck.max_frontier_depth
+        s.Lincheck.candidates_generated s.Lincheck.candidates_killed s.Lincheck.dead_ends
+        s.Lincheck.validate_failures
+
+(* A profiled run must be byte-identical to an unprofiled one — at jobs=1
+   and on the parallel engine. *)
+let test_profiling_passive () =
+  let plain = fingerprint ~jobs:1 "counter" in
+  let p1 = Prof.create () in
+  Alcotest.(check string) "jobs=1 fingerprint unchanged" plain
+    (fingerprint ~profiler:p1 ~jobs:1 "counter");
+  let p4 = Prof.create () in
+  Alcotest.(check string) "jobs=4 fingerprint unchanged" plain
+    (fingerprint ~profiler:p4 ~jobs:4 "counter");
+  Prof.finish p1;
+  Prof.finish p4;
+  (* And what the profiler itself recorded is consistent: every explored
+     node landed in some lane. *)
+  let lane_nodes p = List.fold_left (fun a l -> a + Prof.lane_nodes l) 0 (Prof.lanes p) in
+  Alcotest.(check int) "jobs=1 and jobs=4 lanes record the same node total" (lane_nodes p1)
+    (lane_nodes p4);
+  Alcotest.(check bool) "lanes recorded work" true (lane_nodes p1 > 0)
+
+(* The multiplicity checker's DFS is profiled the same way. *)
+let test_mult_check_profiled () =
+  let open Spec.Queue_spec in
+  let t =
+    [
+      Trace.Invoke { proc = 0; op = Enq 1 };
+      Trace.Return { proc = 0; resp = Ok_ };
+      Trace.Invoke { proc = 1; op = Deq };
+      Trace.Invoke { proc = 2; op = Deq };
+      Trace.Return { proc = 1; resp = Item 1 };
+      Trace.Return { proc = 2; resp = Item 1 };
+    ]
+  in
+  let plain = Mult_check.check_budgeted Mult_check.Queue t in
+  let p = Prof.create () in
+  let profiled = Mult_check.check_budgeted ~profiler:p Mult_check.Queue t in
+  Prof.finish p;
+  Alcotest.(check bool) "outcome unchanged" true (plain = profiled);
+  Alcotest.(check bool) "accepted with multiplicity" true (profiled = Mult_check.Decided true);
+  match Prof.lanes p with
+  | [ l ] ->
+      Alcotest.(check bool) "visited states recorded" true (Prof.lane_nodes l > 0);
+      (match Prof.validate (Prof.to_json p ~meta:[]) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "mult profile invalid: %s" e)
+  | ls -> Alcotest.failf "expected one lane, got %d" (List.length ls)
+
+(* ---------------- real-report validity -------------------------------- *)
+
+let meta = [ ("command", Obs_json.String "test"); ("jobs", Obs_json.Int 4) ]
+
+let test_real_report_validates () =
+  let p = Prof.create () in
+  ignore (fingerprint ~profiler:p ~jobs:4 "counter");
+  Prof.finish p;
+  (match Prof.validate (Prof.to_json p ~meta) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "real report invalid: %s" e);
+  Alcotest.(check bool) "lanes account for (nearly) all wall time" true
+    (Prof.accounted_pct p > 95.0 && Prof.accounted_pct p <= 100.5);
+  (* The report survives a JSON print/parse cycle. *)
+  let s = Obs_json.to_string (Prof.to_json p ~meta) in
+  match Prof.validate (Obs_json.of_string_exn s) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reparsed report invalid: %s" e
+
+(* ---------------- fake clock: deterministic reports -------------------- *)
+
+(* Drive a profile entirely through the injectable clock and note_span:
+   every derived number is then exact. *)
+let fake_profile () =
+  let now = ref 0 in
+  let p = Prof.create ~clock:(fun () -> !now) () in
+  let l0 = Prof.lane p ~domain:0 in
+  let l1 = Prof.lane p ~domain:1 in
+  (* lane 0: 60ns solve (10ns of it cross-checking), 20ns merge, rest idle *)
+  Prof.note_span l0 Prof.Solve ~label:"col 0" ~start_ns:0 ~dur_ns:60 ();
+  Prof.cross_checked l0 ~start_ns:20 ~stop_ns:30;
+  Prof.note_span l0 Prof.Merge ~start_ns:70 ~dur_ns:20 ();
+  (* lane 1: one 50ns solve *)
+  Prof.note_span l1 Prof.Solve ~label:"col 1" ~start_ns:5 ~dur_ns:50 ();
+  for d = 0 to 9 do
+    Prof.fresh l0 ~depth:d
+  done;
+  Prof.hit l0;
+  Prof.hit l0;
+  Prof.fresh l1 ~depth:3;
+  Prof.kill l0 Prof.Kill_mismatch;
+  Prof.kill l0 Prof.Kill_futures;
+  Prof.kill l1 Prof.Kill_dead_end;
+  Prof.note_column l0 ~col:0 ~proc:0 ~nodes:10 ~outcome:"ok";
+  Prof.note_column l1 ~col:1 ~proc:1 ~nodes:1 ~outcome:"ok";
+  now := 100;
+  Prof.finish p;
+  p
+
+let test_fake_clock_arithmetic () =
+  let p = fake_profile () in
+  Alcotest.(check int) "wall pinned by finish" 100 (Prof.wall_ns p);
+  let l0 = Prof.lane p ~domain:0 and l1 = Prof.lane p ~domain:1 in
+  Alcotest.(check int) "solve excludes nested cross-check" 50
+    (Prof.lane_phase_ns p l0 Prof.Solve);
+  Alcotest.(check int) "cross-check accumulated" 10 (Prof.lane_phase_ns p l0 Prof.Cross_check);
+  Alcotest.(check int) "merge" 20 (Prof.lane_phase_ns p l0 Prof.Merge);
+  Alcotest.(check int) "idle = wall - busy" 20 (Prof.lane_phase_ns p l0 Prof.Idle);
+  Alcotest.(check int) "lane 1 idle" 50 (Prof.lane_phase_ns p l1 Prof.Idle);
+  Alcotest.(check int) "lane 0 nodes" 10 (Prof.lane_nodes l0);
+  Alcotest.(check int) "lane 1 nodes" 1 (Prof.lane_nodes l1);
+  Alcotest.(check (float 0.01)) "accounted = 100" 100.0 (Prof.accounted_pct p)
+
+let test_fake_clock_report () =
+  let p = fake_profile () in
+  let json = Prof.to_json p ~meta in
+  (match Prof.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fake report invalid: %s" e);
+  let open Obs_json in
+  let get path j =
+    List.fold_left (fun acc k -> Option.bind acc (member k)) (Some j) path
+  in
+  Alcotest.(check (option int)) "total nodes" (Some 11)
+    (Option.bind (get [ "totals"; "nodes" ] json) to_int);
+  Alcotest.(check (option int)) "total cache hits" (Some 2)
+    (Option.bind (get [ "totals"; "cache_hits" ] json) to_int);
+  Alcotest.(check (option int)) "kill attribution in totals" (Some 1)
+    (Option.bind (get [ "totals"; "kills"; "dead_end" ] json) to_int);
+  (match Option.bind (get [ "lanes" ] json) to_list with
+  | Some [ lane0; lane1 ] ->
+      Alcotest.(check (option int)) "lane 0 domain" (Some 0)
+        (Option.bind (member "domain" lane0) to_int);
+      Alcotest.(check (option int)) "lane 0 solve_ns" (Some 50)
+        (Option.bind (get [ "phase_ns"; "solve" ] lane0) to_int);
+      Alcotest.(check (option int)) "lane 1 idle_ns" (Some 50)
+        (Option.bind (get [ "phase_ns"; "idle" ] lane1) to_int);
+      (* depth histogram: ten nodes at depths 0..9 *)
+      (match Option.bind (member "depth_hist" lane0) to_int_list with
+      | Some h -> Alcotest.(check (list int)) "depth hist" (List.init 10 (fun _ -> 1)) h
+      | None -> Alcotest.fail "lane 0 missing depth_hist");
+      (match Option.bind (member "columns" lane0) to_list with
+      | Some [ col ] ->
+          Alcotest.(check (option string)) "column outcome" (Some "ok")
+            (Option.bind (member "outcome" col) to_str)
+      | _ -> Alcotest.fail "lane 0 must carry exactly one column")
+  | _ -> Alcotest.fail "expected two lanes");
+  (* Determinism: two identical fake runs render identical reports. *)
+  let again = Obs_json.to_string (Prof.to_json (fake_profile ()) ~meta) in
+  Alcotest.(check string) "byte-identical report" (Obs_json.to_string json) again
+
+let test_summary_and_trace () =
+  let p = fake_profile () in
+  let s = Format.asprintf "%a" Prof.pp_summary p in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "summary mentions %S" needle) true (contains needle))
+    [ "nodes"; "d0"; "d1"; "response_mismatch"; "dead_end" ];
+  let tr = Prof.to_trace p in
+  let json = Obs_json.of_string_exn (Obs_trace.to_string tr) in
+  match Obs_json.(Option.bind (member "traceEvents" json) to_list) with
+  | None -> Alcotest.fail "no traceEvents"
+  | Some events ->
+      let names =
+        List.filter_map (fun e -> Obs_json.(Option.bind (member "name" e) to_str)) events
+      in
+      let thread_names =
+        List.filter_map
+          (fun e -> Obs_json.(Option.bind (Option.bind (member "args" e) (member "name")) to_str))
+          events
+      in
+      Alcotest.(check bool) "trace names both domains" true
+        (List.mem "domain 0" thread_names && List.mem "domain 1" thread_names);
+      Alcotest.(check bool) "trace carries the solve slices" true (List.mem "solve col 0" names)
+
+(* ---------------- qcheck: random lanes still validate ------------------ *)
+
+(* Random profiles: arbitrary interleavings of the recording calls on a
+   fake clock must always yield a structurally valid report whose totals
+   are the sums of what was recorded. *)
+let prof_ops_gen =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (4, map2 (fun d n -> `Fresh (d, n)) (int_bound 80) (int_bound 3));
+        (2, return `Hit);
+        (2, map2 (fun s d -> `Span (s, d)) (int_bound 1000) (int_bound 500));
+        (1, map2 (fun s d -> `Xchk (s, d)) (int_bound 1000) (int_bound 500));
+        (1, map (fun k -> `Kill k) (oneofl Prof.all_kills));
+        (1, map (fun n -> `Col n) (int_bound 100));
+      ]
+  in
+  list_size (int_bound 40) (pair (int_bound 3) op)
+
+let apply_ops p ops =
+  List.iter
+    (fun (dom, op) ->
+      let l = Prof.lane p ~domain:dom in
+      match op with
+      | `Fresh (d, n) -> for _ = 0 to n do Prof.fresh l ~depth:d done
+      | `Hit -> Prof.hit l
+      | `Span (s, d) -> Prof.note_span l Prof.Solve ~start_ns:s ~dur_ns:d ()
+      | `Xchk (s, d) -> Prof.cross_checked l ~start_ns:s ~stop_ns:(s + d)
+      | `Kill k -> Prof.kill l k
+      | `Col n -> Prof.note_column l ~col:0 ~proc:dom ~nodes:n ~outcome:"ok")
+    ops
+
+let qcheck_prof_tests =
+  let arb = QCheck.make prof_ops_gen in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:300 ~name:"random profiles validate" arb (fun ops ->
+          let now = ref 0 in
+          let p = Prof.create ~clock:(fun () -> !now) () in
+          apply_ops p ops;
+          now := 5000;
+          Prof.finish p;
+          let json = Prof.to_json p ~meta:[] in
+          (match Prof.validate json with
+          | Ok () -> ()
+          | Error e -> QCheck.Test.fail_reportf "invalid: %s" e);
+          (* report round-trips through the printer *)
+          Prof.validate (Obs_json.of_string_exn (Obs_json.to_string json)) = Ok ());
+      QCheck.Test.make ~count:300 ~name:"totals sum the lanes" arb (fun ops ->
+          let now = ref 0 in
+          let p = Prof.create ~clock:(fun () -> !now) () in
+          apply_ops p ops;
+          now := 5000;
+          Prof.finish p;
+          let json = Prof.to_json p ~meta:[] in
+          let total =
+            Option.bind Obs_json.(Option.bind (member "totals" json) (member "nodes")) Obs_json.to_int
+          in
+          let by_hand = List.fold_left (fun a l -> a + Prof.lane_nodes l) 0 (Prof.lanes p) in
+          total = Some by_hand);
+    ]
+
+(* ---------------- stats diff ------------------------------------------- *)
+
+let profile_doc rows =
+  (* A minimal but valid-enough slin-profile/v1 totals block for rows_of. *)
+  let open Obs_json in
+  Assoc
+    [
+      ("schema", String "slin-profile/v1");
+      ("wall_ns", Int 1000);
+      ("accounted_pct", Float 100.0);
+      ("totals", Assoc rows);
+      ("lanes", List []);
+    ]
+
+let bench_doc rows =
+  let open Obs_json in
+  Assoc
+    [
+      ("schema", String "slin-bench/v1");
+      ("quick", Bool false);
+      ( "results",
+        List
+          (List.map
+             (fun (name, metric, v) ->
+               Assoc [ ("name", String name); ("metric", String metric); ("value", Float v) ])
+             rows) );
+    ]
+
+let diff_exn ~old_doc ~new_doc =
+  match Stats_diff.diff ~old_doc ~new_doc with
+  | Ok es -> es
+  | Error e -> Alcotest.failf "diff failed: %s" e
+
+let test_diff_directions () =
+  let open Stats_diff in
+  Alcotest.(check bool) "nodes_per_sec is higher-better" true
+    (direction_of_metric "nodes_per_sec" = Higher_better);
+  Alcotest.(check bool) "schedules_per_s is higher-better" true
+    (direction_of_metric "schedules_per_s" = Higher_better);
+  Alcotest.(check bool) "utilization is higher-better" true
+    (direction_of_metric "utilization" = Higher_better);
+  Alcotest.(check bool) "ns_per_op is lower-better" true
+    (direction_of_metric "ns_per_op" = Lower_better);
+  Alcotest.(check bool) "raw phase ns is neutral" true (direction_of_metric "solve_ns" = Neutral);
+  Alcotest.(check bool) "wall_ns is neutral" true (direction_of_metric "wall_ns" = Neutral);
+  Alcotest.(check bool) "nodes is neutral" true (direction_of_metric "nodes" = Neutral)
+
+let test_diff_identical () =
+  let doc = bench_doc [ ("a", "ns_per_op", 10.0); ("b", "ops_per_s", 5.0) ] in
+  let es = diff_exn ~old_doc:doc ~new_doc:doc in
+  Alcotest.(check int) "two rows" 2 (List.length es);
+  List.iter
+    (fun e -> Alcotest.(check bool) "unchanged" true (e.Stats_diff.e_status = Stats_diff.Unchanged))
+    es;
+  Alcotest.(check int) "no regressions" 0 (List.length (Stats_diff.regressions es))
+
+let test_diff_improved_and_regressed () =
+  let old_doc = bench_doc [ ("a", "ns_per_op", 100.0); ("b", "ops_per_s", 100.0) ] in
+  let new_doc = bench_doc [ ("a", "ns_per_op", 50.0); ("b", "ops_per_s", 40.0) ] in
+  let es = diff_exn ~old_doc ~new_doc in
+  let find n = List.find (fun e -> e.Stats_diff.e_name = n) es in
+  Alcotest.(check bool) "latency halved = improved" true
+    ((find "a").Stats_diff.e_status = Stats_diff.Improved);
+  Alcotest.(check bool) "throughput -60% = regressed" true
+    ((find "b").Stats_diff.e_status = Stats_diff.Regressed);
+  (* thresholds: -60% trips a 50 gate, passes a 70 gate *)
+  Alcotest.(check int) "regression at threshold 50" 1
+    (List.length (Stats_diff.regressions ~threshold:50.0 es));
+  Alcotest.(check int) "no regression at threshold 70" 0
+    (List.length (Stats_diff.regressions ~threshold:70.0 es))
+
+let test_diff_neutral_never_gates () =
+  let old_doc = bench_doc [ ("n", "nodes", 100.0) ] in
+  let new_doc = bench_doc [ ("n", "nodes", 1.0) ] in
+  let es = diff_exn ~old_doc ~new_doc in
+  Alcotest.(check bool) "neutral row is Changed" true
+    ((List.hd es).Stats_diff.e_status = Stats_diff.Changed);
+  Alcotest.(check int) "never a regression" 0 (List.length (Stats_diff.regressions es))
+
+let test_diff_removed_row_regresses () =
+  let old_doc = bench_doc [ ("a", "ns_per_op", 10.0); ("gone", "ops_per_s", 5.0) ] in
+  let new_doc = bench_doc [ ("a", "ns_per_op", 10.0) ] in
+  let es = diff_exn ~old_doc ~new_doc in
+  let gone = List.find (fun e -> e.Stats_diff.e_name = "gone") es in
+  Alcotest.(check bool) "dropped row is Removed" true (gone.Stats_diff.e_status = Stats_diff.Removed);
+  Alcotest.(check int) "removed rows always gate" 1
+    (List.length (Stats_diff.regressions ~threshold:99.0 es))
+
+let test_diff_added_row () =
+  let old_doc = bench_doc [ ("a", "ns_per_op", 10.0) ] in
+  let new_doc = bench_doc [ ("a", "ns_per_op", 10.0); ("new", "ops_per_s", 5.0) ] in
+  let es = diff_exn ~old_doc ~new_doc in
+  let added = List.find (fun e -> e.Stats_diff.e_name = "new") es in
+  Alcotest.(check bool) "fresh row is Added" true (added.Stats_diff.e_status = Stats_diff.Added);
+  Alcotest.(check int) "added rows never gate" 0 (List.length (Stats_diff.regressions es))
+
+let test_diff_schema_mismatch () =
+  let b = bench_doc [] and p = profile_doc [ ("nodes", Obs_json.Int 1) ] in
+  (match Stats_diff.diff ~old_doc:b ~new_doc:p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bench vs profile must not diff");
+  match Stats_diff.diff ~old_doc:(Obs_json.Assoc []) ~new_doc:(Obs_json.Assoc []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema-less documents must not diff"
+
+let test_diff_profile_reports () =
+  (* End to end on real profile documents: identical reports diff clean. *)
+  let p = Prof.create () in
+  ignore (fingerprint ~profiler:p ~jobs:2 "counter");
+  Prof.finish p;
+  let doc = Prof.to_json p ~meta in
+  let es = diff_exn ~old_doc:doc ~new_doc:doc in
+  Alcotest.(check bool) "profile flattens to rows" true (List.length es > 5);
+  Alcotest.(check int) "self-diff has no regressions" 0
+    (List.length (Stats_diff.regressions es))
+
+(* ---------------- suite ------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "passivity",
+        [
+          Alcotest.test_case "profiled = unprofiled" `Quick test_profiling_passive;
+          Alcotest.test_case "mult_check profiled" `Quick test_mult_check_profiled;
+          Alcotest.test_case "real report validates" `Quick test_real_report_validates;
+        ] );
+      ( "fake-clock",
+        [
+          Alcotest.test_case "phase arithmetic" `Quick test_fake_clock_arithmetic;
+          Alcotest.test_case "report fields" `Quick test_fake_clock_report;
+          Alcotest.test_case "summary and trace" `Quick test_summary_and_trace;
+        ] );
+      ("qcheck", qcheck_prof_tests);
+      ( "stats-diff",
+        [
+          Alcotest.test_case "metric directions" `Quick test_diff_directions;
+          Alcotest.test_case "identical reports" `Quick test_diff_identical;
+          Alcotest.test_case "improved and regressed" `Quick test_diff_improved_and_regressed;
+          Alcotest.test_case "neutral rows never gate" `Quick test_diff_neutral_never_gates;
+          Alcotest.test_case "removed row regresses" `Quick test_diff_removed_row_regresses;
+          Alcotest.test_case "added row" `Quick test_diff_added_row;
+          Alcotest.test_case "schema mismatch" `Quick test_diff_schema_mismatch;
+          Alcotest.test_case "profile self-diff" `Quick test_diff_profile_reports;
+        ] );
+    ]
