@@ -463,6 +463,34 @@ let bench_fuzz () =
       campaign ~name ~crash:true)
     [ "counter"; "hw-queue" ]
 
+(* Scheduler A/B under one budget: unique world fingerprints reached by
+   the default uniform scheduler vs the coverage-guided one (same master
+   seed, same run count, crash injection on, shrink off).  Both rows are
+   deterministic — each campaign is a pure function of its arguments —
+   so the pair records how much diversity guidance buys, PR over PR. *)
+let bench_fuzz_ab () =
+  let runs = if quick then 200 else 2_000 in
+  Format.printf "@.| fuzz scheduler A/B (%d runs, same seed)     | unique worlds@." runs;
+  let campaign ~name ~guided =
+    match Registry.find name with
+    | None -> ()
+    | Some (Registry.Checkable c) ->
+        let (module S) = c.spec in
+        let module A = Adversary.Make (S) in
+        let prog = Harness.program ~make:c.make ~workload:c.workload in
+        let cov = Coverage.create () in
+        let _ = A.fuzz ~seed:1 ~runs ~crash:true ~shrink:false ~coverage:cov ~guided prog in
+        let st = Coverage.stats cov in
+        let label =
+          Printf.sprintf "fuzz %s %s" name (if guided then "guided" else "uniform")
+        in
+        record_result label "unique_worlds" (float_of_int st.Coverage.unique);
+        Format.printf "| %-44s | %d unique of %d observed@." label st.Coverage.unique
+          st.Coverage.observations
+  in
+  campaign ~name:"hw-queue" ~guided:false;
+  campaign ~name:"hw-queue" ~guided:true
+
 (* ------------------------------------------------------------------ *)
 (* Checker engine throughput: nodes/sec on the E2 refutations          *)
 (* ------------------------------------------------------------------ *)
@@ -487,7 +515,9 @@ let bench_checker () =
         record_result label "nodes_per_sec" nps;
         Format.printf "| %-44s | %.0f (%d nodes)@." label nps s.Lincheck.nodes
   in
-  let jobs_list = if quick then [ 1 ] else [ 1; 4 ] in
+  (* Scaling curve, not just a parallel spot-check: -j 1/2/4/8 rows let
+     stats diff catch a regression anywhere on the curve. *)
+  let jobs_list = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
   List.iter
     (fun jobs ->
       run ~name:"hw-queue" ~jobs;
@@ -503,7 +533,10 @@ let () =
   if selected "e7" then Experiments.e7 ();
   if selected "e8" then Experiments.e8 ();
   if selected "e6" then if quick then e6_quick () else e6 ();
-  if selected "fuzz" then bench_fuzz ();
+  if selected "fuzz" then begin
+    bench_fuzz ();
+    bench_fuzz_ab ()
+  end;
   if selected "checker" then bench_checker ();
   write_bench_results ();
   Format.printf "@.All selected experiments completed.@."

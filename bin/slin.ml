@@ -21,6 +21,8 @@
                                                   print one random execution
      slin profile OBJECT [--jobs N] [--profile-out F.json] [--trace-out F.json]
                                                   per-domain engine telemetry
+     slin coverage OBJECT [--jobs N] [--coverage-out F.json]
+                                                  exploration-coverage report
      slin stats diff OLD.json NEW.json [--fail-on-regress PCT]
                                                   compare two perf reports
 
@@ -57,6 +59,7 @@ let write_profile prof ~meta path =
   Prof.finish prof;
   let json = Prof.to_json prof ~meta in
   match
+    Obs.ensure_parent_dir path;
     Out_channel.with_open_text path (fun oc ->
         output_string oc (Obs_json.to_string json);
         output_char oc '\n')
@@ -68,10 +71,26 @@ let write_profile prof ~meta path =
       Format.eprintf "cannot open output file: %s@." msg;
       false
 
+(* Same shape for the slin-coverage/v1 report. *)
+let write_coverage cov ~meta path =
+  let json = Coverage.to_json cov ~meta in
+  match
+    Obs.ensure_parent_dir path;
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Obs_json.to_string json);
+        output_char oc '\n')
+  with
+  | () ->
+      Format.printf "coverage report (slin-coverage/v1) written to %s@." path;
+      true
+  | exception Sys_error msg ->
+      Format.eprintf "cannot open output file: %s@." msg;
+      false
+
 (* --- check ------------------------------------------------------------ *)
 
 let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
-    trace_out witness_out no_shrink jobs checkpoint_stride profile_out =
+    trace_out witness_out no_shrink jobs checkpoint_stride profile_out coverage_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -109,6 +128,7 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
             | None ->
                 Format.eprintf "no witness written to %s: the verdict is not a refutation@." path
             | Some (kind, schedule, nodes) -> (
+                Obs.ensure_parent_dir path;
                 let module W = Witness.Make (S) in
                 match W.extract ~max_nodes ?max_depth:depth prog ~kind ~schedule with
                 | None -> Format.eprintf "witness extraction failed within the node budget@."
@@ -137,7 +157,7 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
          whatever observability was asked for). *)
       let observing =
         stats || json_out <> None || trace_out <> None || budget_ms <> None
-        || budget_mb <> None || profile_out <> None
+        || budget_mb <> None || profile_out <> None || coverage_out <> None
       in
       if observing then begin
         Sim.Metrics.reset ();
@@ -165,9 +185,20 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         (* Open every output up front: a bad path must fail before the
            (possibly long) exploration, not after it. *)
         match
-          let sink = Option.map (fun path -> (path, Obs_jsonl.create path)) json_out in
-          Option.iter (fun path -> close_out (open_out path)) trace_out;
-          Option.iter (fun path -> close_out (open_out path)) profile_out;
+          let sink =
+            Option.map
+              (fun path ->
+                Obs.ensure_parent_dir path;
+                (path, Obs_jsonl.create path))
+              json_out
+          in
+          let touch path =
+            Obs.ensure_parent_dir path;
+            close_out (open_out path)
+          in
+          Option.iter touch trace_out;
+          Option.iter touch profile_out;
+          Option.iter touch coverage_out;
           sink
         with
         | exception Sys_error msg ->
@@ -185,10 +216,11 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         in
         let on_progress = if stats then Some on_progress else None in
         let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
+        let coverage = Option.map (fun _ -> Coverage.create ()) coverage_out in
         let v, st =
           L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
             ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ?profiler
-            ~jobs ~checkpoint_stride prog
+            ?coverage ~jobs ~checkpoint_stride prog
         in
         Option.iter Prof.finish profiler;
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
@@ -226,6 +258,11 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         | Some path, Some prof ->
             ignore
               (write_profile prof ~meta:(profile_meta ~command:"check" ~objname:name ~jobs) path)
+        | _ -> ());
+        (match (coverage_out, coverage) with
+        | Some path, Some cov ->
+            ignore
+              (write_coverage cov ~meta:(profile_meta ~command:"check" ~objname:name ~jobs) path)
         | _ -> ());
         emit_witness v;
         exit_of_verdict v
@@ -272,7 +309,10 @@ let run_explain path trace_out =
                       Obs_trace.process_name tr
                         (Printf.sprintf "%s future %d" p.Witness.p_object i);
                       let out = Printf.sprintf "%s.f%d.json" base i in
-                      match Obs_trace.write tr out with
+                      match
+                        Obs.ensure_parent_dir out;
+                        Obs_trace.write tr out
+                      with
                       | () ->
                           Format.printf "Chrome trace for future %d (%d events) written to %s@." i
                             (Obs_trace.size tr) out
@@ -305,7 +345,10 @@ let run_trace name seed trace_out =
       | None -> 0
       | Some path -> (
           let tr = Obs_trace.of_sim_trace ~pp_op:S.pp_op ~pp_resp:S.pp_resp (Sim.trace w) in
-          match Obs_trace.write tr path with
+          match
+            Obs.ensure_parent_dir path;
+            Obs_trace.write tr path
+          with
           | () ->
               Format.printf "Chrome trace (%d events) written to %s — open at ui.perfetto.dev@."
                 (Obs_trace.size tr) path;
@@ -318,6 +361,7 @@ let run_trace name seed trace_out =
 
 let write_witness_json path json =
   match
+    Obs.ensure_parent_dir path;
     Out_channel.with_open_text path (fun oc ->
         output_string oc (Obs_json.to_string json);
         output_char oc '\n')
@@ -327,7 +371,8 @@ let write_witness_json path json =
       Format.eprintf "cannot open output file: %s@." msg;
       false
 
-let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profile_out =
+let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profile_out
+    coverage_out guided =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -338,12 +383,14 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profil
       let module W = Witness.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
+      let coverage = Option.map (fun _ -> Coverage.create ()) coverage_out in
       let r =
         A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) ~jobs
-          ?profiler prog
+          ?profiler ?coverage ~guided prog
       in
       Option.iter Prof.finish profiler;
       Format.printf "object: %s (master seed %d)@." c.spec_name seed;
+      if guided then Format.printf "scheduler: coverage-guided (sequential)@.";
       (* No wall-clock figures here: with a fixed seed the output is
          byte-for-byte reproducible (the bench harness reports
          schedules/s instead). *)
@@ -385,6 +432,11 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profil
       | Some path, Some prof ->
           ignore
             (write_profile prof ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs) path)
+      | _ -> ());
+      (match (coverage_out, coverage) with
+      | Some path, Some cov ->
+          ignore
+            (write_coverage cov ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs) path)
       | _ -> ());
       code
 
@@ -463,7 +515,10 @@ let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trac
         | None -> true
         | Some path -> (
             let tr = Prof.to_trace ~process_name:(Printf.sprintf "slin profile %s" name) prof in
-            match Obs_trace.write tr path with
+            match
+              Obs.ensure_parent_dir path;
+              Obs_trace.write tr path
+            with
             | () ->
                 Format.printf
                   "Chrome trace (%d events) written to %s — open at ui.perfetto.dev@."
@@ -474,6 +529,38 @@ let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trac
                 false)
       in
       if not (ok_report && ok_trace) then 2
+      else (
+        match v with
+        | L.Strongly_linearizable _ -> 0
+        | L.Not_linearizable _ | L.Not_strongly_linearizable _ -> 1
+        | L.Out_of_budget _ -> 2)
+
+(* --- coverage --------------------------------------------------------- *)
+
+let run_coverage name jobs max_nodes max_depth checkpoint_stride exact_limit coverage_out =
+  match Registry.find name with
+  | None ->
+      unknown_object name;
+      2
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      let cov = Coverage.create ?exact_limit () in
+      let v, st =
+        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~checkpoint_stride
+          ~coverage:cov prog
+      in
+      Format.printf "object: %s@." c.spec_name;
+      Format.printf "strong linearizability: %a@." L.pp_verdict v;
+      Format.printf "exploration: %d nodes, jobs=%d@." st.Lincheck.nodes jobs;
+      Format.printf "%a" Coverage.pp_summary cov;
+      let meta = profile_meta ~command:"coverage" ~objname:name ~jobs in
+      let ok_report =
+        match coverage_out with None -> true | Some path -> write_coverage cov ~meta path
+      in
+      if not ok_report then 2
       else (
         match v with
         | L.Strongly_linearizable _ -> 0
@@ -599,7 +686,16 @@ let experiment_cmd =
             "Write a slin-profile/v1 per-domain profiling report of E2's \
              strong-linearizability games to $(docv).")
   in
-  let run which quick witness_dir jobs profile_out =
+  let coverage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-coverage/v1 exploration-coverage report of E2's \
+             strong-linearizability games to $(docv).")
+  in
+  let run which quick witness_dir jobs profile_out coverage_out =
     match List.filter (fun n -> not (List.mem n known)) which with
     | _ :: _ as bad ->
         Format.eprintf "unknown experiment%s %s; choose from: %s@."
@@ -610,8 +706,10 @@ let experiment_cmd =
     | [] ->
         let sel name = which = [] || List.mem name which in
         let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
+        let coverage = Option.map (fun _ -> Coverage.create ()) coverage_out in
+        Option.iter (fun d -> Obs.ensure_parent_dir (Filename.concat d "w")) witness_dir;
         if sel "e1" then Experiments.e1 ();
-        if sel "e2" then Experiments.e2 ?witness_dir ~jobs ?profiler ~quick ();
+        if sel "e2" then Experiments.e2 ?witness_dir ~jobs ?profiler ?coverage ~quick ();
         if sel "e3" then Experiments.e3 ();
         if sel "e4" then Experiments.e4 ();
         if sel "e5" then Experiments.e5 ();
@@ -624,12 +722,19 @@ let experiment_cmd =
                  ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs)
                  path)
         | _ -> ());
+        (match (coverage_out, coverage) with
+        | Some path, Some cov ->
+            ignore
+              (write_coverage cov
+                 ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs)
+                 path)
+        | _ -> ());
         0
   in
   Cmd.v
     (Cmd.info "experiment" ~exits:verdict_exits
        ~doc:"Regenerate experiment tables E1-E5, E7, E8 (see EXPERIMENTS.md).")
-    Term.(const run $ which $ quick $ witness_dir $ jobs $ profile_out)
+    Term.(const run $ which $ quick $ witness_dir $ jobs $ profile_out $ coverage_out)
 
 let check_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -737,13 +842,23 @@ let check_cmd =
             "Write a slin-profile/v1 per-domain profiling report of the exploration to \
              $(docv) (compare runs with $(b,slin stats diff)).")
   in
+  let coverage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-coverage/v1 exploration-coverage report (unique world \
+             fingerprints, depth/branching histograms, object-pair access matrix) to \
+             $(docv); compare runs with $(b,slin stats diff).")
+  in
   Cmd.v
     (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
     Term.(
       const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
       $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ checkpoint_stride
-      $ profile_out)
+      $ profile_out $ coverage_out)
 
 let explain_cmd =
   let witness =
@@ -809,6 +924,27 @@ let fuzz_cmd =
             "Write a slin-profile/v1 per-worker profiling report of the campaign to $(docv) \
              (one lane per domain; work units are schedules executed).")
   in
+  let coverage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-coverage/v1 report of the campaign to $(docv): unique world \
+             fingerprints over every run's event prefixes, with per-run novelty \
+             attribution.")
+  in
+  let guided =
+    Arg.(
+      value & flag
+      & info [ "guided" ]
+          ~doc:
+            "Coverage-guided scheduling: prefer the enabled process whose (world \
+             fingerprint, process) edge is least traversed, and splice prefixes of \
+             retained novelty-bearing schedules.  Sequential ($(b,--jobs) is ignored); \
+             produces different schedules than the default uniform scheduler, which \
+             stays byte-reproducible per seed.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~exits:verdict_exits
        ~doc:
@@ -817,7 +953,7 @@ let fuzz_cmd =
           witness.")
     Term.(
       const run_fuzz $ obj $ seed $ runs $ no_crash $ max_steps $ no_shrink $ witness_out
-      $ jobs $ profile_out)
+      $ jobs $ profile_out $ coverage_out $ guided)
 
 let progress_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -924,6 +1060,61 @@ let profile_cmd =
       const run_profile $ obj $ jobs $ max_nodes $ max_depth $ checkpoint_stride
       $ profile_out $ trace_out)
 
+let coverage_cmd =
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Solve the game on $(docv) domains.  At $(docv)=1 the report is a pure \
+             function of the workload and engine (golden-testable); at $(docv)>1 worker \
+             racing perturbs which duplicate reaches a world first, so per-shard splits \
+             move while the merged unique count stays within Bloom-estimate noise.")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 3_000_000 & info [ "max-nodes" ] ~doc:"Node budget for the game.")
+  in
+  let max_depth =
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~doc:"Truncate the execution tree.")
+  in
+  let checkpoint_stride =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-stride" ] ~docv:"K"
+          ~doc:"Anchor interval of the incremental engine (as in $(b,slin check)).")
+  in
+  let exact_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "exact-limit" ] ~docv:"N"
+          ~doc:
+            "Per-shard exact fingerprint-set bound (default 262144); past it a shard \
+             flips to a Bloom filter and unique counts become estimates.")
+  in
+  let coverage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the slin-coverage/v1 JSON report to $(docv) (compare runs with \
+             $(b,slin stats diff)).")
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~exits:verdict_exits
+       ~doc:
+         "Run the strong-linearizability game on OBJECT under the coverage recorder: \
+          unique world fingerprints (commutation classes visited), depth and branching \
+          histograms, and the empirical object-pair dependency matrix (commuting vs \
+          conflicting adjacent accesses).  Recording is passive — the verdict and node \
+          counts are identical to $(b,slin check)'s.")
+    Term.(
+      const run_coverage $ obj $ jobs $ max_nodes $ max_depth $ checkpoint_stride
+      $ exact_limit $ coverage_out)
+
 let stats_cmd =
   let diff_cmd =
     let old_f = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json") in
@@ -948,14 +1139,17 @@ let stats_cmd =
              Cmd.Exit.info 2 ~doc:"unreadable file, malformed report, or mismatched schemas.";
            ]
          ~doc:
-           "Compare two versioned perf reports (slin-bench/v1 or slin-profile/v1) \
-            field-by-field: throughput metrics regress downward, latency metrics regress \
-            upward, neutral counters are reported but never gated.")
+           "Compare two versioned perf reports (slin-bench/v1, slin-profile/v1 or \
+            slin-coverage/v1) field-by-field: throughput and unique-world ratios regress \
+            downward, latency metrics regress upward, neutral counters are reported but \
+            never gated.")
       Term.(const run_stats_diff $ old_f $ new_f $ fail_on)
   in
   Cmd.group
     (Cmd.info "stats"
-       ~doc:"Tools over versioned perf reports (slin-bench/v1, slin-profile/v1).")
+       ~doc:
+         "Tools over versioned perf reports (slin-bench/v1, slin-profile/v1, \
+          slin-coverage/v1).")
     [ diff_cmd ]
 
 let () =
@@ -972,6 +1166,7 @@ let () =
         agree_cmd;
         trace_cmd;
         profile_cmd;
+        coverage_cmd;
         stats_cmd;
       ]
   in

@@ -424,7 +424,7 @@ module Make (S : Spec.S) = struct
      (the first violation is the index-minimal one, not the first found
      in wall time). *)
   let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true) ?(jobs = 1)
-      ?profiler (prog : (S.op, S.resp) Sim.program) : fuzz_report =
+      ?profiler ?coverage ?(guided = false) (prog : (S.op, S.resp) Sim.program) : fuzz_report =
     let t0 = Obs.now_ns () in
     let rng = Random.State.make [| seed; 0xad5e |] in
     let nruns = max runs 0 in
@@ -445,10 +445,15 @@ module Make (S : Spec.S) = struct
       let cur = Atomic.get min_viol in
       if i < cur && not (Atomic.compare_and_set min_viol cur i) then note i
     in
+    let corpus_retained = ref 0 in
+    let corpus_dropped = ref 0 in
     let run_range first stride =
       (* Per-worker profiler lane: one solve span for the whole range,
-         one work unit per schedule executed (fuzz has no tree nodes). *)
+         one work unit per schedule executed (fuzz has no tree nodes).
+         Coverage records each run's trace prefixes on the worker's
+         shard — passive, so the campaign's report is unchanged. *)
       let lane = Option.map (fun p -> Prof.lane p ~domain:first) profiler in
+      let cov_sh = Option.map (fun c -> Coverage.shard c ~domain:first) coverage in
       (match lane with
       | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "fuzz w%d" first) ()
       | None -> ());
@@ -458,6 +463,9 @@ module Make (S : Spec.S) = struct
         let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
         steps_of.(!i) <- List.length schedule;
         (match lane with Some l -> Prof.add_nodes l 1 | None -> ());
+        (match cov_sh with
+        | Some sh -> ignore (Coverage.observe_run sh ~run:!i (Sim.trace w))
+        | None -> ());
         if L.check_trace (Sim.trace w) = None then begin
           viol_sched.(!i) <- Some schedule;
           note !i
@@ -466,15 +474,143 @@ module Make (S : Spec.S) = struct
       done;
       match lane with Some l -> Prof.end_span l | None -> ()
     in
-    let nworkers = max 1 (min jobs nruns) in
-    if nworkers > 1 then begin
-      let doms =
-        List.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> run_range (k + 1) nworkers))
-      in
-      run_range 0 nworkers;
-      List.iter Domain.join doms
-    end
-    else run_range 0 1;
+    (* Coverage-guided scheduling (opt-in): each step resumes the
+       enabled process whose (world fingerprint, process) edge has been
+       traversed least across the campaign — the earliest opportunity
+       to leave previously-visited territory — optionally splicing in a
+       prefix of a retained novelty-bearing schedule first.  Runs that
+       discover new fingerprints are retained as corpus seeds (capped,
+       lowest-novelty dropped first), which both prioritizes productive
+       seeds and dedups the corpus by coverage.  The corpus and edge
+       table are shared across runs, so guided campaigns are sequential
+       ([jobs] is ignored); crash plans and per-run RNG streams are
+       drawn exactly as in uniform mode, keeping the campaign a pure
+       function of (seed, runs, crash, max_steps). *)
+    let run_guided () =
+      let lane = Option.map (fun p -> Prof.lane p ~domain:0) profiler in
+      (match lane with
+      | Some l -> Prof.begin_span l Prof.Solve ~label:"fuzz guided" ()
+      | None -> ());
+      let cov = match coverage with Some c -> c | None -> Coverage.create () in
+      let sh = Coverage.shard cov ~domain:0 in
+      let edges : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+      let corpus = ref [] in  (* (schedule, novelty), newest first *)
+      let corpus_cap = 64 in
+      (* Smoothed novelty ratio (novel fingerprints per freshly-explored
+         event).  While it is high the space is nowhere near saturated
+         and fresh exploration beats replaying — splicing a known prefix
+         would spend steps on guaranteed-old worlds.  Splice only once
+         novelty gets scarce, which is when corpus seeds (the runs that
+         still found something) are worth extending.  Two guards keep
+         the gate honest: the ratio's denominator excludes the spliced
+         prefix (replayed events are old by construction, so counting
+         them would make splicing self-justifying), and an EMA smooths
+         it (one short crashed run with a low ratio must not flip the
+         whole campaign into replay mode). *)
+      let novelty_ema = ref 1.0 in
+      let i = ref 0 in
+      while !i < nruns && Atomic.get min_viol = max_int do
+        let run_seed, crash_after = cfgs.(!i) in
+        let rng_run = Random.State.make [| run_seed; 0x9d1d |] in
+        let w = Sim.run_schedule prog [] in
+        let rev_sched = ref [] in
+        let total = ref 0 in
+        let fpst = ref Coverage.fp_empty in
+        let traced = ref 0 in
+        let feed () =
+          List.iter
+            (fun ev -> fpst := Coverage.fp_feed !fpst ev)
+            (Sim.events_from w ~from:!traced);
+          traced := Sim.trace_len w
+        in
+        feed ();
+        let do_step p =
+          Sim.step w p;
+          rev_sched := p :: !rev_sched;
+          incr total;
+          feed ()
+        in
+        let inject_crashes () =
+          List.iter (fun (p, at) -> if !total >= at then Sim.crash w p) crash_after
+        in
+        (if !corpus_retained > 0 && !novelty_ema < 0.5 && Random.State.bool rng_run then begin
+           let sched, _ = List.nth !corpus (Random.State.int rng_run !corpus_retained) in
+           let cut = Random.State.int rng_run (Array.length sched + 1) in
+           let j = ref 0 in
+           let ok = ref true in
+           while !ok && !j < cut && !total < max_steps do
+             inject_crashes ();
+             let p = sched.(!j) in
+             if List.mem p (Sim.enabled w) then do_step p else ok := false;
+             incr j
+           done
+         end);
+        let splice_len = !total in
+        let quiesced = ref false in
+        while (not !quiesced) && !total < max_steps do
+          inject_crashes ();
+          match Sim.enabled w with
+          | [] -> quiesced := true
+          | ps ->
+              let fp = Coverage.fp_value !fpst in
+              let count p =
+                match Hashtbl.find_opt edges (fp, p) with Some n -> n | None -> 0
+              in
+              let best = List.fold_left (fun m p -> min m (count p)) max_int ps in
+              let cands = List.filter (fun p -> count p = best) ps in
+              let p = List.nth cands (Random.State.int rng_run (List.length cands)) in
+              Hashtbl.replace edges (fp, p) (best + 1);
+              do_step p
+        done;
+        let schedule = List.rev !rev_sched in
+        steps_of.(!i) <- !total;
+        (match lane with Some l -> Prof.add_nodes l 1 | None -> ());
+        let novelty = Coverage.observe_run sh ~run:!i (Sim.trace w) in
+        let fresh_ratio =
+          Float.min 1.0 (float_of_int novelty /. float_of_int (max 1 (!total - splice_len)))
+        in
+        novelty_ema := (0.7 *. !novelty_ema) +. (0.3 *. fresh_ratio);
+        if novelty > 0 then begin
+          corpus := (Array.of_list schedule, novelty) :: !corpus;
+          incr corpus_retained;
+          if !corpus_retained > corpus_cap then begin
+            let worst = List.fold_left (fun m (_, n) -> min m n) max_int !corpus in
+            let gone = ref false in
+            (* oldest lowest-novelty entry goes first *)
+            corpus :=
+              List.rev
+                (List.fold_left
+                   (fun acc (s, n) ->
+                     if (not !gone) && n = worst then begin
+                       gone := true;
+                       acc
+                     end
+                     else (s, n) :: acc)
+                   []
+                   (List.rev !corpus));
+            decr corpus_retained;
+            incr corpus_dropped
+          end
+        end;
+        if L.check_trace (Sim.trace w) = None then begin
+          viol_sched.(!i) <- Some schedule;
+          note !i
+        end;
+        incr i
+      done;
+      match lane with Some l -> Prof.end_span l | None -> ()
+    in
+    (if guided then run_guided ()
+     else
+       let nworkers = max 1 (min jobs nruns) in
+       if nworkers > 1 then begin
+         let doms =
+           List.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> run_range (k + 1) nworkers))
+         in
+         run_range 0 nworkers;
+         List.iter Domain.join doms
+       end
+       else run_range 0 1);
     let first_viol =
       let rec find i =
         if i >= nruns then None else if viol_sched.(i) <> None then Some i else find (i + 1)
@@ -490,6 +626,12 @@ module Make (S : Spec.S) = struct
     done;
     Obs.add c_fuzz_runs fz_runs;
     Obs.add c_fuzz_steps !total_steps;
+    (match coverage with
+    | Some c ->
+        Coverage.note_corpus c
+          ~mode:(if guided then "coverage" else "uniform")
+          ~runs:fz_runs ~retained:!corpus_retained ~dropped:!corpus_dropped
+    | None -> ());
     let violation =
       match first_viol with
       | None -> None

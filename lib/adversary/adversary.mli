@@ -141,6 +141,8 @@ module Make (S : Spec.S) : sig
     ?shrink:bool ->
     ?jobs:int ->
     ?profiler:Prof.t ->
+    ?coverage:Coverage.t ->
+    ?guided:bool ->
     (S.op, S.resp) Sim.program ->
     fuzz_report
   (** Run up to [runs] random schedules derived from the master [seed]
@@ -154,7 +156,24 @@ module Make (S : Spec.S) : sig
       [jobs] (default 1) executes runs on that many domains.  Run
       configurations are pre-drawn in sequential order and "first
       violation" means the index-minimal one, so every report field
-      except [fz_elapsed_ns] is identical for every [jobs] value. *)
+      except [fz_elapsed_ns] is identical for every [jobs] value.
+
+      [coverage] records every run's trace-prefix fingerprints and
+      access pairs, attributing novel fingerprints to the run that first
+      reached them; passive — the report is unchanged.
+
+      [guided] (default false) switches the scheduler from uniform
+      random to coverage-guided: each step resumes the enabled process
+      whose (world fingerprint, process) edge is least traversed, and —
+      once per-run novelty gets scarce — splices in a prefix of a
+      retained novelty-bearing schedule (while novelty is abundant,
+      fresh exploration beats replaying known prefixes); runs
+      discovering new fingerprints are kept as corpus
+      seeds (capped, deduplicated by coverage).  Guided campaigns are
+      sequential ([jobs] is ignored) and deliberately read coverage —
+      they produce different (usually strictly more diverse) schedules
+      than uniform mode, which stays the default precisely so seeded
+      campaigns remain byte-reproducible. *)
 end
 
 (** {1 Algorithm B under crash schedules} *)

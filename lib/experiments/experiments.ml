@@ -148,14 +148,28 @@ module E2_row (S : Spec.S) = struct
      slin-witness/v1 artifact at DIR/REG.json replayable with
      `slin explain`. *)
   let run ~name ~expect ~make ~workload ?reg ?witness_dir ?max_nodes ?max_depth ?(jobs = 1)
-      ?profiler () =
+      ?profiler ?coverage () =
     let prog = Harness.program ~make ~workload in
     let lin =
       match Harness.find_non_linearizable ~check:L.is_linearizable ~runs:150 prog with
       | None -> "linearizable (150 random runs)"
       | Some seed -> Printf.sprintf "NOT LINEARIZABLE (seed %d)!" seed
     in
-    let verdict = fst (L.check_strong_stats ?max_nodes ?max_depth ~jobs ?profiler prog) in
+    (* Unique-worlds delta for this row: coverage is shared across the
+       whole E2 pass, so the column counts worlds no earlier row
+       reached — cumulative novelty, deterministic at -j 1. *)
+    let unique_before =
+      match coverage with Some c -> (Coverage.stats c).Coverage.unique | None -> 0
+    in
+    let verdict =
+      fst (L.check_strong_stats ?max_nodes ?max_depth ~jobs ?profiler ?coverage prog)
+    in
+    let coverage_col =
+      match coverage with
+      | None -> ""
+      | Some c ->
+          Printf.sprintf " | u +%d" ((Coverage.stats c).Coverage.unique - unique_before)
+    in
     let forensics kind schedule nodes reg =
       match W.extract ?max_nodes ?max_depth prog ~kind ~schedule with
       | None -> "w ?"
@@ -184,12 +198,12 @@ module E2_row (S : Spec.S) = struct
           forensics Witness.Not_strongly_linearizable witness (Some nodes) reg
       | _ -> "-"
     in
-    Format.printf "| %-34s | %-30s | %-36s | %-7s | expect: %s@." name lin
+    Format.printf "| %-34s | %-30s | %-36s | %-7s%s | expect: %s@." name lin
       (Format.asprintf "%a" L.pp_verdict verdict)
-      witness_col expect
+      witness_col coverage_col expect
 end
 
-let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
+let e2 ?witness_dir ?(jobs = 1) ?profiler ?coverage ~quick () =
   section
     "E2: baselines from the same primitives are linearizable but NOT\n\
      strongly linearizable (mechanical refutations; cf. Thm 17 and GHW/HHW)";
@@ -202,7 +216,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
         [ Spec.Register.Write 2 ];
         [ Spec.Register.Read; Spec.Register.Read ];
       |]
-    ~reg:"mwmr-register" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ();
+    ~reg:"mwmr-register" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ?coverage ();
   let module Row_max = E2_row (Spec.Max_register) in
   Row_max.run ~name:"RW max register <- registers" ~expect:"refuted (DW DISC'15)"
     ~make:Executors.rw_max_register
@@ -212,7 +226,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
         [ Spec.Max_register.WriteMax 2 ];
         [ Spec.Max_register.ReadMax; Spec.Max_register.ReadMax ];
       |]
-    ~reg:"rw-max" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ();
+    ~reg:"rw-max" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ?coverage ();
   if not quick then begin
     let module Row_q = E2_row (Spec.Queue_spec) in
     Row_q.run ~name:"HW queue <- F&A+swap" ~expect:"refuted (Thm 17)" ~make:Executors.hw_queue
@@ -223,7 +237,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
           [ Spec.Queue_spec.Deq ];
           [ Spec.Queue_spec.Deq ];
         |]
-      ~reg:"hw-queue" ?witness_dir ~max_nodes:3_000_000 ~max_depth:22 ~jobs ?profiler ();
+      ~reg:"hw-queue" ?witness_dir ~max_nodes:3_000_000 ~max_depth:22 ~jobs ?profiler ?coverage ();
     let module Row_s = E2_row (Spec.Stack_spec) in
     Row_s.run ~name:"AGM stack <- F&A+swap" ~expect:"refuted (Thm 17, AE DISC'19)"
       ~make:Executors.agm_stack
@@ -234,7 +248,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
           [ Spec.Stack_spec.Pop ];
           [ Spec.Stack_spec.Pop ];
         |]
-      ~reg:"agm-stack" ?witness_dir ~max_nodes:5_000_000 ~max_depth:24 ~jobs ?profiler ();
+      ~reg:"agm-stack" ?witness_dir ~max_nodes:5_000_000 ~max_depth:24 ~jobs ?profiler ?coverage ();
     (* The AAD snapshot — GHW's original counterexample object.  Its
        embedded-scan helping makes the game tree explode.  The incremental
        engine settles this workload exhaustively (~345k nodes, previously
@@ -251,7 +265,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
           [ Executors.Snap2.Update (0, 1); Executors.Snap2.Update (0, 2) ];
           [ Executors.Snap2.Scan; Executors.Snap2.Scan ];
         |]
-      ~max_nodes:1_500_000 ~max_depth:18 ~jobs ?profiler ()
+      ~max_nodes:1_500_000 ~max_depth:18 ~jobs ?profiler ?coverage ()
   end;
   (* FINDING (DESIGN.md §6): Algorithm 2's EMPTY-returning take breaks
      prefix-closure once two puts race a take — the checker refutes
@@ -262,7 +276,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
   Row_set.run ~name:"Alg 2 set, EMPTY race (finding)" ~expect:"refuted — gap in Thm 10 proof"
     ~make:Executors.ts_set_atomic_fi
     ~workload:[| [ Spec.Set_obj.Put 1 ]; [ Spec.Set_obj.Put 2 ]; [ Spec.Set_obj.Take ] |]
-    ~reg:"set-empty-race" ?witness_dir ~max_nodes:4_000_000 ~jobs ?profiler ();
+    ~reg:"set-empty-race" ?witness_dir ~max_nodes:4_000_000 ~jobs ?profiler ?coverage ();
   (* The naive tournament n-process T&S from 2-process T&S: not even
      linearizable — a loser can complete before the eventual winner
      invokes.  Why Afek-Gafni-Tromp-Vitanyi needed more than a
@@ -271,7 +285,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
   Row_tts.run ~name:"tournament T&S <- 2-proc T&S" ~expect:"NOT linearizable (AGTV context)"
     ~make:Executors.tournament_ts
     ~workload:(Array.make 4 [ Spec.Test_and_set.TestAndSet ])
-    ~reg:"tournament-ts" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ();
+    ~reg:"tournament-ts" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ?coverage ();
   (* Multi-shot AWW fetch&inc with a cached-hint read: the regressing
      hint makes Read non-linearizable outright — the second negative
      control, and the reason Theorem 9 re-scans instead of caching. *)
@@ -284,7 +298,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
         [ Spec.Fetch_and_inc.FetchInc ];
         [ Spec.Fetch_and_inc.Read ];
       |]
-    ~reg:"aww-multishot-fi" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ();
+    ~reg:"aww-multishot-fi" ?witness_dir ~max_nodes:2_000_000 ~jobs ?profiler ?coverage ();
   (* Positive controls: implementations that must pass. *)
   let module Row_fi = E2_row (Spec.Fetch_and_inc) in
   Row_fi.run ~name:"AWW one-shot fetch&inc <- T&S" ~expect:"verified (paper, Sec 1)"
@@ -295,7 +309,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
         [ Spec.Fetch_and_inc.FetchInc ];
         [ Spec.Fetch_and_inc.FetchInc ];
       |]
-    ~jobs ?profiler ();
+    ~jobs ?profiler ?coverage ();
   let module Row_cq = E2_row (Spec.Queue_spec) in
   Row_cq.run ~name:"CAS universal queue" ~expect:"verified (universal primitive)"
     ~make:Executors.cas_queue
@@ -305,7 +319,7 @@ let e2 ?witness_dir ?(jobs = 1) ?profiler ~quick () =
         [ Spec.Queue_spec.Enq 2 ];
         [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
       |]
-    ~max_nodes:2_000_000 ~max_depth:30 ~jobs ?profiler ()
+    ~max_nodes:2_000_000 ~max_depth:30 ~jobs ?profiler ?coverage ()
 
 (* ------------------------------------------------------------------ *)
 (* E3: Lemma 12 — k-set agreement from strongly-linearizable objects   *)

@@ -464,20 +464,21 @@ module Make (S : Spec.S) = struct
      full tree infinite. *)
   let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
       ?on_progress ?(progress_every = 10_000) ?(progress_every_ms = 1000) ?tracer ?profiler
-      ?(jobs = 1) ?(checkpoint_stride = 16) (prog : (S.op, S.resp) Sim.program) :
+      ?coverage ?(jobs = 1) ?(checkpoint_stride = 16) (prog : (S.op, S.resp) Sim.program) :
       verdict * stats =
     let stride = max 1 checkpoint_stride in
     let jobs = max 1 jobs in
     if prog.Sim.procs > 255 then invalid_arg "Lincheck: more than 255 processes";
     let t0 = Obs.now_ns () in
     let lane_for w = Option.map (fun p -> Prof.lane p ~domain:w) profiler in
+    let cov_for w = Option.map (fun c -> Coverage.shard c ~domain:w) coverage in
     (* One engine = one independent exploration: counters, node cache,
        spine world, recursive solver.  The sequential checker is one
        engine over the whole tree; the parallel checker runs one engine
        per top-level subtree — the subtrees' schedule prefixes are
        disjoint, so their caches partition the sequential engine's and
        their counters add up to its, column by column. *)
-    let new_engine ~on_tick ~poll ~lane ~bump_global () =
+    let new_engine ~on_tick ~poll ~lane ~cov ~bump_global () =
       (* A tripped budget records its reason before unwinding; only read
          when [Budget_exhausted] escapes the solver. *)
       let tripped = ref Budget_nodes in
@@ -585,6 +586,17 @@ module Make (S : Spec.S) = struct
                   cross_check info w;
                   Prof.cross_checked l ~start_ns:s ~stop_ns:(Obs.now_ns ())
             end;
+            (* Coverage is passive: one trace scan per fresh node, and
+               nothing it records feeds back into exploration. *)
+            (match cov with
+            | Some sh ->
+                let branching =
+                  match max_depth with
+                  | Some d when depth >= d -> 0
+                  | _ -> List.length info.enabled
+                in
+                Coverage.observe_node sh ~depth ~branching (Sim.trace w)
+            | None -> ());
             Hashtbl.add cache key info;
             info
       in
@@ -694,7 +706,7 @@ module Make (S : Spec.S) = struct
                 | None -> ())
       in
       let lane = lane_for 0 in
-      let eng = new_engine ~on_tick ~poll:ignore ~lane ~bump_global:ignore () in
+      let eng = new_engine ~on_tick ~poll:ignore ~lane ~cov:(cov_for 0) ~bump_global:ignore () in
       (match lane with Some l -> Prof.begin_span l Prof.Solve () | None -> ());
       let verdict =
         match eng.en_solve [] 0 "" None [] with
@@ -751,6 +763,11 @@ module Make (S : Spec.S) = struct
         let root_info = info_of_world w0 in
         cross_check root_info w0;
         let columns = match max_depth with Some d when d <= 0 -> [] | _ -> root_info.enabled in
+        (* The root node is evaluated here, not in any worker column;
+           observe it on shard 0 (as the merge lane does for profiling). *)
+        (match cov_for 0 with
+        | Some sh -> Coverage.observe_node sh ~depth:0 ~branching:(List.length columns) (Sim.trace w0)
+        | None -> ());
         if columns = [] then begin
           let st = mk_stats ~nodes:1 ~hits:0 ~frontier:0 ~cand:1 ~killed:0 ~dead:0 ~vfail:0 in
           trace_final st;
@@ -807,7 +824,7 @@ module Make (S : Spec.S) = struct
               cr_wit = [];
             }
           in
-          let run_column ~lane ~on_tick c =
+          let run_column ~lane ~cov ~on_tick c =
             if Atomic.get min_stop < c then begin
               (match lane with
               | Some l ->
@@ -819,7 +836,7 @@ module Make (S : Spec.S) = struct
               let eng =
                 new_engine ~on_tick
                   ~poll:(fun () -> if Atomic.get min_stop < c then raise Abandoned)
-                  ~lane ~bump_global ()
+                  ~lane ~cov ~bump_global ()
               in
               let p = cols.(c) in
               (match lane with
@@ -872,10 +889,11 @@ module Make (S : Spec.S) = struct
           in
           let worker k =
             let lane = lane_for k in
+            let cov = cov_for k in
             let on_tick = if k = 0 then par_on_tick else None in
             let c = ref k in
             while !c < ncols do
-              run_column ~lane ~on_tick !c;
+              run_column ~lane ~cov ~on_tick !c;
               c := !c + nworkers
             done
           in

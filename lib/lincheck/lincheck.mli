@@ -108,6 +108,7 @@ module Make (S : Spec.S) : sig
     ?progress_every_ms:int ->
     ?tracer:Obs_trace.t ->
     ?profiler:Prof.t ->
+    ?coverage:Coverage.t ->
     ?jobs:int ->
     ?checkpoint_stride:int ->
     (S.op, S.resp) Sim.program ->
@@ -128,6 +129,16 @@ module Make (S : Spec.S) : sig
       attribution into a {!Prof.t} (see [Prof.to_json]).  Profiling is
       passive too: verdict, stats and outputs are byte-identical with or
       without it.
+
+      [coverage] records per-domain exploration coverage into a
+      {!Coverage.t}: each fresh node's world fingerprint, its depth and
+      branching factor, and (on novel worlds) its trace's adjacent
+      access pairs.  Passive like [profiler]: one trace scan per fresh
+      node, nothing per cache hit, no feedback.  Note that with a
+      wall-clock or heap budget set, the scan's cost can move where the
+      budget trips; unbudgeted runs are byte-identical.  A parallel
+      fallback to the sequential engine re-observes nodes (observation
+      counts grow; unique fingerprints do not).
 
       [budget_ms] / [budget_heap_mb] bound wall-clock time and major-heap
       size; both are checked at every fresh node, so a tripped budget

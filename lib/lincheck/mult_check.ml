@@ -30,8 +30,16 @@ type search_state = {
   group : (int * int list) option;  (* duplicated item, op ids in the group *)
 }
 
-let check_budgeted ?budget_nodes ?budget_ms ?profiler (kind : kind)
+let check_budgeted ?budget_nodes ?budget_ms ?profiler ?coverage (kind : kind)
     (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t) : outcome =
+  (* Coverage (passive): the checked trace is one observed world — its
+     fingerprint and access pairs land on shard 0 before the DFS runs,
+     so budget trips cannot hide the observation. *)
+  (match coverage with
+  | Some c ->
+      let sh = Coverage.shard c ~domain:0 in
+      Coverage.observe_node sh ~depth:(Trace.step_count t) ~branching:0 t
+  | None -> ());
   let records = History.of_trace t |> Array.of_list in
   let n = Array.length records in
   if n > 60 then invalid_arg "Mult_check: more than 60 operations";

@@ -30,6 +30,7 @@ val check_budgeted :
   ?budget_nodes:int ->
   ?budget_ms:int ->
   ?profiler:Prof.t ->
+  ?coverage:Coverage.t ->
   kind ->
   (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t ->
   outcome
@@ -40,4 +41,7 @@ val check_budgeted :
 
     [profiler] records the DFS as one solve span on lane 0 with one work
     unit per visited state (and a [budget] kill if a budget trips);
-    passive — the outcome is unchanged. *)
+    passive — the outcome is unchanged.
+
+    [coverage] records the checked trace as one observed world on
+    shard 0 (fingerprint + access pairs); passive too. *)

@@ -1,0 +1,595 @@
+(* Exploration-coverage telemetry: commutation-invariant world
+   fingerprints (exact set below a threshold, Bloom filter above),
+   schedule-prefix depth/branching histograms, an empirical
+   commuting/conflicting access matrix, and fuzz-corpus attribution —
+   rendered as a versioned slin-coverage/v1 JSON report and an ASCII
+   summary.
+
+   Invariants the engine relies on:
+   - recording into a shard is unsynchronized (one owner domain), so a
+     covered run pays one trace scan per fresh node and nothing per
+     cache hit;
+   - nothing here feeds back into exploration: a covered run's verdict,
+     node counts and stdout are byte-identical to an uncovered one (the
+     guided fuzz scheduler reads coverage deliberately, and only behind
+     its own opt-in flag);
+   - reports carry no timing fields, so a -j 1 report is a pure
+     function of the workload and engine — golden-testable byte-for-
+     byte, unlike the profiler's. *)
+
+(* ---------------- fingerprints ---------------------------------------- *)
+
+(* 62-bit mixing keeps every fingerprint a non-negative OCaml int on
+   64-bit platforms.  The multiplier is the splitmix64 constant
+   truncated to fit; wrap-around multiplication is deterministic. *)
+let fp_mask = (1 lsl 62) - 1
+
+let mix h x =
+  let h = (h + x) * 0x9E3779B97F4A7 in
+  (h lxor (h lsr 29)) land fp_mask
+
+(* A fingerprint state separates the totally-ordered history (invokes
+   and returns) from the per-object step chains.  Steps fold into their
+   object's chain in program order; chains combine into [fs_sum] by
+   modular addition, which is order-insensitive across objects.  Net
+   effect: swapping adjacent steps on distinct objects leaves the
+   fingerprint unchanged (same chains, same history), while reordering
+   steps on one object changes its chain — exactly the Mazurkiewicz
+   commutation the dependency matrix below estimates empirically. *)
+type fp_state = {
+  fs_hist : int;  (* chain over Invoke/Return events *)
+  fs_objs : (string * int) list;  (* per-object step chains *)
+  fs_sum : int;  (* sum of sealed chains, mod 2^62 *)
+}
+
+let obj_seed obj = mix 0x51 (Hashtbl.hash obj)
+let seal obj chain = mix (Hashtbl.hash obj) chain
+let fp_empty = { fs_hist = mix 0 0x5eed; fs_objs = []; fs_sum = 0 }
+
+let fp_feed st (ev : (_, _) Trace.event) =
+  match ev with
+  | Trace.Invoke _ | Trace.Return _ -> { st with fs_hist = mix st.fs_hist (Hashtbl.hash ev) }
+  | Trace.Step { proc; obj; info } ->
+      let chain = match List.assoc_opt obj st.fs_objs with Some c -> c | None -> obj_seed obj in
+      let chain' = mix chain (Hashtbl.hash (proc, info)) in
+      let rec set = function
+        | [] -> [ (obj, chain') ]
+        | (o, _) :: rest when String.equal o obj -> (obj, chain') :: rest
+        | kv :: rest -> kv :: set rest
+      in
+      {
+        st with
+        fs_objs = set st.fs_objs;
+        fs_sum = (st.fs_sum - seal obj chain + seal obj chain') land fp_mask;
+      }
+
+let fp_value st = mix st.fs_hist st.fs_sum
+
+(* ---------------- access-pair classification -------------------------- *)
+
+(* The empirical dependency relation (ROADMAP: DPOR-class reduction):
+   adjacent steps by distinct processes commute when they touch
+   distinct base objects, or when both accesses are read-like on the
+   same object; anything else on a shared object conflicts.  [info]
+   labels come from the simulator's access log. *)
+let read_like = function Some ("read" | "scan" | "collect") -> true | _ -> false
+
+type pair_counts = { mutable pc_comm : int; mutable pc_conf : int }
+
+(* ---------------- shards ---------------------------------------------- *)
+
+let depth_buckets = 128
+let branch_buckets = 17 (* 0..15 exact, 16 = "16 or more" *)
+let bloom_bits = 1 lsl 24
+let bloom_hashes = 4
+let default_exact_limit = 262_144
+
+type shard = {
+  s_limit : int;
+  mutable s_exact : (int, unit) Hashtbl.t option;  (* [Some] until flipped *)
+  mutable s_bloom : Bytes.t option;
+  mutable s_observations : int;
+  mutable s_max_depth : int;
+  s_depth_hist : int array;
+  s_branch_hist : int array;
+  s_pairs : (string * string, pair_counts) Hashtbl.t;
+  s_attr : (int, int) Hashtbl.t;  (* fuzz run index -> novel fingerprints *)
+}
+
+type corpus = { c_mode : string; c_runs : int; c_retained : int; c_dropped : int }
+
+type t = {
+  t_limit : int;
+  t_lock : Mutex.t;
+  mutable t_shards : (int * shard) list;
+  mutable t_corpus : corpus option;
+}
+
+let create ?(exact_limit = default_exact_limit) () =
+  { t_limit = exact_limit; t_lock = Mutex.create (); t_shards = []; t_corpus = None }
+
+let shard t ~domain =
+  Mutex.lock t.t_lock;
+  let s =
+    match List.assoc_opt domain t.t_shards with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            s_limit = t.t_limit;
+            s_exact = Some (Hashtbl.create 1024);
+            s_bloom = None;
+            s_observations = 0;
+            s_max_depth = 0;
+            s_depth_hist = Array.make depth_buckets 0;
+            s_branch_hist = Array.make branch_buckets 0;
+            s_pairs = Hashtbl.create 64;
+            s_attr = Hashtbl.create 64;
+          }
+        in
+        t.t_shards <- (domain, s) :: t.t_shards;
+        s
+  in
+  Mutex.unlock t.t_lock;
+  s
+
+let note_corpus t ~mode ~runs ~retained ~dropped =
+  Mutex.lock t.t_lock;
+  t.t_corpus <- Some { c_mode = mode; c_runs = runs; c_retained = retained; c_dropped = dropped };
+  Mutex.unlock t.t_lock
+
+(* Bloom membership-and-insert: double hashing h1 + i*h2 over the bit
+   array.  Forcing h2 odd makes the probe sequence cover the (power of
+   two sized) table. *)
+let bloom_add bloom fp =
+  let h2 = mix fp 0xb100f11 lor 1 in
+  let fresh = ref false in
+  for i = 0 to bloom_hashes - 1 do
+    let bit = (fp + (i * h2)) land (bloom_bits - 1) in
+    let byte = Char.code (Bytes.get bloom (bit lsr 3)) in
+    let mask = 1 lsl (bit land 7) in
+    if byte land mask = 0 then begin
+      fresh := true;
+      Bytes.set bloom (bit lsr 3) (Char.chr (byte lor mask))
+    end
+  done;
+  !fresh
+
+(* Is [fp] new to this shard?  Exact set until [s_limit], then flip the
+   accumulated set into a Bloom filter and continue approximately. *)
+let seen_add s fp =
+  match s.s_exact with
+  | Some tbl ->
+      if Hashtbl.mem tbl fp then false
+      else begin
+        Hashtbl.add tbl fp ();
+        if Hashtbl.length tbl > s.s_limit then begin
+          let bloom = Bytes.make (bloom_bits / 8) '\000' in
+          Hashtbl.iter (fun k () -> ignore (bloom_add bloom k)) tbl;
+          s.s_exact <- None;
+          s.s_bloom <- Some bloom
+        end;
+        true
+      end
+  | None -> (
+      match s.s_bloom with Some bloom -> bloom_add bloom fp | None -> assert false)
+
+let bump_depth s depth =
+  if depth > s.s_max_depth then s.s_max_depth <- depth;
+  let b = if depth < 0 then 0 else if depth >= depth_buckets then depth_buckets - 1 else depth in
+  s.s_depth_hist.(b) <- s.s_depth_hist.(b) + 1
+
+let record_pair s a b conflicting =
+  let key = if String.compare a b <= 0 then (a, b) else (b, a) in
+  let pc =
+    match Hashtbl.find_opt s.s_pairs key with
+    | Some pc -> pc
+    | None ->
+        let pc = { pc_comm = 0; pc_conf = 0 } in
+        Hashtbl.add s.s_pairs key pc;
+        pc
+  in
+  if conflicting then pc.pc_conf <- pc.pc_conf + 1 else pc.pc_comm <- pc.pc_comm + 1
+
+let classify_pair s (p : _ Trace.event) (q : _ Trace.event) =
+  match (p, q) with
+  | Trace.Step a, Trace.Step b when a.proc <> b.proc ->
+      let conflicting =
+        String.equal a.obj b.obj && not (read_like a.info && read_like b.info)
+      in
+      record_pair s a.obj b.obj conflicting
+  | _ -> ()
+
+let record_pairs s tr =
+  let prev = ref None in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Step _ ->
+          (match !prev with Some p -> classify_pair s p ev | None -> ());
+          prev := Some ev
+      | _ -> ())
+    tr
+
+let observe_node s ~depth ~branching tr =
+  s.s_observations <- s.s_observations + 1;
+  bump_depth s depth;
+  let b =
+    if branching < 0 then 0
+    else if branching >= branch_buckets then branch_buckets - 1
+    else branching
+  in
+  s.s_branch_hist.(b) <- s.s_branch_hist.(b) + 1;
+  let fp = fp_value (List.fold_left fp_feed fp_empty tr) in
+  if seen_add s fp then record_pairs s tr
+
+let observe_run s ~run tr =
+  let novel = ref 0 in
+  let st = ref fp_empty in
+  let steps = ref 0 in
+  let prev_step = ref None in
+  List.iter
+    (fun ev ->
+      st := fp_feed !st ev;
+      (match ev with Trace.Step _ -> incr steps | _ -> ());
+      s.s_observations <- s.s_observations + 1;
+      bump_depth s !steps;
+      if seen_add s (fp_value !st) then begin
+        incr novel;
+        match (ev, !prev_step) with
+        | Trace.Step _, Some p -> classify_pair s p ev
+        | _ -> ()
+      end;
+      match ev with Trace.Step _ -> prev_step := Some ev | _ -> ())
+    tr;
+  if !novel > 0 then
+    Hashtbl.replace s.s_attr run
+      ((match Hashtbl.find_opt s.s_attr run with Some n -> n | None -> 0) + !novel);
+  !novel
+
+(* ---------------- merge + report --------------------------------------- *)
+
+let popcount_bytes b =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let x = ref (Char.code c) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr n
+      done)
+    b;
+  !n
+
+type stats = { observations : int; unique : int; exact : bool; max_depth : int }
+
+let shards_snapshot t =
+  Mutex.lock t.t_lock;
+  let ss = t.t_shards and corpus = t.t_corpus in
+  Mutex.unlock t.t_lock;
+  (List.sort (fun (a, _) (b, _) -> compare a b) ss, corpus)
+
+(* Merged unique count.  All shards exact: the union set, still exact.
+   Any shard bloomed: OR the filters, pour the exact shards in, and
+   estimate the cardinality from the fill — X set bits out of m with k
+   hashes gives n ~ -(m/k) ln(1 - X/m), which is order-insensitive and
+   hence deterministic for a fixed workload. *)
+let merged_unique shards =
+  let bloomed = List.exists (fun (_, s) -> s.s_bloom <> None) shards in
+  if not bloomed then begin
+    let union = Hashtbl.create 1024 in
+    List.iter
+      (fun (_, s) ->
+        match s.s_exact with
+        | Some tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace union k ()) tbl
+        | None -> assert false)
+      shards;
+    (Hashtbl.length union, true, None)
+  end
+  else begin
+    let merged = Bytes.make (bloom_bits / 8) '\000' in
+    List.iter
+      (fun (_, s) ->
+        match (s.s_bloom, s.s_exact) with
+        | Some b, _ ->
+            for i = 0 to Bytes.length merged - 1 do
+              Bytes.set merged i
+                (Char.chr (Char.code (Bytes.get merged i) lor Char.code (Bytes.get b i)))
+            done
+        | None, Some tbl -> Hashtbl.iter (fun k () -> ignore (bloom_add merged k)) tbl
+        | None, None -> assert false)
+      shards;
+    let x = popcount_bytes merged in
+    let m = float_of_int bloom_bits and k = float_of_int bloom_hashes in
+    let fill = float_of_int x /. m in
+    let est =
+      if fill >= 1.0 then max_int else int_of_float (Float.round (-.(m /. k) *. log (1.0 -. fill)))
+    in
+    (est, false, Some x)
+  end
+
+let stats t =
+  let shards, _ = shards_snapshot t in
+  let unique, exact, _ = merged_unique shards in
+  {
+    observations = List.fold_left (fun a (_, s) -> a + s.s_observations) 0 shards;
+    unique;
+    exact;
+    max_depth = List.fold_left (fun a (_, s) -> max a s.s_max_depth) 0 shards;
+  }
+
+let merged_hist shards pick buckets =
+  let h = Array.make buckets 0 in
+  List.iter
+    (fun (_, s) -> Array.iteri (fun i v -> h.(i) <- h.(i) + v) (pick s))
+    shards;
+  h
+
+let truncate_hist h =
+  let last = ref (-1) in
+  Array.iteri (fun i v -> if v > 0 then last := i) h;
+  Array.to_list (Array.sub h 0 (!last + 1))
+
+let merged_pairs shards =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun (_, s) ->
+      Hashtbl.iter
+        (fun key pc ->
+          let cur =
+            match Hashtbl.find_opt acc key with
+            | Some pc' -> pc'
+            | None ->
+                let pc' = { pc_comm = 0; pc_conf = 0 } in
+                Hashtbl.add acc key pc';
+                pc'
+          in
+          cur.pc_comm <- cur.pc_comm + pc.pc_comm;
+          cur.pc_conf <- cur.pc_conf + pc.pc_conf)
+        s.s_pairs)
+    shards;
+  Hashtbl.fold (fun k pc l -> (k, pc) :: l) acc []
+  |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
+         match String.compare a1 a2 with 0 -> String.compare b1 b2 | c -> c)
+
+let merged_attr shards =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun (_, s) ->
+      Hashtbl.iter
+        (fun run n ->
+          Hashtbl.replace acc run
+            ((match Hashtbl.find_opt acc run with Some m -> m | None -> 0) + n))
+        s.s_attr)
+    shards;
+  Hashtbl.fold (fun run n l -> (run, n) :: l) acc []
+  |> List.sort (fun (r1, n1) (r2, n2) -> match compare n2 n1 with 0 -> compare r1 r2 | c -> c)
+
+let attribution_cap = 32
+
+let to_json t ~meta =
+  let shards, corpus = shards_snapshot t in
+  let unique, exact, set_bits = merged_unique shards in
+  let observations = List.fold_left (fun a (_, s) -> a + s.s_observations) 0 shards in
+  let max_depth = List.fold_left (fun a (_, s) -> max a s.s_max_depth) 0 shards in
+  let pairs = merged_pairs shards in
+  let pair_comm = List.fold_left (fun a (_, pc) -> a + pc.pc_comm) 0 pairs in
+  let pair_conf = List.fold_left (fun a (_, pc) -> a + pc.pc_conf) 0 pairs in
+  let attr = merged_attr shards in
+  let attr_total = List.length attr in
+  let open Obs_json in
+  Assoc
+    ([ ("schema", String "slin-coverage/v1") ]
+    @ meta
+    @ [
+        ("exact_limit", Int t.t_limit);
+        ("observations", Int observations);
+        ("unique_worlds", Int unique);
+        ("exact", Bool exact);
+        ( "unique_ratio",
+          Float (float_of_int unique /. float_of_int (max 1 observations)) );
+        ( "bloom",
+          match set_bits with
+          | None -> Null
+          | Some x ->
+              Assoc [ ("bits", Int bloom_bits); ("hashes", Int bloom_hashes); ("set_bits", Int x) ]
+        );
+        ("max_depth", Int max_depth);
+        ( "depth_hist",
+          List
+            (List.map (fun v -> Int v)
+               (truncate_hist (merged_hist shards (fun s -> s.s_depth_hist) depth_buckets))) );
+        ( "branching_hist",
+          List
+            (List.map (fun v -> Int v)
+               (truncate_hist (merged_hist shards (fun s -> s.s_branch_hist) branch_buckets))) );
+        ( "pairs",
+          Assoc
+            [
+              ("observed", Int (pair_comm + pair_conf));
+              ("commuting", Int pair_comm);
+              ("conflicting", Int pair_conf);
+              ( "conflict_ratio",
+                Float (float_of_int pair_conf /. float_of_int (max 1 (pair_comm + pair_conf))) );
+            ] );
+        ( "matrix",
+          List
+            (List.map
+               (fun ((a, b), pc) ->
+                 Assoc
+                   [
+                     ("a", String a);
+                     ("b", String b);
+                     ("commuting", Int pc.pc_comm);
+                     ("conflicting", Int pc.pc_conf);
+                   ])
+               pairs) );
+        ( "attribution",
+          List
+            (List.map
+               (fun (run, n) -> Assoc [ ("run", Int run); ("new_worlds", Int n) ])
+               (List.filteri (fun i _ -> i < attribution_cap) attr)) );
+        ("attributed_runs", Int attr_total);
+        ( "corpus",
+          match corpus with
+          | None -> Null
+          | Some c ->
+              Assoc
+                [
+                  ("mode", String c.c_mode);
+                  ("runs", Int c.c_runs);
+                  ("retained", Int c.c_retained);
+                  ("dropped", Int c.c_dropped);
+                ] );
+      ])
+
+(* ---------------- validation ------------------------------------------- *)
+
+let validate json =
+  let open Obs_json in
+  let ( let* ) r f = Result.bind r f in
+  let need_int k j =
+    match Option.bind (member k j) to_int with
+    | Some v when v >= 0 -> Ok v
+    | Some _ -> Error (Printf.sprintf "%s: negative" k)
+    | None -> Error (Printf.sprintf "missing int field %s" k)
+  in
+  let need_int_list k j =
+    match Option.bind (member k j) to_int_list with
+    | Some l when List.for_all (fun v -> v >= 0) l -> Ok l
+    | Some _ -> Error (Printf.sprintf "%s: negative bucket" k)
+    | None -> Error (Printf.sprintf "missing int list %s" k)
+  in
+  match member "schema" json with
+  | Some (String "slin-coverage/v1") ->
+      let* observations = need_int "observations" json in
+      let* unique = need_int "unique_worlds" json in
+      let* _ = need_int "exact_limit" json in
+      let* _ = need_int "max_depth" json in
+      let* depth_hist = need_int_list "depth_hist" json in
+      let* _ = need_int_list "branching_hist" json in
+      let* () =
+        match Option.bind (member "exact" json) to_bool with
+        | Some true when unique > observations -> Error "exact unique_worlds exceeds observations"
+        | Some _ -> Ok ()
+        | None -> Error "missing bool field exact"
+      in
+      let* () =
+        match Option.bind (member "unique_ratio" json) to_float with
+        | Some r when r >= 0.0 -> Ok ()
+        | Some _ -> Error "unique_ratio: negative"
+        | None -> Error "missing float field unique_ratio"
+      in
+      let* () =
+        (* every observation lands in a depth bucket *)
+        if List.fold_left ( + ) 0 depth_hist <> observations then
+          Error "depth_hist does not sum to observations"
+        else Ok ()
+      in
+      let* () =
+        match member "pairs" json with
+        | Some p ->
+            let* c = need_int "commuting" p in
+            let* f = need_int "conflicting" p in
+            let* o = need_int "observed" p in
+            if o <> c + f then Error "pairs.observed <> commuting + conflicting" else Ok ()
+        | None -> Error "missing pairs"
+      in
+      let* () =
+        match Option.bind (member "matrix" json) to_list with
+        | Some rows ->
+            List.fold_left
+              (fun acc row ->
+                let* () = acc in
+                match
+                  ( Option.bind (member "a" row) to_str,
+                    Option.bind (member "b" row) to_str,
+                    Option.bind (member "commuting" row) to_int,
+                    Option.bind (member "conflicting" row) to_int )
+                with
+                | Some _, Some _, Some c, Some f when c >= 0 && f >= 0 -> Ok ()
+                | _ -> Error "malformed matrix row")
+              (Ok ()) rows
+        | None -> Error "missing matrix"
+      in
+      let* () =
+        match Option.bind (member "attribution" json) to_list with
+        | Some rows ->
+            List.fold_left
+              (fun acc row ->
+                let* () = acc in
+                match
+                  ( Option.bind (member "run" row) to_int,
+                    Option.bind (member "new_worlds" row) to_int )
+                with
+                | Some _, Some n when n > 0 -> Ok ()
+                | Some _, Some _ -> Error "attribution row with no new worlds"
+                | _ -> Error "malformed attribution row")
+              (Ok ()) rows
+        | None -> Error "missing attribution"
+      in
+      (match member "corpus" json with
+      | Some Null -> Ok ()
+      | Some c ->
+          let* _ = need_int "runs" c in
+          let* _ = need_int "retained" c in
+          let* _ = need_int "dropped" c in
+          (match Option.bind (member "mode" c) to_str with
+          | Some ("uniform" | "coverage") -> Ok ()
+          | Some m -> Error (Printf.sprintf "unknown corpus mode %s" m)
+          | None -> Error "corpus missing mode")
+      | None -> Error "missing corpus")
+  | Some (String s) -> Error (Printf.sprintf "not a coverage report (schema %s)" s)
+  | _ -> Error "missing schema"
+
+(* ---------------- summary ---------------------------------------------- *)
+
+let pp_summary fmt t =
+  let shards, corpus = shards_snapshot t in
+  let unique, exact, set_bits = merged_unique shards in
+  let observations = List.fold_left (fun a (_, s) -> a + s.s_observations) 0 shards in
+  let max_depth = List.fold_left (fun a (_, s) -> max a s.s_max_depth) 0 shards in
+  let pairs = merged_pairs shards in
+  let pair_comm = List.fold_left (fun a (_, pc) -> a + pc.pc_comm) 0 pairs in
+  let pair_conf = List.fold_left (fun a (_, pc) -> a + pc.pc_conf) 0 pairs in
+  Format.fprintf fmt "coverage: %d observation%s, %d unique world%s%s@."
+    observations
+    (if observations = 1 then "" else "s")
+    unique
+    (if unique = 1 then "" else "s")
+    (if exact then "" else " (Bloom estimate)");
+  if observations > 0 then
+    Format.fprintf fmt "  redundancy: %.2f observations/world, max depth %d@."
+      (float_of_int observations /. float_of_int (max 1 unique))
+      max_depth;
+  (match set_bits with
+  | Some x -> Format.fprintf fmt "  bloom: %d/%d bits set@." x bloom_bits
+  | None -> ());
+  let branch = merged_hist shards (fun s -> s.s_branch_hist) branch_buckets in
+  let bsum = Array.fold_left ( + ) 0 branch in
+  if bsum > 0 then begin
+    let mode = ref 0 in
+    Array.iteri (fun i v -> if v > branch.(!mode) then mode := i) branch;
+    Format.fprintf fmt "  branching: mode %d (%d of %d nodes)@." !mode branch.(!mode) bsum
+  end;
+  if pair_comm + pair_conf > 0 then begin
+    Format.fprintf fmt "  access pairs: %d commuting, %d conflicting (%.1f%% conflicting)@."
+      pair_comm pair_conf
+      (100.0 *. float_of_int pair_conf /. float_of_int (pair_comm + pair_conf));
+    let hot =
+      List.filter (fun (_, pc) -> pc.pc_conf > 0) pairs
+      |> List.sort (fun (_, p1) (_, p2) -> compare p2.pc_conf p1.pc_conf)
+    in
+    List.iteri
+      (fun i ((a, b), pc) ->
+        if i < 5 then
+          Format.fprintf fmt "    %-24s %8d conflicting %8d commuting@."
+            (if String.equal a b then a else a ^ " | " ^ b)
+            pc.pc_conf pc.pc_comm)
+      hot
+  end;
+  match corpus with
+  | Some c ->
+      Format.fprintf fmt "  corpus (%s): %d runs, %d retained, %d dropped@." c.c_mode c.c_runs
+        c.c_retained c.c_dropped
+  | None -> ()

@@ -1,0 +1,95 @@
+(** Exploration-coverage telemetry: which worlds a run actually visited.
+
+    The profiler (PR 6) answers {e where the time went}; this layer
+    answers {e where the search went}.  It is threaded — strictly
+    passively — through the sequential and parallel engines,
+    [Mult_check] and the fuzzer, and records four things:
+
+    - {b unique world fingerprints}: a commutation-invariant hash of the
+      world state reached by each explored schedule prefix (exact set
+      below [exact_limit], Bloom filter + cardinality estimate above);
+    - {b schedule-prefix coverage}: depth and branching-factor
+      histograms over the observed prefixes;
+    - {b a per-object-pair access matrix} classifying adjacent access
+      pairs as commuting vs conflicting — the empirical dependency
+      relation a DPOR-style reduction would consume (ROADMAP item);
+    - {b fuzz-corpus attribution}: how many fingerprints each fuzz run
+      was the first to reach.
+
+    The fingerprint is invariant under swapping adjacent steps on
+    {e distinct} base objects (both the history chain and the per-object
+    step chains are unchanged), so the unique count approximates the
+    number of commutation classes visited; [nodes / unique] is the
+    redundancy a dependency-aware reduction could remove.
+
+    Reports ([to_json], schema ["slin-coverage/v1"]) carry {e no timing
+    fields}: a [-j 1] report is a pure function of the workload and
+    engine, hence golden-testable and CI-gateable byte-for-byte.
+
+    Thread-safety mirrors {!Prof}: [shard t ~domain] is safe from any
+    domain; recording into a shard is single-owner and unsynchronized;
+    report/summary functions merge the shards under the registry lock. *)
+
+type t
+type shard
+
+val create : ?exact_limit:int -> unit -> t
+(** [exact_limit] (default 262144) bounds the exact per-shard
+    fingerprint set; past it the shard flips to a Bloom filter (2{^24}
+    bits, 4 hashes) and unique counts become estimates. *)
+
+val shard : t -> domain:int -> shard
+(** Get-or-create the recording shard for a domain (thread-safe). *)
+
+(** {1 Recording} *)
+
+val observe_node : shard -> depth:int -> branching:int -> ('op, 'resp) Trace.t -> unit
+(** One explored tree node: fingerprint its trace, bump the depth and
+    branching histograms, and — when the fingerprint is new to this
+    shard — fold the trace's adjacent access pairs into the matrix. *)
+
+val observe_run : shard -> run:int -> ('op, 'resp) Trace.t -> int
+(** One fuzz run: fingerprint {e every event prefix} of the trace
+    (each event transitions to a new world).  Novel prefixes are
+    attributed to [run] and contribute their last adjacent access pair
+    to the matrix.  Returns the number of novel fingerprints — the
+    signal coverage-guided fuzzing retains seeds by.  The branching
+    histogram is engine-fed only and is not touched here. *)
+
+val note_corpus : t -> mode:string -> runs:int -> retained:int -> dropped:int -> unit
+(** Record the fuzz campaign's corpus summary (set-once; later calls
+    overwrite).  [mode] is ["uniform"] or ["coverage"]. *)
+
+(** {1 Fingerprint states} (for incremental consumers, e.g. the guided
+    fuzz scheduler's edge-novelty table) *)
+
+type fp_state
+
+val fp_empty : fp_state
+val fp_feed : fp_state -> ('op, 'resp) Trace.event -> fp_state
+val fp_value : fp_state -> int
+(** Non-negative; equal for traces that differ only by commuting
+    adjacent steps on distinct objects. *)
+
+(** {1 Reports} *)
+
+type stats = {
+  observations : int;  (** world observations (tree nodes / run events) *)
+  unique : int;  (** distinct fingerprints (estimate once any shard bloomed) *)
+  exact : bool;  (** [true] while every shard still holds an exact set *)
+  max_depth : int;
+}
+
+val stats : t -> stats
+(** Merge the shards and summarize (cheap; usable between phases). *)
+
+val to_json : t -> meta:(string * Obs_json.t) list -> Obs_json.t
+(** The [slin-coverage/v1] report.  Deterministic: no wall-clock fields,
+    shards merged order-insensitively, matrix and attribution sorted. *)
+
+val validate : Obs_json.t -> (unit, string) result
+(** Structural check of a [slin-coverage/v1] document. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable summary: unique worlds, redundancy, depth/branching
+    spread, hottest conflicting pairs, corpus line. *)

@@ -153,3 +153,19 @@ let snapshot () =
   in
   Mutex.unlock lock;
   fields
+
+(* Parent-directory creation for report/out paths: every --*-out flag
+   funnels through this so `slin check obj --json-out a/b/c.jsonl` works
+   without a manual mkdir. *)
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error ((EEXIST | EISDIR), _, _) -> ()
+  end
+
+let ensure_parent_dir path =
+  try mkdir_p (Filename.dirname path)
+  with Unix.Unix_error (e, _, arg) ->
+    (* Surface as the Sys_error every --*-out call site already catches. *)
+    raise (Sys_error (Printf.sprintf "%s: %s" arg (Unix.error_message e)))

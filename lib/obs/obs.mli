@@ -61,3 +61,11 @@ val reset : unit -> unit
 val snapshot : unit -> (string * Obs_json.t) list
 (** All registered instruments in registration order: counters as [Int],
     gauges as [Float], timers as [{total_ns; samples}]. *)
+
+(** {1 Filesystem} *)
+
+val ensure_parent_dir : string -> unit
+(** Create the parent directory of [path] (and any missing ancestors)
+    so a subsequent [open_out path] cannot fail with [Sys_error] on a
+    missing directory.  Existing directories and empty/current parents
+    are left alone; creation races are tolerated. *)

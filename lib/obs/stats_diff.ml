@@ -10,8 +10,13 @@ let has_suffix s suf =
    neutral — reported, never gated — because absolute times jitter by
    large factors across machines and a tiny baseline (a few us of idle)
    turns any absolute wobble into a huge percentage. *)
+(* [unique_ratio] (coverage: unique worlds per observation) is matched
+   by exact name, not a "_ratio" suffix rule: [conflict_ratio] is also a
+   ratio but has no good direction — a workload seeing more conflicts is
+   neither better nor worse. *)
 let direction_of_metric m =
   if has_suffix m "_per_s" || has_suffix m "_per_sec" || m = "utilization" then Higher_better
+  else if m = "unique_ratio" then Higher_better
   else if m = "ns_per_op" then Lower_better
   else Neutral
 
@@ -85,12 +90,56 @@ let profile_rows doc =
       | _ -> ());
       Ok (List.rev !rows)
 
+(* Coverage reports flatten to: the headline counters and the
+   unique_ratio (the only directional, hence gated, metric), the pair
+   totals, and one row per matrix cell.  Matrix rows are Neutral, but a
+   {e removed} cell — an object pair no longer observed at all — still
+   gates, same as any removed row. *)
+let coverage_rows doc =
+  let open Obs_json in
+  match Coverage.validate doc with
+  | Error e -> Error e
+  | Ok () ->
+      let rows = ref [] in
+      let push name metric value =
+        rows := { row_name = name; row_metric = metric; row_value = value } :: !rows
+      in
+      let push_num name metric j = match num j with Some v -> push name metric v | None -> () in
+      List.iter
+        (fun k -> match member k doc with Some j -> push_num "coverage" k j | None -> ())
+        [ "observations"; "unique_worlds"; "unique_ratio"; "max_depth" ];
+      (match member "pairs" doc with
+      | Some p ->
+          List.iter
+            (fun k -> match member k p with Some j -> push_num "pairs" k j | None -> ())
+            [ "observed"; "commuting"; "conflicting"; "conflict_ratio" ]
+      | None -> ());
+      (match member "matrix" doc with
+      | Some (List cells) ->
+          List.iter
+            (fun cell ->
+              match (member "a" cell, member "b" cell) with
+              | Some (String a), Some (String b) ->
+                  let name = Printf.sprintf "pair %s|%s" a b in
+                  (match member "commuting" cell with
+                  | Some j -> push_num name "commuting" j
+                  | None -> ());
+                  (match member "conflicting" cell with
+                  | Some j -> push_num name "conflicting" j
+                  | None -> ())
+              | _ -> ())
+            cells
+      | _ -> ());
+      Ok (List.rev !rows)
+
 let rows_of doc =
   match Obs_json.member "schema" doc with
   | Some (Obs_json.String ("slin-bench/v1" as s)) ->
       Result.map (fun rows -> (s, rows)) (bench_rows doc)
   | Some (Obs_json.String ("slin-profile/v1" as s)) ->
       Result.map (fun rows -> (s, rows)) (profile_rows doc)
+  | Some (Obs_json.String ("slin-coverage/v1" as s)) ->
+      Result.map (fun rows -> (s, rows)) (coverage_rows doc)
   | Some (Obs_json.String s) -> Error (Printf.sprintf "unsupported schema %S" s)
   | _ -> Error "document has no schema tag"
 

@@ -1,0 +1,363 @@
+(* Tests for the exploration-coverage layer (Coverage): fingerprint
+   commutation invariance, exact-set / Bloom-tier unique counting,
+   recording passivity (engine fingerprints identical with and without
+   coverage, sequential and parallel; fuzz reports unchanged in uniform
+   mode), the deterministic golden report for hw-queue at jobs=1, a
+   qcheck pass over randomly assembled observations, the coverage rows
+   of stats diff, guided-fuzz smoke, and parent-directory creation for
+   --*-out paths. *)
+
+(* ---------------- fingerprints ----------------------------------------- *)
+
+let fp_of events = Coverage.fp_value (List.fold_left Coverage.fp_feed Coverage.fp_empty events)
+
+let test_fp_commutation () =
+  let open Trace in
+  let base p obj = Step { proc = p; obj; info = None } in
+  (* Adjacent steps on distinct objects commute: same fingerprint. *)
+  let t1 = [ Invoke { proc = 0; op = 7 }; base 0 "a"; base 1 "b"; Return { proc = 0; resp = 1 } ] in
+  let t2 = [ Invoke { proc = 0; op = 7 }; base 1 "b"; base 0 "a"; Return { proc = 0; resp = 1 } ] in
+  Alcotest.(check int) "distinct-object swap is invariant" (fp_of t1) (fp_of t2);
+  (* Adjacent steps on the same object do not. *)
+  let s1 = [ base 0 "a"; base 1 "a" ] in
+  let s2 = [ base 1 "a"; base 0 "a" ] in
+  Alcotest.(check bool) "same-object swap changes the fingerprint" true (fp_of s1 <> fp_of s2);
+  (* History events are order-sensitive. *)
+  let h1 = [ Invoke { proc = 0; op = 1 }; Invoke { proc = 1; op = 2 } ] in
+  let h2 = [ Invoke { proc = 1; op = 2 }; Invoke { proc = 0; op = 1 } ] in
+  Alcotest.(check bool) "history order changes the fingerprint" true (fp_of h1 <> fp_of h2);
+  Alcotest.(check bool) "fingerprints are non-negative" true (fp_of t1 >= 0 && fp_of s1 >= 0)
+
+(* A family of visibly distinct one-object traces. *)
+let mk_trace i : (int, int) Trace.t =
+  [
+    Trace.Invoke { proc = 0; op = i };
+    Trace.Step { proc = 0; obj = "a"; info = None };
+    Trace.Return { proc = 0; resp = i };
+  ]
+
+let test_exact_dedup () =
+  let c = Coverage.create () in
+  let sh = Coverage.shard c ~domain:0 in
+  Coverage.observe_node sh ~depth:1 ~branching:2 (mk_trace 1);
+  Coverage.observe_node sh ~depth:2 ~branching:1 (mk_trace 1);
+  Coverage.observe_node sh ~depth:3 ~branching:0 (mk_trace 2);
+  let st = Coverage.stats c in
+  Alcotest.(check int) "three observations" 3 st.Coverage.observations;
+  Alcotest.(check int) "two unique worlds" 2 st.Coverage.unique;
+  Alcotest.(check bool) "still exact" true st.Coverage.exact;
+  Alcotest.(check int) "max depth" 3 st.Coverage.max_depth
+
+let test_bloom_tier () =
+  let c = Coverage.create ~exact_limit:4 () in
+  let sh = Coverage.shard c ~domain:0 in
+  let n = 200 in
+  for i = 1 to n do
+    Coverage.observe_node sh ~depth:1 ~branching:1 (mk_trace i)
+  done;
+  let st = Coverage.stats c in
+  Alcotest.(check bool) "flipped to Bloom" false st.Coverage.exact;
+  Alcotest.(check int) "observations exact regardless" n st.Coverage.observations;
+  (* 200 elements in a 2^24-bit filter: the cardinality estimate is
+     essentially exact; allow 5% slack anyway. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near %d (got %d)" n st.Coverage.unique)
+    true
+    (abs (st.Coverage.unique - n) <= n / 20);
+  match Coverage.validate (Coverage.to_json c ~meta:[]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bloomed report invalid: %s" e
+
+let test_observe_run_novelty () =
+  let c = Coverage.create () in
+  let sh = Coverage.shard c ~domain:0 in
+  let t = mk_trace 9 in
+  let nov1 = Coverage.observe_run sh ~run:0 t in
+  let nov2 = Coverage.observe_run sh ~run:1 t in
+  Alcotest.(check bool) "first run finds novelty" true (nov1 > 0);
+  Alcotest.(check int) "replay finds none" 0 nov2;
+  Coverage.note_corpus c ~mode:"coverage" ~runs:2 ~retained:1 ~dropped:0;
+  let json = Coverage.to_json c ~meta:[] in
+  (match Coverage.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "run report invalid: %s" e);
+  let open Obs_json in
+  (match Option.bind (member "attribution" json) to_list with
+  | Some (row :: _) ->
+      Alcotest.(check (option int)) "novelty attributed to run 0" (Some 0)
+        (Option.bind (member "run" row) to_int)
+  | _ -> Alcotest.fail "attribution missing");
+  match Option.bind (member "corpus" json) (member "mode") with
+  | Some (String "coverage") -> ()
+  | _ -> Alcotest.fail "corpus mode missing"
+
+(* ---------------- engine passivity ------------------------------------- *)
+
+let fingerprint ?coverage ~jobs name =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let v, s = L.check_strong_stats ?coverage ~jobs prog in
+      Format.asprintf "%a nodes=%d hits=%d depth=%d gen=%d killed=%d dead=%d vf=%d" L.pp_verdict v
+        s.Lincheck.nodes s.Lincheck.cache_hits s.Lincheck.max_frontier_depth
+        s.Lincheck.candidates_generated s.Lincheck.candidates_killed s.Lincheck.dead_ends
+        s.Lincheck.validate_failures
+
+let test_coverage_passive () =
+  let plain = fingerprint ~jobs:1 "counter" in
+  let c1 = Coverage.create () in
+  Alcotest.(check string) "jobs=1 fingerprint unchanged" plain
+    (fingerprint ~coverage:c1 ~jobs:1 "counter");
+  let c4 = Coverage.create () in
+  Alcotest.(check string) "jobs=4 fingerprint unchanged" plain
+    (fingerprint ~coverage:c4 ~jobs:4 "counter");
+  let s1 = Coverage.stats c1 in
+  Alcotest.(check bool) "coverage recorded work" true (s1.Coverage.observations > 0);
+  (* Sequential coverage is itself deterministic: run it again and the
+     reports match byte for byte. *)
+  let c1' = Coverage.create () in
+  ignore (fingerprint ~coverage:c1' ~jobs:1 "counter");
+  Alcotest.(check string) "jobs=1 report deterministic"
+    (Obs_json.to_string (Coverage.to_json c1 ~meta:[]))
+    (Obs_json.to_string (Coverage.to_json c1' ~meta:[]))
+
+let test_mult_check_covered () =
+  let open Spec.Queue_spec in
+  let t =
+    [
+      Trace.Invoke { proc = 0; op = Enq 1 };
+      Trace.Return { proc = 0; resp = Ok_ };
+      Trace.Invoke { proc = 1; op = Deq };
+      Trace.Invoke { proc = 2; op = Deq };
+      Trace.Return { proc = 1; resp = Item 1 };
+      Trace.Return { proc = 2; resp = Item 1 };
+    ]
+  in
+  let plain = Mult_check.check_budgeted Mult_check.Queue t in
+  let c = Coverage.create () in
+  let covered = Mult_check.check_budgeted ~coverage:c Mult_check.Queue t in
+  Alcotest.(check bool) "outcome unchanged" true (plain = covered);
+  Alcotest.(check int) "input trace observed" 1 (Coverage.stats c).Coverage.observations
+
+let test_fuzz_uniform_passive () =
+  match Registry.find "counter" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module A = Adversary.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let facts r = (r.A.fz_runs, r.A.fz_crashed_runs, r.A.fz_total_steps, r.A.fz_violation) in
+      let plain = A.fuzz ~seed:5 ~runs:60 ~shrink:false prog in
+      let cov = Coverage.create () in
+      let covered = A.fuzz ~seed:5 ~runs:60 ~shrink:false ~coverage:cov prog in
+      Alcotest.(check bool) "uniform campaign unchanged under coverage" true
+        (facts plain = facts covered);
+      let st = Coverage.stats cov in
+      Alcotest.(check bool) "runs were observed" true (st.Coverage.observations > 0);
+      match Coverage.validate (Coverage.to_json cov ~meta:[]) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fuzz report invalid: %s" e
+
+let test_fuzz_guided_smoke () =
+  match Registry.find "counter" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module A = Adversary.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let cov = Coverage.create () in
+      let r = A.fuzz ~seed:3 ~runs:40 ~shrink:false ~coverage:cov ~guided:true prog in
+      Alcotest.(check int) "counter has no violation: all runs executed" 40 r.A.fz_runs;
+      Alcotest.(check bool) "no violation" true (r.A.fz_violation = None);
+      let json = Coverage.to_json cov ~meta:[] in
+      (match Coverage.validate json with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "guided report invalid: %s" e);
+      let open Obs_json in
+      (match Option.bind (member "corpus" json) (member "mode") with
+      | Some (String "coverage") -> ()
+      | _ -> Alcotest.fail "guided campaign must record corpus mode \"coverage\"");
+      match Option.bind (Option.bind (member "corpus" json) (member "retained")) to_int with
+      | Some n -> Alcotest.(check bool) "corpus retained seeds" true (n > 0)
+      | None -> Alcotest.fail "corpus retained missing"
+
+(* ---------------- golden report (hw-queue, jobs=1) ---------------------- *)
+
+(* The jobs=1 report carries no timing fields, so it is a pure function
+   of the workload and engine — pinned byte-for-byte against the
+   committed baseline that CI also gates against with stats diff. *)
+let test_golden_hw_queue () =
+  match Registry.find "hw-queue" with
+  | None -> Alcotest.fail "hw-queue not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let cov = Coverage.create () in
+      let _ =
+        L.check_strong_stats ~max_nodes:3_000_000 ?max_depth:c.default_depth ~jobs:1
+          ~checkpoint_stride:16 ~coverage:cov prog
+      in
+      let meta =
+        [
+          ("command", Obs_json.String "coverage");
+          ("object", Obs_json.String "hw-queue");
+          ("jobs", Obs_json.Int 1);
+        ]
+      in
+      let got = Obs_json.to_string (Coverage.to_json cov ~meta) in
+      let baseline =
+        (* cwd is test/ under `dune runtest`, the project root under
+           `dune exec test/test_coverage.exe`. *)
+        if Sys.file_exists "baselines/coverage-hw-queue-j1.json" then
+          "baselines/coverage-hw-queue-j1.json"
+        else "test/baselines/coverage-hw-queue-j1.json"
+      in
+      let want = String.trim (In_channel.with_open_text baseline In_channel.input_all) in
+      Alcotest.(check string) "golden slin-coverage/v1 report" want got
+
+(* ---------------- qcheck: random observations still validate ------------ *)
+
+let event_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, map2 (fun p op -> Trace.Invoke { proc = p; op }) (int_bound 2) (int_bound 5));
+      (2, map2 (fun p resp -> Trace.Return { proc = p; resp }) (int_bound 2) (int_bound 5));
+      ( 4,
+        map3
+          (fun p o i -> Trace.Step { proc = p; obj = (if o then "a" else "b"); info = i })
+          (int_bound 2) bool
+          (oneofl [ None; Some "read"; Some "w" ]) );
+    ]
+
+let obs_gen =
+  let open QCheck.Gen in
+  pair bool
+    (list_size (int_bound 30)
+       (quad (int_bound 2) (int_bound 50) (int_bound 8) (list_size (int_bound 12) event_gen)))
+
+let qcheck_coverage_tests =
+  let arb = QCheck.make obs_gen in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:200 ~name:"random reports validate and round-trip" arb
+        (fun (small, ops) ->
+          let c = if small then Coverage.create ~exact_limit:4 () else Coverage.create () in
+          List.iter
+            (fun (dom, depth, branching, t) ->
+              Coverage.observe_node (Coverage.shard c ~domain:dom) ~depth ~branching t)
+            ops;
+          let json = Coverage.to_json c ~meta:[ ("command", Obs_json.String "test") ] in
+          (match Coverage.validate json with
+          | Ok () -> ()
+          | Error e -> QCheck.Test.fail_reportf "invalid: %s" e);
+          (* survives a print/parse cycle *)
+          (match Coverage.validate (Obs_json.of_string_exn (Obs_json.to_string json)) with
+          | Ok () -> ()
+          | Error e -> QCheck.Test.fail_reportf "reparsed invalid: %s" e);
+          (Coverage.stats c).Coverage.observations = List.length ops);
+    ]
+
+(* ---------------- stats diff on coverage reports ------------------------ *)
+
+let coverage_doc traces =
+  let c = Coverage.create () in
+  let sh = Coverage.shard c ~domain:0 in
+  List.iter (fun t -> Coverage.observe_node sh ~depth:1 ~branching:1 t) traces;
+  Coverage.to_json c ~meta:[]
+
+let step p obj : (int, int) Trace.event = Trace.Step { proc = p; obj; info = None }
+
+let test_diff_coverage_directions () =
+  let open Stats_diff in
+  Alcotest.(check bool) "unique_ratio is higher-better" true
+    (direction_of_metric "unique_ratio" = Higher_better);
+  Alcotest.(check bool) "conflict_ratio is neutral" true
+    (direction_of_metric "conflict_ratio" = Neutral);
+  Alcotest.(check bool) "unique_worlds is neutral" true
+    (direction_of_metric "unique_worlds" = Neutral)
+
+let test_diff_coverage_self () =
+  let doc = coverage_doc [ [ step 0 "a"; step 1 "b" ]; [ step 0 "b"; step 1 "a"; step 0 "a" ] ] in
+  match Stats_diff.diff ~old_doc:doc ~new_doc:doc with
+  | Error e -> Alcotest.failf "coverage self-diff failed: %s" e
+  | Ok es ->
+      Alcotest.(check bool) "coverage flattens to rows" true (List.length es > 5);
+      Alcotest.(check int) "self-diff has no regressions" 0
+        (List.length (Stats_diff.regressions es))
+
+let test_diff_coverage_removed_pair_gates () =
+  let old_doc = coverage_doc [ [ step 0 "a"; step 1 "b" ]; [ step 0 "a"; step 1 "a" ] ] in
+  let new_doc = coverage_doc [ [ step 0 "a"; step 1 "a" ] ] in
+  match Stats_diff.diff ~old_doc ~new_doc with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok es ->
+      let removed =
+        List.filter (fun e -> e.Stats_diff.e_status = Stats_diff.Removed) es
+      in
+      Alcotest.(check bool) "vanished matrix cell is Removed" true (removed <> []);
+      Alcotest.(check bool) "and it gates at any threshold" true
+        (List.length (Stats_diff.regressions ~threshold:99.0 es) >= List.length removed)
+
+let test_diff_coverage_schema_mismatch () =
+  let cov = coverage_doc [ [ step 0 "a" ] ] in
+  let bench =
+    Obs_json.Assoc [ ("schema", Obs_json.String "slin-bench/v1"); ("results", Obs_json.List []) ]
+  in
+  match Stats_diff.diff ~old_doc:bench ~new_doc:cov with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bench vs coverage must not diff"
+
+let test_validate_rejects_garbage () =
+  match Coverage.validate (Obs_json.Assoc [ ("schema", Obs_json.String "slin-coverage/v1") ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "schema tag alone must not validate"
+
+(* ---------------- parent-directory creation ----------------------------- *)
+
+let test_ensure_parent_dir () =
+  let base = Filename.concat (Filename.get_temp_dir_name ()) "covtest-out" in
+  let path = Filename.concat base "deep/nested/report.json" in
+  Obs.ensure_parent_dir path;
+  Out_channel.with_open_text path (fun oc -> output_string oc "x");
+  Alcotest.(check bool) "nested path created and writable" true (Sys.file_exists path);
+  (* idempotent, and a bare filename is a no-op *)
+  Obs.ensure_parent_dir path;
+  Obs.ensure_parent_dir "plain.json";
+  Alcotest.(check bool) "still there" true (Sys.file_exists path)
+
+(* ---------------- suite ------------------------------------------------- *)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "fingerprints",
+        [
+          Alcotest.test_case "commutation invariance" `Quick test_fp_commutation;
+          Alcotest.test_case "exact dedup" `Quick test_exact_dedup;
+          Alcotest.test_case "bloom tier" `Quick test_bloom_tier;
+          Alcotest.test_case "run novelty and attribution" `Quick test_observe_run_novelty;
+        ] );
+      ( "passivity",
+        [
+          Alcotest.test_case "engine fingerprints unchanged" `Quick test_coverage_passive;
+          Alcotest.test_case "mult_check covered" `Quick test_mult_check_covered;
+          Alcotest.test_case "uniform fuzz unchanged" `Quick test_fuzz_uniform_passive;
+          Alcotest.test_case "guided fuzz smoke" `Quick test_fuzz_guided_smoke;
+        ] );
+      ("golden", [ Alcotest.test_case "hw-queue jobs=1 report" `Slow test_golden_hw_queue ]);
+      ("qcheck", qcheck_coverage_tests);
+      ( "stats-diff",
+        [
+          Alcotest.test_case "coverage metric directions" `Quick test_diff_coverage_directions;
+          Alcotest.test_case "coverage self-diff" `Quick test_diff_coverage_self;
+          Alcotest.test_case "removed pair cell gates" `Quick test_diff_coverage_removed_pair_gates;
+          Alcotest.test_case "schema mismatch" `Quick test_diff_coverage_schema_mismatch;
+          Alcotest.test_case "validate rejects garbage" `Quick test_validate_rejects_garbage;
+        ] );
+      ("outputs", [ Alcotest.test_case "parent dirs for --*-out" `Quick test_ensure_parent_dir ]);
+    ]
