@@ -12,7 +12,8 @@
      dune exec bench/main.exe -- --quick # fast pass (quick E2, no bechamel)
      dune exec bench/main.exe -- e3 e5   # selected experiments only *)
 
-let valid_experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "fuzz"; "checker" ]
+let valid_experiments =
+  [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "fuzz"; "checker"; "serve" ]
 
 let usage_and_exit bad =
   Printf.eprintf "unknown argument%s: %s\n"
@@ -524,6 +525,34 @@ let bench_checker () =
       run ~name:"agm-stack" ~jobs)
     jobs_list
 
+(* ------------------------------------------------------------------ *)
+(* Serve throughput: the canonical batch through the supervised pool    *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end dispatch cost of `slin serve --batch` on the canonical
+   quick jobs: queueing, memo/coalesce bookkeeping, worker domains and
+   response assembly included.  The request counters ride along as
+   neutral rows so stats diff flags a changed batch shape. *)
+let bench_serve () =
+  Format.printf "@.| serve batch (canonical quick jobs)           | requests/s@.";
+  let lines = Experiments.serve_jobs ~quick:true () in
+  let t0 = Unix.gettimeofday () in
+  let t = Serve.create Serve.default_config in
+  let rs = Serve.run_batch t lines in
+  let dt = Unix.gettimeofday () -. t0 in
+  let rps = float_of_int (List.length rs) /. dt in
+  record_result "serve batch" "requests_per_s" rps;
+  let rep = Serve.report t in
+  List.iter
+    (fun k ->
+      match Obs_json.member k rep with
+      | Some (Obs_json.Int n) -> record_result "serve batch" k (float_of_int n)
+      | _ -> ())
+    [ "requests"; "done"; "inconclusive"; "rejected"; "coalesced" ];
+  Format.printf "| %-44s | %.1f@."
+    (Printf.sprintf "serve batch (%d requests)" (List.length rs))
+    rps
+
 let () =
   if selected "e1" then Experiments.e1 ();
   if selected "e2" then Experiments.e2 ~quick ();
@@ -538,5 +567,6 @@ let () =
     bench_fuzz_ab ()
   end;
   if selected "checker" then bench_checker ();
+  if selected "serve" then bench_serve ();
   write_bench_results ();
   Format.printf "@.All selected experiments completed.@."

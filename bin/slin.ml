@@ -7,6 +7,7 @@
                       [--budget-nodes N] [--budget-ms MS] [--budget-mb MB]
                       [--stats] [--json-out FILE] [--trace-out FILE]
                       [--witness-out FILE] [--no-shrink]
+                      [--checkpoint-out F.json] [--resume F.json]
                                                   strong-linearizability game
      slin explain WITNESS.json [--trace-out BASE]
                                                   replay + render a witness
@@ -23,6 +24,9 @@
                                                   per-domain engine telemetry
      slin coverage OBJECT [--jobs N] [--coverage-out F.json]
                                                   exploration-coverage report
+     slin serve [--batch JOBS.jsonl | --socket PATH] [--workers N]
+                      [--deterministic] [--report F.json] ...
+                                                  supervised checking service
      slin stats diff OLD.json NEW.json [--fail-on-regress PCT]
                                                   compare two perf reports
 
@@ -35,7 +39,12 @@
    Exit codes (check, explain, fuzz, progress): 0 = verified / witness
    reproduced / no violation found, 1 = refuted / witness did not
    reproduce / violation found, 2 = usage error, unknown object,
-   inconclusive (out of budget), or internal error. *)
+   inconclusive (out of budget or interrupted), or internal error.
+
+   One-shot check/fuzz handle SIGINT/SIGTERM cooperatively: the engine
+   stops at the next node (or completed fuzz run), flushes the final
+   checkpoint when --checkpoint-out is active, reports partial stats,
+   and exits 2 through the normal inconclusive path. *)
 
 open Cmdliner
 
@@ -87,15 +96,72 @@ let write_coverage cov ~meta path =
       Format.eprintf "cannot open output file: %s@." msg;
       false
 
+(* --- graceful interruption -------------------------------------------- *)
+
+(* The SIGINT/SIGTERM handlers only set a flag; the engine polls it at
+   every fresh node (check) or between runs (fuzz), so the command ends
+   through its normal inconclusive path — verdict line, partial stats,
+   final checkpoint, exit 2 — instead of dying mid-write. *)
+let interrupted = Atomic.make false
+
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set interrupted true) in
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm handle with Invalid_argument _ | Sys_error _ -> ()
+
+let signal_interrupt () = Atomic.get interrupted
+
+(* --- checkpoint files ------------------------------------------------- *)
+
+(* Atomic write (tmp + rename) so a signal or crash mid-emit can never
+   leave a torn checkpoint behind — the previous complete one survives.
+   Serialized because the column workers emit concurrently. *)
+let checkpoint_writer path =
+  let lock = Mutex.create () in
+  fun ck ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match
+          Obs.ensure_parent_dir path;
+          let tmp = path ^ ".tmp" in
+          Out_channel.with_open_text tmp (fun oc ->
+              output_string oc (Obs_json.to_string (Lincheck.checkpoint_to_json ck));
+              output_char oc '\n');
+          Sys.rename tmp path
+        with
+        | () -> ()
+        | exception Sys_error msg -> Printf.eprintf "cannot write checkpoint: %s\n%!" msg)
+
+let read_checkpoint ~cp_config path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Obs_json.of_string (String.trim contents) with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match Lincheck.checkpoint_of_json j with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok ck ->
+              if ck.Lincheck.ck_config <> cp_config then
+                Error
+                  (Printf.sprintf
+                     "%s: checkpoint was taken under configuration %S but this run is %S \
+                      (object, depth bound and engine must match)"
+                     path ck.Lincheck.ck_config cp_config)
+              else Ok ck))
+
 (* --- check ------------------------------------------------------------ *)
 
 let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
-    trace_out witness_out no_shrink jobs checkpoint_stride profile_out coverage_out =
+    trace_out witness_out no_shrink jobs checkpoint_stride profile_out coverage_out
+    checkpoint_out resume =
   match Registry.find name with
   | None ->
       unknown_object name;
       2
-  | Some (Registry.Checkable c) ->
+  | Some (Registry.Checkable c) -> (
       let (module S) = c.spec in
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
@@ -104,6 +170,43 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
          rather than expecting the budget to suffice. *)
       let max_nodes = Option.value budget_nodes ~default:max_nodes in
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
+      install_signal_handlers ();
+      let cp_config = Serve.config_fingerprint ~object_name:name ~max_depth:depth in
+      let resume_ck =
+        match resume with
+        | None -> Ok None
+        | Some path -> Result.map Option.some (read_checkpoint ~cp_config path)
+      in
+      match resume_ck with
+      | Error msg ->
+          Format.eprintf "cannot resume: %s@." msg;
+          2
+      | Ok resume_ck ->
+      let checkpointing =
+        match (checkpoint_out, resume_ck) with
+        | None, None -> None
+        | _ ->
+            let cp_emit =
+              match checkpoint_out with
+              | Some path -> checkpoint_writer path
+              | None -> fun _ -> ()
+            in
+            Some { Lincheck.cp_config; cp_resume = resume_ck; cp_emit }
+      in
+      (* Resume chatter goes to stderr so stdout stays byte-comparable
+         with an uninterrupted golden run. *)
+      (match resume_ck with
+      | Some ck ->
+          Format.eprintf "resuming from checkpoint: %d columns done (fingerprint %s)@."
+            (List.length ck.Lincheck.ck_columns)
+            (Lincheck.checkpoint_fingerprint ck)
+      | None -> ());
+      let note_interrupt () =
+        Format.eprintf "interrupted by signal%s@."
+          (match checkpoint_out with
+          | Some p -> "; checkpoint flushed to " ^ p
+          | None -> "")
+      in
       let exit_of_verdict = function
         | L.Strongly_linearizable _ -> 0
         | L.Not_linearizable _ | L.Not_strongly_linearizable _ -> 1
@@ -170,14 +273,20 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
       if not observing then begin
         (* No observability requested: exactly the historical path and
            output, byte for byte (witness emission only adds output when
-           its flag is on; --jobs/--checkpoint-stride change how the tree
-           is explored, never the verdict or its rendering). *)
-        let v =
-          fst
-            (L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs
-               ~checkpoint_stride prog)
+           its flag is on; --jobs/--checkpoint-stride/--checkpoint-out/
+           --resume change how the tree is explored or persisted, never
+           the verdict or its rendering; interrupt/resume notes go to
+           stderr). *)
+        let v, st =
+          L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~checkpoint_stride
+            ~interrupt:signal_interrupt ?checkpointing prog
         in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
+        (match v with
+        | L.Out_of_budget { reason = Lincheck.Budget_interrupt; _ } ->
+            note_interrupt ();
+            Format.eprintf "partial stats:@.  @[<v>%a@]@." Lincheck.pp_stats st
+        | _ -> ());
         emit_witness v;
         exit_of_verdict v
       end
@@ -220,10 +329,13 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         let v, st =
           L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
             ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ?profiler
-            ?coverage ~jobs ~checkpoint_stride prog
+            ?coverage ~jobs ~checkpoint_stride ~interrupt:signal_interrupt ?checkpointing prog
         in
         Option.iter Prof.finish profiler;
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
+        (match v with
+        | L.Out_of_budget { reason = Lincheck.Budget_interrupt; _ } -> note_interrupt ()
+        | _ -> ());
         let sim_metrics = Sim.Metrics.snapshot () in
         if stats then begin
           Format.printf "exploration stats:@.  @[<v>%a@]@." Lincheck.pp_stats st;
@@ -266,7 +378,7 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         | _ -> ());
         emit_witness v;
         exit_of_verdict v
-      end
+      end)
 
 (* --- explain ---------------------------------------------------------- *)
 
@@ -382,11 +494,12 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profil
       let module A = Adversary.Make (S) in
       let module W = Witness.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
+      install_signal_handlers ();
       let profiler = Option.map (fun _ -> Prof.create ()) profile_out in
       let coverage = Option.map (fun _ -> Coverage.create ()) coverage_out in
       let r =
         A.fuzz ~seed ~runs ~crash:(not no_crash) ~max_steps ~shrink:(not no_shrink) ~jobs
-          ?profiler ?coverage ~guided prog
+          ?profiler ?coverage ~guided ~interrupt:signal_interrupt prog
       in
       Option.iter Prof.finish profiler;
       Format.printf "object: %s (master seed %d)@." c.spec_name seed;
@@ -398,6 +511,14 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profil
         r.A.fz_runs r.A.fz_crashed_runs r.A.fz_total_steps;
       let code =
         match r.A.fz_violation with
+        | None when r.A.fz_interrupted ->
+            (* Partial campaign: the counts above cover only completed
+               runs, and absence of a violation in those is not the
+               clean exit-0 answer — degrade to inconclusive. *)
+            Format.printf "no violation in the %d completed runs (campaign interrupted)@."
+              r.A.fz_runs;
+            Format.eprintf "interrupted by signal: %d of %d runs completed@." r.A.fz_runs runs;
+            2
         | None ->
             Format.printf "no linearizability violation found@.";
             0
@@ -439,6 +560,101 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profil
             (write_coverage cov ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs) path)
       | _ -> ());
       code
+
+(* --- serve ------------------------------------------------------------ *)
+
+let run_serve batch socket_path out report_out workers queue_limit max_retries backoff_ms
+    deadline_ms stall_ms deterministic allow_faults no_memo emit_jobs quick =
+  if emit_jobs then begin
+    List.iter print_endline (Experiments.serve_jobs ~quick ());
+    0
+  end
+  else begin
+    let cfg =
+      {
+        Serve.workers;
+        queue_limit;
+        max_retries;
+        backoff_ms;
+        default_deadline_ms = deadline_ms;
+        stall_ms;
+        memo = not no_memo;
+        deterministic;
+        allow_faults;
+      }
+    in
+    let t = Serve.create cfg in
+    let write_report () =
+      match report_out with
+      | None -> ()
+      | Some path -> (
+          let json = Serve.report t in
+          match
+            Obs.ensure_parent_dir path;
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Obs_json.to_string json);
+                output_char oc '\n')
+          with
+          | () ->
+              Format.eprintf "serve report (%s) written to %s@." Serve.report_schema path
+          | exception Sys_error msg -> Format.eprintf "cannot write report: %s@." msg)
+    in
+    match batch with
+    | Some path -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error msg ->
+            Format.eprintf "cannot read batch file: %s@." msg;
+            2
+        | contents ->
+            let lines =
+              String.split_on_char '\n' contents |> List.filter (fun l -> String.trim l <> "")
+            in
+            let responses = Serve.run_batch t lines in
+            let emit oc =
+              List.iter
+                (fun r ->
+                  output_string oc (Obs_json.to_string r);
+                  output_char oc '\n')
+                responses
+            in
+            (match out with
+            | None ->
+                emit stdout;
+                flush stdout
+            | Some path -> (
+                match
+                  Obs.ensure_parent_dir path;
+                  Out_channel.with_open_text path emit
+                with
+                | () ->
+                    Format.eprintf "%d responses written to %s@." (List.length responses) path
+                | exception Sys_error msg ->
+                    Format.eprintf "cannot write responses: %s@." msg));
+            write_report ();
+            (* Shed, rejected and inconclusive responses are the service
+               doing its job (structured degradation); only a request
+               that exhausted its retries fails the run. *)
+            if
+              List.exists
+                (fun r -> Obs_json.member "status" r = Some (Obs_json.String "failed"))
+                responses
+            then 1
+            else 0)
+    | None -> (
+        match socket_path with
+        | Some path ->
+            install_signal_handlers ();
+            Format.eprintf "listening on %s (SIGINT/SIGTERM to stop)@." path;
+            Serve.serve_socket t path ~stop:signal_interrupt;
+            write_report ();
+            0
+        | None ->
+            (* JSONL over stdin/stdout, one response line per request
+               line, in completion order. *)
+            Serve.serve_stream t stdin stdout;
+            write_report ();
+            0)
+  end
 
 (* --- progress --------------------------------------------------------- *)
 
@@ -852,13 +1068,35 @@ let check_cmd =
              fingerprints, depth/branching histograms, object-pair access matrix) to \
              $(docv); compare runs with $(b,slin stats diff).")
   in
+  let checkpoint_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-checkpoint/v1 snapshot of the exploration to $(docv) (atomically, \
+             after every completed column), so a budget-limited, killed or crashed run can \
+             be continued with $(b,--resume).  A resumed run provably reaches the verdict \
+             an uninterrupted one would.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a slin-checkpoint/v1 file written by $(b,--checkpoint-out): \
+             completed columns are replayed from the snapshot, only the rest is explored.  \
+             The checkpoint's object, depth bound and engine fingerprint must match this \
+             invocation; its content digest is verified.")
+  in
   Cmd.v
     (Cmd.info "check" ~exits:verdict_exits
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
     Term.(
       const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
       $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ checkpoint_stride
-      $ profile_out $ coverage_out)
+      $ profile_out $ coverage_out $ checkpoint_out $ resume)
 
 let explain_cmd =
   let witness =
@@ -1115,6 +1353,141 @@ let coverage_cmd =
       const run_coverage $ obj $ jobs $ max_nodes $ max_depth $ checkpoint_stride
       $ exact_limit $ coverage_out)
 
+let serve_cmd =
+  let batch =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "batch" ] ~docv:"JOBS.jsonl"
+          ~doc:
+            "Run one JSONL request per line of $(docv) to completion and emit one response \
+             per line, in arrival order.  All requests are enqueued before any worker \
+             starts, so shedding, coalescing and the report counters are deterministic.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) and serve connections (JSONL in, \
+             JSONL out) until SIGINT/SIGTERM.  Without $(b,--batch) or $(b,--socket), \
+             requests are read from stdin.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write batch responses to $(docv) instead of stdout.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a slin-serve-report/v1 summary (request counters by status, memo/retry/\
+             restart counts, completed_ratio) to $(docv); compare runs with $(b,slin stats \
+             diff).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Bounded queue length.  Past it the oldest sheddable queued request is shed \
+             (else the incoming one), with a structured $(i,shed) response.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Re-dispatches per request after a worker crash, with exponential backoff; past \
+             this the request gets a structured $(i,failed) response.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 25
+      & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Base of the exponential retry backoff.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 60_000
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline (a request's own deadline_ms wins).  Past it the \
+             run degrades to an inconclusive verdict instead of hanging a worker.")
+  in
+  let stall_ms =
+    Arg.(
+      value & opt int 10_000
+      & info [ "stall-ms" ] ~docv:"MS"
+          ~doc:
+            "Heartbeat age after which a busy worker is considered stalled and cancelled \
+             cooperatively (the request answers inconclusive/stalled).")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Omit wall-clock fields from responses and the report so batch output is \
+             byte-reproducible and can be gated against a baseline.")
+  in
+  let allow_faults =
+    Arg.(
+      value & flag
+      & info [ "allow-fault-injection" ]
+          ~doc:
+            "Accept requests carrying a fault member (crash the worker after N checkpointed \
+             columns) — the supervision/retry/resume path's test hook.  Off by default; \
+             such requests are rejected.")
+  in
+  let no_memo =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ]
+          ~doc:"Disable verdict memoization and duplicate-request coalescing.")
+  in
+  let emit_jobs =
+    Arg.(
+      value & flag
+      & info [ "emit-jobs" ]
+          ~doc:
+            "Print the canonical smoke-test batch (JSONL, one request per line) to stdout \
+             and exit; feed it back with $(b,--batch).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"With $(b,--emit-jobs): smaller node budgets and fuzz runs.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"service ran; every request was answered or degraded \
+                                 (done, inconclusive, shed or rejected).";
+           Cmd.Exit.info 1 ~doc:"at least one request $(i,failed) (crashed past its retry \
+                                 budget).";
+           Cmd.Exit.info 2 ~doc:"usage error or unreadable batch file.";
+         ]
+       ~doc:
+         "Run the supervised checking service: JSONL check/fuzz/coverage/explain requests \
+          (from a batch file, stdin, or a Unix socket) are dispatched to a pool of worker \
+          domains with per-request deadlines, heartbeat stall detection, crash retries \
+          with exponential backoff, checkpoint/resume, bounded-queue load shedding and \
+          verdict memoization; every answer is a versioned slin-serve/v1 response.")
+    Term.(
+      const run_serve $ batch $ socket $ out $ report_out $ workers $ queue_limit
+      $ max_retries $ backoff_ms $ deadline_ms $ stall_ms $ deterministic $ allow_faults
+      $ no_memo $ emit_jobs $ quick)
+
 let stats_cmd =
   let diff_cmd =
     let old_f = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json") in
@@ -1139,17 +1512,17 @@ let stats_cmd =
              Cmd.Exit.info 2 ~doc:"unreadable file, malformed report, or mismatched schemas.";
            ]
          ~doc:
-           "Compare two versioned perf reports (slin-bench/v1, slin-profile/v1 or \
-            slin-coverage/v1) field-by-field: throughput and unique-world ratios regress \
-            downward, latency metrics regress upward, neutral counters are reported but \
-            never gated.")
+           "Compare two versioned perf reports (slin-bench/v1, slin-profile/v1, \
+            slin-coverage/v1 or slin-serve-report/v1) field-by-field: throughput, \
+            unique-world and completed-request ratios regress downward, latency metrics \
+            regress upward, neutral counters are reported but never gated.")
       Term.(const run_stats_diff $ old_f $ new_f $ fail_on)
   in
   Cmd.group
     (Cmd.info "stats"
        ~doc:
          "Tools over versioned perf reports (slin-bench/v1, slin-profile/v1, \
-          slin-coverage/v1).")
+          slin-coverage/v1, slin-serve-report/v1).")
     [ diff_cmd ]
 
 let () =
@@ -1167,6 +1540,7 @@ let () =
         trace_cmd;
         profile_cmd;
         coverage_cmd;
+        serve_cmd;
         stats_cmd;
       ]
   in

@@ -400,6 +400,7 @@ module Make (S : Spec.S) = struct
     fz_total_steps : int;
     fz_elapsed_ns : int;
     fz_violation : violation option;
+    fz_interrupted : bool;
   }
 
   let fuzz_schedules_per_sec r =
@@ -424,8 +425,13 @@ module Make (S : Spec.S) = struct
      (the first violation is the index-minimal one, not the first found
      in wall time). *)
   let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true) ?(jobs = 1)
-      ?profiler ?coverage ?(guided = false) (prog : (S.op, S.resp) Sim.program) : fuzz_report =
+      ?profiler ?coverage ?(guided = false) ?interrupt
+      (prog : (S.op, S.resp) Sim.program) : fuzz_report =
     let t0 = Obs.now_ns () in
+    (* Polled between runs (a run is bounded by [max_steps], so an
+       interrupt stops the campaign within one schedule).  An
+       uninterrupted campaign takes exactly the historical code path. *)
+    let intr () = match interrupt with Some f -> f () | None -> false in
     let rng = Random.State.make [| seed; 0xad5e |] in
     let nruns = max runs 0 in
     let cfgs = Array.make nruns (0, []) in
@@ -439,6 +445,7 @@ module Make (S : Spec.S) = struct
       cfgs.(i) <- (run_seed, crash_after)
     done;
     let steps_of = Array.make nruns 0 in
+    let done_flags = Array.make nruns false in
     let viol_sched = Array.make nruns None in
     let min_viol = Atomic.make max_int in
     let rec note i =
@@ -458,7 +465,7 @@ module Make (S : Spec.S) = struct
       | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "fuzz w%d" first) ()
       | None -> ());
       let i = ref first in
-      while !i < nruns && !i <= Atomic.get min_viol do
+      while !i < nruns && !i <= Atomic.get min_viol && not (intr ()) do
         let run_seed, crash_after = cfgs.(!i) in
         let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
         steps_of.(!i) <- List.length schedule;
@@ -470,6 +477,7 @@ module Make (S : Spec.S) = struct
           viol_sched.(!i) <- Some schedule;
           note !i
         end;
+        done_flags.(!i) <- true;
         i := !i + stride
       done;
       match lane with Some l -> Prof.end_span l | None -> ()
@@ -509,7 +517,7 @@ module Make (S : Spec.S) = struct
          whole campaign into replay mode). *)
       let novelty_ema = ref 1.0 in
       let i = ref 0 in
-      while !i < nruns && Atomic.get min_viol = max_int do
+      while !i < nruns && Atomic.get min_viol = max_int && not (intr ()) do
         let run_seed, crash_after = cfgs.(!i) in
         let rng_run = Random.State.make [| run_seed; 0x9d1d |] in
         let w = Sim.run_schedule prog [] in
@@ -596,6 +604,7 @@ module Make (S : Spec.S) = struct
           viol_sched.(!i) <- Some schedule;
           note !i
         end;
+        done_flags.(!i) <- true;
         incr i
       done;
       match lane with Some l -> Prof.end_span l | None -> ()
@@ -617,13 +626,31 @@ module Make (S : Spec.S) = struct
       in
       find 0
     in
-    let fz_runs = match first_viol with Some v -> v + 1 | None -> nruns in
+    (* An interrupted campaign (stopped by the hook with no violation and
+       runs left undone) reports partial stats over the runs that actually
+       completed — with [jobs > 1] that set need not be an index prefix.
+       Completed campaigns keep the historical prefix accounting, byte
+       for byte. *)
+    let interrupted = first_viol = None && Array.exists not done_flags in
+    let fz_runs =
+      if interrupted then Array.fold_left (fun n d -> if d then n + 1 else n) 0 done_flags
+      else match first_viol with Some v -> v + 1 | None -> nruns
+    in
     let crashed_runs = ref 0 in
     let total_steps = ref 0 in
-    for i = 0 to fz_runs - 1 do
-      if snd cfgs.(i) <> [] then incr crashed_runs;
-      total_steps := !total_steps + steps_of.(i)
-    done;
+    (if interrupted then
+       Array.iteri
+         (fun i d ->
+           if d then begin
+             if snd cfgs.(i) <> [] then incr crashed_runs;
+             total_steps := !total_steps + steps_of.(i)
+           end)
+         done_flags
+     else
+       for i = 0 to fz_runs - 1 do
+         if snd cfgs.(i) <> [] then incr crashed_runs;
+         total_steps := !total_steps + steps_of.(i)
+       done);
     Obs.add c_fuzz_runs fz_runs;
     Obs.add c_fuzz_steps !total_steps;
     (match coverage with
@@ -650,6 +677,7 @@ module Make (S : Spec.S) = struct
       fz_total_steps = !total_steps;
       fz_elapsed_ns = Obs.now_ns () - t0;
       fz_violation = violation;
+      fz_interrupted = interrupted;
     }
 end
 

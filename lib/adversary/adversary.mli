@@ -129,6 +129,10 @@ module Make (S : Spec.S) : sig
     fz_total_steps : int;
     fz_elapsed_ns : int;
     fz_violation : violation option;
+    fz_interrupted : bool;
+        (** the [interrupt] hook stopped the campaign before all runs
+            completed (and no violation was found); stats cover only the
+            completed runs *)
   }
 
   val fuzz_schedules_per_sec : fuzz_report -> float
@@ -143,6 +147,7 @@ module Make (S : Spec.S) : sig
     ?profiler:Prof.t ->
     ?coverage:Coverage.t ->
     ?guided:bool ->
+    ?interrupt:(unit -> bool) ->
     (S.op, S.resp) Sim.program ->
     fuzz_report
   (** Run up to [runs] random schedules derived from the master [seed]
@@ -173,7 +178,13 @@ module Make (S : Spec.S) : sig
       sequential ([jobs] is ignored) and deliberately read coverage —
       they produce different (usually strictly more diverse) schedules
       than uniform mode, which stays the default precisely so seeded
-      campaigns remain byte-reproducible. *)
+      campaigns remain byte-reproducible.
+
+      [interrupt] is polled between runs; once it returns [true] the
+      campaign stops, setting [fz_interrupted] and reporting partial
+      stats over the completed runs (signal handlers and serve
+      deadlines use this — an uninterrupted campaign's report is
+      unchanged). *)
 end
 
 (** {1 Algorithm B under crash schedules} *)

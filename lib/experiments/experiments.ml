@@ -624,3 +624,40 @@ let e7 ?(jobs = 1) () =
   Format.printf
     "(expected: zero violations for the atomic objects even with one forced\n\
      crash — Lemma 12 is crash-tolerant; the HW queue rows may violate)@."
+
+(* The canonical batch for `slin serve --batch` smoke runs: a spread of
+   registry objects plus deliberate duplicates (coalescing), one
+   already-answered repeat (memo across batches), a fuzz row and a
+   coverage row.  Deadlines are generous — CI shares cores with the
+   whole matrix, and a slow runner must not turn a done row into a
+   deadline row and break the deterministic baseline.  [quick] trims
+   node budgets for smoke tests. *)
+let serve_jobs ?(quick = false) () =
+  let nodes = if quick then 60_000 else 400_000 in
+  let line kind id obj extra =
+    Obs_json.to_string
+      (Obs_json.Assoc
+         ([
+            ("id", Obs_json.String id);
+            ("kind", Obs_json.String kind);
+            ("object", Obs_json.String obj);
+            ("max_nodes", Obs_json.Int nodes);
+            ("deadline_ms", Obs_json.Int 600_000);
+          ]
+         @ extra))
+  in
+  [
+    line "check" "check-faa-max" "faa-max" [];
+    line "check" "check-counter" "counter" [];
+    line "check" "check-hw-queue" "hw-queue" [];
+    line "check" "check-hw-queue-dup" "hw-queue" [];
+    (* coalesces *)
+    line "check" "check-set-empty-race" "set-empty-race" [];
+    line "fuzz" "fuzz-hw-queue" "hw-queue"
+      [ ("seed", Obs_json.Int 1); ("runs", Obs_json.Int (if quick then 100 else 400)) ];
+    line "coverage" "coverage-counter" "counter" [];
+    line "check" "check-faa-max-dup" "faa-max" [];
+    (* coalesces *)
+    line "check" "check-unknown" "no-such-object" [];
+    (* rejected *)
+  ]

@@ -33,13 +33,16 @@ exception Budget_exhausted
 
 (* Which budget converted the run into an inconclusive verdict.  Node
    budgets predate the others; their rendering (pretty and JSON) is
-   pinned byte-for-byte, so the new reasons only ever add output. *)
-type budget_reason = Budget_nodes | Budget_wall | Budget_heap
+   pinned byte-for-byte, so the new reasons only ever add output.
+   [Budget_interrupt] is external: a signal handler, per-request
+   deadline or supervisor cancellation asked the run to stop. *)
+type budget_reason = Budget_nodes | Budget_wall | Budget_heap | Budget_interrupt
 
 let budget_reason_tag = function
   | Budget_nodes -> "nodes"
   | Budget_wall -> "wall_ms"
   | Budget_heap -> "heap_mb"
+  | Budget_interrupt -> "interrupt"
 
 let heap_mb_now () =
   let words = (Gc.quick_stat ()).Gc.heap_words in
@@ -93,6 +96,176 @@ let stats_fields st =
     ("cache_hits", Obs_json.Int st.cache_hits);
     ("elapsed_ns", Obs_json.Int st.elapsed_ns);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume (slin-checkpoint/v1)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Bumped whenever exploration order, node accounting or the column
+   split change: a checkpoint (or a memoized serve verdict) produced by
+   a different engine must never be replayed. *)
+let engine_fingerprint = "slin-engine/incremental-columns-v1"
+
+let checkpoint_schema = "slin-checkpoint/v1"
+
+(* The resumable unit is one completed top-level column.  The game at
+   the root reduces to "every top-level subtree admits the empty
+   linearization", the columns are solved independently, and the merge
+   is deterministic — the exact invariance the engine-equivalence suite
+   pins for [jobs].  So skipping recorded columns and re-running the
+   rest provably reaches the uninterrupted verdict, witness and counts.
+   A finer-grained (mid-DFS) checkpoint would have to serialize the
+   recursion stack and the schedule cache; column granularity costs at
+   most one column of redone work and stays spec-independent. *)
+type col_checkpoint = {
+  col_index : int;
+  col_outcome : string;  (* "ok" | "failed" | "not-lin" *)
+  col_schedule : int list;  (* Not_linearizable schedule, else [] *)
+  col_nodes : int;
+  col_hits : int;
+  col_frontier : int;
+  col_cand : int;
+  col_killed : int;
+  col_dead : int;
+  col_vfail : int;
+  col_wit : (int * int list) list;  (* temporal order *)
+}
+
+type checkpoint = { ck_config : string; ck_columns : col_checkpoint list }
+
+(* FNV-1a 64-bit over the canonical JSON body: cheap, deterministic,
+   and plenty for integrity (corruption detection, identity checks) —
+   this is not a security boundary. *)
+let fnv64 (s : string) =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let col_checkpoint_to_json (c : col_checkpoint) =
+  Obs_json.Assoc
+    [
+      ("col", Obs_json.Int c.col_index);
+      ("outcome", Obs_json.String c.col_outcome);
+      ("schedule", Obs_json.List (List.map (fun p -> Obs_json.Int p) c.col_schedule));
+      ("nodes", Obs_json.Int c.col_nodes);
+      ("hits", Obs_json.Int c.col_hits);
+      ("frontier", Obs_json.Int c.col_frontier);
+      ("cand", Obs_json.Int c.col_cand);
+      ("killed", Obs_json.Int c.col_killed);
+      ("dead", Obs_json.Int c.col_dead);
+      ("vfail", Obs_json.Int c.col_vfail);
+      ( "wit",
+        Obs_json.List
+          (List.map
+             (fun (d, pth) ->
+               Obs_json.Assoc
+                 [
+                   ("depth", Obs_json.Int d);
+                   ("path", Obs_json.List (List.map (fun p -> Obs_json.Int p) pth));
+                 ])
+             c.col_wit) );
+    ]
+
+let checkpoint_body ck =
+  Obs_json.to_string
+    (Obs_json.Assoc
+       [
+         ("engine", Obs_json.String engine_fingerprint);
+         ("config", Obs_json.String ck.ck_config);
+         ("columns", Obs_json.List (List.map col_checkpoint_to_json ck.ck_columns));
+       ])
+
+let checkpoint_fingerprint ck = fnv64 (checkpoint_body ck)
+
+let checkpoint_to_json ck =
+  Obs_json.Assoc
+    [
+      ("schema", Obs_json.String checkpoint_schema);
+      ("engine", Obs_json.String engine_fingerprint);
+      ("config", Obs_json.String ck.ck_config);
+      ("fingerprint", Obs_json.String (checkpoint_fingerprint ck));
+      ("columns", Obs_json.List (List.map col_checkpoint_to_json ck.ck_columns));
+    ]
+
+let checkpoint_of_json j : (checkpoint, string) result =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let field name conv o =
+    match Option.bind (Obs_json.member name o) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "checkpoint: missing or ill-typed %S" name)
+  in
+  let* schema = field "schema" Obs_json.to_str j in
+  if schema <> checkpoint_schema then
+    Error (Printf.sprintf "checkpoint: unsupported schema %S (want %S)" schema checkpoint_schema)
+  else
+    let* engine = field "engine" Obs_json.to_str j in
+    if engine <> engine_fingerprint then
+      Error
+        (Printf.sprintf "checkpoint: engine %S does not match this binary's %S" engine
+           engine_fingerprint)
+    else
+      let* config = field "config" Obs_json.to_str j in
+      let* fp = field "fingerprint" Obs_json.to_str j in
+      let* cols = field "columns" Obs_json.to_list j in
+      let parse_col o =
+        let* idx = field "col" Obs_json.to_int o in
+        let* outcome = field "outcome" Obs_json.to_str o in
+        if outcome <> "ok" && outcome <> "failed" && outcome <> "not-lin" then
+          Error (Printf.sprintf "checkpoint: column %d has unknown outcome %S" idx outcome)
+        else
+          let* schedule = field "schedule" Obs_json.to_int_list o in
+          let* nodes = field "nodes" Obs_json.to_int o in
+          let* hits = field "hits" Obs_json.to_int o in
+          let* frontier = field "frontier" Obs_json.to_int o in
+          let* cand = field "cand" Obs_json.to_int o in
+          let* killed = field "killed" Obs_json.to_int o in
+          let* dead = field "dead" Obs_json.to_int o in
+          let* vfail = field "vfail" Obs_json.to_int o in
+          let* wit = field "wit" Obs_json.to_list o in
+          let* wit =
+            List.fold_left
+              (fun acc w ->
+                let* acc = acc in
+                let* d = field "depth" Obs_json.to_int w in
+                let* pth = field "path" Obs_json.to_int_list w in
+                Ok ((d, pth) :: acc))
+              (Ok []) wit
+          in
+          Ok
+            {
+              col_index = idx;
+              col_outcome = outcome;
+              col_schedule = schedule;
+              col_nodes = nodes;
+              col_hits = hits;
+              col_frontier = frontier;
+              col_cand = cand;
+              col_killed = killed;
+              col_dead = dead;
+              col_vfail = vfail;
+              col_wit = List.rev wit;
+            }
+      in
+      let* columns =
+        List.fold_left
+          (fun acc o ->
+            let* acc = acc in
+            let* c = parse_col o in
+            Ok (c :: acc))
+          (Ok []) cols
+      in
+      let ck = { ck_config = config; ck_columns = List.rev columns } in
+      if checkpoint_fingerprint ck <> fp then
+        Error "checkpoint: content digest mismatch (corrupted or hand-edited file)"
+      else Ok ck
+
+type checkpointing = {
+  cp_config : string;
+  cp_resume : checkpoint option;
+  cp_emit : checkpoint -> unit;
+}
 
 module Make (S : Spec.S) = struct
   type entry = { op_id : int; eresp : S.resp }
@@ -408,6 +581,8 @@ module Make (S : Spec.S) = struct
         Format.fprintf fmt "inconclusive: wall-clock budget exhausted after %d nodes" nodes
     | Out_of_budget { nodes; reason = Budget_heap } ->
         Format.fprintf fmt "inconclusive: memory budget exhausted after %d nodes" nodes
+    | Out_of_budget { nodes; reason = Budget_interrupt } ->
+        Format.fprintf fmt "inconclusive: interrupted after %d nodes" nodes
 
   exception Found_not_linearizable of int list
 
@@ -454,6 +629,25 @@ module Make (S : Spec.S) = struct
     cr_wit : (int * int list) list;  (* temporal order *)
   }
 
+  (* A checkpointed column replayed as if this run had solved it: the
+     merge cannot tell a resumed column from a freshly solved one. *)
+  let col_result_of_checkpoint (cc : col_checkpoint) =
+    {
+      cr_outcome =
+        (match cc.col_outcome with
+        | "ok" -> Col_ok true
+        | "failed" -> Col_ok false
+        | _ -> Col_not_lin cc.col_schedule);
+      cr_nodes = cc.col_nodes;
+      cr_hits = cc.col_hits;
+      cr_frontier = cc.col_frontier;
+      cr_cand = cc.col_cand;
+      cr_killed = cc.col_killed;
+      cr_dead = cc.col_dead;
+      cr_vfail = cc.col_vfail;
+      cr_wit = cc.col_wit;
+    }
+
   (* [max_depth] truncates the tree: nodes at that depth get no children.
      Truncation preserves soundness of refutation — a prefix-closed
      linearization function on the full tree restricts to one on any
@@ -464,8 +658,8 @@ module Make (S : Spec.S) = struct
      full tree infinite. *)
   let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
       ?on_progress ?(progress_every = 10_000) ?(progress_every_ms = 1000) ?tracer ?profiler
-      ?coverage ?(jobs = 1) ?(checkpoint_stride = 16) (prog : (S.op, S.resp) Sim.program) :
-      verdict * stats =
+      ?coverage ?(jobs = 1) ?(checkpoint_stride = 16) ?interrupt ?checkpointing
+      (prog : (S.op, S.resp) Sim.program) : verdict * stats =
     let stride = max 1 checkpoint_stride in
     let jobs = max 1 jobs in
     if prog.Sim.procs > 255 then invalid_arg "Lincheck: more than 255 processes";
@@ -571,6 +765,7 @@ module Make (S : Spec.S) = struct
             (match budget_heap_mb with
             | Some mb when heap_mb_now () > mb -> stop Budget_heap
             | _ -> ());
+            (match interrupt with Some f when f () -> stop Budget_interrupt | _ -> ());
             tick ();
             tick_time ();
             (match lane with Some l -> Prof.fresh l ~depth | None -> ());
@@ -756,6 +951,7 @@ module Make (S : Spec.S) = struct
       then trip Budget_wall
       else if match budget_heap_mb with Some mb -> heap_mb_now () > mb | None -> false then
         trip Budget_heap
+      else if match interrupt with Some f -> f () | None -> false then trip Budget_interrupt
       else begin
         (* Root accounting, exactly as the sequential engine does it:
            node 1, anchored (depth 0), one generated candidate. *)
@@ -811,6 +1007,44 @@ module Make (S : Spec.S) = struct
             go ()
           in
           let results : col_result option array = Array.make ncols None in
+          (* Checkpoint bookkeeping: the cumulative column list, emitted
+             (sorted) after every completed column.  The list is updated
+             under a lock; the caller's [cp_emit] runs outside it so a
+             raising emitter (serve's fault injection) cannot wedge the
+             other workers. *)
+          let ck_lock = Mutex.create () in
+          let ck_cols =
+            ref
+              (match checkpointing with
+              | Some { cp_resume = Some r; _ } ->
+                  List.filter (fun cc -> cc.col_index >= 0 && cc.col_index < ncols) r.ck_columns
+              | _ -> [])
+          in
+          let emit_col cp (cc : col_checkpoint) =
+            Mutex.lock ck_lock;
+            ck_cols :=
+              List.sort
+                (fun a b -> compare a.col_index b.col_index)
+                (cc :: List.filter (fun c -> c.col_index <> cc.col_index) !ck_cols);
+            let snapshot = !ck_cols in
+            Mutex.unlock ck_lock;
+            cp.cp_emit { ck_config = cp.cp_config; ck_columns = snapshot }
+          in
+          (* Resume: recorded columns are final — pre-fill their results
+             so no worker re-solves them, and propagate any recorded
+             stopping column so later columns abandon immediately. *)
+          (match checkpointing with
+          | Some { cp_resume = Some r; _ } ->
+              List.iter
+                (fun (cc : col_checkpoint) ->
+                  if cc.col_index >= 0 && cc.col_index < ncols then begin
+                    results.(cc.col_index) <- Some (col_result_of_checkpoint cc);
+                    match cc.col_outcome with
+                    | "failed" | "not-lin" -> note_stop cc.col_index
+                    | _ -> ()
+                  end)
+                r.ck_columns
+          | _ -> ());
           let abandoned =
             {
               cr_outcome = Col_abandoned;
@@ -884,7 +1118,37 @@ module Make (S : Spec.S) = struct
                     cr_dead = !(eng.en_dead);
                     cr_vfail = !(eng.en_vfail);
                     cr_wit = List.rev !(eng.en_wit);
-                  }
+                  };
+              (* Completed columns (ok / failed / not-lin) are final facts
+                 about the tree and go into the checkpoint; tripped or
+                 abandoned columns are not resumable state. *)
+              match checkpointing with
+              | Some cp -> (
+                  match outcome with
+                  | Col_tripped _ | Col_abandoned -> ()
+                  | _ ->
+                      let tag, sched =
+                        match outcome with
+                        | Col_ok true -> ("ok", [])
+                        | Col_ok false -> ("failed", [])
+                        | Col_not_lin s -> ("not-lin", s)
+                        | Col_tripped _ | Col_abandoned -> assert false
+                      in
+                      emit_col cp
+                        {
+                          col_index = c;
+                          col_outcome = tag;
+                          col_schedule = sched;
+                          col_nodes = !(eng.en_nodes);
+                          col_hits = !(eng.en_hits);
+                          col_frontier = !(eng.en_frontier);
+                          col_cand = !(eng.en_cand);
+                          col_killed = !(eng.en_killed);
+                          col_dead = !(eng.en_dead);
+                          col_vfail = !(eng.en_vfail);
+                          col_wit = List.rev !(eng.en_wit);
+                        })
+              | None -> ()
             end
           in
           let worker k =
@@ -893,7 +1157,7 @@ module Make (S : Spec.S) = struct
             let on_tick = if k = 0 then par_on_tick else None in
             let c = ref k in
             while !c < ncols do
-              run_column ~lane ~cov ~on_tick !c;
+              if results.(!c) = None then run_column ~lane ~cov ~on_tick !c;
               c := !c + nworkers
             done
           in
@@ -923,6 +1187,12 @@ module Make (S : Spec.S) = struct
           in
           let exception Fallback in
           let exception Done of verdict in
+          (* With checkpointing active a tripped budget must not discard
+             the completed columns by re-running sequentially: degrade to
+             [Out_of_budget] with the merged partial stats instead
+             (column-granular accounting, documented in the mli). *)
+          let exception Trip of budget_reason in
+          let ckpt = checkpointing <> None in
           let merge_lane = lane_for 0 in
           (* The root node is evaluated here, not in any worker column;
              attribute it to the merge lane so lane totals sum to the
@@ -936,7 +1206,7 @@ module Make (S : Spec.S) = struct
               (* The walk only reaches abandoned columns if a worker raced
                  a stale [min_stop]; recover with the sequential engine. *)
               (match r.cr_outcome with Col_abandoned -> raise Fallback | _ -> ());
-              if !acc_nodes + r.cr_nodes > max_nodes then raise Fallback;
+              if (not ckpt) && !acc_nodes + r.cr_nodes > max_nodes then raise Fallback;
               acc_nodes := !acc_nodes + r.cr_nodes;
               acc_hits := !acc_hits + r.cr_hits;
               if r.cr_frontier > !acc_frontier then acc_frontier := r.cr_frontier;
@@ -951,15 +1221,16 @@ module Make (S : Spec.S) = struct
                     witness := pth
                   end)
                 r.cr_wit;
-              match r.cr_outcome with
+              (match r.cr_outcome with
               | Col_ok true -> ()
               | Col_ok false ->
                   incr acc_killed;
                   raise
                     (Done (Not_strongly_linearizable { witness = !witness; nodes = !acc_nodes }))
               | Col_not_lin schedule -> raise (Done (Not_linearizable { schedule }))
-              | Col_tripped _ -> raise Fallback
-              | Col_abandoned -> assert false
+              | Col_tripped reason -> if ckpt then raise (Trip reason) else raise Fallback
+              | Col_abandoned -> assert false);
+              if ckpt && !acc_nodes > max_nodes then raise (Trip Budget_nodes)
             done;
             end_merge ();
             finish_par (Strongly_linearizable { nodes = !acc_nodes })
@@ -967,13 +1238,19 @@ module Make (S : Spec.S) = struct
           | Done v ->
               end_merge ();
               finish_par v
+          | Trip reason ->
+              end_merge ();
+              finish_par (Out_of_budget { nodes = !acc_nodes; reason })
           | Fallback ->
               end_merge ();
               run_sequential ()
         end
       end
     in
-    if jobs > 1 then run_parallel () else run_sequential ()
+    (* Checkpointing forces the column engine even at [jobs = 1]: columns
+       are the resumable unit, and column determinism makes the routed
+       run's verdict and stats identical to the plain one. *)
+    if jobs > 1 || checkpointing <> None then run_parallel () else run_sequential ()
 
   let check_strong ?max_nodes ?max_depth prog =
     fst (check_strong_stats ?max_nodes ?max_depth prog)

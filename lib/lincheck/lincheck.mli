@@ -23,11 +23,81 @@ exception Budget_exhausted
     [Out_of_budget].  [Budget_nodes] is the historical node cap; its
     pretty and JSON renderings are pinned byte-for-byte.  [Budget_wall]
     and [Budget_heap] come from the optional [budget_ms] /
-    [budget_heap_mb] arguments of {!Make.check_strong_stats}. *)
-type budget_reason = Budget_nodes | Budget_wall | Budget_heap
+    [budget_heap_mb] arguments of {!Make.check_strong_stats};
+    [Budget_interrupt] from its [interrupt] hook (signals, deadlines,
+    supervisor cancellation). *)
+type budget_reason = Budget_nodes | Budget_wall | Budget_heap | Budget_interrupt
 
 val budget_reason_tag : budget_reason -> string
-(** ["nodes"], ["wall_ms"] or ["heap_mb"] — the JSON tag. *)
+(** ["nodes"], ["wall_ms"], ["heap_mb"] or ["interrupt"] — the JSON tag. *)
+
+val engine_fingerprint : string
+(** Identity of the exploration engine's deterministic behaviour (bumped
+    whenever exploration order, node accounting or the column split
+    change).  Baked into checkpoints and into [slin serve]'s memoized
+    verdict keys so stale state is never replayed across engines. *)
+
+(** {1 Checkpoint / resume}
+
+    The game at the root reduces to "every top-level subtree (column)
+    must admit the empty linearization"; columns are solved independently
+    and merged deterministically, so a run's completed columns are a
+    sound resume point: a run restarted from a checkpoint skips them and
+    provably reaches the same verdict, witness and counts as an
+    uninterrupted run (the same invariance that makes the verdict
+    independent of [jobs]).  Serialized as versioned [slin-checkpoint/v1]
+    documents. *)
+
+type col_checkpoint = {
+  col_index : int;  (** position in the root's enabled list *)
+  col_outcome : string;  (** ["ok"], ["failed"] or ["not-lin"] *)
+  col_schedule : int list;  (** the [Not_linearizable] schedule, else [] *)
+  col_nodes : int;
+  col_hits : int;
+  col_frontier : int;
+  col_cand : int;
+  col_killed : int;
+  col_dead : int;
+  col_vfail : int;
+  col_wit : (int * int list) list;
+      (** witness updates in temporal order: (depth, schedule) at each
+          strictly-deeper dead end *)
+}
+
+type checkpoint = {
+  ck_config : string;
+      (** caller-chosen configuration fingerprint (object, depth bound,
+          engine); a resume under a different configuration must be
+          refused by the caller *)
+  ck_columns : col_checkpoint list;  (** completed columns, ascending *)
+}
+
+val checkpoint_schema : string
+(** ["slin-checkpoint/v1"] *)
+
+val checkpoint_fingerprint : checkpoint -> string
+(** Deterministic digest of the checkpoint's configuration and column
+    results — equal for an interrupted-then-resumed run and an
+    uninterrupted one iff they walked the same columns to the same
+    outcomes.  Embedded in the JSON and re-verified on parse, so a
+    corrupted checkpoint is a structured error, not a wrong resume. *)
+
+val checkpoint_to_json : checkpoint -> Obs_json.t
+
+val checkpoint_of_json : Obs_json.t -> (checkpoint, string) result
+(** Validates the schema tag, the engine fingerprint and the content
+    digest; never raises. *)
+
+type checkpointing = {
+  cp_config : string;  (** configuration fingerprint to stamp and match *)
+  cp_resume : checkpoint option;
+      (** completed columns to skip; the caller must have verified
+          [ck_config = cp_config] *)
+  cp_emit : checkpoint -> unit;
+      (** called with the cumulative checkpoint after every completed
+          column (possibly from a worker domain; emissions are
+          serialized per call but may arrive in any column order) *)
+}
 
 type stats = {
   nodes : int;  (** distinct tree nodes explored (= the verdict's count) *)
@@ -111,6 +181,8 @@ module Make (S : Spec.S) : sig
     ?coverage:Coverage.t ->
     ?jobs:int ->
     ?checkpoint_stride:int ->
+    ?interrupt:(unit -> bool) ->
+    ?checkpointing:checkpointing ->
     (S.op, S.resp) Sim.program ->
     verdict * stats
   (** Like {!check_strong}, additionally returning exploration {!stats}.
@@ -158,7 +230,25 @@ module Make (S : Spec.S) : sig
       is a multiple of the stride is re-derived from a full replay and
       compared against the incrementally maintained state (stride 1 =
       paranoid mode, every node anchored).  Anchoring is a pure
-      cross-check — results are identical for every stride. *)
+      cross-check — results are identical for every stride.
+
+      [interrupt] is polled at every fresh node (same cadence as the
+      budgets); once it returns [true] the run degrades to
+      [Out_of_budget] with reason [Budget_interrupt] and the partial
+      stats gathered so far — this is how signal handlers, per-request
+      deadlines and supervisor cancellation stop a check without losing
+      its accounting.
+
+      [checkpointing] routes the run through the column engine (even at
+      [jobs = 1]), skips the columns recorded in [cp_resume], and calls
+      [cp_emit] with the cumulative {!checkpoint} after each completed
+      column.  An uninterrupted checkpointed run returns the same
+      verdict and stats as a plain run; a resumed run returns the same
+      verdict, witness and column-sum stats as the run it resumed
+      (column determinism — the [jobs]-invariance property).  With
+      checkpointing active a tripped budget merges the completed
+      columns' partial stats instead of falling back to the sequential
+      engine, so budget-tripped node counts are column-granular. *)
 
   val verdict_fields : verdict -> (string * Obs_json.t) list
   (** The verdict as JSON fields (constructor tag plus its payload). *)

@@ -84,9 +84,22 @@ exception Parse_error of string
 
 let parse_error pos msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
 
+(* Nesting cap: [parse_value] recurses per '['/'{', so adversarial input
+   like a megabyte of open brackets would otherwise blow the OCaml stack
+   with [Stack_overflow] — an uncatchable-looking crash instead of the
+   structured diagnostic the serve/explain paths promise.  1024 levels
+   is far beyond any document this tool emits. *)
+let max_nesting = 1024
+
 let of_string_exn s =
   let n = String.length s in
   let pos = ref 0 in
+  let depth = ref 0 in
+  let enter () =
+    incr depth;
+    if !depth > max_nesting then parse_error !pos "nesting too deep"
+  in
+  let leave () = decr depth in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -187,10 +200,12 @@ let of_string_exn s =
     | Some 'n' -> literal "null" Null
     | Some '"' -> String (parse_string ())
     | Some '[' ->
+        enter ();
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
           advance ();
+          leave ();
           List []
         end
         else
@@ -206,12 +221,16 @@ let of_string_exn s =
                 List.rev (v :: acc)
             | _ -> parse_error !pos "expected ',' or ']'"
           in
-          List (items [])
+          let l = List (items []) in
+          leave ();
+          l
     | Some '{' ->
+        enter ();
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
           advance ();
+          leave ();
           Assoc []
         end
         else
@@ -231,7 +250,9 @@ let of_string_exn s =
                 List.rev ((k, v) :: acc)
             | _ -> parse_error !pos "expected ',' or '}'"
           in
-          Assoc (members [])
+          let a = Assoc (members []) in
+          leave ();
+          a
     | Some _ -> parse_number ()
   in
   let v = parse_value () in
@@ -243,6 +264,10 @@ let of_string s =
   match of_string_exn s with
   | v -> Ok v
   | exception Parse_error msg -> Error msg
+  | exception Stack_overflow ->
+      (* Unreachable while [max_nesting] holds, but [of_string] promises
+         "never an uncaught exception" to the serve/explain paths. *)
+      Error "nesting too deep"
 
 (* ---------------------------------------------------------------- *)
 (* Accessors                                                         *)

@@ -23,7 +23,9 @@ val pp : Format.formatter -> t -> unit
 exception Parse_error of string
 
 val of_string : string -> (t, string) result
-(** Parse one complete JSON document (trailing garbage is an error). *)
+(** Parse one complete JSON document (trailing garbage is an error).
+    Never raises: malformed, truncated or pathologically nested input
+    (beyond 1024 levels) yields [Error] with a diagnostic. *)
 
 val of_string_exn : string -> t
 (** @raise Parse_error on malformed input. *)

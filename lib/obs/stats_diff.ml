@@ -14,9 +14,12 @@ let has_suffix s suf =
    by exact name, not a "_ratio" suffix rule: [conflict_ratio] is also a
    ratio but has no good direction — a workload seeing more conflicts is
    neither better nor worse. *)
+(* [completed_ratio] (serve: requests answered with a verdict or a
+   structured inconclusive, over all requests) is a scale-free service
+   health ratio: down means more sheds/failures per request. *)
 let direction_of_metric m =
   if has_suffix m "_per_s" || has_suffix m "_per_sec" || m = "utilization" then Higher_better
-  else if m = "unique_ratio" then Higher_better
+  else if m = "unique_ratio" || m = "completed_ratio" then Higher_better
   else if m = "ns_per_op" then Lower_better
   else Neutral
 
@@ -132,6 +135,41 @@ let coverage_rows doc =
       | _ -> ());
       Ok (List.rev !rows)
 
+(* Serve reports flatten to one "serve" row per counter plus the two
+   directional (gated) metrics: completed_ratio and, when the report is
+   not deterministic-mode, requests_per_s.  Counters are Neutral —
+   reported, and gating on removal only — except that a baseline made
+   with --deterministic never carries timing rows, so machine-speed
+   jitter cannot gate. *)
+let serve_rows doc =
+  let open Obs_json in
+  match to_float (Option.value (member "requests" doc) ~default:Null) with
+  | None -> Error "slin-serve-report/v1 document has no numeric requests field"
+  | Some _ ->
+      let rows = ref [] in
+      let push_num metric j =
+        match num j with
+        | Some v -> rows := { row_name = "serve"; row_metric = metric; row_value = v } :: !rows
+        | None -> ()
+      in
+      List.iter
+        (fun k -> match member k doc with Some j -> push_num k j | None -> ())
+        [
+          "requests";
+          "done";
+          "inconclusive";
+          "failed";
+          "shed";
+          "rejected";
+          "memo_hits";
+          "coalesced";
+          "retries";
+          "worker_restarts";
+          "completed_ratio";
+          "requests_per_s";
+        ];
+      Ok (List.rev !rows)
+
 let rows_of doc =
   match Obs_json.member "schema" doc with
   | Some (Obs_json.String ("slin-bench/v1" as s)) ->
@@ -140,6 +178,8 @@ let rows_of doc =
       Result.map (fun rows -> (s, rows)) (profile_rows doc)
   | Some (Obs_json.String ("slin-coverage/v1" as s)) ->
       Result.map (fun rows -> (s, rows)) (coverage_rows doc)
+  | Some (Obs_json.String ("slin-serve-report/v1" as s)) ->
+      Result.map (fun rows -> (s, rows)) (serve_rows doc)
   | Some (Obs_json.String s) -> Error (Printf.sprintf "unsupported schema %S" s)
   | _ -> Error "document has no schema tag"
 

@@ -1,6 +1,6 @@
 (** Field-by-field comparison of two versioned perf reports
-    ([slin-bench/v1], [slin-profile/v1] or [slin-coverage/v1]) — the
-    engine behind
+    ([slin-bench/v1], [slin-profile/v1], [slin-coverage/v1] or
+    [slin-serve-report/v1]) — the engine behind
     [slin stats diff old.json new.json [--fail-on-regress PCT]].
 
     Both documents are flattened into [(name, metric, value)] rows;
@@ -15,12 +15,13 @@ type direction = Higher_better | Lower_better | Neutral
 val direction_of_metric : string -> direction
 (** Only scale-free ratio metrics are directional: throughput
     ([..._per_s], [..._per_sec], [utilization]) is higher-better,
-    coverage's [unique_ratio] (matched by exact name — [conflict_ratio]
-    has no good direction) is higher-better, per-op latency
-    ([ns_per_op]) is lower-better.  Everything else — node counts, kill
-    counts, raw wall/phase nanoseconds — is neutral: reported, never
-    gated (absolute times jitter across machines, and a tiny baseline
-    turns any wobble into a huge percentage). *)
+    coverage's [unique_ratio] and serve's [completed_ratio] (matched by
+    exact name — [conflict_ratio] has no good direction) are
+    higher-better, per-op latency ([ns_per_op]) is lower-better.
+    Everything else — node counts, kill counts, raw wall/phase
+    nanoseconds — is neutral: reported, never gated (absolute times
+    jitter across machines, and a tiny baseline turns any wobble into a
+    huge percentage). *)
 
 type row = { row_name : string; row_metric : string; row_value : float }
 
@@ -31,8 +32,11 @@ val rows_of : Obs_json.t -> (string * row list, string) result
     counts) plus per-lane nodes, utilization and per-phase ns;
     [slin-coverage/v1] yields the headline counters, [unique_ratio]
     (the one gated metric), pair totals and one row per access-matrix
-    cell (neutral, but a removed cell still gates).  Unknown schemas
-    are an error. *)
+    cell (neutral, but a removed cell still gates);
+    [slin-serve-report/v1] yields its request counters plus the gated
+    [completed_ratio] (and [requests_per_s] when present — reports made
+    with [--deterministic] omit timing, so machine speed cannot gate).
+    Unknown schemas are an error. *)
 
 type status =
   | Unchanged

@@ -1,0 +1,987 @@
+(* slin serve — a supervised, checkpoint/resume checking service.
+
+   One [t] owns a bounded request queue, a memo table and a pool of
+   worker domains.  The design goal is that no single request can take
+   the daemon down or wedge it:
+
+   - every request runs under a deadline, enforced through the engine's
+     [?interrupt] hook, so a too-hard instance degrades to the existing
+     inconclusive verdict instead of hanging a worker;
+   - the same hook doubles as a heartbeat: the driver loop watches
+     heartbeat age and cancels stalled workers cooperatively;
+   - a worker that {e crashes} (an escaped exception — in tests, the
+     gated fault injector below) is restarted by its supervisor wrapper
+     and the request re-enqueued with exponential backoff, at most
+     [max_retries] times, then answered with a structured [failed]
+     response;
+   - check requests run under {!Lincheck.checkpointing} with the
+     checkpoint kept on the job record, so a retried attempt resumes
+     from the last completed column instead of starting over — and
+     reaches the same verdict, by the engine's column determinism;
+   - past [queue_limit] the oldest sheddable queued request is shed
+     (else the incoming one), with a structured [shed] response.
+
+   Everything observable (responses, the report) is versioned JSON so
+   CI can validate shape and gate counters with [slin stats diff]. *)
+
+let schema = "slin-serve/v1"
+let report_schema = "slin-serve-report/v1"
+
+type kind = Check | Fuzz | Coverage | Explain
+
+let kind_tag = function
+  | Check -> "check"
+  | Fuzz -> "fuzz"
+  | Coverage -> "coverage"
+  | Explain -> "explain"
+
+let kind_of_tag = function
+  | "check" -> Some Check
+  | "fuzz" -> Some Fuzz
+  | "coverage" -> Some Coverage
+  | "explain" -> Some Explain
+  | _ -> None
+
+type request = {
+  rq_id : string;
+  rq_kind : kind;
+  rq_object : string;
+  rq_witness_file : string option;
+  rq_max_nodes : int;
+  rq_max_depth : int option;
+  rq_seed : int;
+  rq_runs : int;
+  rq_jobs : int;
+  rq_deadline_ms : int option;
+  rq_sheddable : bool;
+  rq_fault_cols : int option;
+  rq_fault_times : int;
+}
+
+(* ---------------- request parsing ---------------- *)
+
+let ( let* ) = Result.bind
+
+let request_of_json ~allow_faults j =
+  let open Obs_json in
+  let str_field k =
+    match member k j with
+    | None -> Ok None
+    | Some (String s) -> Ok (Some s)
+    | Some _ -> Error (Printf.sprintf "request field %S must be a string" k)
+  in
+  let int_field k =
+    match member k j with
+    | None -> Ok None
+    | Some v -> (
+        match to_int v with
+        | Some i -> Ok (Some i)
+        | None -> Error (Printf.sprintf "request field %S must be an integer" k))
+  in
+  let bool_field k =
+    match member k j with
+    | None -> Ok None
+    | Some (Bool b) -> Ok (Some b)
+    | Some _ -> Error (Printf.sprintf "request field %S must be a boolean" k)
+  in
+  match j with
+  | Assoc _ ->
+      let* kind_s = str_field "kind" in
+      let* kind =
+        match kind_s with
+        | None -> Error "request has no kind field"
+        | Some s -> (
+            match kind_of_tag s with
+            | Some k -> Ok k
+            | None -> Error (Printf.sprintf "unknown request kind %S" s))
+      in
+      let* id = str_field "id" in
+      let* obj = str_field "object" in
+      let* wfile = str_field "witness_file" in
+      let* max_nodes = int_field "max_nodes" in
+      let* depth = int_field "max_depth" in
+      let* seed = int_field "seed" in
+      let* runs = int_field "runs" in
+      let* jobs = int_field "jobs" in
+      let* deadline = int_field "deadline_ms" in
+      let* sheddable = bool_field "sheddable" in
+      let* fault =
+        match member "fault" j with
+        | None -> Ok None
+        | Some f ->
+            if not allow_faults then
+              Error "fault injection is not enabled (start with --allow-fault-injection)"
+            else if kind <> Check then Error "fault injection only applies to check requests"
+            else (
+              match Option.bind (member "after_cols" f) to_int with
+              | Some cols when cols >= 1 ->
+                  let times =
+                    match Option.bind (member "times" f) to_int with
+                    | Some t when t >= 1 -> t
+                    | _ -> 1
+                  in
+                  Ok (Some (cols, times))
+              | _ -> Error "fault needs an integer after_cols >= 1")
+      in
+      let* () =
+        match kind with
+        | Explain -> if wfile = None then Error "explain requires witness_file" else Ok ()
+        | _ -> (
+            match obj with
+            | Some o when o <> "" -> Ok ()
+            | _ -> Error (Printf.sprintf "%s requires a registry object name" (kind_tag kind)))
+      in
+      Ok
+        {
+          rq_id = Option.value id ~default:"";
+          rq_kind = kind;
+          rq_object = Option.value obj ~default:"";
+          rq_witness_file = wfile;
+          rq_max_nodes = max 1 (Option.value max_nodes ~default:200_000);
+          rq_max_depth = depth;
+          rq_seed = Option.value seed ~default:1;
+          rq_runs = max 1 (Option.value runs ~default:200);
+          rq_jobs = min 8 (max 1 (Option.value jobs ~default:1));
+          rq_deadline_ms = deadline;
+          rq_sheddable = Option.value sheddable ~default:true;
+          rq_fault_cols = Option.map fst fault;
+          rq_fault_times = (match fault with Some (_, t) -> t | None -> 0);
+        }
+  | _ -> Error "request must be a JSON object"
+
+let request_of_line ~allow_faults line =
+  match Obs_json.of_string line with
+  | Error e -> Error ("malformed request JSON: " ^ e)
+  | Ok j -> request_of_json ~allow_faults j
+
+(* ---------------- configuration ---------------- *)
+
+type config = {
+  workers : int;
+  queue_limit : int;
+  max_retries : int;
+  backoff_ms : int;
+  default_deadline_ms : int;
+  stall_ms : int;
+  memo : bool;
+  deterministic : bool;
+  allow_faults : bool;
+}
+
+let default_config =
+  {
+    workers = 2;
+    queue_limit = 64;
+    max_retries = 2;
+    backoff_ms = 25;
+    default_deadline_ms = 60_000;
+    stall_ms = 10_000;
+    memo = true;
+    deterministic = false;
+    allow_faults = false;
+  }
+
+(* Budgets are deliberately not part of the key: completed columns are
+   valid facts about the game tree whatever budget discovered them, so a
+   checkpoint taken under one budget may resume under another. *)
+let config_fingerprint ~object_name ~max_depth =
+  Printf.sprintf "%s|depth=%s|%s" object_name
+    (match max_depth with Some d -> string_of_int d | None -> "none")
+    Lincheck.engine_fingerprint
+
+(* ---------------- service state ---------------- *)
+
+type memo_entry = {
+  m_kind : string;
+  m_object : string;
+  m_status : string;
+  m_exit : int;
+  m_extra : (string * Obs_json.t) list;
+}
+
+type job = {
+  j_idx : int;  (* arrival index; slot in the batch output *)
+  j_req : request;
+  j_key : string option;  (* memo/coalesce key; [None] = not memoizable *)
+  mutable j_attempts : int;  (* dispatches so far (1 = first try) *)
+  mutable j_fault_left : int;
+  mutable j_resume : Lincheck.checkpoint option;  (* survives a crash *)
+  mutable j_waiters : (int * string) list;  (* coalesced (idx, id), newest first *)
+  mutable j_delivered : bool;
+}
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable queue : job list;  (* arrival order; retries go to the front *)
+  mutable qlen : int;
+  mutable stopping : bool;
+  memo : (string, memo_entry) Hashtbl.t;
+  pending : (string, job) Hashtbl.t;  (* queued or running, for coalescing *)
+  hb : int Atomic.t array;  (* per-worker last heartbeat, ns *)
+  cancel : bool Atomic.t array;  (* per-worker cooperative cancel flag *)
+  busy : job option array;  (* under [lock] *)
+  mutable deliver : int -> Obs_json.t -> unit;  (* set by the active driver *)
+  t_created : int;
+  mutable n_requests : int;
+  mutable n_done : int;
+  mutable n_inconclusive : int;
+  mutable n_failed : int;
+  mutable n_shed : int;
+  mutable n_rejected : int;
+  mutable n_memo_hits : int;
+  mutable n_coalesced : int;
+  mutable n_retries : int;
+  mutable n_restarts : int;
+}
+
+let create cfg =
+  let workers = max 1 cfg.workers in
+  let cfg = { cfg with workers } in
+  {
+    cfg;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = [];
+    qlen = 0;
+    stopping = false;
+    memo = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    hb = Array.init workers (fun _ -> Atomic.make 0);
+    cancel = Array.init workers (fun _ -> Atomic.make false);
+    busy = Array.make workers None;
+    deliver = (fun _ _ -> ());
+    t_created = Obs.now_ns ();
+    n_requests = 0;
+    n_done = 0;
+    n_inconclusive = 0;
+    n_failed = 0;
+    n_shed = 0;
+    n_rejected = 0;
+    n_memo_hits = 0;
+    n_coalesced = 0;
+    n_retries = 0;
+    n_restarts = 0;
+  }
+
+let memo_key req =
+  match req.rq_kind with
+  | Explain -> None (* file-based input; content can change under the same path *)
+  | _ when req.rq_fault_cols <> None -> None (* crash drills must actually run *)
+  | _ ->
+      Some
+        (Obs_json.to_string
+           (Obs_json.Assoc
+              [
+                ("kind", Obs_json.String (kind_tag req.rq_kind));
+                ("object", Obs_json.String req.rq_object);
+                ("max_nodes", Obs_json.Int req.rq_max_nodes);
+                ( "max_depth",
+                  match req.rq_max_depth with Some d -> Obs_json.Int d | None -> Obs_json.Null );
+                ("seed", Obs_json.Int req.rq_seed);
+                ("runs", Obs_json.Int req.rq_runs);
+                ("jobs", Obs_json.Int req.rq_jobs);
+                (* deadline_ms is excluded: it decides when we give up,
+                   not what the answer is — and inconclusive-by-deadline
+                   results are never memoized anyway. *)
+                ("engine", Obs_json.String Lincheck.engine_fingerprint);
+              ]))
+
+(* ---------------- responses ---------------- *)
+
+let count_status t = function
+  | "done" -> t.n_done <- t.n_done + 1
+  | "inconclusive" -> t.n_inconclusive <- t.n_inconclusive + 1
+  | "failed" -> t.n_failed <- t.n_failed + 1
+  | "shed" -> t.n_shed <- t.n_shed + 1
+  | _ -> t.n_rejected <- t.n_rejected + 1
+
+let build_response t ~idx ~id ~kind ~obj ~attempts ~memo ~elapsed_ns (status, code, extra) =
+  let open Obs_json in
+  let base =
+    [
+      ("schema", String schema);
+      ("id", String id);
+      ("idx", Int idx);
+      ("kind", String kind);
+      ("object", String obj);
+      ("status", String status);
+      ("exit", Int code);
+      ("attempts", Int attempts);
+    ]
+  in
+  let memo_f = if memo then [ ("memo", Bool true) ] else [] in
+  let timing =
+    if t.cfg.deterministic || elapsed_ns <= 0 then []
+    else [ ("elapsed_ms", Float (float_of_int elapsed_ns /. 1e6)) ]
+  in
+  Assoc (base @ memo_f @ extra @ timing)
+
+(* A lone response with no job behind it (rejected input, memo hit). *)
+let respond_direct t ~idx ~id ~kind ~obj ~memo ~count (status, code, extra) =
+  Mutex.lock t.lock;
+  if count then count_status t status;
+  Mutex.unlock t.lock;
+  t.deliver idx
+    (build_response t ~idx ~id ~kind ~obj ~attempts:0 ~memo ~elapsed_ns:0 (status, code, extra))
+
+(* Results worth remembering: real verdicts, and inconclusives that are
+   a property of the instance (node budget) rather than of this
+   particular run's wall-clock luck (deadline/stall are never cached). *)
+let memoizable status extra =
+  status = "done"
+  || status = "inconclusive"
+     && List.assoc_opt "reason" extra = Some (Obs_json.String "nodes")
+
+(* Answer a job and every request coalesced onto it; idempotent so a
+   crash-after-delivery can never double-respond. *)
+let respond_job t job ~elapsed_ns (status, code, extra) =
+  let req = job.j_req in
+  Mutex.lock t.lock;
+  let fresh = not job.j_delivered in
+  if fresh then begin
+    job.j_delivered <- true;
+    count_status t status;
+    List.iter (fun _ -> count_status t status) job.j_waiters;
+    match job.j_key with
+    | None -> ()
+    | Some key ->
+        Hashtbl.remove t.pending key;
+        if t.cfg.memo && memoizable status extra then
+          Hashtbl.replace t.memo key
+            {
+              m_kind = kind_tag req.rq_kind;
+              m_object = req.rq_object;
+              m_status = status;
+              m_exit = code;
+              m_extra = extra;
+            }
+  end;
+  Mutex.unlock t.lock;
+  if fresh then begin
+    let mk ~idx ~id =
+      build_response t ~idx ~id ~kind:(kind_tag req.rq_kind) ~obj:req.rq_object
+        ~attempts:job.j_attempts ~memo:false ~elapsed_ns (status, code, extra)
+    in
+    t.deliver job.j_idx (mk ~idx:job.j_idx ~id:req.rq_id);
+    List.iter (fun (idx, id) -> t.deliver idx (mk ~idx ~id)) (List.rev job.j_waiters)
+  end
+
+(* ---------------- submission: reject / memo / coalesce / shed ---------------- *)
+
+let shed_response = ("shed", 2, [ ("reason", Obs_json.String "queue full") ])
+
+(* Oldest sheddable queued job, if any; retried jobs (attempts > 0) are
+   in-flight work we already paid for and are never shed. *)
+let pop_sheddable t =
+  let rec go acc = function
+    | [] -> None
+    | j :: rest when j.j_req.rq_sheddable && j.j_attempts = 0 -> Some (j, List.rev_append acc rest)
+    | j :: rest -> go (j :: acc) rest
+  in
+  go [] t.queue
+
+let submit t ~idx line =
+  Mutex.lock t.lock;
+  t.n_requests <- t.n_requests + 1;
+  Mutex.unlock t.lock;
+  let reject ~id ~kind ~obj msg =
+    respond_direct t ~idx ~id ~kind ~obj ~memo:false ~count:true
+      ("rejected", 2, [ ("error", Obs_json.String msg) ])
+  in
+  match Obs_json.of_string line with
+  | Error e -> reject ~id:"" ~kind:"unknown" ~obj:"" ("malformed request JSON: " ^ e)
+  | Ok j -> (
+      (* Salvage id/kind for the rejected response even when the request
+         is structurally bad, so the caller can still correlate it. *)
+      let salvage k =
+        match Obs_json.member k j with Some (Obs_json.String s) -> s | _ -> ""
+      in
+      match request_of_json ~allow_faults:t.cfg.allow_faults j with
+      | Error e ->
+          reject ~id:(salvage "id")
+            ~kind:(if salvage "kind" = "" then "unknown" else salvage "kind")
+            ~obj:(salvage "object") e
+      | Ok req -> (
+          let kind = kind_tag req.rq_kind in
+          match
+            if req.rq_kind = Explain then None
+            else if Registry.find req.rq_object = None then
+              Some (Printf.sprintf "unknown object %S" req.rq_object)
+            else None
+          with
+          | Some msg -> reject ~id:req.rq_id ~kind ~obj:req.rq_object msg
+          | None -> (
+              let key = if t.cfg.memo then memo_key req else None in
+              let memo_hit =
+                match key with
+                | None -> None
+                | Some k ->
+                    Mutex.lock t.lock;
+                    let m = Hashtbl.find_opt t.memo k in
+                    if m <> None then t.n_memo_hits <- t.n_memo_hits + 1;
+                    Mutex.unlock t.lock;
+                    m
+              in
+              match memo_hit with
+              | Some m ->
+                  respond_direct t ~idx ~id:req.rq_id ~kind:m.m_kind ~obj:m.m_object ~memo:true
+                    ~count:true (m.m_status, m.m_exit, m.m_extra)
+              | None -> (
+                  Mutex.lock t.lock;
+                  let coalesced =
+                    match key with
+                    | None -> false
+                    | Some k -> (
+                        match Hashtbl.find_opt t.pending k with
+                        | Some owner when not owner.j_delivered ->
+                            owner.j_waiters <- (idx, req.rq_id) :: owner.j_waiters;
+                            t.n_coalesced <- t.n_coalesced + 1;
+                            true
+                        | _ -> false)
+                  in
+                  if coalesced then Mutex.unlock t.lock
+                  else begin
+                    let job =
+                      {
+                        j_idx = idx;
+                        j_req = req;
+                        j_key = key;
+                        j_attempts = 0;
+                        j_fault_left = (if req.rq_fault_cols = None then 0 else req.rq_fault_times);
+                        j_resume = None;
+                        j_waiters = [];
+                        j_delivered = false;
+                      }
+                    in
+                    let shed_out =
+                      if t.qlen < t.cfg.queue_limit then begin
+                        t.queue <- t.queue @ [ job ];
+                        t.qlen <- t.qlen + 1;
+                        None
+                      end
+                      else
+                        match pop_sheddable t with
+                        | Some (old, rest) ->
+                            t.queue <- rest @ [ job ];
+                            Some old
+                        | None ->
+                            if req.rq_sheddable then Some job
+                            else begin
+                              (* nothing sheddable and the newcomer is
+                                 not either: admit it over the limit —
+                                 unsheddable work must be served *)
+                              t.queue <- t.queue @ [ job ];
+                              t.qlen <- t.qlen + 1;
+                              None
+                            end
+                    in
+                    let queued = match shed_out with Some s -> s != job | None -> true in
+                    (match (key, queued) with
+                    | Some k, true -> Hashtbl.replace t.pending k job
+                    | _ -> ());
+                    Condition.signal t.nonempty;
+                    Mutex.unlock t.lock;
+                    match shed_out with
+                    | Some victim -> respond_job t victim ~elapsed_ns:0 shed_response
+                    | None -> ()
+                  end))))
+
+(* ---------------- executors ---------------- *)
+
+exception Fault_injected
+
+let () =
+  Printexc.register_printer (function
+    | Fault_injected -> Some "injected worker fault (testing)"
+    | _ -> None)
+
+(* Run one request on worker [k].  May raise (that is the point of the
+   supervisor); everything observable goes through [respond_job]. *)
+let execute t k job =
+  job.j_attempts <- job.j_attempts + 1;
+  let req = job.j_req in
+  let deadline_ms = Option.value req.rq_deadline_ms ~default:t.cfg.default_deadline_ms in
+  let t_start = Obs.now_ns () in
+  let deadline_ns = t_start + (deadline_ms * 1_000_000) in
+  let cancel = t.cancel.(k) and hb = t.hb.(k) in
+  let interrupt () =
+    Atomic.set hb (Obs.now_ns ());
+    Atomic.get cancel || Obs.now_ns () > deadline_ns
+  in
+  let interrupt_reason () = if Atomic.get cancel then "stalled" else "deadline" in
+  (* [verdict_fields] tags an interrupt as just "interrupt"; the daemon
+     knows which robustness path fired, so say so. *)
+  let retag_interrupt fields =
+    List.map
+      (function
+        | "reason", Obs_json.String "interrupt" ->
+            ("reason", Obs_json.String (interrupt_reason ()))
+        | kv -> kv)
+      fields
+  in
+  let result =
+    match Registry.find req.rq_object with
+    | None when req.rq_kind <> Explain ->
+        ("rejected", 2, [ ("error", Obs_json.String "unknown object") ])
+    | found -> (
+        match req.rq_kind with
+        | Explain -> (
+            let path = Option.value req.rq_witness_file ~default:"" in
+            match Witness.parse_file path with
+            | Error e -> ("rejected", 2, [ ("error", Obs_json.String e) ])
+            | Ok p -> (
+                match Registry.find p.Witness.p_object with
+                | None ->
+                    ( "rejected",
+                      2,
+                      [
+                        ( "error",
+                          Obs_json.String
+                            (Printf.sprintf "witness references unknown object %S"
+                               p.Witness.p_object) );
+                      ] )
+                | Some (Registry.Checkable c) ->
+                    let (module S) = c.spec in
+                    let module W = Witness.Make (S) in
+                    let prog = Harness.program ~make:c.make ~workload:c.workload in
+                    let rep = W.replay prog p in
+                    ( "done",
+                      (if rep.W.reproduced then 0 else 1),
+                      [
+                        ("witness_object", Obs_json.String p.Witness.p_object);
+                        ("reproduced", Obs_json.Bool rep.W.reproduced);
+                        ( "notes",
+                          Obs_json.List (List.map (fun s -> Obs_json.String s) rep.W.notes) );
+                      ] )))
+        | Check | Coverage -> (
+            match found with
+            | None -> assert false (* handled above *)
+            | Some (Registry.Checkable c) ->
+                let (module S) = c.spec in
+                let module L = Lincheck.Make (S) in
+                let prog = Harness.program ~make:c.make ~workload:c.workload in
+                let depth =
+                  match req.rq_max_depth with Some _ as d -> d | None -> c.default_depth
+                in
+                let coverage =
+                  if req.rq_kind = Coverage then Some (Coverage.create ()) else None
+                in
+                (* Coverage runs skip checkpointing: a resumed run does
+                   not re-visit completed columns, so its observation
+                   counts would not match an uninterrupted one. *)
+                let checkpointing =
+                  if req.rq_kind = Check then
+                    Some
+                      {
+                        Lincheck.cp_config =
+                          config_fingerprint ~object_name:req.rq_object ~max_depth:depth;
+                        cp_resume = job.j_resume;
+                        cp_emit =
+                          (fun ck ->
+                            job.j_resume <- Some ck;
+                            match req.rq_fault_cols with
+                            | Some cols
+                              when job.j_fault_left > 0
+                                   && List.length ck.Lincheck.ck_columns >= cols ->
+                                job.j_fault_left <- job.j_fault_left - 1;
+                                raise Fault_injected
+                            | _ -> ());
+                      }
+                  else None
+                in
+                let v, _st =
+                  L.check_strong_stats ~max_nodes:req.rq_max_nodes ?max_depth:depth
+                    ~jobs:req.rq_jobs ~interrupt ?checkpointing ?coverage prog
+                in
+                let status, code =
+                  match v with
+                  | L.Strongly_linearizable _ -> ("done", 0)
+                  | L.Not_linearizable _ | L.Not_strongly_linearizable _ -> ("done", 1)
+                  | L.Out_of_budget _ -> ("inconclusive", 2)
+                in
+                let cov_fields =
+                  match coverage with
+                  | None -> []
+                  | Some cov ->
+                      let cs = Coverage.stats cov in
+                      [
+                        ("observations", Obs_json.Int cs.Coverage.observations);
+                        ("unique_worlds", Obs_json.Int cs.Coverage.unique);
+                        ( "unique_ratio",
+                          Obs_json.Float
+                            (if cs.Coverage.observations = 0 then 0.
+                             else
+                               float_of_int cs.Coverage.unique
+                               /. float_of_int cs.Coverage.observations) );
+                      ]
+                in
+                (status, code, retag_interrupt (L.verdict_fields v) @ cov_fields))
+        | Fuzz -> (
+            match found with
+            | None -> assert false (* handled above *)
+            | Some (Registry.Checkable c) ->
+                let (module S) = c.spec in
+                let module A = Adversary.Make (S) in
+                let prog = Harness.program ~make:c.make ~workload:c.workload in
+                let r =
+                  A.fuzz ~seed:req.rq_seed ~runs:req.rq_runs ~shrink:false ~jobs:req.rq_jobs
+                    ~interrupt prog
+                in
+                let base =
+                  [
+                    ("runs", Obs_json.Int r.A.fz_runs);
+                    ("crashed_runs", Obs_json.Int r.A.fz_crashed_runs);
+                    ("schedule_steps", Obs_json.Int r.A.fz_total_steps);
+                  ]
+                in
+                if r.A.fz_interrupted then
+                  ( "inconclusive",
+                    2,
+                    (("reason", Obs_json.String (interrupt_reason ())) :: base)
+                    @ [ ("interrupted", Obs_json.Bool true) ] )
+                else
+                  (match r.A.fz_violation with
+                  | Some v ->
+                      ( "done",
+                        1,
+                        base
+                        @ [
+                            ("violation", Obs_json.Bool true);
+                            ("violation_seed", Obs_json.Int v.A.v_seed);
+                            ( "certificate_steps",
+                              Obs_json.Int (Witness.size v.A.v_shape) );
+                          ] )
+                  | None -> ("done", 0, base @ [ ("violation", Obs_json.Bool false) ]))))
+  in
+  respond_job t job ~elapsed_ns:(Obs.now_ns () - t_start) result
+
+(* ---------------- the supervised worker pool ---------------- *)
+
+let take_job t k =
+  Mutex.lock t.lock;
+  while t.queue = [] && not t.stopping do
+    Condition.wait t.nonempty t.lock
+  done;
+  let r =
+    match t.queue with
+    | [] -> None
+    | job :: rest ->
+        t.queue <- rest;
+        t.qlen <- t.qlen - 1;
+        t.busy.(k) <- Some job;
+        Atomic.set t.cancel.(k) false;
+        Atomic.set t.hb.(k) (Obs.now_ns ());
+        Some job
+  in
+  Mutex.unlock t.lock;
+  r
+
+let clear_busy t k =
+  Mutex.lock t.lock;
+  t.busy.(k) <- None;
+  Mutex.unlock t.lock
+
+(* The supervisor: a worker whose [execute] raises is "restarted" (its
+   loop re-entered with clean state) and the victim request re-enqueued
+   at the front with exponentially backed-off delay — unless it has
+   exhausted its retries, in which case it gets a structured [failed]
+   response.  Either way the daemon keeps serving. *)
+let supervised t k =
+  let rec loop () =
+    match take_job t k with
+    | None -> ()
+    | Some job ->
+        (match execute t k job with
+        | () -> clear_busy t k
+        | exception exn ->
+            clear_busy t k;
+            Mutex.lock t.lock;
+            t.n_restarts <- t.n_restarts + 1;
+            Mutex.unlock t.lock;
+            if job.j_delivered then ()
+            else if job.j_attempts > t.cfg.max_retries then
+              respond_job t job ~elapsed_ns:0
+                ( "failed",
+                  2,
+                  [
+                    ( "error",
+                      Obs_json.String
+                        (Printf.sprintf "worker crashed (%d attempts): %s" job.j_attempts
+                           (Printexc.to_string exn)) );
+                  ] )
+            else begin
+              Mutex.lock t.lock;
+              t.n_retries <- t.n_retries + 1;
+              Mutex.unlock t.lock;
+              let backoff =
+                float_of_int (t.cfg.backoff_ms * (1 lsl min 10 (job.j_attempts - 1))) /. 1000.
+              in
+              Unix.sleepf (Float.min 2.0 backoff);
+              Mutex.lock t.lock;
+              t.queue <- job :: t.queue;
+              t.qlen <- t.qlen + 1;
+              Condition.signal t.nonempty;
+              Mutex.unlock t.lock
+            end);
+        loop ()
+  in
+  loop ()
+
+let start_workers t =
+  Mutex.lock t.lock;
+  t.stopping <- false;
+  Mutex.unlock t.lock;
+  Array.init t.cfg.workers (fun k -> Domain.spawn (fun () -> supervised t k))
+
+let stop_workers t doms =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join doms
+
+(* Cooperative stall detection: a busy worker whose heartbeat (refreshed
+   by the engine's interrupt poll, i.e. every fresh node) is older than
+   [stall_ms] gets its cancel flag set; the run then degrades to an
+   inconclusive "stalled" verdict at its next poll.  Cancellation is
+   cooperative at node granularity — a worker that never reaches another
+   node cannot be reclaimed without killing the domain, which OCaml does
+   not allow. *)
+let check_stalls t =
+  let now = Obs.now_ns () in
+  Mutex.lock t.lock;
+  Array.iteri
+    (fun k b ->
+      match b with
+      | Some _ when now - Atomic.get t.hb.(k) > t.cfg.stall_ms * 1_000_000 ->
+          Atomic.set t.cancel.(k) true
+      | _ -> ())
+    t.busy;
+  Mutex.unlock t.lock
+
+(* ---------------- drivers ---------------- *)
+
+let run_batch t lines =
+  let n = List.length lines in
+  let out = Array.make n Obs_json.Null in
+  let dlock = Mutex.create () in
+  let remaining = ref n in
+  t.deliver <-
+    (fun idx resp ->
+      Mutex.lock dlock;
+      if out.(idx) = Obs_json.Null then begin
+        out.(idx) <- resp;
+        decr remaining
+      end;
+      Mutex.unlock dlock);
+  (* Enqueue everything before any worker runs: shedding and coalescing
+     then depend only on the input order, so batch responses (and the
+     shed count) are deterministic and baseline-able. *)
+  List.iteri (fun idx line -> submit t ~idx line) lines;
+  let doms = start_workers t in
+  let rec wait () =
+    Mutex.lock dlock;
+    let r = !remaining in
+    Mutex.unlock dlock;
+    if r > 0 then begin
+      check_stalls t;
+      Unix.sleepf 0.02;
+      wait ()
+    end
+  in
+  wait ();
+  stop_workers t doms;
+  Array.to_list out
+
+let serve_stream t ic oc =
+  let omutex = Mutex.create () in
+  let outstanding = ref 0 in
+  t.deliver <-
+    (fun _idx resp ->
+      Mutex.lock omutex;
+      output_string oc (Obs_json.to_string resp);
+      output_char oc '\n';
+      flush oc;
+      decr outstanding;
+      Mutex.unlock omutex);
+  let doms = start_workers t in
+  let drain () =
+    let rec go () =
+      Mutex.lock omutex;
+      let r = !outstanding in
+      Mutex.unlock omutex;
+      if r > 0 then begin
+        check_stalls t;
+        Unix.sleepf 0.02;
+        go ()
+      end
+    in
+    go ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      drain ();
+      stop_workers t doms)
+    (fun () ->
+      let idx = ref 0 in
+      let rec read () =
+        match input_line ic with
+        | line ->
+            if String.trim line <> "" then begin
+              Mutex.lock omutex;
+              incr outstanding;
+              Mutex.unlock omutex;
+              submit t ~idx:!idx line;
+              incr idx
+            end;
+            read ()
+        | exception End_of_file -> ()
+      in
+      read ())
+
+let serve_socket t path ~stop =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        if not (stop ()) then begin
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | conn, _ ->
+              let ic = Unix.in_channel_of_descr conn in
+              let oc = Unix.out_channel_of_descr conn in
+              (try serve_stream t ic oc
+               with Sys_error _ | Unix.Unix_error _ -> () (* client went away *));
+              (try Unix.close conn with Unix.Unix_error _ -> ());
+              accept_loop ()
+        end
+      in
+      accept_loop ())
+
+(* ---------------- reporting & validation ---------------- *)
+
+let report t =
+  let open Obs_json in
+  Mutex.lock t.lock;
+  let fields =
+    [
+      ("schema", String report_schema);
+      ("workers", Int t.cfg.workers);
+      ("queue_limit", Int t.cfg.queue_limit);
+      ("requests", Int t.n_requests);
+      ("done", Int t.n_done);
+      ("inconclusive", Int t.n_inconclusive);
+      ("failed", Int t.n_failed);
+      ("shed", Int t.n_shed);
+      ("rejected", Int t.n_rejected);
+      ("memo_hits", Int t.n_memo_hits);
+      ("coalesced", Int t.n_coalesced);
+      ("retries", Int t.n_retries);
+      ("worker_restarts", Int t.n_restarts);
+      ( "completed_ratio",
+        Float
+          (float_of_int (t.n_done + t.n_inconclusive) /. float_of_int (max 1 t.n_requests)) );
+    ]
+  in
+  let timing =
+    if t.cfg.deterministic then []
+    else
+      let elapsed_ns = max 1 (Obs.now_ns () - t.t_created) in
+      [
+        ("elapsed_ms", Float (float_of_int elapsed_ns /. 1e6));
+        ( "requests_per_s",
+          Float (float_of_int t.n_requests *. 1e9 /. float_of_int elapsed_ns) );
+      ]
+  in
+  Mutex.unlock t.lock;
+  Assoc (fields @ timing)
+
+let statuses = [ "done"; "inconclusive"; "failed"; "shed"; "rejected" ]
+let kinds = [ "check"; "fuzz"; "coverage"; "explain"; "unknown" ]
+
+let validate_response j =
+  let open Obs_json in
+  let* () =
+    match member "schema" j with
+    | Some (String s) when s = schema -> Ok ()
+    | Some (String s) -> Error (Printf.sprintf "response schema is %S, want %S" s schema)
+    | _ -> Error "response has no schema tag"
+  in
+  let* () = if member "id" j |> Option.map to_str |> Option.join <> None then Ok () else Error "response has no id" in
+  let* () =
+    match Option.bind (member "idx" j) to_int with
+    | Some i when i >= 0 -> Ok ()
+    | _ -> Error "response has no idx"
+  in
+  let* () =
+    match Option.bind (member "kind" j) to_str with
+    | Some k when List.mem k kinds -> Ok ()
+    | Some k -> Error (Printf.sprintf "response has unknown kind %S" k)
+    | None -> Error "response has no kind"
+  in
+  let* () =
+    match Option.bind (member "object" j) to_str with
+    | Some _ -> Ok ()
+    | None -> Error "response has no object"
+  in
+  let* st =
+    match Option.bind (member "status" j) to_str with
+    | Some s when List.mem s statuses -> Ok s
+    | Some s -> Error (Printf.sprintf "response has unknown status %S" s)
+    | None -> Error "response has no status"
+  in
+  let* code =
+    match Option.bind (member "exit" j) to_int with
+    | Some c when c >= 0 && c <= 2 -> Ok c
+    | _ -> Error "response exit must be 0, 1 or 2"
+  in
+  let* () =
+    if (st = "done") = (code <> 2) then Ok ()
+    else Error (Printf.sprintf "status %S inconsistent with exit %d" st code)
+  in
+  match Option.bind (member "attempts" j) to_int with
+  | Some a when a >= 0 -> Ok ()
+  | _ -> Error "response has no attempts count"
+
+let validate_report j =
+  let open Obs_json in
+  let* () =
+    match member "schema" j with
+    | Some (String s) when s = report_schema -> Ok ()
+    | Some (String s) -> Error (Printf.sprintf "report schema is %S, want %S" s report_schema)
+    | _ -> Error "report has no schema tag"
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        match Option.bind (member k j) to_int with
+        | Some v when v >= 0 -> Ok ()
+        | _ -> Error (Printf.sprintf "report field %S must be a non-negative integer" k))
+      (Ok ())
+      [
+        "workers";
+        "queue_limit";
+        "requests";
+        "done";
+        "inconclusive";
+        "failed";
+        "shed";
+        "rejected";
+        "memo_hits";
+        "coalesced";
+        "retries";
+        "worker_restarts";
+      ]
+  in
+  match Option.bind (member "completed_ratio" j) to_float with
+  | Some r when r >= 0. && r <= 1. -> Ok ()
+  | _ -> Error "report completed_ratio must be a float in [0, 1]"

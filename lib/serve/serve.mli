@@ -1,0 +1,124 @@
+(** [slin serve] — a supervised, checkpoint/resume checking service.
+
+    The daemon accepts JSONL check/fuzz/coverage/explain requests (from
+    a batch file, stdin, or a Unix socket), dispatches them to a
+    supervised pool of worker domains, and answers each with one
+    versioned [slin-serve/v1] JSON response line.  Robustness is the
+    point:
+
+    - {e deadlines}: each request carries (or inherits) a deadline;
+      when it passes, the engine's interrupt hook degrades the run to
+      the existing inconclusive verdict (exit-2 semantics) instead of
+      hanging the daemon.
+    - {e supervision}: workers heartbeat through the same hook; a
+      stalled worker is cancelled cooperatively, and a {e crashed}
+      worker (an escaped exception) is restarted, its request
+      re-enqueued with bounded exponential backoff — at most
+      [max_retries] re-dispatches, then a structured [failed] response.
+    - {e checkpoint/resume}: check requests run under
+      {!Lincheck.checkpointing}; a crashed attempt resumes from its
+      last in-memory checkpoint and provably reaches the verdict an
+      uninterrupted run would (column determinism).
+    - {e backpressure}: the queue is bounded; past the limit the oldest
+      sheddable queued request is shed (else the incoming one), with a
+      structured [shed] response — the daemon never OOMs on a burst.
+    - {e memoization}: verdicts are memoized keyed on (kind, registry
+      object, config, engine fingerprint); duplicate in-flight requests
+      coalesce onto the pending job. *)
+
+val schema : string
+(** ["slin-serve/v1"] — the per-response schema tag. *)
+
+val report_schema : string
+(** ["slin-serve-report/v1"] — the end-of-run summary schema tag. *)
+
+type kind = Check | Fuzz | Coverage | Explain
+
+val kind_tag : kind -> string
+
+type request = {
+  rq_id : string;  (** caller's correlation id (defaulted when absent) *)
+  rq_kind : kind;
+  rq_object : string;  (** registry object name (unused for [Explain]) *)
+  rq_witness_file : string option;  (** [Explain]: slin-witness/v1 path *)
+  rq_max_nodes : int;
+  rq_max_depth : int option;  (** [None] = the registry default depth *)
+  rq_seed : int;  (** [Fuzz] master seed *)
+  rq_runs : int;  (** [Fuzz] campaign length *)
+  rq_jobs : int;  (** engine domains for this request (clamped to 1-8) *)
+  rq_deadline_ms : int option;  (** [None] = the config default *)
+  rq_sheddable : bool;  (** may this request be shed under load? *)
+  rq_fault_cols : int option;
+      (** fault injection (tests/CI only, gated on [allow_faults]):
+          crash the worker after this many checkpointed columns *)
+  rq_fault_times : int;  (** how many attempts the fault fires on *)
+}
+
+val request_of_json : allow_faults:bool -> Obs_json.t -> (request, string) result
+(** Validate and default one request object.  Unknown kinds, ill-typed
+    fields and fault injection without [allow_faults] are structured
+    errors, never exceptions. *)
+
+val request_of_line : allow_faults:bool -> string -> (request, string) result
+(** {!Obs_json.of_string} then {!request_of_json}; malformed JSON is an
+    [Error], never an exception. *)
+
+type config = {
+  workers : int;  (** worker domains (>= 1) *)
+  queue_limit : int;  (** bounded queue length before shedding *)
+  max_retries : int;  (** re-dispatches per request after a crash *)
+  backoff_ms : int;  (** base of the exponential retry backoff *)
+  default_deadline_ms : int;  (** deadline for requests that carry none *)
+  stall_ms : int;
+      (** heartbeat age after which a busy worker is cancelled *)
+  memo : bool;  (** memoize verdicts / coalesce duplicates *)
+  deterministic : bool;
+      (** omit wall-clock fields from responses and the report, so
+          batch output is byte-reproducible and baseline-gateable *)
+  allow_faults : bool;  (** accept fault-injection requests *)
+}
+
+val default_config : config
+(** 2 workers, queue limit 64, 2 retries, 25 ms backoff, 60 s deadline,
+    10 s stall, memo on, deterministic off, faults off. *)
+
+val config_fingerprint : object_name:string -> max_depth:int option -> string
+(** The checkpoint/memo configuration key for a check of [object_name]
+    at effective depth bound [max_depth] under this binary's
+    {!Lincheck.engine_fingerprint}.  Node and time budgets are
+    deliberately excluded: completed columns are valid facts about the
+    tree whatever budget discovered them, which is what lets a
+    budget-interrupted run's checkpoint resume under a larger budget. *)
+
+type t
+
+val create : config -> t
+
+val run_batch : t -> string list -> Obs_json.t list
+(** Enqueue every line (shedding and coalescing deterministically,
+    since workers only start afterwards), run the supervised pool to
+    completion, and return one response per line, in arrival order.
+    Never raises on malformed input lines — they get [rejected]
+    responses.  Can be called repeatedly on one [t]; memoized verdicts
+    persist across calls. *)
+
+val serve_stream : t -> in_channel -> out_channel -> unit
+(** Serve JSONL requests from a channel until EOF, writing each
+    response (in completion order) as one JSON line, flushed.  Used for
+    [slin serve] over stdin and per-connection on the socket. *)
+
+val serve_socket : t -> string -> stop:(unit -> bool) -> unit
+(** Listen on a Unix-domain socket path and serve connections
+    sequentially with {!serve_stream} until [stop ()] (polled between
+    connections, and on [EINTR]). *)
+
+val report : t -> Obs_json.t
+(** The [slin-serve-report/v1] summary over everything this [t] served:
+    request counters by status, memo/coalesce/retry/restart counts,
+    [completed_ratio], and (unless deterministic) [requests_per_s]. *)
+
+val validate_response : Obs_json.t -> (unit, string) result
+(** Structural check of one [slin-serve/v1] response. *)
+
+val validate_report : Obs_json.t -> (unit, string) result
+(** Structural check of a [slin-serve-report/v1] document. *)

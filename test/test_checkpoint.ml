@@ -1,0 +1,354 @@
+(* Checkpoint/resume determinism (slin-checkpoint/v1): a run killed
+   mid-exploration and resumed from its last checkpoint must reach the
+   same verdict, witness and counts as an uninterrupted run — at jobs=1
+   and jobs=4, for kills injected at several points.  Plus the document
+   round-trip itself: schema/digest validation makes a corrupted
+   checkpoint a structured error, never a wrong resume or an
+   exception. *)
+
+let fp_of (pp_verdict : Format.formatter -> 'v -> unit) (v : 'v) (s : Lincheck.stats) =
+  Format.asprintf "%a | nodes=%d hits=%d frontier=%d cand=%d killed=%d dead=%d vfail=%d"
+    pp_verdict v s.Lincheck.nodes s.Lincheck.cache_hits s.Lincheck.max_frontier_depth
+    s.Lincheck.candidates_generated s.Lincheck.candidates_killed s.Lincheck.dead_ends
+    s.Lincheck.validate_failures
+
+(* ---------------- checkpointed run == plain run ----------------------- *)
+
+(* Turning checkpointing on (which forces the column path even at
+   jobs=1) must not change the deterministic slice of the result. *)
+let test_checkpointed_equals_plain name jobs () =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let run ?checkpointing () =
+        let v, s =
+          L.check_strong_stats ~max_nodes:400_000 ?max_depth:c.default_depth ~jobs
+            ?checkpointing prog
+        in
+        fp_of L.pp_verdict v s
+      in
+      let plain = run () in
+      let emitted = ref 0 in
+      let cp =
+        {
+          Lincheck.cp_config = Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth;
+          cp_resume = None;
+          cp_emit = (fun _ -> incr emitted);
+        }
+      in
+      let checkpointed = run ~checkpointing:cp () in
+      Alcotest.(check string) (Printf.sprintf "%s jobs=%d" name jobs) plain checkpointed
+
+(* ---------------- kill at several points, resume, compare ------------- *)
+
+(* The interrupt hook is polled once per fresh node, so "kill after k
+   polls" is a deterministic mid-run kill point.  If no column completed
+   before the kill there is no checkpoint and the resume is a full
+   re-run — that degenerate case must also match the golden. *)
+let test_kill_resume name jobs kill_points () =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let cp_config =
+        Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth
+      in
+      let run ?interrupt ?checkpointing () =
+        let v, s =
+          L.check_strong_stats ~max_nodes:400_000 ?max_depth:c.default_depth ~jobs
+            ?interrupt ?checkpointing prog
+        in
+        (v, fp_of L.pp_verdict v s)
+      in
+      let _, golden = run () in
+      List.iter
+        (fun kill_after ->
+          let last = ref None in
+          let polls = Atomic.make 0 in
+          let v1, _ =
+            run
+              ~interrupt:(fun () -> Atomic.fetch_and_add polls 1 >= kill_after)
+              ~checkpointing:
+                { Lincheck.cp_config; cp_resume = None; cp_emit = (fun ck -> last := Some ck) }
+              ()
+          in
+          (match v1 with
+          | L.Out_of_budget _ -> ()
+          | _ ->
+              Alcotest.failf "%s jobs=%d: kill point %d did not interrupt the run" name jobs
+                kill_after);
+          let _, resumed =
+            run ~checkpointing:{ Lincheck.cp_config; cp_resume = !last; cp_emit = ignore } ()
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s jobs=%d kill=%d resume" name jobs kill_after)
+            golden resumed)
+        kill_points
+
+(* Budget-based kill (the CLI's `--budget-nodes` + `--checkpoint-out`
+   path): trip the node budget, then resume under the full budget. *)
+let test_budget_resume name jobs small_budget () =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let cp_config =
+        Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth
+      in
+      let run ~max_nodes ?checkpointing () =
+        let v, s =
+          L.check_strong_stats ~max_nodes ?max_depth:c.default_depth ~jobs ?checkpointing prog
+        in
+        (v, fp_of L.pp_verdict v s)
+      in
+      let _, golden = run ~max_nodes:400_000 () in
+      let last = ref None in
+      let v1, _ =
+        run ~max_nodes:small_budget
+          ~checkpointing:
+            { Lincheck.cp_config; cp_resume = None; cp_emit = (fun ck -> last := Some ck) }
+          ()
+      in
+      (match v1 with
+      | L.Out_of_budget _ -> ()
+      | _ -> Alcotest.failf "%s: budget %d did not trip" name small_budget);
+      if !last = None then
+        Alcotest.failf "%s: budget %d tripped before any column completed" name small_budget;
+      let _, resumed =
+        run ~max_nodes:400_000
+          ~checkpointing:{ Lincheck.cp_config; cp_resume = !last; cp_emit = ignore } ()
+      in
+      Alcotest.(check string) (Printf.sprintf "%s budget=%d resume" name small_budget) golden
+        resumed
+
+(* For a strongly-linearizable object every column completes, so the
+   cumulative checkpoint of interrupted-then-resumed and uninterrupted
+   runs must carry the same content digest — the "coverage fingerprint"
+   of what was explored. *)
+let test_resume_fingerprint () =
+  match Registry.find "counter" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let cp_config =
+        Serve.config_fingerprint ~object_name:"counter" ~max_depth:c.default_depth
+      in
+      let run ?interrupt ~resume () =
+        let last = ref resume in
+        let _ =
+          L.check_strong_stats ~max_nodes:400_000 ?max_depth:c.default_depth ~jobs:1 ?interrupt
+            ~checkpointing:
+              { Lincheck.cp_config; cp_resume = resume; cp_emit = (fun ck -> last := Some ck) }
+            prog
+        in
+        !last
+      in
+      let full =
+        match run ~resume:None () with
+        | Some ck -> ck
+        | None -> Alcotest.fail "uninterrupted run emitted no checkpoint"
+      in
+      let polls = Atomic.make 0 in
+      let mid = run ~interrupt:(fun () -> Atomic.fetch_and_add polls 1 >= 8_000) ~resume:None () in
+      let resumed =
+        match run ~resume:mid () with
+        | Some ck -> ck
+        | None -> Alcotest.fail "resumed run emitted no checkpoint"
+      in
+      Alcotest.(check string) "cumulative checkpoint digest"
+        (Lincheck.checkpoint_fingerprint full)
+        (Lincheck.checkpoint_fingerprint resumed)
+
+(* ---------------- document round-trip and corruption ------------------ *)
+
+let sample_checkpoint () =
+  match Registry.find "counter" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let last = ref None in
+      let cp_config =
+        Serve.config_fingerprint ~object_name:"counter" ~max_depth:c.default_depth
+      in
+      let _ =
+        L.check_strong_stats ~max_nodes:400_000 ?max_depth:c.default_depth ~jobs:1
+          ~checkpointing:
+            { Lincheck.cp_config; cp_resume = None; cp_emit = (fun ck -> last := Some ck) }
+          prog
+      in
+      match !last with Some ck -> ck | None -> Alcotest.fail "no checkpoint emitted"
+
+let test_roundtrip () =
+  let ck = sample_checkpoint () in
+  let s = Obs_json.to_string (Lincheck.checkpoint_to_json ck) in
+  match Obs_json.of_string s with
+  | Error e -> Alcotest.failf "rendered checkpoint does not parse: %s" e
+  | Ok j -> (
+      match Lincheck.checkpoint_of_json j with
+      | Error e -> Alcotest.failf "round-trip rejected: %s" e
+      | Ok ck' ->
+          Alcotest.(check bool) "structural equality" true (ck = ck');
+          Alcotest.(check string) "digest stable"
+            (Lincheck.checkpoint_fingerprint ck)
+            (Lincheck.checkpoint_fingerprint ck'))
+
+let test_corruption_rejected () =
+  let ck = sample_checkpoint () in
+  let j = Lincheck.checkpoint_to_json ck in
+  let reject name doc =
+    match Lincheck.checkpoint_of_json doc with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: corrupted checkpoint accepted" name
+  in
+  (match j with
+  | Obs_json.Assoc kvs ->
+      reject "schema swap"
+        (Obs_json.Assoc
+           (List.map
+              (function
+                | "schema", _ -> ("schema", Obs_json.String "slin-checkpoint/v999") | kv -> kv)
+              kvs));
+      reject "digest tamper"
+        (Obs_json.Assoc
+           (List.map
+              (function
+                | "fingerprint", _ -> ("fingerprint", Obs_json.String "deadbeefdeadbeef")
+                | kv -> kv)
+              kvs));
+      reject "column list dropped"
+        (Obs_json.Assoc (List.filter (fun (k, _) -> k <> "columns") kvs))
+  | _ -> Alcotest.fail "checkpoint JSON is not an object");
+  reject "not an object" (Obs_json.List [ Obs_json.Int 1 ])
+
+(* Truncations of the serialized document: every prefix must be either a
+   parse error or (only at full length) a valid checkpoint — never an
+   exception, never a digest-valid partial document. *)
+let test_truncation () =
+  let ck = sample_checkpoint () in
+  let s = Obs_json.to_string (Lincheck.checkpoint_to_json ck) in
+  let n = String.length s in
+  let step = max 1 (n / 97) in
+  let i = ref 0 in
+  while !i < n do
+    let prefix = String.sub s 0 !i in
+    (match Obs_json.of_string prefix with
+    | Error _ -> ()
+    | Ok j -> (
+        match Lincheck.checkpoint_of_json j with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "truncation at %d/%d produced a valid checkpoint" !i n));
+    i := !i + step
+  done
+
+(* ---------------- qcheck: corrupted bytes never raise ------------------ *)
+
+(* Random byte soup through the JSON parser: result, never exception
+   (the hardening contract of Obs_json.of_string). *)
+let qcheck_json_never_raises =
+  QCheck.Test.make ~name:"obs_json.of_string total on random bytes" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Obs_json.of_string s with Ok _ -> true | Error _ -> true)
+
+(* Byte flips over a valid serialized checkpoint: parsing plus digest
+   validation either rejects the mutant or accepts a semantically
+   identical document (e.g. the flip landed on an equivalent rendering);
+   an accepted mutant must carry the original digest. *)
+let qcheck_checkpoint_corruption =
+  let base =
+    lazy
+      (let ck = sample_checkpoint () in
+       (Obs_json.to_string (Lincheck.checkpoint_to_json ck), Lincheck.checkpoint_fingerprint ck))
+  in
+  QCheck.Test.make ~name:"checkpoint byte flips rejected or identical" ~count:300
+    QCheck.(pair small_nat printable_char)
+    (fun (pos, c) ->
+      let s, digest = Lazy.force base in
+      let n = String.length s in
+      let pos = pos mod n in
+      if s.[pos] = c then true
+      else
+        let b = Bytes.of_string s in
+        Bytes.set b pos c;
+        match Obs_json.of_string (Bytes.to_string b) with
+        | Error _ -> true
+        | Ok j -> (
+            match Lincheck.checkpoint_of_json j with
+            | Error _ -> true
+            | Ok ck' -> Lincheck.checkpoint_fingerprint ck' = digest))
+
+(* Corrupted witness files through the file-level parser: structured
+   error, never an exception. *)
+let test_witness_corruption_structured () =
+  let cases =
+    [
+      "";
+      "{";
+      "not json at all";
+      "{\"schema\":\"slin-witness/v999\"}";
+      "{\"schema\":\"slin-witness/v1\",\"object\":42}";
+      "[1,2,3]";
+    ]
+  in
+  List.iter
+    (fun body ->
+      let path = Filename.temp_file "slin-corrupt" ".json" in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      (match Witness.parse_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "corrupted witness %S accepted" body);
+      Sys.remove path)
+    cases
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "checkpoint"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "counter checkpointed = plain (j1)" `Quick
+            (test_checkpointed_equals_plain "counter" 1);
+          Alcotest.test_case "hw-queue checkpointed = plain (j4)" `Quick
+            (test_checkpointed_equals_plain "hw-queue" 4);
+          Alcotest.test_case "set-empty-race checkpointed = plain (j1)" `Quick
+            (test_checkpointed_equals_plain "set-empty-race" 1);
+        ] );
+      ( "kill-resume",
+        [
+          Alcotest.test_case "counter kills at 3 strides (j1)" `Quick
+            (test_kill_resume "counter" 1 [ 400; 4_000; 12_000 ]);
+          Alcotest.test_case "counter kills at 3 strides (j4)" `Quick
+            (test_kill_resume "counter" 4 [ 400; 4_000; 12_000 ]);
+          Alcotest.test_case "hw-queue kills at 3 strides (j1)" `Quick
+            (test_kill_resume "hw-queue" 1 [ 2_000; 20_000; 60_000 ]);
+          Alcotest.test_case "hw-queue kills at 3 strides (j4)" `Quick
+            (test_kill_resume "hw-queue" 4 [ 2_000; 20_000; 60_000 ]);
+          Alcotest.test_case "counter budget trip + resume (j1)" `Quick
+            (test_budget_resume "counter" 1 15_000);
+          Alcotest.test_case "cumulative digest identical after resume" `Quick
+            test_resume_fingerprint;
+        ] );
+      ( "document",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick test_corruption_rejected;
+          Alcotest.test_case "truncations rejected" `Quick test_truncation;
+          Alcotest.test_case "corrupted witness files structured" `Quick
+            test_witness_corruption_structured;
+          q qcheck_json_never_raises;
+          q qcheck_checkpoint_corruption;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* Tests for the serve daemon: request parsing (including fault-injection
+   gating), deterministic batch dispatch, memoization and coalescing,
+   deadline degradation, bounded-queue shedding, crash-retry-resume
+   supervision, retry exhaustion, and the response/report validators. *)
+
+let ok_request ?(allow_faults = false) line =
+  match Serve.request_of_line ~allow_faults line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "expected Ok for %s, got: %s" line e
+
+let err_request ?(allow_faults = false) line =
+  match Serve.request_of_line ~allow_faults line with
+  | Ok _ -> Alcotest.failf "expected Error for %s" line
+  | Error e -> e
+
+(* ---------------- request parsing ------------------------------------- *)
+
+let test_parse_defaults () =
+  let r = ok_request {|{"kind":"check","object":"counter"}|} in
+  Alcotest.(check bool) "kind" true (r.Serve.rq_kind = Serve.Check);
+  Alcotest.(check string) "object" "counter" r.Serve.rq_object;
+  Alcotest.(check bool) "sheddable by default" true r.Serve.rq_sheddable;
+  Alcotest.(check bool) "no fault by default" true (r.Serve.rq_fault_cols = None);
+  Alcotest.(check bool) "jobs clamped to >= 1" true (r.Serve.rq_jobs >= 1)
+
+let test_parse_errors () =
+  let _ = err_request {|{"kind":"launder","object":"counter"}|} in
+  let _ = err_request {|{"kind":"check"}|} in
+  let _ = err_request {|{"kind":"explain"}|} in
+  let _ = err_request {|not json|} in
+  let _ = err_request {|[1,2,3]|} in
+  let _ = err_request {|{"kind":"check","object":"counter","max_nodes":"lots"}|} in
+  ()
+
+let test_fault_gating () =
+  let line = {|{"kind":"check","object":"counter","fault":{"after_cols":1}}|} in
+  let _ = err_request ~allow_faults:false line in
+  let r = ok_request ~allow_faults:true line in
+  Alcotest.(check bool) "fault parsed" true (r.Serve.rq_fault_cols = Some 1);
+  (* fault injection only makes sense for checkpointed check runs *)
+  let _ = err_request ~allow_faults:true {|{"kind":"fuzz","object":"counter","fault":{"after_cols":1}}|} in
+  ()
+
+(* ---------------- batch helpers --------------------------------------- *)
+
+let str_member k j =
+  match Obs_json.member k j with Some (Obs_json.String s) -> s | _ -> ""
+
+let int_member k j =
+  match Obs_json.member k j with Some (Obs_json.Int n) -> n | _ -> -1
+
+let validate_all t responses =
+  List.iter
+    (fun r ->
+      match Serve.validate_response r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid response %s: %s" (Obs_json.to_string r) e)
+    responses;
+  match Serve.validate_report (Serve.report t) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid report: %s" e
+
+let deterministic_cfg =
+  { Serve.default_config with Serve.deterministic = true; backoff_ms = 1 }
+
+(* ---------------- canonical batch: determinism, coalescing, memo ------ *)
+
+let test_batch_deterministic () =
+  let jobs = Experiments.serve_jobs ~quick:true () in
+  let run () =
+    let t = Serve.create deterministic_cfg in
+    let rs = Serve.run_batch t jobs in
+    validate_all t rs;
+    (t, rs)
+  in
+  let t1, r1 = run () in
+  let _, r2 = run () in
+  Alcotest.(check int) "one response per line" (List.length jobs) (List.length r1);
+  Alcotest.(check string) "byte-reproducible batch"
+    (String.concat "\n" (List.map Obs_json.to_string r1))
+    (String.concat "\n" (List.map Obs_json.to_string r2));
+  let status_of id =
+    match List.find_opt (fun r -> str_member "id" r = id) r1 with
+    | Some r -> str_member "status" r
+    | None -> Alcotest.failf "no response with id %s" id
+  in
+  Alcotest.(check string) "unknown object rejected" "rejected" (status_of "check-unknown");
+  Alcotest.(check string) "SL object done" "done" (status_of "check-counter");
+  let rep = Serve.report t1 in
+  Alcotest.(check int) "duplicates coalesced" 2 (int_member "coalesced" rep);
+  Alcotest.(check int) "one rejection" 1 (int_member "rejected" rep);
+  Alcotest.(check int) "no retries" 0 (int_member "retries" rep)
+
+let test_memo_across_batches () =
+  let line = {|{"id":"a","kind":"check","object":"counter","max_nodes":400000}|} in
+  let t = Serve.create deterministic_cfg in
+  let first = Serve.run_batch t [ line ] in
+  let second = Serve.run_batch t [ line ] in
+  validate_all t (first @ second);
+  (match (first, second) with
+  | [ f ], [ s ] ->
+      Alcotest.(check string) "first computed" "done" (str_member "status" f);
+      Alcotest.(check bool) "first not memoized" false
+        (Obs_json.member "memo" f = Some (Obs_json.Bool true));
+      Alcotest.(check string) "second answered" "done" (str_member "status" s);
+      Alcotest.(check bool) "second memoized" true
+        (Obs_json.member "memo" s = Some (Obs_json.Bool true))
+  | _ -> Alcotest.fail "expected exactly one response per batch");
+  Alcotest.(check int) "memo hit counted" 1 (int_member "memo_hits" (Serve.report t))
+
+(* ---------------- deadline degradation -------------------------------- *)
+
+(* A 1 ms deadline on a ~100k-node exploration: the engine's interrupt
+   hook degrades the run to a structured inconclusive answer (exit-2
+   semantics) instead of hanging the worker. *)
+let test_deadline_degrades () =
+  let t =
+    Serve.create { deterministic_cfg with Serve.workers = 1; default_deadline_ms = 1 }
+  in
+  let rs =
+    Serve.run_batch t [ {|{"id":"slow","kind":"check","object":"hw-queue","max_nodes":400000}|} ]
+  in
+  validate_all t rs;
+  match rs with
+  | [ r ] ->
+      Alcotest.(check string) "status" "inconclusive" (str_member "status" r);
+      Alcotest.(check int) "exit" 2 (int_member "exit" r);
+      Alcotest.(check string) "reason" "deadline" (str_member "reason" r)
+  | _ -> Alcotest.fail "expected one response"
+
+(* ---------------- bounded queue: oldest-sheddable-first ---------------- *)
+
+(* memo off => no coalescing, so three identical requests really queue;
+   with queue_limit 1 and workers started only after submission, the two
+   oldest sheddable requests are shed deterministically. *)
+let test_shedding () =
+  let t =
+    Serve.create
+      { deterministic_cfg with Serve.workers = 1; queue_limit = 1; memo = false }
+  in
+  let line id = Printf.sprintf {|{"id":"%s","kind":"check","object":"counter"}|} id in
+  let rs = Serve.run_batch t [ line "r0"; line "r1"; line "r2" ] in
+  validate_all t rs;
+  let statuses = List.map (fun r -> (str_member "id" r, str_member "status" r)) rs in
+  Alcotest.(check (list (pair string string)))
+    "oldest shed first"
+    [ ("r0", "shed"); ("r1", "shed"); ("r2", "done") ]
+    statuses;
+  Alcotest.(check int) "shed counted" 2 (int_member "shed" (Serve.report t))
+
+(* A non-sheddable request survives the burst. *)
+let test_sheddable_flag () =
+  let t =
+    Serve.create
+      { deterministic_cfg with Serve.workers = 1; queue_limit = 1; memo = false }
+  in
+  let rs =
+    Serve.run_batch t
+      [
+        {|{"id":"keep","kind":"check","object":"counter","sheddable":false}|};
+        {|{"id":"burst","kind":"check","object":"faa-max"}|};
+      ]
+  in
+  validate_all t rs;
+  let statuses = List.map (fun r -> (str_member "id" r, str_member "status" r)) rs in
+  Alcotest.(check (list (pair string string)))
+    "non-sheddable kept" [ ("keep", "done"); ("burst", "shed") ] statuses
+
+(* ---------------- supervision: crash, resume, exhaustion --------------- *)
+
+(* Fault injection crashes the worker after the first checkpointed
+   column; the supervisor restarts the request, which resumes from the
+   in-memory checkpoint and must deliver the same verdict (status, exit,
+   node count) as an undisturbed run. *)
+let test_crash_resume_identical () =
+  let cfg = { deterministic_cfg with Serve.workers = 1; allow_faults = true } in
+  let clean =
+    let t = Serve.create cfg in
+    match
+      Serve.run_batch t [ {|{"id":"c","kind":"check","object":"hw-queue","max_nodes":400000}|} ]
+    with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "expected one response"
+  in
+  let t = Serve.create cfg in
+  let rs =
+    Serve.run_batch t
+      [
+        {|{"id":"f","kind":"check","object":"hw-queue","max_nodes":400000,"jobs":4,"fault":{"after_cols":1,"times":1}}|};
+      ]
+  in
+  validate_all t rs;
+  match rs with
+  | [ r ] ->
+      Alcotest.(check string) "status" (str_member "status" clean) (str_member "status" r);
+      Alcotest.(check int) "exit" (int_member "exit" clean) (int_member "exit" r);
+      Alcotest.(check int) "verdict nodes identical after crash+resume"
+        (int_member "nodes" clean) (int_member "nodes" r);
+      Alcotest.(check int) "second attempt" 2 (int_member "attempts" r);
+      Alcotest.(check int) "one restart" 1 (int_member "worker_restarts" (Serve.report t))
+  | _ -> Alcotest.fail "expected one response"
+
+(* A fault that fires on every attempt exhausts the retry budget and
+   yields a structured failed response — faa-max has several
+   strongly-linearizable columns, so every resumed attempt completes a
+   fresh column and re-arms the injector. *)
+let test_retry_exhaustion () =
+  let t =
+    Serve.create
+      { deterministic_cfg with Serve.workers = 1; max_retries = 1; allow_faults = true }
+  in
+  let rs =
+    Serve.run_batch t
+      [
+        {|{"id":"x","kind":"check","object":"faa-max","fault":{"after_cols":1,"times":99}}|};
+      ]
+  in
+  validate_all t rs;
+  match rs with
+  | [ r ] ->
+      Alcotest.(check string) "status" "failed" (str_member "status" r);
+      Alcotest.(check int) "exit" 2 (int_member "exit" r);
+      Alcotest.(check int) "attempts = 1 + max_retries" 2 (int_member "attempts" r);
+      Alcotest.(check int) "retries counted" 1 (int_member "retries" (Serve.report t))
+  | _ -> Alcotest.fail "expected one response"
+
+(* ---------------- baseline gate ---------------------------------------- *)
+
+(* The canonical quick batch re-run now must not regress against the
+   committed slin-serve-report/v1 baseline (the same gate CI applies
+   with `slin stats diff --fail-on-regress`). *)
+let test_baseline_gate () =
+  let baseline_path =
+    if Sys.file_exists "baselines/serve-batch.json" then "baselines/serve-batch.json"
+    else "test/baselines/serve-batch.json"
+  in
+  let ic = open_in baseline_path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  let old_doc =
+    match Obs_json.of_string (String.trim body) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "baseline does not parse: %s" e
+  in
+  let t = Serve.create deterministic_cfg in
+  let _ = Serve.run_batch t (Experiments.serve_jobs ~quick:true ()) in
+  let new_doc = Serve.report t in
+  match Stats_diff.diff ~old_doc ~new_doc with
+  | Error e -> Alcotest.failf "stats diff failed: %s" e
+  | Ok entries -> (
+      match Stats_diff.regressions entries with
+      | [] -> ()
+      | rs ->
+          Alcotest.failf "serve report regressed vs baseline:@.%a" Stats_diff.pp rs)
+
+(* ---------------- validators ------------------------------------------ *)
+
+let test_validators_reject () =
+  let bad =
+    [
+      Obs_json.Assoc [];
+      Obs_json.Assoc [ ("schema", Obs_json.String "slin-serve/v999") ];
+      Obs_json.Int 3;
+    ]
+  in
+  List.iter
+    (fun j ->
+      match Serve.validate_response j with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "accepted %s" (Obs_json.to_string j))
+    bad;
+  List.iter
+    (fun j ->
+      match Serve.validate_report j with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "report accepted %s" (Obs_json.to_string j))
+    bad
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "defaults" `Quick test_parse_defaults;
+          Alcotest.test_case "structured errors" `Quick test_parse_errors;
+          Alcotest.test_case "fault gating" `Quick test_fault_gating;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "canonical batch deterministic" `Quick test_batch_deterministic;
+          Alcotest.test_case "memo across batches" `Quick test_memo_across_batches;
+          Alcotest.test_case "deadline degrades to inconclusive" `Quick test_deadline_degrades;
+          Alcotest.test_case "oldest-sheddable-first" `Quick test_shedding;
+          Alcotest.test_case "non-sheddable survives" `Quick test_sheddable_flag;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash + resume = clean verdict" `Quick test_crash_resume_identical;
+          Alcotest.test_case "retry exhaustion fails structurally" `Quick test_retry_exhaustion;
+        ] );
+      ("baseline", [ Alcotest.test_case "no regress vs committed report" `Quick test_baseline_gate ]);
+      ("validators", [ Alcotest.test_case "reject malformed" `Quick test_validators_reject ]);
+    ]
