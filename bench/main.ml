@@ -419,7 +419,30 @@ let e6_quick () =
       for i = 1 to iters do
         Snap.update snap (i mod 64);
         ignore (Snap.scan snap)
-      done)
+      done);
+  (* Bignum width-scaling smoke: the limb loops behind every wide
+     fetch&add, at the same widths as the full widefaa suite.  [add v v]
+     is the full-length carry chain, [sub (pow2 b) one] the full-length
+     borrow chain — together they cover both split hot loops. *)
+  List.iter
+    (fun bits ->
+      let v = Bignum.pow2 bits in
+      let iters = max 500 (4_000_000 / bits) in
+      time_burst
+        (Printf.sprintf "bignum add @ %d bits" bits)
+        iters
+        (fun iters ->
+          for _ = 1 to iters do
+            ignore (Bignum.add v v)
+          done);
+      time_burst
+        (Printf.sprintf "bignum sub @ %d bits" bits)
+        iters
+        (fun iters ->
+          for _ = 1 to iters do
+            ignore (Bignum.sub v Bignum.one)
+          done))
+    [ 16; 256; 4096; 65536 ]
 
 (* ------------------------------------------------------------------ *)
 (* Fuzz throughput: schedules/sec with and without crash injection      *)
@@ -503,6 +526,7 @@ let bench_fuzz_ab () =
    a fresh jobs=1 run of the hw-queue row against the committed value. *)
 let bench_checker () =
   Format.printf "@.| checker engine (SL game, E2 refutations)     | nodes/s@.";
+  let nps_tbl = Hashtbl.create 8 in
   let run ~name ~jobs =
     match Registry.find name with
     | None -> ()
@@ -513,6 +537,7 @@ let bench_checker () =
         let _, s = L.check_strong_stats ?max_depth:c.default_depth ~jobs prog in
         let nps = Lincheck.nodes_per_sec s in
         let label = Printf.sprintf "checker %s -j %d" name jobs in
+        Hashtbl.replace nps_tbl (name, jobs) nps;
         record_result label "nodes_per_sec" nps;
         Format.printf "| %-44s | %.0f (%d nodes)@." label nps s.Lincheck.nodes
   in
@@ -523,7 +548,23 @@ let bench_checker () =
     (fun jobs ->
       run ~name:"hw-queue" ~jobs;
       run ~name:"agm-stack" ~jobs)
-    jobs_list
+    jobs_list;
+  (* Derived scaling ratio: unlike the absolute nodes/s rows (machine-
+     dependent, Neutral in stats diff), speedup_j4_over_j1 is scale-free
+     and gated Higher_better — it is the number the work-stealing
+     scheduler exists to keep up.  On a single-core host both runs
+     collapse to the sequential engine and the ratio honestly reads
+     ~1.0. *)
+  List.iter
+    (fun name ->
+      match (Hashtbl.find_opt nps_tbl (name, 1), Hashtbl.find_opt nps_tbl (name, 4)) with
+      | Some n1, Some n4 when n1 > 0. ->
+          let sp = n4 /. n1 in
+          let label = Printf.sprintf "checker %s" name in
+          record_result label "speedup_j4_over_j1" sp;
+          Format.printf "| %-44s | %.2fx (j4 over j1)@." (label ^ " scaling") sp
+      | _ -> ())
+    [ "hw-queue"; "agm-stack" ]
 
 (* ------------------------------------------------------------------ *)
 (* Serve throughput: the canonical batch through the supervised pool    *)

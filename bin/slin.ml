@@ -54,12 +54,13 @@ let unknown_object name =
 
 (* --- profiling helpers ------------------------------------------------ *)
 
-let profile_meta ~command ~objname ~jobs =
+let profile_meta ?steal_grain ~command ~objname ~jobs () =
   [
     ("command", Obs_json.String command);
     ("object", Obs_json.String objname);
     ("jobs", Obs_json.Int jobs);
   ]
+  @ match steal_grain with Some g -> [ ("steal_grain", Obs_json.Int g) ] | None -> []
 
 (* Finish the profile and write its slin-profile/v1 report; false on an
    unwritable path (the caller decides whether that poisons the exit
@@ -155,8 +156,8 @@ let read_checkpoint ~cp_config path =
 (* --- check ------------------------------------------------------------ *)
 
 let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
-    trace_out witness_out no_shrink jobs checkpoint_stride profile_out coverage_out
-    checkpoint_out resume =
+    trace_out witness_out no_shrink jobs steal_grain checkpoint_stride profile_out
+    coverage_out checkpoint_out resume =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -278,8 +279,8 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
            the verdict or its rendering; interrupt/resume notes go to
            stderr). *)
         let v, st =
-          L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~checkpoint_stride
-            ~interrupt:signal_interrupt ?checkpointing prog
+          L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain
+            ~checkpoint_stride ~interrupt:signal_interrupt ?checkpointing prog
         in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
         (match v with
@@ -329,7 +330,8 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         let v, st =
           L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
             ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ?profiler
-            ?coverage ~jobs ~checkpoint_stride ~interrupt:signal_interrupt ?checkpointing prog
+            ?coverage ~jobs ~steal_grain ~checkpoint_stride ~interrupt:signal_interrupt
+            ?checkpointing prog
         in
         Option.iter Prof.finish profiler;
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
@@ -369,12 +371,12 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         (match (profile_out, profiler) with
         | Some path, Some prof ->
             ignore
-              (write_profile prof ~meta:(profile_meta ~command:"check" ~objname:name ~jobs) path)
+              (write_profile prof ~meta:(profile_meta ~steal_grain ~command:"check" ~objname:name ~jobs ()) path)
         | _ -> ());
         (match (coverage_out, coverage) with
         | Some path, Some cov ->
             ignore
-              (write_coverage cov ~meta:(profile_meta ~command:"check" ~objname:name ~jobs) path)
+              (write_coverage cov ~meta:(profile_meta ~steal_grain ~command:"check" ~objname:name ~jobs ()) path)
         | _ -> ());
         emit_witness v;
         exit_of_verdict v
@@ -552,12 +554,12 @@ let run_fuzz name seed runs no_crash max_steps no_shrink witness_out jobs profil
       (match (profile_out, profiler) with
       | Some path, Some prof ->
           ignore
-            (write_profile prof ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs) path)
+            (write_profile prof ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs ()) path)
       | _ -> ());
       (match (coverage_out, coverage) with
       | Some path, Some cov ->
           ignore
-            (write_coverage cov ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs) path)
+            (write_coverage cov ~meta:(profile_meta ~command:"fuzz" ~objname:name ~jobs ()) path)
       | _ -> ());
       code
 
@@ -701,7 +703,8 @@ let run_progress name max_nodes max_depth witness_out =
 
 (* --- profile ---------------------------------------------------------- *)
 
-let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trace_out =
+let run_profile name jobs steal_grain max_nodes max_depth checkpoint_stride profile_out
+    trace_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -713,8 +716,8 @@ let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trac
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
       let prof = Prof.create () in
       let v, st =
-        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~checkpoint_stride
-          ~profiler:prof prog
+        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain
+          ~checkpoint_stride ~profiler:prof prog
       in
       Prof.finish prof;
       Format.printf "object: %s@." c.spec_name;
@@ -722,7 +725,7 @@ let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trac
       Format.printf "exploration: %d nodes, %.0f nodes/s, jobs=%d@." st.Lincheck.nodes
         (Lincheck.nodes_per_sec st) jobs;
       Format.printf "%a" Prof.pp_summary prof;
-      let meta = profile_meta ~command:"profile" ~objname:name ~jobs in
+      let meta = profile_meta ~steal_grain ~command:"profile" ~objname:name ~jobs () in
       let ok_report =
         match profile_out with None -> true | Some path -> write_profile prof ~meta path
       in
@@ -753,7 +756,8 @@ let run_profile name jobs max_nodes max_depth checkpoint_stride profile_out trac
 
 (* --- coverage --------------------------------------------------------- *)
 
-let run_coverage name jobs max_nodes max_depth checkpoint_stride exact_limit coverage_out =
+let run_coverage name jobs steal_grain max_nodes max_depth checkpoint_stride exact_limit
+    coverage_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -765,14 +769,14 @@ let run_coverage name jobs max_nodes max_depth checkpoint_stride exact_limit cov
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
       let cov = Coverage.create ?exact_limit () in
       let v, st =
-        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~checkpoint_stride
-          ~coverage:cov prog
+        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain
+          ~checkpoint_stride ~coverage:cov prog
       in
       Format.printf "object: %s@." c.spec_name;
       Format.printf "strong linearizability: %a@." L.pp_verdict v;
       Format.printf "exploration: %d nodes, jobs=%d@." st.Lincheck.nodes jobs;
       Format.printf "%a" Coverage.pp_summary cov;
-      let meta = profile_meta ~command:"coverage" ~objname:name ~jobs in
+      let meta = profile_meta ~steal_grain ~command:"coverage" ~objname:name ~jobs () in
       let ok_report =
         match coverage_out with None -> true | Some path -> write_coverage cov ~meta path
       in
@@ -935,14 +939,14 @@ let experiment_cmd =
         | Some path, Some prof ->
             ignore
               (write_profile prof
-                 ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs)
+                 ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs ())
                  path)
         | _ -> ());
         (match (coverage_out, coverage) with
         | Some path, Some cov ->
             ignore
               (write_coverage cov
-                 ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs)
+                 ~meta:(profile_meta ~command:"experiment" ~objname:"e2" ~jobs ())
                  path)
         | _ -> ());
         0
@@ -1035,9 +1039,20 @@ let check_cmd =
       value & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Solve the top-level subtrees of the game on $(docv) domains.  The merge is \
+            "Solve the game on up to $(docv) domains (capped at the hardware parallelism; \
+             override with SLIN_DOMAIN_CAP), distributing top-level subtrees — and, past \
+             the steal grain, their hot subtrees — by work stealing.  The merge is \
              deterministic: verdict, witness and node counts are identical for every value \
              (the stderr heartbeat is only emitted at $(docv)=1).")
+  in
+  let steal_grain =
+    Arg.(
+      value & opt int 4
+      & info [ "steal-grain" ] ~docv:"D"
+          ~doc:
+            "Work-stealing split depth: with 2+ effective domains, nodes at depth <= $(docv) \
+             fork their children as stealable tasks ($(docv)=0 restricts stealing to whole \
+             top-level subtrees).  Results are identical for every value.")
   in
   let checkpoint_stride =
     Arg.(
@@ -1095,8 +1110,8 @@ let check_cmd =
        ~doc:"Run the linearizability checks and the strong-linearizability game on OBJECT.")
     Term.(
       const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
-      $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ checkpoint_stride
-      $ profile_out $ coverage_out $ checkpoint_out $ resume)
+      $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ steal_grain
+      $ checkpoint_stride $ profile_out $ coverage_out $ checkpoint_out $ resume)
 
 let explain_cmd =
   let witness =
@@ -1287,16 +1302,22 @@ let profile_cmd =
             "Write a Chrome trace-event file with one lane per domain to $(docv) (open at \
              ui.perfetto.dev).")
   in
+  let steal_grain =
+    Arg.(
+      value & opt int 4
+      & info [ "steal-grain" ] ~docv:"D"
+          ~doc:"Work-stealing split depth (as in $(b,slin check)).")
+  in
   Cmd.v
     (Cmd.info "profile" ~exits:verdict_exits
        ~doc:
          "Run the strong-linearizability game on OBJECT under the engine profiler: \
-          per-domain solve/merge/idle/cross-check time, node and cache-hit counts, depth \
-          histograms and candidate-kill attribution.  Profiling is passive — the verdict is \
-          identical to $(b,slin check)'s.")
+          per-domain solve/merge/steal/share/idle/cross-check time, node and cache-hit \
+          counts, depth histograms and candidate-kill attribution.  Profiling is passive — \
+          the verdict is identical to $(b,slin check)'s.")
     Term.(
-      const run_profile $ obj $ jobs $ max_nodes $ max_depth $ checkpoint_stride
-      $ profile_out $ trace_out)
+      const run_profile $ obj $ jobs $ steal_grain $ max_nodes $ max_depth
+      $ checkpoint_stride $ profile_out $ trace_out)
 
 let coverage_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -1322,6 +1343,12 @@ let coverage_cmd =
       value & opt int 16
       & info [ "checkpoint-stride" ] ~docv:"K"
           ~doc:"Anchor interval of the incremental engine (as in $(b,slin check)).")
+  in
+  let steal_grain =
+    Arg.(
+      value & opt int 4
+      & info [ "steal-grain" ] ~docv:"D"
+          ~doc:"Work-stealing split depth (as in $(b,slin check)).")
   in
   let exact_limit =
     Arg.(
@@ -1350,8 +1377,8 @@ let coverage_cmd =
           conflicting adjacent accesses).  Recording is passive — the verdict and node \
           counts are identical to $(b,slin check)'s.")
     Term.(
-      const run_coverage $ obj $ jobs $ max_nodes $ max_depth $ checkpoint_stride
-      $ exact_limit $ coverage_out)
+      const run_coverage $ obj $ jobs $ steal_grain $ max_nodes $ max_depth
+      $ checkpoint_stride $ exact_limit $ coverage_out)
 
 let serve_cmd =
   let batch =

@@ -418,12 +418,12 @@ module Make (S : Spec.S) = struct
 
      All run configurations are drawn from the PRNG upfront, in exactly
      the order the stop-at-first-violation loop would draw them; [jobs]
-     domains then execute disjoint index classes.  The campaign "stops"
-     at the smallest violating index v — workers abandon indices past
-     the current minimum — and the report aggregates runs 0..v only, so
-     every field except [fz_elapsed_ns] is identical for every [jobs]
-     (the first violation is the index-minimal one, not the first found
-     in wall time). *)
+     domains then draw indices from a shared cursor.  The campaign
+     "stops" at the smallest violating index v — workers abandon
+     indices past the current minimum — and the report aggregates runs
+     0..v only, so every field except [fz_elapsed_ns] is identical for
+     every [jobs] (the first violation is the index-minimal one, not
+     the first found in wall time). *)
   let fuzz ~seed ~runs ?(crash = true) ?(max_steps = 2048) ?(shrink = true) ?(jobs = 1)
       ?profiler ?coverage ?(guided = false) ?interrupt
       (prog : (S.op, S.resp) Sim.program) : fuzz_report =
@@ -454,33 +454,43 @@ module Make (S : Spec.S) = struct
     in
     let corpus_retained = ref 0 in
     let corpus_dropped = ref 0 in
-    let run_range first stride =
-      (* Per-worker profiler lane: one solve span for the whole range,
-         one work unit per schedule executed (fuzz has no tree nodes).
-         Coverage records each run's trace prefixes on the worker's
-         shard — passive, so the campaign's report is unchanged. *)
-      let lane = Option.map (fun p -> Prof.lane p ~domain:first) profiler in
-      let cov_sh = Option.map (fun c -> Coverage.shard c ~domain:first) coverage in
-      (match lane with
-      | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "fuzz w%d" first) ()
-      | None -> ());
-      let i = ref first in
-      while !i < nruns && !i <= Atomic.get min_viol && not (intr ()) do
-        let run_seed, crash_after = cfgs.(!i) in
-        let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
-        steps_of.(!i) <- List.length schedule;
-        (match lane with Some l -> Prof.add_nodes l 1 | None -> ());
-        (match cov_sh with
-        | Some sh -> ignore (Coverage.observe_run sh ~run:!i (Sim.trace w))
-        | None -> ());
-        if L.check_trace (Sim.trace w) = None then begin
-          viol_sched.(!i) <- Some schedule;
-          note !i
-        end;
-        done_flags.(!i) <- true;
-        i := !i + stride
-      done;
-      match lane with Some l -> Prof.end_span l | None -> ()
+    (* Uniform campaign body, one call per index, distributed by
+       [Steal_pool.parallel_for]'s shared cursor so a straggler schedule
+       no longer stalls a whole static stride class.  Indices past the
+       current minimal violation are skipped (the campaign "stopped"
+       there); per-worker profiler lanes get one solve span for the
+       worker's whole share, one work unit per schedule executed (fuzz
+       has no tree nodes).  Coverage records each run's trace prefixes
+       on the executing worker's shard — passive, so the campaign's
+       report is unchanged. *)
+    let run_uniform () =
+      let nworkers = max 1 (min (Steal_pool.effective_workers ~requested:jobs) nruns) in
+      let lanes = Array.make nworkers None in
+      let shards = Array.make nworkers None in
+      Steal_pool.parallel_for ~workers:nworkers ~n:nruns
+        ~init:(fun w ->
+          let lane = Option.map (fun p -> Prof.lane p ~domain:w) profiler in
+          (match lane with
+          | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "fuzz w%d" w) ()
+          | None -> ());
+          lanes.(w) <- lane;
+          shards.(w) <- Option.map (fun c -> Coverage.shard c ~domain:w) coverage)
+        ~fini:(fun w -> match lanes.(w) with Some l -> Prof.end_span l | None -> ())
+        (fun ~worker i ->
+          if i <= Atomic.get min_viol && not (intr ()) then begin
+            let run_seed, crash_after = cfgs.(i) in
+            let w, schedule = Sim.run_random_full ~seed:run_seed ~crash_after ~max_steps prog in
+            steps_of.(i) <- List.length schedule;
+            (match lanes.(worker) with Some l -> Prof.add_nodes l 1 | None -> ());
+            (match shards.(worker) with
+            | Some sh -> ignore (Coverage.observe_run sh ~run:i (Sim.trace w))
+            | None -> ());
+            if L.check_trace (Sim.trace w) = None then begin
+              viol_sched.(i) <- Some schedule;
+              note i
+            end;
+            done_flags.(i) <- true
+          end)
     in
     (* Coverage-guided scheduling (opt-in): each step resumes the
        enabled process whose (world fingerprint, process) edge has been
@@ -609,17 +619,7 @@ module Make (S : Spec.S) = struct
       done;
       match lane with Some l -> Prof.end_span l | None -> ()
     in
-    (if guided then run_guided ()
-     else
-       let nworkers = max 1 (min jobs nruns) in
-       if nworkers > 1 then begin
-         let doms =
-           List.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> run_range (k + 1) nworkers))
-         in
-         run_range 0 nworkers;
-         List.iter Domain.join doms
-       end
-       else run_range 0 1);
+    (if guided then run_guided () else run_uniform ());
     let first_viol =
       let rec find i =
         if i >= nruns then None else if viol_sched.(i) <> None then Some i else find (i + 1)
@@ -758,7 +758,7 @@ let agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes
   let max_crashes = match max_crashes with Some c -> c | None -> max 0 (k - 1) in
   (* The (policy, plan) grid is fixed upfront; runs are independent
      (fresh policy state, decisions array and world per run), so [jobs]
-     domains can execute disjoint index classes and the merge — in grid
+     domains can grab grid indices dynamically and the merge — in grid
      order — reproduces the sequential report for every [jobs]. *)
   let pairs =
     Array.of_list
@@ -808,22 +808,10 @@ let agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes
     (plan <> [], not terminated, !distinct, List.rev !violations)
   in
   let results = Array.make nruns (false, false, 0, []) in
-  let run_range first stride =
-    let i = ref first in
-    while !i < nruns do
-      results.(!i) <- run_one pairs.(!i);
-      i := !i + stride
-    done
-  in
-  let nworkers = max 1 (min jobs nruns) in
-  if nworkers > 1 then begin
-    let doms =
-      List.init (nworkers - 1) (fun w -> Domain.spawn (fun () -> run_range (w + 1) nworkers))
-    in
-    run_range 0 nworkers;
-    List.iter Domain.join doms
-  end
-  else run_range 0 1;
+  Steal_pool.parallel_for
+    ~workers:(Steal_pool.effective_workers ~requested:jobs)
+    ~n:nruns
+    (fun ~worker:_ i -> results.(i) <- run_one pairs.(i));
   Obs.add c_sweep_runs nruns;
   let crashed_runs = ref 0 in
   let nonterminating = ref 0 in

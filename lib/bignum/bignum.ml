@@ -66,39 +66,79 @@ let compare (a : t) (b : t) =
 
 let hash (x : t) = Hashtbl.hash x
 
+(* [add]/[sub] are the checker's hottest bignum loops (every simulated
+   FAA/counter step lands here), so both split their loop at the shorter
+   operand's length: the common prefix runs with unsafe accesses and no
+   per-limb bound tests, the tail is carry/borrow propagation plus one
+   [Array.blit].  Indices are loop-bounded by the array lengths computed
+   on entry, which is what makes the unsafe accesses safe. *)
+
 let add (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
-  let n = max la lb + 1 in
-  let r = Array.make n 0 in
-  let carry = ref 0 in
-  for i = 0 to n - 1 do
-    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
-    r.(i) <- s land limb_mask;
-    carry := s lsr limb_bits
-  done;
-  assert (!carry = 0);
-  normalize r
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let x, lx, y, ly = if la >= lb then (a, la, b, lb) else (b, lb, a, la) in
+    let r = Array.make lx 0 in
+    let carry = ref 0 in
+    for i = 0 to ly - 1 do
+      let s = Array.unsafe_get x i + Array.unsafe_get y i + !carry in
+      Array.unsafe_set r i (s land limb_mask);
+      carry := s lsr limb_bits
+    done;
+    for i = ly to lx - 1 do
+      let s = Array.unsafe_get x i + !carry in
+      Array.unsafe_set r i (s land limb_mask);
+      carry := s lsr limb_bits
+    done;
+    if !carry = 0 then
+      (* no growth: the top limb absorbed its carry without wrapping, so
+         it is >= [x]'s (nonzero) top limb — already normalized *)
+      r
+    else begin
+      let r' = Array.make (lx + 1) 0 in
+      Array.blit r 0 r' 0 lx;
+      r'.(lx) <- !carry;
+      r'
+    end
+  end
 
 let succ x = add x one
 
 let sub (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if lb > la then raise Underflow;
-  let r = Array.make la 0 in
-  let borrow = ref 0 in
-  for i = 0 to la - 1 do
-    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
-    if d < 0 then begin
-      r.(i) <- d + (1 lsl limb_bits);
-      borrow := 1
-    end
-    else begin
-      r.(i) <- d;
-      borrow := 0
-    end
-  done;
-  if !borrow <> 0 then raise Underflow;
-  normalize r
+  if lb = 0 then a
+  else begin
+    let r = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to lb - 1 do
+      let d = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
+      if d < 0 then begin
+        Array.unsafe_set r i (d + (1 lsl limb_bits));
+        borrow := 1
+      end
+      else begin
+        Array.unsafe_set r i d;
+        borrow := 0
+      end
+    done;
+    let i = ref lb in
+    while !borrow = 1 && !i < la do
+      let d = Array.unsafe_get a !i - 1 in
+      if d < 0 then Array.unsafe_set r !i limb_mask
+      else begin
+        Array.unsafe_set r !i d;
+        borrow := 0
+      end;
+      incr i
+    done;
+    if !borrow <> 0 then raise Underflow;
+    if !i < la then Array.blit a !i r !i (la - !i);
+    (* when the blit ran, [r]'s top limb is [a]'s (nonzero) top limb and
+       [normalize] returns [r] itself — no copy on the fast path *)
+    normalize r
+  end
 
 let mul_small (a : t) k : t =
   if k < 0 || k >= small_max then invalid_arg "Bignum.mul_small: factor out of range";

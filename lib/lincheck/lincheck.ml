@@ -648,6 +648,78 @@ module Make (S : Spec.S) = struct
       cr_wit = cc.col_wit;
     }
 
+  (* ---------------------------------------------------------------- *)
+  (* Work-stealing task engine (nworkers >= 2)                          *)
+  (*                                                                    *)
+  (* A task is one subtree solved under one inherited linearization.    *)
+  (* Fork points (nodes at depth <= steal_grain with >= 2 children)     *)
+  (* push each child of the current candidate as a task; sibling        *)
+  (* subtrees have disjoint schedule-prefix key sets, so they race on   *)
+  (* nothing.  Determinism comes from *canonical resolution*: when a    *)
+  (* candidate's children have all finished, their results are folded   *)
+  (* in child order up to and including the first failing child —       *)
+  (* exactly the set of walks the sequential engine performs — and      *)
+  (* everything after it (over-executed speculation) is discarded,      *)
+  (* counters, cache tables and witnesses alike.  The two-tier cache:   *)
+  (* each task writes fresh nodes into its own local table (tier 1) and *)
+  (* reads through a chain of frozen tables from prior *counted* walks  *)
+  (* (tier 2 — read-mostly and shared across domains without locks,     *)
+  (* safe because a table is never mutated once it enters a chain).     *)
+  (* Counted tables propagate upward at resolution, so a later          *)
+  (* candidate's re-walk sees precisely the cache the sequential        *)
+  (* engine would have — hit/fresh counts match node for node.          *)
+  (* ---------------------------------------------------------------- *)
+
+  type task_outcome =
+    | T_ok
+    | T_fail of Prof.kill_reason  (* the failing walk's kill attribution *)
+    | T_notlin of int list
+    | T_trip of budget_reason
+    | T_col_abandoned  (* an earlier column stopped the run *)
+    | T_aborted  (* an enclosing group's earlier child failed *)
+
+  type task_counters = {
+    mutable k_nodes : int;
+    mutable k_hits : int;
+    mutable k_frontier : int;
+    mutable k_cand : int;
+    mutable k_killed : int;
+    mutable k_dead : int;
+    mutable k_vfail : int;
+    mutable k_wit : (int * int list) list;  (* newest first *)
+    mutable k_wit_len : int;
+    k_depth_hist : int array;
+    k_kills : int array;
+    mutable k_tables : (string, node_info) Hashtbl.t list;
+        (* the task's counted cache tables, set once at completion *)
+  }
+
+  let new_task_counters () =
+    {
+      k_nodes = 0;
+      k_hits = 0;
+      k_frontier = 0;
+      k_cand = 0;
+      k_killed = 0;
+      k_dead = 0;
+      k_vfail = 0;
+      k_wit = [];
+      k_wit_len = 0;
+      k_depth_hist = Array.make 64 0;
+      k_kills = Array.make 4 0;
+      k_tables = [];
+    }
+
+  (* Join state of one candidate's forked children.  [g_failed] is the
+     minimum failing child index so far (max_int while none): a task
+     whose guard index exceeds it can no longer be part of the counted
+     prefix and aborts at its next poll. *)
+  type task_group = { g_pending : int Atomic.t; g_failed : int Atomic.t }
+
+  type task_slot = { mutable r_out : task_outcome; mutable r_ctr : task_counters option }
+
+  exception Task_stop of task_outcome
+
   (* [max_depth] truncates the tree: nodes at that depth get no children.
      Truncation preserves soundness of refutation — a prefix-closed
      linearization function on the full tree restricts to one on any
@@ -658,10 +730,11 @@ module Make (S : Spec.S) = struct
      full tree infinite. *)
   let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
       ?on_progress ?(progress_every = 10_000) ?(progress_every_ms = 1000) ?tracer ?profiler
-      ?coverage ?(jobs = 1) ?(checkpoint_stride = 16) ?interrupt ?checkpointing
-      (prog : (S.op, S.resp) Sim.program) : verdict * stats =
+      ?coverage ?(jobs = 1) ?(steal_grain = 4) ?(checkpoint_stride = 16) ?interrupt
+      ?checkpointing (prog : (S.op, S.resp) Sim.program) : verdict * stats =
     let stride = max 1 checkpoint_stride in
     let jobs = max 1 jobs in
+    let steal_grain = max 0 steal_grain in
     if prog.Sim.procs > 255 then invalid_arg "Lincheck: more than 255 processes";
     let t0 = Obs.now_ns () in
     let lane_for w = Option.map (fun p -> Prof.lane p ~domain:w) profiler in
@@ -939,7 +1012,7 @@ module Make (S : Spec.S) = struct
        budget trip in the walked prefix falls back to an actual
        sequential run: budgeted work is bounded, and only the sequential
        engine can say precisely where it stops. *)
-    let run_parallel () =
+    let run_parallel ~nworkers () =
       let trip reason =
         let st = mk_stats ~nodes:1 ~hits:0 ~frontier:0 ~cand:0 ~killed:0 ~dead:0 ~vfail:0 in
         trace_final st;
@@ -972,7 +1045,6 @@ module Make (S : Spec.S) = struct
         else begin
           let cols = Array.of_list columns in
           let ncols = Array.length cols in
-          let nworkers = min jobs ncols in
           (* Aggregated heartbeat: all engines bump this (root already
              counted, matching the merge's accounting); worker 0 reads
              it when its own cadence fires. *)
@@ -1151,21 +1223,500 @@ module Make (S : Spec.S) = struct
               | None -> ()
             end
           in
-          let worker k =
-            let lane = lane_for k in
-            let cov = cov_for k in
-            let on_tick = if k = 0 then par_on_tick else None in
-            let c = ref k in
-            while !c < ncols do
-              if results.(!c) = None then run_column ~lane ~cov ~on_tick !c;
-              c := !c + nworkers
-            done
+          (* Work-stealing dispatch (nworkers >= 2): columns are seeded
+             round-robin as top-level tasks; fork points inside them
+             split hot subtrees onto the deques, so the critical column
+             no longer serializes the run.  See the task-engine comment
+             above [task_outcome] for the determinism argument. *)
+          let run_stealing () =
+            let first_error : exn option Atomic.t = Atomic.make None in
+            let note_error e =
+              if Atomic.get first_error = None then Atomic.set first_error (Some e)
+            in
+            let remaining = Atomic.make 0 in
+            let on_steal =
+              match profiler with
+              | None -> None
+              | Some p ->
+                  Some
+                    (fun ~thief ~victim:_ ~stolen:_ ~dur_ns ->
+                      let l = Prof.lane p ~domain:thief in
+                      Prof.note_span l Prof.Steal ~start_ns:(Obs.now_ns () - dur_ns) ~dur_ns ())
+            in
+            let pool = Steal_pool.create ~workers:nworkers ?on_steal () in
+            (* Per-column executed-node budget, mirroring the sequential
+               engine's per-column [max_nodes]: includes speculative work,
+               so a trip under stealing is conservative — harmless, since
+               unbudgeted runs never touch it and tripped runs either fall
+               back to the sequential engine (no checkpointing) or degrade
+               to a partial [Out_of_budget] (checkpointing). *)
+            let col_exec = Array.init ncols (fun _ -> Atomic.make 0) in
+            (* Checkpointed runs never fork inside a column: a whole
+               column per task keeps its executed-node count exactly the
+               sequential engine's, so budget-trip points — which a
+               checkpoint surfaces as a final [Out_of_budget] — stay
+               byte-identical across worker counts.  (Without
+               checkpointing a trip falls back to the sequential engine,
+               so speculative over-counting is invisible there.) *)
+            let grain = match checkpointing with Some _ -> 0 | None -> steal_grain in
+            (* Heartbeat: only worker 0 beats, on its own fresh-node and
+               256-event time cadences, reading the canonical global total
+               (bumped at column completion) so beats never overshoot the
+               verdict's node count. *)
+            let ticker =
+              Array.init nworkers (fun w ->
+                  match par_on_tick with
+                  | Some beat when w = 0 ->
+                      let ev = ref 0 in
+                      let freshes = ref 0 in
+                      let next_beat = ref (t0 + (progress_every_ms * 1_000_000)) in
+                      let time_cadence = progress_every_ms > 0 in
+                      fun ~fresh ~frontier ->
+                        if fresh then begin
+                          incr freshes;
+                          if !freshes mod progress_every = 0 then beat ~nodes:0 ~frontier
+                        end;
+                        if time_cadence then begin
+                          incr ev;
+                          if !ev land 255 = 0 then begin
+                            let now = Obs.now_ns () in
+                            if now >= !next_beat then begin
+                              next_beat := now + (progress_every_ms * 1_000_000);
+                              beat ~nodes:0 ~frontier
+                            end
+                          end
+                        end
+                  | _ -> fun ~fresh:_ ~frontier:_ -> ())
+            in
+            (* Run one subtree as the current task on [worker]: returns
+               its outcome and counters; never raises [Task_stop]. *)
+            let rec run_subtree ~worker ~col ~guards ~chain path0 depth0 key0 parent0 lin0 =
+              let k = new_task_counters () in
+              let local : (string, node_info) Hashtbl.t = Hashtbl.create 64 in
+              let last_fail = ref Prof.Kill_mismatch in
+              let lane = lane_for worker in
+              let cov = cov_for worker in
+              let tick = ticker.(worker) in
+              let poll () =
+                if Atomic.get min_stop < col then raise (Task_stop T_col_abandoned);
+                List.iter
+                  (fun ((g : task_group), i) ->
+                    if i > Atomic.get g.g_failed then raise (Task_stop T_aborted))
+                  guards
+              in
+              let ev_world : (S.op, S.resp) Sim.t option ref = ref None in
+              let ev_path : int list ref = ref [] in
+              let world_at path =
+                match (path, !ev_world) with
+                | p :: tl, Some w when tl == !ev_path ->
+                    Sim.step w p;
+                    ev_path := path;
+                    w
+                | _ ->
+                    let w = Sim.run_schedule prog (List.rev path) in
+                    ev_world := Some w;
+                    ev_path := path;
+                    w
+              in
+              let find_chain key =
+                let rec go = function
+                  | [] -> None
+                  | tbl :: rest -> (
+                      match Hashtbl.find_opt tbl key with Some _ as r -> r | None -> go rest)
+                in
+                go chain
+              in
+              let node_data path depth key parent =
+                match
+                  match Hashtbl.find_opt local key with
+                  | Some _ as r -> r
+                  | None -> find_chain key
+                with
+                | Some info ->
+                    k.k_hits <- k.k_hits + 1;
+                    tick ~fresh:false ~frontier:k.k_frontier;
+                    info
+                | None ->
+                    poll ();
+                    (* Count the node first, trip after — the sequential
+                       engine counts the node that exhausts the budget, and
+                       column-sum trip accounting must match it exactly. *)
+                    let executed = Atomic.fetch_and_add col_exec.(col) 1 + 1 in
+                    k.k_nodes <- k.k_nodes + 1;
+                    if executed > max_nodes then raise (Task_stop (T_trip Budget_nodes));
+                    (match budget_ms with
+                    | Some ms when Obs.now_ns () - t0 > ms * 1_000_000 ->
+                        raise (Task_stop (T_trip Budget_wall))
+                    | _ -> ());
+                    (match budget_heap_mb with
+                    | Some mb when heap_mb_now () > mb -> raise (Task_stop (T_trip Budget_heap))
+                    | _ -> ());
+                    (match interrupt with
+                    | Some f when f () -> raise (Task_stop (T_trip Budget_interrupt))
+                    | _ -> ());
+                    let b = if depth >= 64 then 63 else if depth < 0 then 0 else depth in
+                    k.k_depth_hist.(b) <- k.k_depth_hist.(b) + 1;
+                    tick ~fresh:true ~frontier:k.k_frontier;
+                    let w = world_at path in
+                    let info =
+                      match parent with Some pi -> extend_info pi w | None -> info_of_world w
+                    in
+                    if depth mod stride = 0 then begin
+                      match lane with
+                      | None -> cross_check info w
+                      | Some l ->
+                          let s = Obs.now_ns () in
+                          cross_check info w;
+                          Prof.cross_checked l ~start_ns:s ~stop_ns:(Obs.now_ns ())
+                    end;
+                    (match cov with
+                    | Some sh ->
+                        let branching =
+                          match max_depth with
+                          | Some d when depth >= d -> 0
+                          | _ -> List.length info.enabled
+                        in
+                        Coverage.observe_node sh ~depth ~branching (Sim.trace w)
+                    | None -> ());
+                    Hashtbl.add local key info;
+                    info
+              in
+              (* Fold a counted child's counters and witness log into
+                 this task's, in canonical (temporal) order. *)
+              let absorb (kc : task_counters) =
+                k.k_nodes <- k.k_nodes + kc.k_nodes;
+                k.k_hits <- k.k_hits + kc.k_hits;
+                if kc.k_frontier > k.k_frontier then k.k_frontier <- kc.k_frontier;
+                k.k_cand <- k.k_cand + kc.k_cand;
+                k.k_killed <- k.k_killed + kc.k_killed;
+                k.k_dead <- k.k_dead + kc.k_dead;
+                k.k_vfail <- k.k_vfail + kc.k_vfail;
+                for i = 0 to 63 do
+                  k.k_depth_hist.(i) <- k.k_depth_hist.(i) + kc.k_depth_hist.(i)
+                done;
+                for i = 0 to 3 do
+                  k.k_kills.(i) <- k.k_kills.(i) + kc.k_kills.(i)
+                done;
+                List.iter
+                  (fun (d, pth) ->
+                    if d > k.k_wit_len then begin
+                      k.k_wit_len <- d;
+                      k.k_wit <- (d, pth) :: k.k_wit
+                    end)
+                  (List.rev kc.k_wit)
+              in
+              (* Accumulated counted tables per fork node (keyed by its
+                 schedule prefix) and child index, persisting across the
+                 ancestors' candidate re-walks within this task. *)
+              let forks : (string, (string, node_info) Hashtbl.t list ref array) Hashtbl.t =
+                Hashtbl.create 8
+              in
+              let compact r =
+                if List.length !r > 8 then begin
+                  let m = Hashtbl.create 256 in
+                  List.iter (fun t -> Hashtbl.iter (Hashtbl.replace m) t) !r;
+                  r := [ m ]
+                end
+              in
+              let rec solve path depth key parent (lin : linearization) =
+                if depth > k.k_frontier then k.k_frontier <- depth;
+                let info = node_data path depth key parent in
+                let children =
+                  match max_depth with Some d when depth >= d -> [] | _ -> info.enabled
+                in
+                match validate_over info.rec_arr lin with
+                | None ->
+                    k.k_vfail <- k.k_vfail + 1;
+                    last_fail := Prof.Kill_mismatch;
+                    false
+                | Some states -> (
+                    match
+                      extensions_over info.rec_arr info.pred info.completed_mask lin states
+                    with
+                    | [] ->
+                        k.k_dead <- k.k_dead + 1;
+                        if not (root_linearizable info) then
+                          raise (Task_stop (T_notlin (List.rev path)));
+                        if depth > k.k_wit_len then begin
+                          k.k_wit_len <- depth;
+                          k.k_wit <- (depth, List.rev path) :: k.k_wit
+                        end;
+                        last_fail := Prof.Kill_dead_end;
+                        false
+                    | candidates ->
+                        k.k_cand <- k.k_cand + List.length candidates;
+                        if children = [] then true
+                        else begin
+                          let kids =
+                            List.map
+                              (fun p -> (p, key ^ String.make 1 (Char.unsafe_chr p)))
+                              children
+                          in
+                          let nkids = List.length kids in
+                          if depth > grain || nkids < 2 then
+                            (* Below the steal grain: the sequential
+                               candidate loop, inside this task. *)
+                            let rec try_candidates = function
+                              | [] ->
+                                  last_fail := Prof.Kill_futures;
+                                  false
+                              | cand :: rest ->
+                                  if
+                                    List.for_all
+                                      (fun (p, kk) ->
+                                        solve (p :: path) (depth + 1) kk (Some info) cand)
+                                      kids
+                                  then true
+                                  else begin
+                                    k.k_killed <- k.k_killed + 1;
+                                    k.k_kills.(Prof.kill_index !last_fail) <-
+                                      k.k_kills.(Prof.kill_index !last_fail) + 1;
+                                    try_candidates rest
+                                  end
+                            in
+                            try_candidates candidates
+                          else begin
+                            (* Fork point: each candidate's children go out
+                               as tasks, joined by canonical resolution. *)
+                            let kid_arr = Array.of_list kids in
+                            let accs =
+                              match Hashtbl.find_opt forks key with
+                              | Some a -> a
+                              | None ->
+                                  let a = Array.init nkids (fun _ -> ref []) in
+                                  Hashtbl.add forks key a;
+                                  a
+                            in
+                            let rec try_candidates = function
+                              | [] ->
+                                  last_fail := Prof.Kill_futures;
+                                  false
+                              | cand :: rest -> (
+                                  let group =
+                                    {
+                                      g_pending = Atomic.make nkids;
+                                      g_failed = Atomic.make max_int;
+                                    }
+                                  in
+                                  let slots =
+                                    Array.init nkids (fun _ ->
+                                        { r_out = T_aborted; r_ctr = None })
+                                  in
+                                  let kid_task i w =
+                                    let slot = slots.(i) in
+                                    (try
+                                       let p, kk = kid_arr.(i) in
+                                       let out, kc =
+                                         run_subtree ~worker:w ~col
+                                           ~guards:((group, i) :: guards)
+                                           ~chain:(!(accs.(i)) @ (local :: chain))
+                                           (p :: path) (depth + 1) kk (Some info) cand
+                                       in
+                                       slot.r_ctr <- Some kc;
+                                       slot.r_out <- out
+                                     with e ->
+                                       note_error e;
+                                       slot.r_out <- T_aborted);
+                                    (match slot.r_out with
+                                    | T_ok -> ()
+                                    | _ ->
+                                        let rec lower () =
+                                          let cur = Atomic.get group.g_failed in
+                                          if
+                                            i < cur
+                                            && not
+                                                 (Atomic.compare_and_set group.g_failed cur i)
+                                          then lower ()
+                                        in
+                                        lower ());
+                                    Atomic.decr group.g_pending
+                                  in
+                                  for i = nkids - 1 downto 1 do
+                                    Steal_pool.push pool ~worker (kid_task i)
+                                  done;
+                                  kid_task 0 worker;
+                                  Steal_pool.help_until pool ~worker (fun () ->
+                                      Atomic.get group.g_pending = 0);
+                                  (* Canonical resolution: fold children in
+                                     order up to and including the first
+                                     failure; discard the rest. *)
+                                  let fail = ref None in
+                                  (try
+                                     for i = 0 to nkids - 1 do
+                                       (match slots.(i).r_ctr with
+                                       | Some kc ->
+                                           absorb kc;
+                                           accs.(i) := kc.k_tables @ !(accs.(i));
+                                           compact accs.(i)
+                                       | None -> ());
+                                       match slots.(i).r_out with
+                                       | T_ok -> ()
+                                       | out ->
+                                           fail := Some out;
+                                           raise Exit
+                                     done
+                                   with Exit -> ());
+                                  match !fail with
+                                  | None -> true
+                                  | Some (T_fail reason) ->
+                                      k.k_killed <- k.k_killed + 1;
+                                      k.k_kills.(Prof.kill_index reason) <-
+                                        k.k_kills.(Prof.kill_index reason) + 1;
+                                      try_candidates rest
+                                  | Some (T_ok | T_notlin _ | T_trip _ | T_col_abandoned
+                                         | T_aborted) as f -> (
+                                      match f with
+                                      | Some T_ok -> assert false
+                                      | Some o -> raise (Task_stop o)
+                                      | None -> assert false))
+                            in
+                            try_candidates candidates
+                          end
+                        end)
+              in
+              (match lane with
+              | Some l -> Prof.begin_span l Prof.Solve ~label:(Printf.sprintf "col %d" col) ()
+              | None -> ());
+              let out =
+                match
+                  poll ();
+                  solve path0 depth0 key0 parent0 lin0
+                with
+                | true -> T_ok
+                | false -> T_fail !last_fail
+                | exception Task_stop o -> o
+              in
+              (match lane with Some l -> Prof.end_span l | None -> ());
+              let owned = ref [ local ] in
+              Hashtbl.iter
+                (fun _ accs -> Array.iter (fun r -> owned := !r @ !owned) accs)
+                forks;
+              k.k_tables <- !owned;
+              (out, k)
+            in
+            (* One column, run to completion as a task tree, its counted
+               totals absorbed onto the completing worker's lane under a
+               Share span, then published for the canonical merge. *)
+            let column_task c w =
+              if Atomic.get min_stop < c then begin
+                (match lane_for w with
+                | Some l ->
+                    Prof.note_column l ~col:c ~proc:cols.(c) ~nodes:0 ~outcome:"abandoned"
+                | None -> ());
+                results.(c) <- Some abandoned
+              end
+              else begin
+                let p = cols.(c) in
+                let out, k =
+                  try
+                    run_subtree ~worker:w ~col:c ~guards:[] ~chain:[] [ p ] 1
+                      (String.make 1 (Char.unsafe_chr p))
+                      (Some root_info) []
+                  with e ->
+                    note_error e;
+                    (T_col_abandoned, new_task_counters ())
+                in
+                let outcome =
+                  match out with
+                  | T_ok -> Col_ok true
+                  | T_fail _ ->
+                      note_stop c;
+                      Col_ok false
+                  | T_notlin s ->
+                      note_stop c;
+                      Col_not_lin s
+                  | T_trip r ->
+                      note_stop c;
+                      k.k_kills.(Prof.kill_index Prof.Kill_budget) <-
+                        k.k_kills.(Prof.kill_index Prof.Kill_budget) + 1;
+                      Col_tripped r
+                  | T_col_abandoned | T_aborted -> Col_abandoned
+                in
+                (match lane_for w with
+                | Some l ->
+                    Prof.begin_span l Prof.Share ~label:(Printf.sprintf "col %d" c) ();
+                    Prof.add_nodes l k.k_nodes;
+                    Prof.add_hits l k.k_hits;
+                    Prof.add_depth_hist l k.k_depth_hist;
+                    Prof.add_kills l k.k_kills;
+                    let tag =
+                      match outcome with
+                      | Col_ok true -> "ok"
+                      | Col_ok false -> "failed"
+                      | Col_not_lin _ -> "not-lin"
+                      | Col_tripped _ -> "budget"
+                      | Col_abandoned -> "abandoned"
+                    in
+                    Prof.note_column l ~col:c ~proc:p ~nodes:k.k_nodes ~outcome:tag;
+                    Prof.end_span l
+                | None -> ());
+                (if want_ticks && outcome <> Col_abandoned then
+                   ignore (Atomic.fetch_and_add global_nodes k.k_nodes));
+                results.(c) <-
+                  Some
+                    {
+                      cr_outcome = outcome;
+                      cr_nodes = k.k_nodes;
+                      cr_hits = k.k_hits;
+                      cr_frontier = k.k_frontier;
+                      cr_cand = k.k_cand;
+                      cr_killed = k.k_killed;
+                      cr_dead = k.k_dead;
+                      cr_vfail = k.k_vfail;
+                      cr_wit = List.rev k.k_wit;
+                    };
+                match checkpointing with
+                | Some cp -> (
+                    match outcome with
+                    | Col_tripped _ | Col_abandoned -> ()
+                    | _ ->
+                        let tag, sched =
+                          match outcome with
+                          | Col_ok true -> ("ok", [])
+                          | Col_ok false -> ("failed", [])
+                          | Col_not_lin s -> ("not-lin", s)
+                          | Col_tripped _ | Col_abandoned -> assert false
+                        in
+                        emit_col cp
+                          {
+                            col_index = c;
+                            col_outcome = tag;
+                            col_schedule = sched;
+                            col_nodes = k.k_nodes;
+                            col_hits = k.k_hits;
+                            col_frontier = k.k_frontier;
+                            col_cand = k.k_cand;
+                            col_killed = k.k_killed;
+                            col_dead = k.k_dead;
+                            col_vfail = k.k_vfail;
+                            col_wit = List.rev k.k_wit;
+                          })
+                | None -> ()
+              end
+            in
+            for c = ncols - 1 downto 0 do
+              if results.(c) = None then begin
+                Atomic.incr remaining;
+                Steal_pool.push pool ~worker:(c mod nworkers) (fun w ->
+                    column_task c w;
+                    Atomic.decr remaining)
+              end
+            done;
+            Steal_pool.run pool (fun w ->
+                Steal_pool.help_until pool ~worker:w (fun () -> Atomic.get remaining = 0));
+            match Atomic.get first_error with Some e -> raise e | None -> ()
           in
-          let spawned =
-            List.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
-          in
-          worker 0;
-          List.iter Domain.join spawned;
+          (if nworkers <= 1 then begin
+             (* One worker: today's per-column engine, column by column —
+                the exact code path every single-domain run (and every
+                jobs-routed run on a one-core box) has always taken. *)
+             let lane = lane_for 0 in
+             let cov = cov_for 0 in
+             for c = 0 to ncols - 1 do
+               if results.(c) = None then run_column ~lane ~cov ~on_tick:par_on_tick c
+             done
+           end
+           else run_stealing ());
           (* Deterministic merge: sequential column order, strictly-deeper
              witness rule, stop at the first non-succeeding column. *)
           let acc_nodes = ref 1 in
@@ -1249,8 +1800,13 @@ module Make (S : Spec.S) = struct
     in
     (* Checkpointing forces the column engine even at [jobs = 1]: columns
        are the resumable unit, and column determinism makes the routed
-       run's verdict and stats identical to the plain one. *)
-    if jobs > 1 || checkpointing <> None then run_parallel () else run_sequential ()
+       run's verdict and stats identical to the plain one.  The worker
+       count is capped at the hardware parallelism — domains beyond the
+       core count only time-slice the same cores and slow the solve down
+       (and column determinism makes the cap invisible in the output). *)
+    let eff = Steal_pool.effective_workers ~requested:jobs in
+    if eff > 1 || checkpointing <> None then run_parallel ~nworkers:eff ()
+    else run_sequential ()
 
   let check_strong ?max_nodes ?max_depth prog =
     fst (check_strong_stats ?max_nodes ?max_depth prog)

@@ -180,6 +180,7 @@ module Make (S : Spec.S) : sig
     ?profiler:Prof.t ->
     ?coverage:Coverage.t ->
     ?jobs:int ->
+    ?steal_grain:int ->
     ?checkpoint_stride:int ->
     ?interrupt:(unit -> bool) ->
     ?checkpointing:checkpointing ->
@@ -220,11 +221,17 @@ module Make (S : Spec.S) : sig
       unchanged.
 
       [jobs] (default 1) solves the top-level subtrees on that many
-      domains; the merge is deterministic, so the verdict, witness and
-      node count are identical for every [jobs] value.  Heartbeat and
-      tracer samples aggregate across workers (one shared atomic node
-      total, emitted from worker 0 on its node/time cadence), so the
-      parallel engine is no longer silent.
+      domains, capped at the hardware parallelism (override with the
+      [SLIN_DOMAIN_CAP] environment variable); with two or more
+      effective workers the columns are distributed by a work-stealing
+      scheduler that also splits hot subtrees above depth [steal_grain]
+      (default 4; [0] disables intra-column splitting) into tasks.
+      Results are merged in canonical schedule-prefix order, so the
+      verdict, witness and node count are identical for every [jobs]
+      and [steal_grain] value.  Heartbeat and tracer samples aggregate
+      across workers (one shared atomic node total, emitted from worker
+      0 on its node/time cadence), so the parallel engine is no longer
+      silent.
       [checkpoint_stride] (default 16, clamped to >= 1) sets the anchor
       interval of the incremental engine: every fresh node whose depth
       is a multiple of the stride is re-derived from a full replay and

@@ -29,6 +29,7 @@ val check : kind -> (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t -> bool
 val check_budgeted :
   ?budget_nodes:int ->
   ?budget_ms:int ->
+  ?jobs:int ->
   ?profiler:Prof.t ->
   ?coverage:Coverage.t ->
   kind ->
@@ -38,6 +39,12 @@ val check_budgeted :
     DFS states entered and [budget_ms] bounds wall-clock time; a tripped
     budget yields [Inconclusive] instead of an unbounded search.  With no
     budgets set this is [Decided (check kind t)].
+
+    [jobs] (default 1, capped at the hardware parallelism) runs the
+    root-level linearization branches as independent sub-searches on
+    that many domains when no budget is set; the decision is the same
+    for every value.  Budgeted searches stay sequential — a
+    deterministic trip point needs the sequential visit order.
 
     [profiler] records the DFS as one solve span on lane 0 with one work
     unit per visited state (and a [budget] kill if a budget trips);

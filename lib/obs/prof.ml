@@ -12,15 +12,23 @@
      per-phase breakdown partitions lane busy time instead of
      double-counting anchored replays. *)
 
-type phase = Solve | Merge | Idle | Cross_check
+type phase = Solve | Merge | Idle | Cross_check | Steal | Share
 
 let phase_tag = function
   | Solve -> "solve"
   | Merge -> "merge"
   | Idle -> "idle"
   | Cross_check -> "cross_check"
+  | Steal -> "steal"
+  | Share -> "share"
 
-let phase_index = function Solve -> 0 | Merge -> 1 | Idle -> 2 | Cross_check -> 3
+let phase_index = function
+  | Solve -> 0
+  | Merge -> 1
+  | Idle -> 2
+  | Cross_check -> 3
+  | Steal -> 4
+  | Share -> 5
 
 type kill_reason = Kill_mismatch | Kill_dead_end | Kill_futures | Kill_budget
 
@@ -106,7 +114,7 @@ let lane t ~domain =
             l_open = None;
             l_nodes = 0;
             l_hits = 0;
-            l_phase_ns = Array.make 4 0;
+            l_phase_ns = Array.make 6 0;
             l_depth_hist = Array.make depth_buckets 0;
             l_kills = Array.make 4 0;
             l_cross_checks = 0;
@@ -171,6 +179,20 @@ let hit l = l.l_hits <- l.l_hits + 1
 
 let add_nodes l n = l.l_nodes <- l.l_nodes + n
 
+let add_hits l n = l.l_hits <- l.l_hits + n
+
+let add_depth_hist l hist =
+  let n = min (Array.length hist) depth_buckets in
+  for i = 0 to n - 1 do
+    l.l_depth_hist.(i) <- l.l_depth_hist.(i) + hist.(i)
+  done
+
+let add_kills l kills =
+  let n = min (Array.length kills) 4 in
+  for i = 0 to n - 1 do
+    l.l_kills.(i) <- l.l_kills.(i) + kills.(i)
+  done
+
 let kill l r = l.l_kills.(kill_index r) <- l.l_kills.(kill_index r) + 1
 
 let note_column l ~col ~proc ~nodes ~outcome = l.l_columns <- (col, proc, nodes, outcome) :: l.l_columns
@@ -179,16 +201,23 @@ let lane_nodes l = l.l_nodes
 
 let lane_domain l = l.l_domain
 
-(* Busy time of a lane: solve + merge span time.  Cross-check time is
-   nested inside solve spans, so it is not added again; the [Solve]
-   figure reported outward has it subtracted instead. *)
-let lane_busy_ns l = l.l_phase_ns.(phase_index Solve) + l.l_phase_ns.(phase_index Merge)
+(* Busy time of a lane: solve + merge + steal + share span time.
+   Cross-check time is nested inside solve spans, so it is not added
+   again; the [Solve] figure reported outward has it subtracted
+   instead. *)
+let lane_busy_ns l =
+  l.l_phase_ns.(phase_index Solve)
+  + l.l_phase_ns.(phase_index Merge)
+  + l.l_phase_ns.(phase_index Steal)
+  + l.l_phase_ns.(phase_index Share)
 
 let lane_phase_ns_in t l ph =
   match ph with
   | Solve -> max 0 (l.l_phase_ns.(phase_index Solve) - l.l_phase_ns.(phase_index Cross_check))
   | Merge -> l.l_phase_ns.(phase_index Merge)
   | Cross_check -> l.l_phase_ns.(phase_index Cross_check)
+  | Steal -> l.l_phase_ns.(phase_index Steal)
+  | Share -> l.l_phase_ns.(phase_index Share)
   | Idle -> max 0 (wall_ns t - lane_busy_ns l)
 
 let lane_phase_ns = lane_phase_ns_in
@@ -221,7 +250,7 @@ let phase_ns_json t l =
   Obs_json.Assoc
     (List.map
        (fun ph -> (phase_tag ph, Obs_json.Int (lane_phase_ns_in t l ph)))
-       [ Solve; Merge; Cross_check; Idle ])
+       [ Solve; Merge; Cross_check; Steal; Share; Idle ])
 
 let span_json t sp =
   Obs_json.Assoc
@@ -291,7 +320,7 @@ let to_json t ~meta =
                 Obs_json.Assoc
                   (List.map
                      (fun ph -> (phase_tag ph, Obs_json.Int (phase ph)))
-                     [ Solve; Merge; Cross_check; Idle ]) );
+                     [ Solve; Merge; Cross_check; Steal; Share; Idle ]) );
               ("kills", kills_json kills);
             ] );
         ("lanes", Obs_json.List (List.map (lane_json t) ls));
@@ -363,7 +392,8 @@ let validate doc =
                     let* () = need_int s "dur_ns" in
                     let* () =
                       match member "phase" s with
-                      | Some (String ("solve" | "merge" | "idle" | "cross_check")) -> Ok ()
+                      | Some (String ("solve" | "merge" | "idle" | "cross_check" | "steal" | "share")) ->
+                          Ok ()
                       | _ -> Error "span.phase missing or unknown"
                     in
                     sp srest
@@ -387,14 +417,16 @@ let pp_summary fmt t =
   Format.fprintf fmt "wall %.3f s, %d lanes, %d nodes (%.0f nodes/s), %d cache hits@." wall_s
     (List.length ls) nodes nps hits;
   let pct ns = if w <= 0 then 0. else 100. *. float_of_int ns /. float_of_int w in
-  Format.fprintf fmt "lane   nodes      hits   solve%%  merge%%  xchk%%   idle%%@.";
+  Format.fprintf fmt "lane   nodes      hits   solve%%  merge%%  xchk%%  steal%%  share%%   idle%%@.";
   List.iter
     (fun l ->
-      Format.fprintf fmt "d%-4d %8d %8d   %5.1f   %5.1f  %5.1f   %5.1f@." l.l_domain l.l_nodes
-        l.l_hits
+      Format.fprintf fmt "d%-4d %8d %8d   %5.1f   %5.1f  %5.1f   %5.1f   %5.1f   %5.1f@."
+        l.l_domain l.l_nodes l.l_hits
         (pct (lane_phase_ns_in t l Solve))
         (pct (lane_phase_ns_in t l Merge))
         (pct (lane_phase_ns_in t l Cross_check))
+        (pct (lane_phase_ns_in t l Steal))
+        (pct (lane_phase_ns_in t l Share))
         (pct (lane_phase_ns_in t l Idle)))
     ls;
   ignore phase;

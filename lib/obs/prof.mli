@@ -16,10 +16,14 @@
 
 (** {1 Phases and kill reasons} *)
 
-type phase = Solve | Merge | Idle | Cross_check
+type phase = Solve | Merge | Idle | Cross_check | Steal | Share
+(** [Steal] covers a successful steal transfer on the thief's lane;
+    [Share] covers canonical result absorption (a completed column's
+    counters landing on the completing lane).  Both are busy time. *)
 
 val phase_tag : phase -> string
-(** ["solve"], ["merge"], ["idle"], ["cross_check"] — the JSON tags. *)
+(** ["solve"], ["merge"], ["idle"], ["cross_check"], ["steal"],
+    ["share"] — the JSON tags. *)
 
 (** Why a candidate linearization died (the game's backtracking,
     attributed at the kill site):
@@ -35,6 +39,10 @@ type kill_reason = Kill_mismatch | Kill_dead_end | Kill_futures | Kill_budget
 val kill_tag : kill_reason -> string
 (** ["response_mismatch"], ["dead_end"], ["futures_refuted"],
     ["budget"]. *)
+
+val kill_index : kill_reason -> int
+(** Position of a reason in {!all_kills} — the index convention for
+    {!add_kills} vectors. *)
 
 val all_kills : kill_reason list
 
@@ -89,7 +97,19 @@ val hit : lane -> unit
 
 val add_nodes : lane -> int -> unit
 (** Bulk work counter for non-tree engines (fuzz: one unit per schedule
-    executed). *)
+    executed) and for canonical absorption of a completed column's node
+    total by the stealing engine. *)
+
+val add_hits : lane -> int -> unit
+(** Bulk cache-hit absorption (stealing engine, column completion). *)
+
+val add_depth_hist : lane -> int array -> unit
+(** Pointwise-add a depth histogram into the lane's (extra source
+    buckets beyond the lane's 64 are dropped). *)
+
+val add_kills : lane -> int array -> unit
+(** Pointwise-add a kill-attribution vector (indexed like
+    {!all_kills}). *)
 
 val kill : lane -> kill_reason -> unit
 

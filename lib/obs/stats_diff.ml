@@ -17,9 +17,18 @@ let has_suffix s suf =
 (* [completed_ratio] (serve: requests answered with a verdict or a
    structured inconclusive, over all requests) is a scale-free service
    health ratio: down means more sheds/failures per request. *)
+let has_prefix s pre =
+  let n = String.length s and m = String.length pre in
+  n >= m && String.sub s 0 m = pre
+
+(* [speedup*] metrics (e.g. the engine's [speedup_j4_over_j1]) are
+   already scale-free ratios of two throughputs measured on the same
+   machine in the same run, so they gate cleanly: down means the
+   parallel engine stopped scaling. *)
 let direction_of_metric m =
   if has_suffix m "_per_s" || has_suffix m "_per_sec" || m = "utilization" then Higher_better
   else if m = "unique_ratio" || m = "completed_ratio" then Higher_better
+  else if has_prefix m "speedup" || has_suffix m "_speedup" then Higher_better
   else if m = "ns_per_op" then Lower_better
   else Neutral
 

@@ -52,6 +52,7 @@ type request = {
   rq_seed : int;
   rq_runs : int;
   rq_jobs : int;
+  rq_steal_grain : int;
   rq_deadline_ms : int option;
   rq_sheddable : bool;
   rq_fault_cols : int option;
@@ -103,6 +104,7 @@ let request_of_json ~allow_faults j =
       let* seed = int_field "seed" in
       let* runs = int_field "runs" in
       let* jobs = int_field "jobs" in
+      let* steal_grain = int_field "steal_grain" in
       let* deadline = int_field "deadline_ms" in
       let* sheddable = bool_field "sheddable" in
       let* fault =
@@ -142,6 +144,9 @@ let request_of_json ~allow_faults j =
           rq_seed = Option.value seed ~default:1;
           rq_runs = max 1 (Option.value runs ~default:200);
           rq_jobs = min 8 (max 1 (Option.value jobs ~default:1));
+          (* Scheduling detail, not checked work: any value yields the
+             same verdict, so clamp instead of rejecting. *)
+          rq_steal_grain = min 64 (max 0 (Option.value steal_grain ~default:4));
           rq_deadline_ms = deadline;
           rq_sheddable = Option.value sheddable ~default:true;
           rq_fault_cols = Option.map fst fault;
@@ -593,7 +598,8 @@ let execute t k job =
                 in
                 let v, _st =
                   L.check_strong_stats ~max_nodes:req.rq_max_nodes ?max_depth:depth
-                    ~jobs:req.rq_jobs ~interrupt ?checkpointing ?coverage prog
+                    ~jobs:req.rq_jobs ~steal_grain:req.rq_steal_grain ~interrupt
+                    ?checkpointing ?coverage prog
                 in
                 let status, code =
                   match v with

@@ -46,6 +46,9 @@ type request = {
   rq_seed : int;  (** [Fuzz] master seed *)
   rq_runs : int;  (** [Fuzz] campaign length *)
   rq_jobs : int;  (** engine domains for this request (clamped to 1-8) *)
+  rq_steal_grain : int;
+      (** work-stealing split depth (clamped to 0-64, default 4); a
+          scheduling detail — the verdict is identical for every value *)
   rq_deadline_ms : int option;  (** [None] = the config default *)
   rq_sheddable : bool;  (** may this request be shed under load? *)
   rq_fault_cols : int option;

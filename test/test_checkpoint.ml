@@ -6,6 +6,10 @@
    checkpoint a structured error, never a wrong resume or an
    exception. *)
 
+(* Lift the hardware cap so jobs=4 cases run real multi-domain even on
+   a single-core runner (see test_engine.ml). *)
+let () = Unix.putenv "SLIN_DOMAIN_CAP" "8"
+
 let fp_of (pp_verdict : Format.formatter -> 'v -> unit) (v : 'v) (s : Lincheck.stats) =
   Format.asprintf "%a | nodes=%d hits=%d frontier=%d cand=%d killed=%d dead=%d vfail=%d"
     pp_verdict v s.Lincheck.nodes s.Lincheck.cache_hits s.Lincheck.max_frontier_depth
@@ -338,6 +342,8 @@ let () =
             (test_kill_resume "hw-queue" 4 [ 2_000; 20_000; 60_000 ]);
           Alcotest.test_case "counter budget trip + resume (j1)" `Quick
             (test_budget_resume "counter" 1 15_000);
+          Alcotest.test_case "counter budget trip + resume (j4)" `Quick
+            (test_budget_resume "counter" 4 15_000);
           Alcotest.test_case "cumulative digest identical after resume" `Quick
             test_resume_fingerprint;
         ] );

@@ -1,15 +1,22 @@
 (* Tests for the multicore checker engine (incremental replay, anchored
-   cross-checks, domain-parallel subtree solving): the determinism
-   contract — verdict, witness and every count identical across [jobs]
-   and [checkpoint_stride] — plus the heartbeat cadence, the incremental
-   node evaluation itself, and the adversary's twin loops. *)
+   cross-checks, work-stealing subtree solving): the determinism
+   contract — verdict, witness and every count identical across [jobs],
+   [steal_grain] and [checkpoint_stride] — plus the heartbeat cadence,
+   the incremental node evaluation itself, and the adversary's twin
+   loops. *)
+
+(* [effective_workers] caps [jobs] at the hardware parallelism, so on a
+   single-core CI runner every jobs>1 case would silently collapse to
+   the sequential engine and test nothing.  Lifting the cap via the env
+   override forces real multi-domain runs everywhere. *)
+let () = Unix.putenv "SLIN_DOMAIN_CAP" "8"
 
 (* ---------------- engine equivalence over the registry ---------------- *)
 
 (* The deterministic slice of a run: the rendered verdict (so witness
    schedules and node payloads are compared too) and every stats field
    except elapsed time. *)
-let run_fingerprint name ~jobs ~checkpoint_stride ~max_nodes =
+let run_fingerprint name ~jobs ~steal_grain ~checkpoint_stride ~max_nodes =
   match Registry.find name with
   | None -> Alcotest.failf "unknown registry object %s" name
   | Some (Registry.Checkable c) ->
@@ -17,25 +24,35 @@ let run_fingerprint name ~jobs ~checkpoint_stride ~max_nodes =
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let v, s =
-        L.check_strong_stats ~max_nodes ?max_depth:c.default_depth ~jobs ~checkpoint_stride
-          prog
+        L.check_strong_stats ~max_nodes ?max_depth:c.default_depth ~jobs ~steal_grain
+          ~checkpoint_stride prog
       in
       Format.asprintf "%a | nodes=%d hits=%d frontier=%d cand=%d killed=%d dead=%d vfail=%d"
         L.pp_verdict v s.Lincheck.nodes s.Lincheck.cache_hits s.Lincheck.max_frontier_depth
         s.Lincheck.candidates_generated s.Lincheck.candidates_killed s.Lincheck.dead_ends
         s.Lincheck.validate_failures
 
+(* jobs x steal-grain x checkpoint-stride, all against the sequential
+   run.  grain 0 is whole-column tasks (stealing without forking),
+   grain 4 the default fork depth — at jobs=1 both must also reduce to
+   the sequential engine exactly. *)
 let engine_equivalent ?(max_nodes = 200_000) name () =
-  let base = run_fingerprint name ~jobs:1 ~checkpoint_stride:16 ~max_nodes in
+  let base = run_fingerprint name ~jobs:1 ~steal_grain:4 ~checkpoint_stride:16 ~max_nodes in
   List.iter
     (fun jobs ->
       List.iter
-        (fun stride ->
-          let fp = run_fingerprint name ~jobs ~checkpoint_stride:stride ~max_nodes in
-          Alcotest.(check string)
-            (Printf.sprintf "%s at jobs=%d stride=%d" name jobs stride)
-            base fp)
-        [ 1; 4; 16 ])
+        (fun steal_grain ->
+          List.iter
+            (fun stride ->
+              let fp =
+                run_fingerprint name ~jobs ~steal_grain ~checkpoint_stride:stride ~max_nodes
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s at jobs=%d grain=%d stride=%d" name jobs steal_grain
+                   stride)
+                base fp)
+            [ 1; 16 ])
+        [ 0; 4 ])
     [ 1; 2; 4 ]
 
 (* Objects covering every verdict constructor: SL (faa-max, counter,

@@ -5,6 +5,10 @@
    qcheck pass over randomly assembled lanes, the Chrome-trace export,
    and the stats-diff status/threshold/removed-row logic. *)
 
+(* Lift the hardware-parallelism cap so the jobs=4 passivity cases run
+   the real work-stealing engine even on a single-core runner. *)
+let () = Unix.putenv "SLIN_DOMAIN_CAP" "8"
+
 (* ---------------- passivity ------------------------------------------- *)
 
 (* The deterministic slice of a run on a registry object: rendered
@@ -198,6 +202,34 @@ let test_summary_and_trace () =
         (List.mem "domain 0" thread_names && List.mem "domain 1" thread_names);
       Alcotest.(check bool) "trace carries the solve slices" true (List.mem "solve col 0" names)
 
+(* The work-stealing engine's two scheduler phases: [Steal] (deque raids)
+   and [Share] (folding a finished column's counters and tables into the
+   shared result) are busy time with their own columns in the summary —
+   never lumped into idle, and reports carrying them still validate. *)
+let test_steal_share_phases () =
+  let now = ref 0 in
+  let p = Prof.create ~clock:(fun () -> !now) () in
+  let l = Prof.lane p ~domain:0 in
+  Prof.note_span l Prof.Solve ~label:"col 0" ~start_ns:0 ~dur_ns:40 ();
+  Prof.note_span l Prof.Steal ~start_ns:40 ~dur_ns:10 ();
+  Prof.note_span l Prof.Share ~start_ns:50 ~dur_ns:30 ();
+  now := 100;
+  Prof.finish p;
+  Alcotest.(check int) "steal accumulated" 10 (Prof.lane_phase_ns p l Prof.Steal);
+  Alcotest.(check int) "share accumulated" 30 (Prof.lane_phase_ns p l Prof.Share);
+  Alcotest.(check int) "steal/share count as busy time" 20 (Prof.lane_phase_ns p l Prof.Idle);
+  (match Prof.validate (Prof.to_json p ~meta) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "steal/share report invalid: %s" e);
+  let s = Format.asprintf "%a" Prof.pp_summary p in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "summary has a steal column" true (contains "steal%");
+  Alcotest.(check bool) "summary has a share column" true (contains "share%")
+
 (* ---------------- qcheck: random lanes still validate ------------------ *)
 
 (* Random profiles: arbitrary interleavings of the recording calls on a
@@ -302,6 +334,8 @@ let test_diff_directions () =
     (direction_of_metric "schedules_per_s" = Higher_better);
   Alcotest.(check bool) "utilization is higher-better" true
     (direction_of_metric "utilization" = Higher_better);
+  Alcotest.(check bool) "speedup_j4_over_j1 is higher-better" true
+    (direction_of_metric "speedup_j4_over_j1" = Higher_better);
   Alcotest.(check bool) "ns_per_op is lower-better" true
     (direction_of_metric "ns_per_op" = Lower_better);
   Alcotest.(check bool) "raw phase ns is neutral" true (direction_of_metric "solve_ns" = Neutral);
@@ -393,6 +427,7 @@ let () =
           Alcotest.test_case "phase arithmetic" `Quick test_fake_clock_arithmetic;
           Alcotest.test_case "report fields" `Quick test_fake_clock_report;
           Alcotest.test_case "summary and trace" `Quick test_summary_and_trace;
+          Alcotest.test_case "steal/share phases" `Quick test_steal_share_phases;
         ] );
       ("qcheck", qcheck_prof_tests);
       ( "stats-diff",
