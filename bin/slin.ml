@@ -54,13 +54,21 @@ let unknown_object name =
 
 (* --- profiling helpers ------------------------------------------------ *)
 
-let profile_meta ?steal_grain ~command ~objname ~jobs () =
+(* Reduction fields are emitted only when the mode is on, so reports
+   from unreduced runs — including every committed baseline — keep their
+   historical byte shape. *)
+let profile_meta ?steal_grain ?(reduce = false) ?preempt_bound ~command ~objname ~jobs () =
   [
     ("command", Obs_json.String command);
     ("object", Obs_json.String objname);
     ("jobs", Obs_json.Int jobs);
   ]
-  @ match steal_grain with Some g -> [ ("steal_grain", Obs_json.Int g) ] | None -> []
+  @ (match steal_grain with Some g -> [ ("steal_grain", Obs_json.Int g) ] | None -> [])
+  @ (if reduce then [ ("reduce", Obs_json.Bool true) ] else [])
+  @
+  match preempt_bound with
+  | Some b -> [ ("preempt_bound", Obs_json.Int b) ]
+  | None -> []
 
 (* Finish the profile and write its slin-profile/v1 report; false on an
    unwritable path (the caller decides whether that poisons the exit
@@ -156,8 +164,8 @@ let read_checkpoint ~cp_config path =
 (* --- check ------------------------------------------------------------ *)
 
 let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats json_out
-    trace_out witness_out no_shrink jobs steal_grain checkpoint_stride profile_out
-    coverage_out checkpoint_out resume =
+    trace_out witness_out no_shrink jobs steal_grain reduce reduce_check preempt_bound
+    checkpoint_stride profile_out coverage_out checkpoint_out resume =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -172,7 +180,10 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
       let max_nodes = Option.value budget_nodes ~default:max_nodes in
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
       install_signal_handlers ();
-      let cp_config = Serve.config_fingerprint ~object_name:name ~max_depth:depth in
+      let cp_config =
+        Serve.config_fingerprint ~reduce:(reduce || reduce_check) ?preempt_bound
+          ~object_name:name ~max_depth:depth ()
+      in
       let resume_ck =
         match resume with
         | None -> Ok None
@@ -279,8 +290,9 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
            the verdict or its rendering; interrupt/resume notes go to
            stderr). *)
         let v, st =
-          L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain
-            ~checkpoint_stride ~interrupt:signal_interrupt ?checkpointing prog
+          L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain ~reduce
+            ~reduce_check ?preempt_bound ~checkpoint_stride ~interrupt:signal_interrupt
+            ?checkpointing prog
         in
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
         (match v with
@@ -330,8 +342,8 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
         let v, st =
           L.check_strong_stats ~max_nodes ?max_depth:depth ?budget_ms
             ?budget_heap_mb:budget_mb ?on_progress ~progress_every:25_000 ?tracer ?profiler
-            ?coverage ~jobs ~steal_grain ~checkpoint_stride ~interrupt:signal_interrupt
-            ?checkpointing prog
+            ?coverage ~jobs ~steal_grain ~reduce ~reduce_check ?preempt_bound
+            ~checkpoint_stride ~interrupt:signal_interrupt ?checkpointing prog
         in
         Option.iter Prof.finish profiler;
         Format.printf "strong linearizability: %a@." L.pp_verdict v;
@@ -368,15 +380,15 @@ let run_check name max_nodes max_depth budget_nodes budget_ms budget_mb stats js
             Obs_trace.write tr path;
             Format.printf "Chrome trace (%d events) written to %s@." (Obs_trace.size tr) path
         | _ -> ());
+        let meta () =
+          profile_meta ~steal_grain ~reduce:(reduce || reduce_check) ?preempt_bound
+            ~command:"check" ~objname:name ~jobs ()
+        in
         (match (profile_out, profiler) with
-        | Some path, Some prof ->
-            ignore
-              (write_profile prof ~meta:(profile_meta ~steal_grain ~command:"check" ~objname:name ~jobs ()) path)
+        | Some path, Some prof -> ignore (write_profile prof ~meta:(meta ()) path)
         | _ -> ());
         (match (coverage_out, coverage) with
-        | Some path, Some cov ->
-            ignore
-              (write_coverage cov ~meta:(profile_meta ~steal_grain ~command:"check" ~objname:name ~jobs ()) path)
+        | Some path, Some cov -> ignore (write_coverage cov ~meta:(meta ()) path)
         | _ -> ());
         emit_witness v;
         exit_of_verdict v
@@ -703,8 +715,8 @@ let run_progress name max_nodes max_depth witness_out =
 
 (* --- profile ---------------------------------------------------------- *)
 
-let run_profile name jobs steal_grain max_nodes max_depth checkpoint_stride profile_out
-    trace_out =
+let run_profile name jobs steal_grain reduce preempt_bound max_nodes max_depth
+    checkpoint_stride profile_out trace_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -716,8 +728,8 @@ let run_profile name jobs steal_grain max_nodes max_depth checkpoint_stride prof
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
       let prof = Prof.create () in
       let v, st =
-        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain
-          ~checkpoint_stride ~profiler:prof prog
+        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain ~reduce
+          ?preempt_bound ~checkpoint_stride ~profiler:prof prog
       in
       Prof.finish prof;
       Format.printf "object: %s@." c.spec_name;
@@ -725,7 +737,10 @@ let run_profile name jobs steal_grain max_nodes max_depth checkpoint_stride prof
       Format.printf "exploration: %d nodes, %.0f nodes/s, jobs=%d@." st.Lincheck.nodes
         (Lincheck.nodes_per_sec st) jobs;
       Format.printf "%a" Prof.pp_summary prof;
-      let meta = profile_meta ~steal_grain ~command:"profile" ~objname:name ~jobs () in
+      let meta =
+        profile_meta ~steal_grain ~reduce ?preempt_bound ~command:"profile" ~objname:name
+          ~jobs ()
+      in
       let ok_report =
         match profile_out with None -> true | Some path -> write_profile prof ~meta path
       in
@@ -756,8 +771,8 @@ let run_profile name jobs steal_grain max_nodes max_depth checkpoint_stride prof
 
 (* --- coverage --------------------------------------------------------- *)
 
-let run_coverage name jobs steal_grain max_nodes max_depth checkpoint_stride exact_limit
-    coverage_out =
+let run_coverage name jobs steal_grain reduce preempt_bound max_nodes max_depth
+    checkpoint_stride exact_limit coverage_out =
   match Registry.find name with
   | None ->
       unknown_object name;
@@ -769,14 +784,31 @@ let run_coverage name jobs steal_grain max_nodes max_depth checkpoint_stride exa
       let depth = match max_depth with Some _ -> max_depth | None -> c.default_depth in
       let cov = Coverage.create ?exact_limit () in
       let v, st =
-        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain
-          ~checkpoint_stride ~coverage:cov prog
+        L.check_strong_stats ~max_nodes ?max_depth:depth ~jobs ~steal_grain ~reduce
+          ?preempt_bound ~checkpoint_stride ~coverage:cov prog
       in
       Format.printf "object: %s@." c.spec_name;
       Format.printf "strong linearizability: %a@." L.pp_verdict v;
       Format.printf "exploration: %d nodes, jobs=%d@." st.Lincheck.nodes jobs;
       Format.printf "%a" Coverage.pp_summary cov;
-      let meta = profile_meta ~steal_grain ~command:"coverage" ~objname:name ~jobs () in
+      (* The reclaimed-redundancy ratio: how many observations each
+         commutation class received under reduction.  1.0 means the memo
+         reclaimed all redundancy the coverage layer can see. *)
+      let reduce_meta =
+        if not reduce then []
+        else
+          let s = Coverage.stats cov in
+          let redundancy =
+            if s.Coverage.unique = 0 then 1.0
+            else float_of_int s.Coverage.observations /. float_of_int s.Coverage.unique
+          in
+          [ ("redundancy", Obs_json.Float redundancy) ]
+      in
+      let meta =
+        profile_meta ~steal_grain ~reduce ?preempt_bound ~command:"coverage" ~objname:name
+          ~jobs ()
+        @ reduce_meta
+      in
       let ok_report =
         match coverage_out with None -> true | Some path -> write_coverage cov ~meta path
       in
@@ -1054,6 +1086,39 @@ let check_cmd =
              fork their children as stealable tasks ($(docv)=0 restricts stealing to whole \
              top-level subtrees).  Results are identical for every value.")
   in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Enable dependency-aware partial-order reduction in the strong-linearizability \
+             game: schedule prefixes that differ only by swapping adjacent commuting \
+             base-object accesses (distinct objects, or read-like pairs on the same object) \
+             share one subtree exploration via a candidate-survival memo.  The verdict and \
+             witness are identical to an unreduced run; only the node count shrinks.")
+  in
+  let reduce_check =
+    Arg.(
+      value & flag
+      & info [ "reduce-check" ]
+          ~doc:
+            "Debug mode implying $(b,--reduce): every memo hit additionally re-explores the \
+             subtree and verifies the stored answer matches, i.e. cross-validates that \
+             commutation-equivalent prefixes really have isomorphic subtrees.  Costs at \
+             least as much as an unreduced run.")
+  in
+  let preempt_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preempt-bound" ] ~docv:"N"
+          ~doc:
+            "Only explore schedules with at most $(docv) preemptions (context switches away \
+             from a still-enabled process).  Refutations found under the bound are sound; a \
+             strong-linearizability success that pruned any schedule degrades to an \
+             inconclusive $(i,preempt_bound) verdict.  Composes with $(b,--reduce) and the \
+             node/time/heap budgets.")
+  in
   let checkpoint_stride =
     Arg.(
       value & opt int 16
@@ -1111,7 +1176,8 @@ let check_cmd =
     Term.(
       const run_check $ obj $ max_nodes $ max_depth $ budget_nodes $ budget_ms $ budget_mb
       $ stats $ json_out $ trace_out $ witness_out $ no_shrink $ jobs $ steal_grain
-      $ checkpoint_stride $ profile_out $ coverage_out $ checkpoint_out $ resume)
+      $ reduce $ reduce_check $ preempt_bound $ checkpoint_stride $ profile_out
+      $ coverage_out $ checkpoint_out $ resume)
 
 let explain_cmd =
   let witness =
@@ -1308,6 +1374,21 @@ let profile_cmd =
       & info [ "steal-grain" ] ~docv:"D"
           ~doc:"Work-stealing split depth (as in $(b,slin check)).")
   in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Partial-order reduction (as in $(b,slin check)); prune counts appear in the \
+             report's $(i,prunes) lane counters and kill attribution.")
+  in
+  let preempt_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preempt-bound" ] ~docv:"N"
+          ~doc:"Preemption bound (as in $(b,slin check)).")
+  in
   Cmd.v
     (Cmd.info "profile" ~exits:verdict_exits
        ~doc:
@@ -1316,8 +1397,8 @@ let profile_cmd =
           counts, depth histograms and candidate-kill attribution.  Profiling is passive — \
           the verdict is identical to $(b,slin check)'s.")
     Term.(
-      const run_profile $ obj $ jobs $ steal_grain $ max_nodes $ max_depth
-      $ checkpoint_stride $ profile_out $ trace_out)
+      const run_profile $ obj $ jobs $ steal_grain $ reduce $ preempt_bound $ max_nodes
+      $ max_depth $ checkpoint_stride $ profile_out $ trace_out)
 
 let coverage_cmd =
   let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
@@ -1368,6 +1449,22 @@ let coverage_cmd =
             "Write the slin-coverage/v1 JSON report to $(docv) (compare runs with \
              $(b,slin stats diff)).")
   in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Partial-order reduction (as in $(b,slin check)); the report's meta gains a \
+             $(i,redundancy) field — observations per commutation class — showing how much \
+             redundancy the memo left behind.")
+  in
+  let preempt_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preempt-bound" ] ~docv:"N"
+          ~doc:"Preemption bound (as in $(b,slin check)).")
+  in
   Cmd.v
     (Cmd.info "coverage" ~exits:verdict_exits
        ~doc:
@@ -1377,8 +1474,8 @@ let coverage_cmd =
           conflicting adjacent accesses).  Recording is passive — the verdict and node \
           counts are identical to $(b,slin check)'s.")
     Term.(
-      const run_coverage $ obj $ jobs $ steal_grain $ max_nodes $ max_depth
-      $ checkpoint_stride $ exact_limit $ coverage_out)
+      const run_coverage $ obj $ jobs $ steal_grain $ reduce $ preempt_bound $ max_nodes
+      $ max_depth $ checkpoint_stride $ exact_limit $ coverage_out)
 
 let serve_cmd =
   let batch =

@@ -46,8 +46,10 @@
 let c_crash_nodes = Obs.counter "adversary.crash_game.nodes"
 let c_fuzz_runs = Obs.counter "adversary.fuzz.runs"
 let c_fuzz_steps = Obs.counter "adversary.fuzz.steps"
+let c_fuzz_pruned = Obs.counter "adversary.fuzz.checks_pruned"
 let c_lasso_candidates = Obs.counter "adversary.lasso.candidates"
 let c_sweep_runs = Obs.counter "adversary.sweep.runs"
+let c_sweep_reused = Obs.counter "adversary.sweep.analysis_reused"
 
 let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
 
@@ -70,7 +72,7 @@ module Make (S : Spec.S) = struct
   let event_sig = function
     | Trace.Invoke { proc; op } -> Printf.sprintf "i%d:%s" proc (op_str op)
     | Trace.Return { proc; resp } -> Printf.sprintf "r%d:%s" proc (resp_str resp)
-    | Trace.Step { proc; obj; info } ->
+    | Trace.Step { proc; obj; info; noop = _ } ->
         Printf.sprintf "s%d:%s%s" proc obj
           (match info with Some i -> ":" ^ i | None -> "")
 
@@ -462,11 +464,23 @@ module Make (S : Spec.S) = struct
        worker's whole share, one work unit per schedule executed (fuzz
        has no tree nodes).  Coverage records each run's trace prefixes
        on the executing worker's shard — passive, so the campaign's
-       report is unchanged. *)
+       report is unchanged.
+
+       Triage is reduced unconditionally: linearizability depends only
+       on the history, which commuting swaps preserve, so a trace whose
+       {!Reduct} commutation class a worker already checked CLEAN needs
+       no second [check_trace].  Only clean classes are cached —
+       violations are always detected, [viol_sched]/[note] fire exactly
+       as without the cache, and every report field stays identical for
+       every [jobs] (the caches are per-worker, but skipping a clean
+       re-check is invisible to the report). *)
     let run_uniform () =
       let nworkers = max 1 (min (Steal_pool.effective_workers ~requested:jobs) nruns) in
       let lanes = Array.make nworkers None in
       let shards = Array.make nworkers None in
+      let cleans : (int, unit) Hashtbl.t array =
+        Array.init nworkers (fun _ -> Hashtbl.create 64)
+      in
       Steal_pool.parallel_for ~workers:nworkers ~n:nruns
         ~init:(fun w ->
           let lane = Option.map (fun p -> Prof.lane p ~domain:w) profiler in
@@ -485,10 +499,15 @@ module Make (S : Spec.S) = struct
             (match shards.(worker) with
             | Some sh -> ignore (Coverage.observe_run sh ~run:i (Sim.trace w))
             | None -> ());
-            if L.check_trace (Sim.trace w) = None then begin
+            let tr = Sim.trace w in
+            let fp = Reduct.fp_of_trace tr in
+            let clean = cleans.(worker) in
+            if Hashtbl.mem clean fp then Obs.incr c_fuzz_pruned
+            else if L.check_trace tr = None then begin
               viol_sched.(i) <- Some schedule;
               note i
-            end;
+            end
+            else Hashtbl.add clean fp ();
             done_flags.(i) <- true
           end)
     in
@@ -767,7 +786,16 @@ let agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes
          (policies n))
   in
   let nruns = Array.length pairs in
-  let run_one ((pol_name, mk_choose), plan) =
+  (* Analysis reuse under reduction: two runs whose traces fall in the
+     same {!Reduct} commutation class have identical histories, hence
+     identical decision arrays, so validity / agreement / termination
+     and the distinct-decision count come out the same.  Violation-free
+     terminated runs cache [fp -> distinct] per worker; a later
+     class-mate reuses the count and skips re-analysis.  Nothing with a
+     violation (or a step-cap hit) is ever cached, so no violation can
+     be masked, and since class-mates reproduce the same analysis the
+     merged report is structurally identical for every [jobs]. *)
+  let run_one cache ((pol_name, mk_choose), plan) =
     let violations = ref [] in
     let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
     let choose = mk_choose () in
@@ -794,24 +822,33 @@ let agreement_crash_sweep ~make ~ordering ~inputs ~k ?max_crashes
     let distinct = ref 0 in
     if not terminated then violate "%s: did not terminate within %d steps" ctx max_steps
     else begin
-      let outcome = { Agreement.decisions; inputs } in
-      distinct := List.length (Agreement.distinct_decisions outcome);
-      if not (Agreement.valid outcome) then violate "%s: validity violated" ctx;
-      if not (Agreement.agreement ~k outcome) then
-        violate "%s: agreement violated (%d distinct decisions, k=%d)" ctx !distinct k;
-      Array.iteri
-        (fun p d ->
-          if Sim.finished w p && d = None then
-            violate "%s: p%d terminated without deciding" ctx p)
-        decisions
+      match Hashtbl.find_opt cache (Reduct.fp_of_trace (Sim.trace w)) with
+      | Some d ->
+          distinct := d;
+          Obs.incr c_sweep_reused
+      | None ->
+          let outcome = { Agreement.decisions; inputs } in
+          distinct := List.length (Agreement.distinct_decisions outcome);
+          if not (Agreement.valid outcome) then violate "%s: validity violated" ctx;
+          if not (Agreement.agreement ~k outcome) then
+            violate "%s: agreement violated (%d distinct decisions, k=%d)" ctx !distinct k;
+          Array.iteri
+            (fun p d ->
+              if Sim.finished w p && d = None then
+                violate "%s: p%d terminated without deciding" ctx p)
+            decisions;
+          if !violations = [] then
+            Hashtbl.add cache (Reduct.fp_of_trace (Sim.trace w)) !distinct
     end;
     (plan <> [], not terminated, !distinct, List.rev !violations)
   in
   let results = Array.make nruns (false, false, 0, []) in
-  Steal_pool.parallel_for
-    ~workers:(Steal_pool.effective_workers ~requested:jobs)
-    ~n:nruns
-    (fun ~worker:_ i -> results.(i) <- run_one pairs.(i));
+  let workers = Steal_pool.effective_workers ~requested:jobs in
+  let caches : (int, int) Hashtbl.t array =
+    Array.init (max 1 workers) (fun _ -> Hashtbl.create 64)
+  in
+  Steal_pool.parallel_for ~workers ~n:nruns
+    (fun ~worker i -> results.(i) <- run_one caches.(worker) pairs.(i));
   Obs.add c_sweep_runs nruns;
   let crashed_runs = ref 0 in
   let nonterminating = ref 0 in

@@ -126,6 +126,21 @@ let all : (string * checkable) list =
           spec = (module Spec.Queue_spec);
           default_depth = Some 22;
         } );
+    ( "hw-queue-deep",
+      Checkable
+        {
+          spec_name = "Herlihy-Wing queue, deep workload (baseline, not SL)";
+          make = Executors.hw_queue;
+          workload =
+            [|
+              [ Spec.Queue_spec.Enq 1; Spec.Queue_spec.Enq 3 ];
+              [ Spec.Queue_spec.Enq 2 ];
+              [ Spec.Queue_spec.Deq; Spec.Queue_spec.Deq ];
+              [ Spec.Queue_spec.Deq ];
+            |];
+          spec = (module Spec.Queue_spec);
+          default_depth = Some 32;
+        } );
     ( "agm-stack",
       Checkable
         {

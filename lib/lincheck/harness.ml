@@ -24,8 +24,19 @@ let program ~(make : (module Runtime_intf.S) -> 'op -> 'resp) ~(workload : 'op l
 
 (* Run a workload under [runs] random schedules and check every resulting
    trace for linearizability with [check]; returns the first offending
-   seed, if any. *)
+   seed, if any.
+
+   Partial-order reduction is applied unconditionally here: linearizability
+   is a property of the history alone, and commutation-equivalent traces
+   have identical histories, so one check answers the whole class.  Only
+   CLEAN classes are cached — a violating trace is never skipped on the
+   strength of a fingerprint, and the first violating seed is unchanged
+   (an earlier equivalent trace would itself have been violating).  This
+   phase is randomized testing, not exhaustive proof, which is why the
+   reduction needs no opt-in: a fingerprint collision can at worst mute
+   one of [runs] random probes. *)
 let find_non_linearizable ~check ~runs ?(crash_prob = 0.0) prog =
+  let clean : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let rec go seed =
     if seed > runs then None
     else
@@ -34,6 +45,13 @@ let find_non_linearizable ~check ~runs ?(crash_prob = 0.0) prog =
         else []
       in
       let w = Sim.run_random ~seed ~crash_after prog in
-      if check (Sim.trace w) then go (seed + 1) else Some seed
+      let tr = Sim.trace w in
+      let fp = Reduct.fp_of_trace tr in
+      if Hashtbl.mem clean fp then go (seed + 1)
+      else if check tr then begin
+        Hashtbl.add clean fp ();
+        go (seed + 1)
+      end
+      else Some seed
   in
   go 1

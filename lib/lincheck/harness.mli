@@ -21,4 +21,9 @@ val find_non_linearizable :
   int option
 (** Run [runs] seeded random schedules (every fifth run crashes a process
     when [crash_prob > 0]) and return the first seed whose trace fails
-    [check], if any. *)
+    [check], if any.  Schedules whose {!Reduct} commutation class was
+    already checked clean are skipped — linearizability depends only on
+    the history, which commuting swaps preserve — so a class is checked
+    once however many of the [runs] seeds land in it.  Violations are
+    never skipped (only clean classes are cached), and the first
+    offending seed is the same as without reduction. *)

@@ -35,14 +35,19 @@ exception Budget_exhausted
    budgets predate the others; their rendering (pretty and JSON) is
    pinned byte-for-byte, so the new reasons only ever add output.
    [Budget_interrupt] is external: a signal handler, per-request
-   deadline or supervisor cancellation asked the run to stop. *)
-type budget_reason = Budget_nodes | Budget_wall | Budget_heap | Budget_interrupt
+   deadline or supervisor cancellation asked the run to stop.
+   [Budget_preempt] is the conservative [--preempt-bound] truncation: a
+   successful game on the restricted tree proves nothing about the full
+   one, so the verdict degrades exactly like a budget trip (refutations
+   found under the bound remain sound — every visited node is real). *)
+type budget_reason = Budget_nodes | Budget_wall | Budget_heap | Budget_interrupt | Budget_preempt
 
 let budget_reason_tag = function
   | Budget_nodes -> "nodes"
   | Budget_wall -> "wall_ms"
   | Budget_heap -> "heap_mb"
   | Budget_interrupt -> "interrupt"
+  | Budget_preempt -> "preempt_bound"
 
 let heap_mb_now () =
   let words = (Gc.quick_stat ()).Gc.heap_words in
@@ -129,6 +134,7 @@ type col_checkpoint = {
   col_dead : int;
   col_vfail : int;
   col_wit : (int * int list) list;  (* temporal order *)
+  col_pruned : bool;  (* preempt bound dropped children in this column *)
 }
 
 type checkpoint = { ck_config : string; ck_columns : col_checkpoint list }
@@ -145,7 +151,7 @@ let fnv64 (s : string) =
 
 let col_checkpoint_to_json (c : col_checkpoint) =
   Obs_json.Assoc
-    [
+    ([
       ("col", Obs_json.Int c.col_index);
       ("outcome", Obs_json.String c.col_outcome);
       ("schedule", Obs_json.List (List.map (fun p -> Obs_json.Int p) c.col_schedule));
@@ -167,6 +173,9 @@ let col_checkpoint_to_json (c : col_checkpoint) =
                  ])
              c.col_wit) );
     ]
+    (* Appended only when set, so every pre-preempt-bound checkpoint
+       body — and hence its digest — is byte-identical to before. *)
+    @ if c.col_pruned then [ ("pruned", Obs_json.Bool true) ] else [])
 
 let checkpoint_body ck =
   Obs_json.to_string
@@ -233,6 +242,11 @@ let checkpoint_of_json j : (checkpoint, string) result =
                 Ok ((d, pth) :: acc))
               (Ok []) wit
           in
+          (* Optional: absent in every checkpoint written before the
+             preempt bound existed. *)
+          let pruned =
+            match Obs_json.member "pruned" o with Some (Obs_json.Bool b) -> b | _ -> false
+          in
           Ok
             {
               col_index = idx;
@@ -246,6 +260,7 @@ let checkpoint_of_json j : (checkpoint, string) result =
               col_dead = dead;
               col_vfail = vfail;
               col_wit = List.rev wit;
+              col_pruned = pruned;
             }
       in
       let* columns =
@@ -433,17 +448,25 @@ module Make (S : Spec.S) = struct
     completed_mask : int;
     enabled : int list;
     trace_len : int;
+    fp : Reduct.fp_state;
+        (* commutation-invariant trace fingerprint: equal (modulo hash
+           collisions) for nodes whose schedules differ only by swaps of
+           adjacent commuting base-object accesses.  Such nodes have
+           identical histories and record arrays, so the reduction memo
+           may answer one from the other. *)
     mutable root_linearizable : bool option;
   }
 
   let info_of_world (w : (S.op, S.resp) Sim.t) =
-    let arr, pred = build_masks (History.of_trace (Sim.trace w)) in
+    let trace = Sim.trace w in
+    let arr, pred = build_masks (History.of_trace trace) in
     {
       rec_arr = arr;
       pred;
       completed_mask = completed_mask_of arr;
       enabled = Sim.enabled w;
       trace_len = Sim.trace_len w;
+      fp = Reduct.fp_feed_list Reduct.fp_empty trace;
       root_linearizable = None;
     }
 
@@ -464,10 +487,11 @@ module Make (S : Spec.S) = struct
     let enabled = Sim.enabled w in
     let trace_len = Sim.trace_len w in
     let delta = Sim.events_from w ~from:parent.trace_len in
+    let fp = Reduct.fp_feed_list parent.fp delta in
     if not (List.exists (function Trace.Step _ -> false | _ -> true) delta) then
       (* Base-object steps only: the history is untouched, share every
          array (and the memoized root check) with the parent. *)
-      { parent with enabled; trace_len }
+      { parent with enabled; trace_len; fp }
     else begin
       let n0 = Array.length parent.rec_arr in
       (* Open operation per process: parent's pending records, updated as
@@ -526,7 +550,7 @@ module Make (S : Spec.S) = struct
       let completed_mask =
         Hashtbl.fold (fun id _ m -> m lor (1 lsl id)) updates parent.completed_mask
       in
-      { rec_arr = arr; pred; completed_mask; enabled; trace_len; root_linearizable = None }
+      { rec_arr = arr; pred; completed_mask; enabled; trace_len; fp; root_linearizable = None }
     end
 
   (* Anchor check: recompute the node's records from the full trace and
@@ -583,6 +607,9 @@ module Make (S : Spec.S) = struct
         Format.fprintf fmt "inconclusive: memory budget exhausted after %d nodes" nodes
     | Out_of_budget { nodes; reason = Budget_interrupt } ->
         Format.fprintf fmt "inconclusive: interrupted after %d nodes" nodes
+    | Out_of_budget { nodes; reason = Budget_preempt } ->
+        Format.fprintf fmt "inconclusive: preemption bound pruned schedules (%d nodes explored)"
+          nodes
 
   exception Found_not_linearizable of int list
 
@@ -606,7 +633,10 @@ module Make (S : Spec.S) = struct
         (* witness updates, newest first: (depth, forward schedule) at
            each strictly-deeper dead end *)
     en_tripped : budget_reason ref;
-    en_solve : int list -> int -> string -> node_info option -> linearization -> bool;
+    en_pruned : bool ref;
+        (* the preempt bound dropped at least one enabled child *)
+    en_solve : int list -> int -> int -> string -> node_info option -> linearization -> bool;
+        (* path, depth, preemption-switch count, packed key, parent, lin *)
   }
 
   (* Result of one parallel column (a top-level subtree solved with the
@@ -627,6 +657,7 @@ module Make (S : Spec.S) = struct
     cr_dead : int;
     cr_vfail : int;
     cr_wit : (int * int list) list;  (* temporal order *)
+    cr_pruned : bool;
   }
 
   (* A checkpointed column replayed as if this run had solved it: the
@@ -646,6 +677,7 @@ module Make (S : Spec.S) = struct
       cr_dead = cc.col_dead;
       cr_vfail = cc.col_vfail;
       cr_wit = cc.col_wit;
+      cr_pruned = cc.col_pruned;
     }
 
   (* ---------------------------------------------------------------- *)
@@ -690,9 +722,13 @@ module Make (S : Spec.S) = struct
     mutable k_wit_len : int;
     k_depth_hist : int array;
     k_kills : int array;
+    mutable k_prunes : int;
+    mutable k_pruned : bool;
     mutable k_tables : (string, node_info) Hashtbl.t list;
         (* the task's counted cache tables, set once at completion *)
   }
+
+  let n_kill_reasons = List.length Prof.all_kills
 
   let new_task_counters () =
     {
@@ -706,7 +742,9 @@ module Make (S : Spec.S) = struct
       k_wit = [];
       k_wit_len = 0;
       k_depth_hist = Array.make 64 0;
-      k_kills = Array.make 4 0;
+      k_kills = Array.make n_kill_reasons 0;
+      k_prunes = 0;
+      k_pruned = false;
       k_tables = [];
     }
 
@@ -731,10 +769,13 @@ module Make (S : Spec.S) = struct
   let check_strong_stats ?(max_nodes = 200_000) ?max_depth ?budget_ms ?budget_heap_mb
       ?on_progress ?(progress_every = 10_000) ?(progress_every_ms = 1000) ?tracer ?profiler
       ?coverage ?(jobs = 1) ?(steal_grain = 4) ?(checkpoint_stride = 16) ?interrupt
-      ?checkpointing (prog : (S.op, S.resp) Sim.program) : verdict * stats =
+      ?checkpointing ?(reduce = false) ?(reduce_check = false) ?preempt_bound
+      (prog : (S.op, S.resp) Sim.program) : verdict * stats =
     let stride = max 1 checkpoint_stride in
     let jobs = max 1 jobs in
     let steal_grain = max 0 steal_grain in
+    let reduce = reduce || reduce_check in
+    let preempt_bound = Option.map (max 0) preempt_bound in
     if prog.Sim.procs > 255 then invalid_arg "Lincheck: more than 255 processes";
     let t0 = Obs.now_ns () in
     let lane_for w = Option.map (fun p -> Prof.lane p ~domain:w) profiler in
@@ -810,6 +851,10 @@ module Make (S : Spec.S) = struct
       let ev_path : int list ref = ref [] in
       let world_at path =
         match (path, !ev_world) with
+        (* Same node re-requested (the reduction layer probes the world
+           for its fingerprint before deciding whether to explore): the
+           spine already sits there. *)
+        | p, Some w when p == !ev_path -> w
         | p :: tl, Some w when tl == !ev_path ->
             Sim.step w p;
             ev_path := path;
@@ -868,13 +913,88 @@ module Make (S : Spec.S) = struct
             Hashtbl.add cache key info;
             info
       in
+      (* Did the preempt bound drop an enabled child anywhere?  A
+         successful game then only covers the restricted tree. *)
+      let pruned = ref false in
+      (* Candidate-survival memo (--reduce): the solve result is a
+         function of the node's commutation class (trace-equivalent
+         prefixes have identical record arrays and enabled sets, hence
+         isomorphic future subtrees), its depth, its preemption-switch
+         count and the inherited linearization — so one entry per
+         (column, class fingerprint, depth, switches, lin) answers every
+         twin.  Only committed results land here: a budget trip or a
+         refutation unwinds as an exception and stores nothing.  The
+         leading column byte keeps a shared table partitioned exactly
+         like the per-column engines', so sequential, per-column and
+         grain-0 stealing runs explore (and count) identically. *)
+      let memo : (char * int * int * int * linearization, bool) Hashtbl.t option =
+        if reduce then Some (Hashtbl.create 1024) else None
+      in
       (* [path] is kept reversed for cheap extension; [depth] is its
-         length; [key] its packed cache key; [parent] the parent node's
-         evaluated state (None only at the engine's entry node). *)
-      let rec solve path depth key parent (lin : linearization) =
+         length; [switches] the preemptions charged so far; [key] its
+         packed cache key; [parent] the parent node's evaluated state
+         (None only at the engine's entry node). *)
+      let rec solve path depth switches key parent (lin : linearization) =
         if depth > !max_frontier then max_frontier := depth;
-        let info = node_data path depth key parent in
+        match memo with
+        | Some m when depth > 0 -> (
+            (* Probe the memo BEFORE registering the node: computing the
+               child's fingerprint costs one [Sim.step] along the spine
+               (or a node-cache lookup), and a hit answers the whole
+               subtree — the pruned node is never counted, polled,
+               cross-checked or cached, exactly as if the sleep set had
+               suppressed the transition. *)
+            let fp =
+              match Hashtbl.find_opt cache key with
+              | Some info -> info.fp
+              | None -> (
+                  let w = world_at path in
+                  match parent with
+                  | Some pi -> Reduct.fp_feed_list pi.fp (Sim.events_from w ~from:pi.trace_len)
+                  | None -> Reduct.fp_feed_list Reduct.fp_empty (Sim.trace w))
+            in
+            let mkey = (key.[0], Reduct.fp_value fp, depth, switches, lin) in
+            match Hashtbl.find_opt m mkey with
+            | Some res when not reduce_check ->
+                (match lane with Some l -> Prof.prune l | None -> ());
+                if not res then last_fail := Prof.Kill_pruned;
+                res
+            | Some res ->
+                (* Debug cross-validation: re-explore the twin subtree
+                   and insist commuting steps really did yield an
+                   isomorphic (same-verdict) subtree. *)
+                let info = node_data path depth key parent in
+                let res' = solve_node info path depth switches key lin in
+                if res' <> res then
+                  invalid_arg
+                    "Lincheck: reduction cross-check failed — commutation-equivalent subtrees \
+                     disagree";
+                res'
+            | None ->
+                let info = node_data path depth key parent in
+                let res = solve_node info path depth switches key lin in
+                Hashtbl.replace m mkey res;
+                res)
+        | _ ->
+            let info = node_data path depth key parent in
+            solve_node info path depth switches key lin
+      and solve_node info path depth switches key (lin : linearization) =
         let children = match max_depth with Some d when depth >= d -> [] | _ -> info.enabled in
+        (* Conservative preemption bound: past [preempt_bound] switches
+           only the currently scheduled process may continue (while it
+           stays enabled).  Dropping children of a ∀-quantified game node
+           preserves refutations — every explored node is a real node —
+           and a fully successful game degrades to [Budget_preempt]. *)
+        let children =
+          match preempt_bound with
+          | Some b when switches >= b -> (
+              match path with
+              | lastp :: _ when List.mem lastp children ->
+                  if List.exists (fun p -> p <> lastp) children then pruned := true;
+                  [ lastp ]
+              | _ -> children)
+          | _ -> children
+        in
         match validate_over info.rec_arr lin with
         | None ->
             incr validate_failures;
@@ -899,8 +1019,19 @@ module Make (S : Spec.S) = struct
                 cand_generated := !cand_generated + List.length candidates;
                 if children = [] then true
                 else
+                  let lastp_enabled =
+                    match path with lastp :: _ -> List.mem lastp info.enabled | [] -> false
+                  in
                   let kids =
-                    List.map (fun p -> (p, key ^ String.make 1 (Char.unsafe_chr p))) children
+                    List.map
+                      (fun p ->
+                        let sw =
+                          match path with
+                          | lastp :: _ when p <> lastp && lastp_enabled -> switches + 1
+                          | _ -> switches
+                        in
+                        (p, sw, key ^ String.make 1 (Char.unsafe_chr p)))
+                      children
                   in
                   (* [List.exists], unrolled to count refuted candidates. *)
                   let rec try_candidates = function
@@ -912,7 +1043,7 @@ module Make (S : Spec.S) = struct
                     | cand :: rest ->
                         if
                           List.for_all
-                            (fun (p, k) -> solve (p :: path) (depth + 1) k (Some info) cand)
+                            (fun (p, sw, k) -> solve (p :: path) (depth + 1) sw k (Some info) cand)
                             kids
                         then true
                         else begin
@@ -933,6 +1064,7 @@ module Make (S : Spec.S) = struct
         en_vfail = validate_failures;
         en_wit = wit_log;
         en_tripped = tripped;
+        en_pruned = pruned;
         en_solve = solve;
       }
     in
@@ -977,8 +1109,11 @@ module Make (S : Spec.S) = struct
       let eng = new_engine ~on_tick ~poll:ignore ~lane ~cov:(cov_for 0) ~bump_global:ignore () in
       (match lane with Some l -> Prof.begin_span l Prof.Solve () | None -> ());
       let verdict =
-        match eng.en_solve [] 0 "" None [] with
-        | true -> Strongly_linearizable { nodes = !(eng.en_nodes) }
+        match eng.en_solve [] 0 0 "" None [] with
+        | true ->
+            if !(eng.en_pruned) then
+              Out_of_budget { nodes = !(eng.en_nodes); reason = Budget_preempt }
+            else Strongly_linearizable { nodes = !(eng.en_nodes) }
         | false ->
             let witness = match !(eng.en_wit) with [] -> [] | (_, w) :: _ -> w in
             Not_strongly_linearizable { witness; nodes = !(eng.en_nodes) }
@@ -1128,6 +1263,7 @@ module Make (S : Spec.S) = struct
               cr_dead = 0;
               cr_vfail = 0;
               cr_wit = [];
+              cr_pruned = false;
             }
           in
           let run_column ~lane ~cov ~on_tick c =
@@ -1150,7 +1286,7 @@ module Make (S : Spec.S) = struct
               | None -> ());
               let outcome =
                 match
-                  eng.en_solve [ p ] 1 (String.make 1 (Char.unsafe_chr p)) (Some root_info) []
+                  eng.en_solve [ p ] 1 0 (String.make 1 (Char.unsafe_chr p)) (Some root_info) []
                 with
                 | true -> Col_ok true
                 | false ->
@@ -1190,6 +1326,7 @@ module Make (S : Spec.S) = struct
                     cr_dead = !(eng.en_dead);
                     cr_vfail = !(eng.en_vfail);
                     cr_wit = List.rev !(eng.en_wit);
+                    cr_pruned = !(eng.en_pruned);
                   };
               (* Completed columns (ok / failed / not-lin) are final facts
                  about the tree and go into the checkpoint; tripped or
@@ -1219,6 +1356,7 @@ module Make (S : Spec.S) = struct
                           col_dead = !(eng.en_dead);
                           col_vfail = !(eng.en_vfail);
                           col_wit = List.rev !(eng.en_wit);
+                          col_pruned = !(eng.en_pruned);
                         })
               | None -> ()
             end
@@ -1257,8 +1395,17 @@ module Make (S : Spec.S) = struct
                checkpoint surfaces as a final [Out_of_budget] — stay
                byte-identical across worker counts.  (Without
                checkpointing a trip falls back to the sequential engine,
-               so speculative over-counting is invisible there.) *)
-            let grain = match checkpointing with Some _ -> 0 | None -> steal_grain in
+               so speculative over-counting is invisible there.)
+               Reduced runs never fork either: the memo's hit pattern is
+               the sequential engine's only if one table sees the whole
+               column in DFS order — sibling tasks racing on a shared
+               memo (or each starting one empty) would hit differently
+               than the sequential walk, changing counts with [jobs].
+               One task per column = one memo per column = the same
+               exploration at every worker count. *)
+            let grain =
+              if reduce then 0 else match checkpointing with Some _ -> 0 | None -> steal_grain
+            in
             (* Heartbeat: only worker 0 beats, on its own fresh-node and
                256-event time cadences, reading the canonical global total
                (bumped at column completion) so beats never overshoot the
@@ -1290,9 +1437,16 @@ module Make (S : Spec.S) = struct
             in
             (* Run one subtree as the current task on [worker]: returns
                its outcome and counters; never raises [Task_stop]. *)
-            let rec run_subtree ~worker ~col ~guards ~chain path0 depth0 key0 parent0 lin0 =
+            let rec run_subtree ~worker ~col ~guards ~chain path0 depth0 switches0 key0 parent0
+                lin0 =
               let k = new_task_counters () in
               let local : (string, node_info) Hashtbl.t = Hashtbl.create 64 in
+              (* Per-task reduction memo.  Under [reduce] the grain is
+                 forced to 0, so one task covers one whole column and
+                 this table is exactly the per-column engine's. *)
+              let memo : (char * int * int * int * linearization, bool) Hashtbl.t option =
+                if reduce then Some (Hashtbl.create 256) else None
+              in
               let last_fail = ref Prof.Kill_mismatch in
               let lane = lane_for worker in
               let cov = cov_for worker in
@@ -1308,6 +1462,9 @@ module Make (S : Spec.S) = struct
               let ev_path : int list ref = ref [] in
               let world_at path =
                 match (path, !ev_world) with
+                (* Same node re-requested (reduction fingerprint probe):
+                   the spine already sits there. *)
+                | p, Some w when p == !ev_path -> w
                 | p :: tl, Some w when tl == !ev_path ->
                     Sim.step w p;
                     ev_path := path;
@@ -1394,9 +1551,11 @@ module Make (S : Spec.S) = struct
                 for i = 0 to 63 do
                   k.k_depth_hist.(i) <- k.k_depth_hist.(i) + kc.k_depth_hist.(i)
                 done;
-                for i = 0 to 3 do
+                for i = 0 to n_kill_reasons - 1 do
                   k.k_kills.(i) <- k.k_kills.(i) + kc.k_kills.(i)
                 done;
+                k.k_prunes <- k.k_prunes + kc.k_prunes;
+                if kc.k_pruned then k.k_pruned <- true;
                 List.iter
                   (fun (d, pth) ->
                     if d > k.k_wit_len then begin
@@ -1418,11 +1577,62 @@ module Make (S : Spec.S) = struct
                   r := [ m ]
                 end
               in
-              let rec solve path depth key parent (lin : linearization) =
+              let rec solve path depth switches key parent (lin : linearization) =
                 if depth > k.k_frontier then k.k_frontier <- depth;
-                let info = node_data path depth key parent in
+                match memo with
+                | Some m when depth > 0 -> (
+                    (* Probe before registering, as in the sequential
+                       engine: a hit answers the subtree and the pruned
+                       node is never counted or cached. *)
+                    let fp =
+                      match
+                        match Hashtbl.find_opt local key with
+                        | Some _ as r -> r
+                        | None -> find_chain key
+                      with
+                      | Some info -> info.fp
+                      | None -> (
+                          let w = world_at path in
+                          match parent with
+                          | Some pi ->
+                              Reduct.fp_feed_list pi.fp (Sim.events_from w ~from:pi.trace_len)
+                          | None -> Reduct.fp_feed_list Reduct.fp_empty (Sim.trace w))
+                    in
+                    let mkey = (key.[0], Reduct.fp_value fp, depth, switches, lin) in
+                    match Hashtbl.find_opt m mkey with
+                    | Some res when not reduce_check ->
+                        k.k_prunes <- k.k_prunes + 1;
+                        if not res then last_fail := Prof.Kill_pruned;
+                        res
+                    | Some res ->
+                        let info = node_data path depth key parent in
+                        let res' = solve_node info path depth switches key lin in
+                        if res' <> res then
+                          invalid_arg
+                            "Lincheck: reduction cross-check failed — commutation-equivalent \
+                             subtrees disagree";
+                        res'
+                    | None ->
+                        let info = node_data path depth key parent in
+                        let res = solve_node info path depth switches key lin in
+                        Hashtbl.replace m mkey res;
+                        res)
+                | _ ->
+                    let info = node_data path depth key parent in
+                    solve_node info path depth switches key lin
+              and solve_node info path depth switches key (lin : linearization) =
                 let children =
                   match max_depth with Some d when depth >= d -> [] | _ -> info.enabled
+                in
+                let children =
+                  match preempt_bound with
+                  | Some b when switches >= b -> (
+                      match path with
+                      | lastp :: _ when List.mem lastp children ->
+                          if List.exists (fun p -> p <> lastp) children then k.k_pruned <- true;
+                          [ lastp ]
+                      | _ -> children)
+                  | _ -> children
                 in
                 match validate_over info.rec_arr lin with
                 | None ->
@@ -1447,9 +1657,20 @@ module Make (S : Spec.S) = struct
                         k.k_cand <- k.k_cand + List.length candidates;
                         if children = [] then true
                         else begin
+                          let lastp_enabled =
+                            match path with
+                            | lastp :: _ -> List.mem lastp info.enabled
+                            | [] -> false
+                          in
                           let kids =
                             List.map
-                              (fun p -> (p, key ^ String.make 1 (Char.unsafe_chr p)))
+                              (fun p ->
+                                let sw =
+                                  match path with
+                                  | lastp :: _ when p <> lastp && lastp_enabled -> switches + 1
+                                  | _ -> switches
+                                in
+                                (p, sw, key ^ String.make 1 (Char.unsafe_chr p)))
                               children
                           in
                           let nkids = List.length kids in
@@ -1463,8 +1684,8 @@ module Make (S : Spec.S) = struct
                               | cand :: rest ->
                                   if
                                     List.for_all
-                                      (fun (p, kk) ->
-                                        solve (p :: path) (depth + 1) kk (Some info) cand)
+                                      (fun (p, sw, kk) ->
+                                        solve (p :: path) (depth + 1) sw kk (Some info) cand)
                                       kids
                                   then true
                                   else begin
@@ -1505,12 +1726,12 @@ module Make (S : Spec.S) = struct
                                   let kid_task i w =
                                     let slot = slots.(i) in
                                     (try
-                                       let p, kk = kid_arr.(i) in
+                                       let p, sw, kk = kid_arr.(i) in
                                        let out, kc =
                                          run_subtree ~worker:w ~col
                                            ~guards:((group, i) :: guards)
                                            ~chain:(!(accs.(i)) @ (local :: chain))
-                                           (p :: path) (depth + 1) kk (Some info) cand
+                                           (p :: path) (depth + 1) sw kk (Some info) cand
                                        in
                                        slot.r_ctr <- Some kc;
                                        slot.r_out <- out
@@ -1580,7 +1801,7 @@ module Make (S : Spec.S) = struct
               let out =
                 match
                   poll ();
-                  solve path0 depth0 key0 parent0 lin0
+                  solve path0 depth0 switches0 key0 parent0 lin0
                 with
                 | true -> T_ok
                 | false -> T_fail !last_fail
@@ -1609,7 +1830,7 @@ module Make (S : Spec.S) = struct
                 let p = cols.(c) in
                 let out, k =
                   try
-                    run_subtree ~worker:w ~col:c ~guards:[] ~chain:[] [ p ] 1
+                    run_subtree ~worker:w ~col:c ~guards:[] ~chain:[] [ p ] 1 0
                       (String.make 1 (Char.unsafe_chr p))
                       (Some root_info) []
                   with e ->
@@ -1639,6 +1860,7 @@ module Make (S : Spec.S) = struct
                     Prof.add_hits l k.k_hits;
                     Prof.add_depth_hist l k.k_depth_hist;
                     Prof.add_kills l k.k_kills;
+                    Prof.add_prunes l k.k_prunes;
                     let tag =
                       match outcome with
                       | Col_ok true -> "ok"
@@ -1664,6 +1886,7 @@ module Make (S : Spec.S) = struct
                       cr_dead = k.k_dead;
                       cr_vfail = k.k_vfail;
                       cr_wit = List.rev k.k_wit;
+                      cr_pruned = k.k_pruned;
                     };
                 match checkpointing with
                 | Some cp -> (
@@ -1690,6 +1913,7 @@ module Make (S : Spec.S) = struct
                             col_dead = k.k_dead;
                             col_vfail = k.k_vfail;
                             col_wit = List.rev k.k_wit;
+                            col_pruned = k.k_pruned;
                           })
                 | None -> ()
               end
@@ -1726,6 +1950,7 @@ module Make (S : Spec.S) = struct
           let acc_killed = ref 0 in
           let acc_dead = ref 0 in
           let acc_vfail = ref 0 in
+          let acc_pruned = ref false in
           let witness = ref [] in
           let wit_len = ref 0 in
           let finish_par verdict =
@@ -1765,6 +1990,7 @@ module Make (S : Spec.S) = struct
               acc_killed := !acc_killed + r.cr_killed;
               acc_dead := !acc_dead + r.cr_dead;
               acc_vfail := !acc_vfail + r.cr_vfail;
+              if r.cr_pruned then acc_pruned := true;
               List.iter
                 (fun (d, pth) ->
                   if d > !wit_len then begin
@@ -1784,7 +2010,9 @@ module Make (S : Spec.S) = struct
               if ckpt && !acc_nodes > max_nodes then raise (Trip Budget_nodes)
             done;
             end_merge ();
-            finish_par (Strongly_linearizable { nodes = !acc_nodes })
+            finish_par
+              (if !acc_pruned then Out_of_budget { nodes = !acc_nodes; reason = Budget_preempt }
+               else Strongly_linearizable { nodes = !acc_nodes })
           with
           | Done v ->
               end_merge ();

@@ -25,11 +25,16 @@ exception Budget_exhausted
     and [Budget_heap] come from the optional [budget_ms] /
     [budget_heap_mb] arguments of {!Make.check_strong_stats};
     [Budget_interrupt] from its [interrupt] hook (signals, deadlines,
-    supervisor cancellation). *)
-type budget_reason = Budget_nodes | Budget_wall | Budget_heap | Budget_interrupt
+    supervisor cancellation).  [Budget_preempt] records that the
+    conservative [preempt_bound] dropped enabled children somewhere: a
+    fully successful game then only covers the restricted tree, so the
+    verdict degrades to inconclusive (refutations found under the bound
+    remain sound and are reported as usual). *)
+type budget_reason = Budget_nodes | Budget_wall | Budget_heap | Budget_interrupt | Budget_preempt
 
 val budget_reason_tag : budget_reason -> string
-(** ["nodes"], ["wall_ms"], ["heap_mb"] or ["interrupt"] — the JSON tag. *)
+(** ["nodes"], ["wall_ms"], ["heap_mb"], ["interrupt"] or
+    ["preempt_bound"] — the JSON tag. *)
 
 val engine_fingerprint : string
 (** Identity of the exploration engine's deterministic behaviour (bumped
@@ -62,6 +67,10 @@ type col_checkpoint = {
   col_wit : (int * int list) list;
       (** witness updates in temporal order: (depth, schedule) at each
           strictly-deeper dead end *)
+  col_pruned : bool;
+      (** the preempt bound dropped enabled children in this column
+          (serialized only when true, so pre-existing checkpoints and
+          their digests are unchanged; absent parses as false) *)
 }
 
 type checkpoint = {
@@ -184,6 +193,9 @@ module Make (S : Spec.S) : sig
     ?checkpoint_stride:int ->
     ?interrupt:(unit -> bool) ->
     ?checkpointing:checkpointing ->
+    ?reduce:bool ->
+    ?reduce_check:bool ->
+    ?preempt_bound:int ->
     (S.op, S.resp) Sim.program ->
     verdict * stats
   (** Like {!check_strong}, additionally returning exploration {!stats}.
@@ -255,7 +267,38 @@ module Make (S : Spec.S) : sig
       (column determinism — the [jobs]-invariance property).  With
       checkpointing active a tripped budget merges the completed
       columns' partial stats instead of falling back to the sequential
-      engine, so budget-tripped node counts are column-granular. *)
+      engine, so budget-tripped node counts are column-granular.
+
+      [reduce] (default false) turns on dependency-aware partial-order
+      reduction: the solver memoizes candidate survival per
+      (commutation class, depth, switch count, inherited linearization)
+      using the [Reduct] trace fingerprint, so subtrees reached by
+      schedules that differ only in the order of adjacent commuting
+      base-object accesses are explored once.  Trace-equivalent nodes
+      have identical histories and record arrays, hence isomorphic game
+      subtrees, so the verdict is preserved; the witness (deepest dead
+      end, first in DFS order) sits in the explored region and is
+      preserved too — modulo 62-bit fingerprint collisions, which is
+      why the SL game only reduces on request while unreduced runs stay
+      byte-identical to previous releases.  Reduced verdicts and node
+      counts are themselves deterministic across [jobs] and
+      [steal_grain] (intra-column forking is disabled under [reduce] so
+      one memo sees each column in DFS order).
+
+      [reduce_check] (debug cross-validation; implies [reduce])
+      re-explores every memo hit and raises [Invalid_argument] if a
+      commutation-equivalent subtree disagrees with the stored verdict
+      — the mechanized form of the isomorphic-subtree argument.  Node
+      counts under [reduce_check] are close to unreduced (every twin is
+      re-walked), so it validates soundness, not speed.
+
+      [preempt_bound] (off by default; clamped to >= 0) conservatively
+      restricts exploration to schedules with at most N preemptions — a
+      context switch away from a still-enabled process.  Composes with
+      budgets and [reduce] (the switch count is part of the memo key).
+      Refutations found under the bound are sound; a successful game
+      with at least one child dropped degrades to [Out_of_budget] with
+      [Budget_preempt]. *)
 
   val verdict_fields : verdict -> (string * Obs_json.t) list
   (** The verdict as JSON fields (constructor tag plus its payload). *)

@@ -30,8 +30,8 @@ type search_state = {
   group : (int * int list) option;  (* duplicated item, op ids in the group *)
 }
 
-let check_budgeted ?budget_nodes ?budget_ms ?(jobs = 1) ?profiler ?coverage (kind : kind)
-    (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t) : outcome =
+let check_budgeted ?budget_nodes ?budget_ms ?(jobs = 1) ?(reduce = false) ?profiler ?coverage
+    (kind : kind) (t : (Spec.Queue_spec.op, Spec.Queue_spec.resp) Trace.t) : outcome =
   (* Coverage (passive): the checked trace is one observed world — its
      fingerprint and access pairs land on shard 0 before the DFS runs,
      so budget trips cannot hide the observation. *)
@@ -86,7 +86,32 @@ let check_budgeted ?budget_nodes ?budget_ms ?(jobs = 1) ?profiler ?coverage (kin
     tripped := reason;
     raise Lincheck.Budget_exhausted
   in
+  (* Partial-order reduction ([reduce]): the DFS answer is a pure
+     function of (mask, state) — which operations are already
+     linearized and what the abstract object looks like — so
+     linearization orders that converge on the same (mask, items,
+     group) share one sub-search.  The memo is consulted before the
+     state is counted (a hit costs no visit); exception paths (budget
+     trips) cache nothing.  Gated behind [reduce] because memo hits
+     change [visited] counts (never the decision). *)
+  let memo : (int * int list * (int * int list) option, bool) Hashtbl.t option =
+    if reduce then Some (Hashtbl.create 1024) else None
+  in
+  let prunes = ref 0 in
   let rec dfs mask s =
+    match memo with
+    | Some m -> (
+        let key = (mask, s.items, s.group) in
+        match Hashtbl.find_opt m key with
+        | Some r ->
+            incr prunes;
+            r
+        | None ->
+            let r = dfs_state mask s in
+            Hashtbl.replace m key r;
+            r)
+    | None -> dfs_state mask s
+  and dfs_state mask s =
     Atomic.incr visited;
     (match budget_nodes with
     | Some b when Atomic.get visited > b -> stop Lincheck.Budget_nodes
@@ -123,8 +148,8 @@ let check_budgeted ?budget_nodes ?budget_ms ?(jobs = 1) ?profiler ?coverage (kin
      order — and the answer is the same OR either way. *)
   let eff =
     match (budget_nodes, budget_ms) with
-    | None, None -> Steal_pool.effective_workers ~requested:jobs
-    | _ -> 1
+    | None, None when not reduce -> Steal_pool.effective_workers ~requested:jobs
+    | _ -> 1 (* the memo table is single-domain, like a budget's visit order *)
   in
   let solve () =
     let s0 = { items = []; group = None } in
@@ -175,6 +200,7 @@ let check_budgeted ?budget_nodes ?budget_ms ?(jobs = 1) ?profiler ?coverage (kin
   (match lane with
   | Some l ->
       Prof.add_nodes l (Atomic.get visited);
+      Prof.add_prunes l !prunes;
       Prof.end_span l
   | None -> ());
   outcome

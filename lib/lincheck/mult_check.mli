@@ -30,6 +30,7 @@ val check_budgeted :
   ?budget_nodes:int ->
   ?budget_ms:int ->
   ?jobs:int ->
+  ?reduce:bool ->
   ?profiler:Prof.t ->
   ?coverage:Coverage.t ->
   kind ->
@@ -45,6 +46,13 @@ val check_budgeted :
     that many domains when no budget is set; the decision is the same
     for every value.  Budgeted searches stay sequential — a
     deterministic trip point needs the sequential visit order.
+
+    [reduce] (default false) memoizes DFS states on (mask, items,
+    group): linearization orders that converge on the same abstract
+    state share one sub-search.  The decision is unchanged (the answer
+    is a pure function of that key); [visited] counts drop, which is
+    why the memo is opt-in.  Forces the sequential search ([jobs]
+    ignored); memo hits are reported as profiler [prunes].
 
     [profiler] records the DFS as one solve span on lane 0 with one work
     unit per visited state (and a [budget] kill if a budget trips);

@@ -1,0 +1,152 @@
+(* Dependency-aware partial-order reduction: the static commutation
+   relation over base-object accesses, and a trace fingerprint that is
+   invariant under exactly that relation.
+
+   Two adjacent base-object accesses by distinct processes commute when
+   they touch distinct objects, or when both are read-like accesses
+   ("read" / "scan" / "collect" in the simulator's access log) of the
+   same object.  This is the static half of the empirical matrix the
+   coverage layer (PR 7) measures: [Coverage.classify_pair] counts a
+   pair as conflicting iff [conflicting_steps] says so, and
+   [test_reduct] pins that agreement against real workloads.
+
+   The fingerprint refines [Coverage]'s commutation-invariant world
+   fingerprint: where coverage folds every step of an object into one
+   order-sensitive chain, this one accumulates consecutive read-like
+   steps into a commutative sum that the next non-read access seals
+   into the chain.  Net effect: two traces get equal fingerprints when
+   they differ by swapping adjacent commuting accesses — distinct
+   objects (separate chains) or same-object read/read (commutative
+   pending sum) — while any conflicting reorder changes a chain.  The
+   engine's [--reduce] mode keys its candidate-survival memo on this
+   value: trace-equivalent prefixes have identical histories (invoke /
+   return order is untouched by commuting steps), hence identical
+   record arrays, minimal-extension sets and enabled sets, so their
+   game subtrees are isomorphic and one exploration answers both. *)
+
+(* 62-bit mixing keeps every fingerprint a non-negative OCaml int on
+   64-bit platforms (same constants as [Coverage], so the two layers
+   agree on what "one mixing step" costs). *)
+let fp_mask = (1 lsl 62) - 1
+
+let mix h x =
+  let h = (h + x) * 0x9E3779B97F4A7 in
+  (h lxor (h lsr 29)) land fp_mask
+
+(* ---------------- static dependency relation -------------------------- *)
+
+(* Must match [Coverage.read_like] — the empirical matrix counts a pair
+   as commuting under exactly this predicate, and the validation test
+   fails if the two ever drift apart. *)
+let read_like = function Some ("read" | "scan" | "collect") -> true | _ -> false
+
+(* Dynamic refinement: a state-preserving access (the simulator's [noop]
+   flag — a failed CAS, a swap writing back the value already there)
+   behaves exactly like a read for commutation purposes: both orders of
+   two adjacent same-object state-preserving accesses observe the same
+   state, return the same responses and leave the object unchanged. *)
+let preserving ~info ~noop = noop || read_like info
+
+let commuting_steps ~obj1 ~info1 ~obj2 ~info2 =
+  (not (String.equal obj1 obj2)) || (read_like info1 && read_like info2)
+
+let conflicting_steps ~obj1 ~info1 ~obj2 ~info2 =
+  not (commuting_steps ~obj1 ~info1 ~obj2 ~info2)
+
+(* Event-level relation.  A game node's semantics is a function of
+   exactly: the per-object access sequences (they determine object
+   states, observed values, hence every fiber's continuation and every
+   recorded response), the invocation ORDER (record ids are assigned by
+   it), the return-before-invoke precedence relation, and the SET of
+   completed operations.  Adjacent swaps that preserve all four
+   commute:
+   - [Step]/[Step] by distinct processes, per {!commuting_steps};
+   - [Return]/[Return] by distinct processes (neither precedence nor
+     ids nor the completed set reads the order of back-to-back
+     returns);
+   - [Step] against an [Invoke] or [Return] of a distinct process (a
+     base-object access is invisible to the history and vice versa).
+   [Invoke]/[Invoke] conflicts (record ids permute) and
+   [Invoke]/[Return] conflicts (that order IS the precedence
+   relation). *)
+let events_commute (e1 : (_, _) Trace.event) (e2 : (_, _) Trace.event) =
+  match (e1, e2) with
+  | Trace.Step a, Trace.Step b ->
+      a.proc <> b.proc
+      && ((not (String.equal a.obj b.obj))
+         || (preserving ~info:a.info ~noop:a.noop && preserving ~info:b.info ~noop:b.noop))
+  | Trace.Return { proc = p; _ }, Trace.Return { proc = q; _ } -> p <> q
+  | Trace.Step { proc = p; _ }, (Trace.Invoke { proc = q; _ } | Trace.Return { proc = q; _ })
+  | (Trace.Invoke { proc = p; _ } | Trace.Return { proc = p; _ }), Trace.Step { proc = q; _ }
+    ->
+      p <> q
+  | _ -> false
+
+(* Bundle-level relation, for whole scheduling steps: one [Sim.step]
+   emits a bundle of trace events (possibly an invoke or return plus a
+   base-object access).  Two bundles commute when every cross pair of
+   events does — then swapping the bundles preserves the invocation
+   order, the precedence relation, every per-object access order, and
+   (since commuting accesses also leave the object states and both
+   fibers' views unchanged) the world. *)
+let bundles_commute b1 b2 =
+  List.for_all (fun e1 -> List.for_all (fun e2 -> events_commute e1 e2) b2) b1
+
+(* ---------------- commutation-invariant fingerprint -------------------- *)
+
+(* Per-object state: an order-sensitive chain of sealed accesses plus a
+   commutative sum of the read-like accesses seen since the last
+   non-read access.  Reads add into [oc_pend] (modular addition —
+   order-insensitive); any other access seals the pending sum into the
+   chain and then extends it. *)
+type obj_chain = { oc_chain : int; oc_pend : int }
+
+type fp_state = {
+  fr_hist : int;  (* chain over Invoke events (each sealing pending returns) *)
+  fr_rets : int;  (* commutative sum of returns since the last Invoke *)
+  fr_objs : (string * obj_chain) list;  (* per-object chains, small assoc *)
+  fr_sum : int;  (* sum of sealed per-object values, mod 2^62 *)
+}
+
+let obj_seed obj = mix 0x51 (Hashtbl.hash obj)
+
+let seal obj c = mix (Hashtbl.hash obj) (mix c.oc_chain c.oc_pend)
+
+let fp_empty = { fr_hist = mix 0 0x5eed; fr_rets = 0; fr_objs = []; fr_sum = 0 }
+
+let fp_feed st (ev : (_, _) Trace.event) =
+  match ev with
+  (* The history mirrors the object chains' read trick: back-to-back
+     returns land in a commutative pending sum — their mutual order is
+     semantically dead — and the next invoke seals it, because a
+     return-before-invoke pair IS a precedence edge. *)
+  | Trace.Return _ -> { st with fr_rets = (st.fr_rets + Hashtbl.hash ev) land fp_mask }
+  | Trace.Invoke _ ->
+      { st with fr_hist = mix (mix st.fr_hist st.fr_rets) (Hashtbl.hash ev); fr_rets = 0 }
+  | Trace.Step { proc; obj; info; noop } ->
+      let cur =
+        match List.assoc_opt obj st.fr_objs with
+        | Some c -> c
+        | None -> { oc_chain = obj_seed obj; oc_pend = 0 }
+      in
+      let h = Hashtbl.hash (proc, info) in
+      let next =
+        if preserving ~info ~noop then { cur with oc_pend = (cur.oc_pend + h) land fp_mask }
+        else { oc_chain = mix (mix cur.oc_chain cur.oc_pend) h; oc_pend = 0 }
+      in
+      let rec set = function
+        | [] -> [ (obj, next) ]
+        | (o, _) :: rest when String.equal o obj -> (obj, next) :: rest
+        | kv :: rest -> kv :: set rest
+      in
+      {
+        st with
+        fr_objs = set st.fr_objs;
+        fr_sum = (st.fr_sum - seal obj cur + seal obj next) land fp_mask;
+      }
+
+let fp_feed_list st evs = List.fold_left fp_feed st evs
+
+let fp_value st = mix (mix st.fr_hist st.fr_rets) st.fr_sum
+
+let fp_of_trace tr = fp_value (fp_feed_list fp_empty tr)

@@ -1,0 +1,82 @@
+(** Dependency-aware partial-order reduction support: the static
+    commutation relation over base-object accesses and a trace
+    fingerprint invariant under exactly that relation.
+
+    Two base-object accesses by distinct processes commute when they
+    touch distinct objects, or when both are read-like accesses of the
+    same object; everything else — same-object access pairs involving a
+    write/F&A/swap, and any invoke/return history event — conflicts.
+    This is the static side of the empirical object-pair matrix the
+    coverage layer measures ({!Coverage.classify_pair} uses the same
+    rule), and the fingerprint below identifies schedule prefixes that
+    differ only by swapping adjacent commuting accesses.  The engine's
+    [--reduce] mode keys its candidate-survival memo on {!fp_value}:
+    trace-equivalent prefixes have identical histories and record
+    arrays, so their SL-game subtrees are isomorphic and one
+    exploration answers the whole equivalence class. *)
+
+val fp_mask : int
+(** [(1 lsl 62) - 1] — fingerprints are non-negative 62-bit ints. *)
+
+val mix : int -> int -> int
+(** The Fibonacci-style mixing step shared with [Coverage]. *)
+
+val read_like : string option -> bool
+(** Is this access [info] tag read-like ("read" / "scan" / "collect")?
+    Kept in sync with [Coverage] by test, since commuting reads is only
+    sound when both layers agree on what a read is. *)
+
+val preserving : info:string option -> noop:bool -> bool
+(** Did this access leave its object's state unchanged — read-like by
+    tag, or flagged state-preserving by the simulator ([Trace.Step]'s
+    [noop]: a failed CAS, a swap writing back the value present)?  Two
+    adjacent preserving accesses of the same object commute: either
+    order observes the same state, returns the same responses and
+    leaves the object unchanged. *)
+
+val commuting_steps :
+  obj1:string -> info1:string option -> obj2:string -> info2:string option -> bool
+(** Do two base-object accesses (by distinct processes) commute?
+    [true] iff distinct objects, or same object with both read-like. *)
+
+val conflicting_steps :
+  obj1:string -> info1:string option -> obj2:string -> info2:string option -> bool
+(** Negation of {!commuting_steps}. *)
+
+val events_commute : ('op, 'resp) Trace.event -> ('op, 'resp) Trace.event -> bool
+(** Event-level relation (all cases require distinct processes):
+    [Step]/[Step] pairs commute when the objects are distinct or both
+    accesses are {!preserving}; [Return]/[Return] pairs commute (their
+    mutual order feeds neither the precedence relation, the record ids,
+    nor the completed set); a [Step] commutes with any history event.
+    [Invoke]/[Invoke] conflicts (record ids are assigned in invocation
+    order) and [Invoke]/[Return] conflicts (that order is exactly the
+    real-time precedence relation). *)
+
+val bundles_commute :
+  ('op, 'resp) Trace.event list -> ('op, 'resp) Trace.event list -> bool
+(** Do two whole scheduling-step bundles (the event lists emitted by
+    two [Sim.step]s of distinct processes) commute?  True when every
+    cross pair of events commutes per {!events_commute}; swapping such
+    bundles preserves the invocation order, the precedence relation,
+    all per-object access orders, and the resulting world. *)
+
+type fp_state
+(** Incremental fingerprint state over a trace prefix. *)
+
+val fp_empty : fp_state
+
+val fp_feed : fp_state -> ('op, 'resp) Trace.event -> fp_state
+(** Fold one trace event into the state.  Read-like steps add into a
+    commutative per-object pending sum; other accesses seal the pending
+    sum into that object's order-sensitive chain. *)
+
+val fp_feed_list : fp_state -> ('op, 'resp) Trace.event list -> fp_state
+
+val fp_value : fp_state -> int
+(** The fingerprint of the prefix fed so far.  Equal for prefixes that
+    differ only by swaps of adjacent commuting accesses; conflicting
+    reorders change it (modulo 62-bit hash collisions). *)
+
+val fp_of_trace : ('op, 'resp) Trace.event list -> int
+(** [fp_value (fp_feed_list fp_empty tr)]. *)

@@ -410,7 +410,7 @@ module Make (S : Spec.S) = struct
   let event_sig = function
     | Trace.Invoke { proc; op } -> Printf.sprintf "i%d:%s" proc (op_str op)
     | Trace.Return { proc; resp } -> Printf.sprintf "r%d:%s" proc (resp_str resp)
-    | Trace.Step { proc; obj; info } ->
+    | Trace.Step { proc; obj; info; noop = _ } ->
         Printf.sprintf "s%d:%s%s" proc obj
           (match info with Some i -> ":" ^ i | None -> "")
 

@@ -49,7 +49,7 @@ let fp_empty = { fs_hist = mix 0 0x5eed; fs_objs = []; fs_sum = 0 }
 let fp_feed st (ev : (_, _) Trace.event) =
   match ev with
   | Trace.Invoke _ | Trace.Return _ -> { st with fs_hist = mix st.fs_hist (Hashtbl.hash ev) }
-  | Trace.Step { proc; obj; info } ->
+  | Trace.Step { proc; obj; info; noop = _ } ->
       let chain = match List.assoc_opt obj st.fs_objs with Some c -> c | None -> obj_seed obj in
       let chain' = mix chain (Hashtbl.hash (proc, info)) in
       let rec set = function

@@ -120,7 +120,7 @@ let of_sim_trace ~pp_op ~pp_resp (t : _ Trace.t) =
           end_span tr ~cat:"op" ~tid:proc ~ts_us
             ~args:[ ("resp", Obs_json.String (Format.asprintf "%a" pp_resp resp)) ]
             name
-      | Trace.Step { proc; obj; info } ->
+      | Trace.Step { proc; obj; info; noop = _ } ->
           seen proc;
           let name = match info with Some i -> obj ^ " " ^ i | None -> obj in
           instant tr ~cat:"step" ~tid:proc ~ts_us name)

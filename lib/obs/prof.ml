@@ -30,21 +30,25 @@ let phase_index = function
   | Steal -> 4
   | Share -> 5
 
-type kill_reason = Kill_mismatch | Kill_dead_end | Kill_futures | Kill_budget
+type kill_reason = Kill_mismatch | Kill_dead_end | Kill_futures | Kill_budget | Kill_pruned
 
 let kill_tag = function
   | Kill_mismatch -> "response_mismatch"
   | Kill_dead_end -> "dead_end"
   | Kill_futures -> "futures_refuted"
   | Kill_budget -> "budget"
+  | Kill_pruned -> "pruned"
 
 let kill_index = function
   | Kill_mismatch -> 0
   | Kill_dead_end -> 1
   | Kill_futures -> 2
   | Kill_budget -> 3
+  | Kill_pruned -> 4
 
-let all_kills = [ Kill_mismatch; Kill_dead_end; Kill_futures; Kill_budget ]
+let all_kills = [ Kill_mismatch; Kill_dead_end; Kill_futures; Kill_budget; Kill_pruned ]
+
+let n_kills = List.length all_kills
 
 type span = { sp_phase : phase; sp_label : string; sp_start_ns : int; sp_dur_ns : int }
 
@@ -70,6 +74,7 @@ type lane = {
   l_phase_ns : int array;  (* indexed by phase_index; Idle unused here *)
   l_depth_hist : int array;
   l_kills : int array;
+  mutable l_prunes : int;
   mutable l_cross_checks : int;
   mutable l_columns : (int * int * int * string) list;  (* newest first *)
 }
@@ -116,7 +121,8 @@ let lane t ~domain =
             l_hits = 0;
             l_phase_ns = Array.make 6 0;
             l_depth_hist = Array.make depth_buckets 0;
-            l_kills = Array.make 4 0;
+            l_kills = Array.make n_kills 0;
+            l_prunes = 0;
             l_cross_checks = 0;
             l_columns = [];
           }
@@ -188,12 +194,16 @@ let add_depth_hist l hist =
   done
 
 let add_kills l kills =
-  let n = min (Array.length kills) 4 in
+  let n = min (Array.length kills) n_kills in
   for i = 0 to n - 1 do
     l.l_kills.(i) <- l.l_kills.(i) + kills.(i)
   done
 
 let kill l r = l.l_kills.(kill_index r) <- l.l_kills.(kill_index r) + 1
+
+let prune l = l.l_prunes <- l.l_prunes + 1
+
+let add_prunes l n = l.l_prunes <- l.l_prunes + n
 
 let note_column l ~col ~proc ~nodes ~outcome = l.l_columns <- (col, proc, nodes, outcome) :: l.l_columns
 
@@ -270,6 +280,7 @@ let lane_json t l =
        ("domain", Obs_json.Int l.l_domain);
        ("nodes", Obs_json.Int l.l_nodes);
        ("cache_hits", Obs_json.Int l.l_hits);
+       ("prunes", Obs_json.Int l.l_prunes);
        ("cross_checks", Obs_json.Int l.l_cross_checks);
        ("phase_ns", phase_ns_json t l);
        ("utilization", Obs_json.Float util);
@@ -296,14 +307,15 @@ let totals t =
   let sum f = List.fold_left (fun acc l -> acc + f l) 0 ls in
   let nodes = sum (fun l -> l.l_nodes) in
   let hits = sum (fun l -> l.l_hits) in
-  let kills = Array.make 4 0 in
+  let prunes = sum (fun l -> l.l_prunes) in
+  let kills = Array.make n_kills 0 in
   List.iter (fun l -> Array.iteri (fun i k -> kills.(i) <- kills.(i) + k) l.l_kills) ls;
   let phase ph = sum (fun l -> lane_phase_ns_in t l ph) in
-  (ls, nodes, hits, kills, phase)
+  (ls, nodes, hits, prunes, kills, phase)
 
 let to_json t ~meta =
   let w = wall_ns t in
-  let ls, nodes, hits, kills, phase = totals t in
+  let ls, nodes, hits, prunes, kills, phase = totals t in
   let nps = if w <= 0 then 0. else float_of_int nodes *. 1e9 /. float_of_int w in
   Obs_json.Assoc
     ((("schema", Obs_json.String "slin-profile/v1") :: meta)
@@ -315,6 +327,7 @@ let to_json t ~meta =
             [
               ("nodes", Obs_json.Int nodes);
               ("cache_hits", Obs_json.Int hits);
+              ("prunes", Obs_json.Int prunes);
               ("nodes_per_sec", Obs_json.Float nps);
               ( "phase_ns",
                 Obs_json.Assoc
@@ -411,11 +424,12 @@ let validate doc =
 
 let pp_summary fmt t =
   let w = wall_ns t in
-  let ls, nodes, hits, kills, phase = totals t in
+  let ls, nodes, hits, prunes, kills, phase = totals t in
   let wall_s = float_of_int w /. 1e9 in
   let nps = if w <= 0 then 0. else float_of_int nodes *. 1e9 /. float_of_int w in
-  Format.fprintf fmt "wall %.3f s, %d lanes, %d nodes (%.0f nodes/s), %d cache hits@." wall_s
-    (List.length ls) nodes nps hits;
+  Format.fprintf fmt "wall %.3f s, %d lanes, %d nodes (%.0f nodes/s), %d cache hits%s@." wall_s
+    (List.length ls) nodes nps hits
+    (if prunes > 0 then Printf.sprintf ", %d prunes" prunes else "");
   let pct ns = if w <= 0 then 0. else 100. *. float_of_int ns /. float_of_int w in
   Format.fprintf fmt "lane   nodes      hits   solve%%  merge%%  xchk%%  steal%%  share%%   idle%%@.";
   List.iter

@@ -33,12 +33,15 @@ val phase_tag : phase -> string
     - [Kill_futures]: a deeper descendant refuted every extension — the
       candidate survived its children's validation but not their futures;
     - [Kill_budget]: exploration stopped by a budget while the candidate
-      was still live. *)
-type kill_reason = Kill_mismatch | Kill_dead_end | Kill_futures | Kill_budget
+      was still live;
+    - [Kill_pruned]: the partial-order-reduction memo answered for the
+      subtree — the stored kill of the twin node, re-attributed here so
+      reduced runs still account for every candidate death. *)
+type kill_reason = Kill_mismatch | Kill_dead_end | Kill_futures | Kill_budget | Kill_pruned
 
 val kill_tag : kill_reason -> string
 (** ["response_mismatch"], ["dead_end"], ["futures_refuted"],
-    ["budget"]. *)
+    ["budget"], ["pruned"]. *)
 
 val kill_index : kill_reason -> int
 (** Position of a reason in {!all_kills} — the index convention for
@@ -112,6 +115,14 @@ val add_kills : lane -> int array -> unit
     {!all_kills}). *)
 
 val kill : lane -> kill_reason -> unit
+
+val prune : lane -> unit
+(** One subtree answered from the reduction memo ([--reduce]) instead of
+    being re-explored: bumps the lane's prune counter (reported as
+    [prunes] in lanes and totals). *)
+
+val add_prunes : lane -> int -> unit
+(** Bulk prune-count absorption (stealing engine, column completion). *)
 
 val note_column : lane -> col:int -> proc:int -> nodes:int -> outcome:string -> unit
 (** One parallel column solved (or abandoned) on this lane. *)

@@ -25,11 +25,20 @@ let has_prefix s pre =
    already scale-free ratios of two throughputs measured on the same
    machine in the same run, so they gate cleanly: down means the
    parallel engine stopped scaling. *)
+(* Node counts were neutral until the engine grew partial-order
+   reduction (PR 10): a reduced run's [nodes_total] / [nodes_per_verdict]
+   are exact counts of the same deterministic exploration, so on a
+   fixed benchmark "more nodes for the same verdict" is precisely the
+   regression the reduction exists to prevent.  [reduction_ratio]
+   (unreduced nodes over reduced nodes) gates the other way: down means
+   the reduction stopped pruning. *)
 let direction_of_metric m =
   if has_suffix m "_per_s" || has_suffix m "_per_sec" || m = "utilization" then Higher_better
   else if m = "unique_ratio" || m = "completed_ratio" then Higher_better
   else if has_prefix m "speedup" || has_suffix m "_speedup" then Higher_better
+  else if m = "reduction_ratio" || has_suffix m "_reduction_ratio" then Higher_better
   else if m = "ns_per_op" then Lower_better
+  else if m = "nodes_total" || m = "nodes_per_verdict" then Lower_better
   else Neutral
 
 type row = { row_name : string; row_metric : string; row_value : float }

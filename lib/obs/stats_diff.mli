@@ -13,15 +13,20 @@
 type direction = Higher_better | Lower_better | Neutral
 
 val direction_of_metric : string -> direction
-(** Only scale-free ratio metrics are directional: throughput
-    ([..._per_s], [..._per_sec], [utilization]) is higher-better,
-    coverage's [unique_ratio] and serve's [completed_ratio] (matched by
-    exact name — [conflict_ratio] has no good direction) are
-    higher-better, per-op latency ([ns_per_op]) is lower-better.
-    Everything else — node counts, kill counts, raw wall/phase
-    nanoseconds — is neutral: reported, never gated (absolute times
-    jitter across machines, and a tiny baseline turns any wobble into a
-    huge percentage). *)
+(** Only scale-free or deterministic metrics are directional:
+    throughput ([..._per_s], [..._per_sec], [utilization]) is
+    higher-better, coverage's [unique_ratio] and serve's
+    [completed_ratio] (matched by exact name — [conflict_ratio] has no
+    good direction) are higher-better, the partial-order reduction's
+    [reduction_ratio] (unreduced over reduced node count) is
+    higher-better, per-op latency ([ns_per_op]) is lower-better, and
+    exploration size ([nodes_total], [nodes_per_verdict]) is
+    lower-better — node counts are exact and deterministic on a fixed
+    benchmark, so growth is a real reduction regression, not jitter.
+    Everything else — kill counts, raw wall/phase nanoseconds — is
+    neutral: reported, never gated (absolute times jitter across
+    machines, and a tiny baseline turns any wobble into a huge
+    percentage). *)
 
 type row = { row_name : string; row_metric : string; row_value : float }
 

@@ -118,9 +118,15 @@ let runtime (type op resp) (w : (op, resp) t) : (module Runtime_intf.S) =
       Effect.perform Suspend;
       (* The step was granted: apply the transition atomically (no other
          fiber can run until the next Suspend). *)
-      let s, r = f o.state in
+      let old = o.state in
+      let s, r = f old in
       o.state <- s;
-      record w (Trace.Step { proc = w.current; obj = o.obj_name; info });
+      (* State-preserving accesses are flagged for the reduction layer.
+         Physical equality catches reads (which return their argument);
+         the structural fallback catches rewrites of an equal value, and
+         is guarded because object states are arbitrary. *)
+      let noop = s == old || (try s = old with Invalid_argument _ -> false) in
+      record w (Trace.Step { proc = w.current; obj = o.obj_name; info; noop });
       if !Metrics.enabled then begin
         Metrics.bump "access.total";
         Metrics.bump ("access.obj." ^ o.obj_name);

@@ -5,10 +5,16 @@
    linearizability) plus one entry per base-object step (used for step
    accounting, debugging and the collect of Lemma 12's Algorithm B). *)
 
+(* [noop] marks a state-preserving access: the transition wrote back the
+   state it observed (every read, a failed CAS, a swap of the value
+   already there...).  Recorded because such accesses commute with each
+   other and with reads on the same object — the partial-order-reduction
+   layer exploits that; nothing else (printing, history, coverage
+   classification) looks at it. *)
 type ('op, 'resp) event =
   | Invoke of { proc : int; op : 'op }
   | Return of { proc : int; resp : 'resp }
-  | Step of { proc : int; obj : string; info : string option }
+  | Step of { proc : int; obj : string; info : string option; noop : bool }
 
 type ('op, 'resp) t = ('op, 'resp) event list
 (* Chronological order (earliest first). *)
@@ -16,7 +22,7 @@ type ('op, 'resp) t = ('op, 'resp) event list
 let pp_event pp_op pp_resp fmt = function
   | Invoke { proc; op } -> Format.fprintf fmt "p%d: invoke %a" proc pp_op op
   | Return { proc; resp } -> Format.fprintf fmt "p%d: return %a" proc pp_resp resp
-  | Step { proc; obj; info } ->
+  | Step { proc; obj; info; noop = _ } ->
       Format.fprintf fmt "p%d: step %s%s" proc obj
         (match info with None -> "" | Some i -> " [" ^ i ^ "]")
 

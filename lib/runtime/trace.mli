@@ -8,7 +8,13 @@
 type ('op, 'resp) event =
   | Invoke of { proc : int; op : 'op }
   | Return of { proc : int; resp : 'resp }
-  | Step of { proc : int; obj : string; info : string option }
+  | Step of { proc : int; obj : string; info : string option; noop : bool }
+      (** [noop] marks a state-preserving access (the transition wrote
+          back exactly the state it observed: every read, a failed CAS,
+          a swap of the value already present).  Such accesses commute
+          with each other and with reads of the same object, which the
+          partial-order-reduction layer exploits; printing, history
+          extraction and coverage classification ignore it. *)
 
 type ('op, 'resp) t = ('op, 'resp) event list
 (** Earliest event first. *)

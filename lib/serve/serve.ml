@@ -188,11 +188,16 @@ let default_config =
 
 (* Budgets are deliberately not part of the key: completed columns are
    valid facts about the game tree whatever budget discovered them, so a
-   checkpoint taken under one budget may resume under another. *)
-let config_fingerprint ~object_name ~max_depth =
-  Printf.sprintf "%s|depth=%s|%s" object_name
+   checkpoint taken under one budget may resume under another.  Reduction
+   and preemption bounds ARE part of the key — they change which columns
+   count as fully explored — but only when non-default, so every
+   fingerprint (and checkpoint) minted before they existed stays valid. *)
+let config_fingerprint ?(reduce = false) ?preempt_bound ~object_name ~max_depth () =
+  Printf.sprintf "%s|depth=%s|%s%s%s" object_name
     (match max_depth with Some d -> string_of_int d | None -> "none")
     Lincheck.engine_fingerprint
+    (if reduce then "|reduce" else "")
+    (match preempt_bound with Some b -> Printf.sprintf "|preempt=%d" b | None -> "")
 
 (* ---------------- service state ---------------- *)
 
@@ -581,7 +586,7 @@ let execute t k job =
                     Some
                       {
                         Lincheck.cp_config =
-                          config_fingerprint ~object_name:req.rq_object ~max_depth:depth;
+                          config_fingerprint ~object_name:req.rq_object ~max_depth:depth ();
                         cp_resume = job.j_resume;
                         cp_emit =
                           (fun ck ->

@@ -85,13 +85,22 @@ val default_config : config
 (** 2 workers, queue limit 64, 2 retries, 25 ms backoff, 60 s deadline,
     10 s stall, memo on, deterministic off, faults off. *)
 
-val config_fingerprint : object_name:string -> max_depth:int option -> string
+val config_fingerprint :
+  ?reduce:bool ->
+  ?preempt_bound:int ->
+  object_name:string ->
+  max_depth:int option ->
+  unit ->
+  string
 (** The checkpoint/memo configuration key for a check of [object_name]
     at effective depth bound [max_depth] under this binary's
     {!Lincheck.engine_fingerprint}.  Node and time budgets are
     deliberately excluded: completed columns are valid facts about the
     tree whatever budget discovered them, which is what lets a
-    budget-interrupted run's checkpoint resume under a larger budget. *)
+    budget-interrupted run's checkpoint resume under a larger budget.
+    Partial-order reduction ([reduce]) and a preemption bound do enter
+    the key — but only when non-default, so fingerprints minted before
+    those modes existed remain byte-identical. *)
 
 type t
 

@@ -226,8 +226,13 @@ let test_mult_check_budgeted () =
       Alcotest.(check bool) "reason" true (reason = Lincheck.Budget_nodes)
   | Mult_check.Decided _ -> Alcotest.fail "a zero-node budget cannot decide");
   match Mult_check.check_budgeted Mult_check.Queue t with
-  | Mult_check.Decided b ->
-      Alcotest.(check bool) "unbudgeted agrees with check" (Mult_check.check Mult_check.Queue t) b
+  | Mult_check.Decided b -> (
+      Alcotest.(check bool) "unbudgeted agrees with check" (Mult_check.check Mult_check.Queue t) b;
+      (* memoized DFS: same decision, never more states *)
+      match Mult_check.check_budgeted ~reduce:true Mult_check.Queue t with
+      | Mult_check.Decided b' ->
+          Alcotest.(check bool) "reduced DFS agrees" b b'
+      | Mult_check.Inconclusive _ -> Alcotest.fail "reduce sets no budget, nothing to trip")
   | Mult_check.Inconclusive _ -> Alcotest.fail "no budget set, nothing to trip"
 
 let suite =

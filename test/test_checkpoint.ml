@@ -38,7 +38,7 @@ let test_checkpointed_equals_plain name jobs () =
       let emitted = ref 0 in
       let cp =
         {
-          Lincheck.cp_config = Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth;
+          Lincheck.cp_config = Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth ();
           cp_resume = None;
           cp_emit = (fun _ -> incr emitted);
         }
@@ -60,7 +60,7 @@ let test_kill_resume name jobs kill_points () =
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let cp_config =
-        Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth
+        Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth ()
       in
       let run ?interrupt ?checkpointing () =
         let v, s =
@@ -104,7 +104,7 @@ let test_budget_resume name jobs small_budget () =
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let cp_config =
-        Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth
+        Serve.config_fingerprint ~object_name:name ~max_depth:c.default_depth ()
       in
       let run ~max_nodes ?checkpointing () =
         let v, s =
@@ -144,7 +144,7 @@ let test_resume_fingerprint () =
       let module L = Lincheck.Make (S) in
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let cp_config =
-        Serve.config_fingerprint ~object_name:"counter" ~max_depth:c.default_depth
+        Serve.config_fingerprint ~object_name:"counter" ~max_depth:c.default_depth ()
       in
       let run ?interrupt ~resume () =
         let last = ref resume in
@@ -183,7 +183,7 @@ let sample_checkpoint () =
       let prog = Harness.program ~make:c.make ~workload:c.workload in
       let last = ref None in
       let cp_config =
-        Serve.config_fingerprint ~object_name:"counter" ~max_depth:c.default_depth
+        Serve.config_fingerprint ~object_name:"counter" ~max_depth:c.default_depth ()
       in
       let _ =
         L.check_strong_stats ~max_nodes:400_000 ?max_depth:c.default_depth ~jobs:1

@@ -13,7 +13,7 @@ let fp_of events = Coverage.fp_value (List.fold_left Coverage.fp_feed Coverage.f
 
 let test_fp_commutation () =
   let open Trace in
-  let base p obj = Step { proc = p; obj; info = None } in
+  let base p obj = Step { proc = p; obj; info = None; noop = false } in
   (* Adjacent steps on distinct objects commute: same fingerprint. *)
   let t1 = [ Invoke { proc = 0; op = 7 }; base 0 "a"; base 1 "b"; Return { proc = 0; resp = 1 } ] in
   let t2 = [ Invoke { proc = 0; op = 7 }; base 1 "b"; base 0 "a"; Return { proc = 0; resp = 1 } ] in
@@ -32,7 +32,7 @@ let test_fp_commutation () =
 let mk_trace i : (int, int) Trace.t =
   [
     Trace.Invoke { proc = 0; op = i };
-    Trace.Step { proc = 0; obj = "a"; info = None };
+    Trace.Step { proc = 0; obj = "a"; info = None; noop = false };
     Trace.Return { proc = 0; resp = i };
   ]
 
@@ -229,7 +229,7 @@ let event_gen =
       (2, map2 (fun p resp -> Trace.Return { proc = p; resp }) (int_bound 2) (int_bound 5));
       ( 4,
         map3
-          (fun p o i -> Trace.Step { proc = p; obj = (if o then "a" else "b"); info = i })
+          (fun p o i -> Trace.Step { proc = p; obj = (if o then "a" else "b"); info = i; noop = false })
           (int_bound 2) bool
           (oneofl [ None; Some "read"; Some "w" ]) );
     ]
@@ -270,7 +270,7 @@ let coverage_doc traces =
   List.iter (fun t -> Coverage.observe_node sh ~depth:1 ~branching:1 t) traces;
   Coverage.to_json c ~meta:[]
 
-let step p obj : (int, int) Trace.event = Trace.Step { proc = p; obj; info = None }
+let step p obj : (int, int) Trace.event = Trace.Step { proc = p; obj; info = None; noop = false }
 
 let test_diff_coverage_directions () =
   let open Stats_diff in

@@ -74,6 +74,90 @@ let equivalence_objects =
     ("mwmr-register", Some 50_000);
   ]
 
+(* ---------------- partial-order reduction ----------------------------- *)
+
+(* The [--reduce] contract: the verdict (witness included) is identical
+   to the unreduced run's; the reduced exploration is deterministic —
+   the same node/prune counts at every jobs x steal_grain combination
+   (grain is forced to whole-column tasks under reduce, so the matrix
+   also pins that collapse); and on the refuted E2 baselines the memo
+   actually bites (>= 5x fewer nodes on hw-queue — the ratio the bench
+   rows gate).  [reduce_check] re-explores every memo hit and compares:
+   it must agree everywhere and reproduce the unreduced node count
+   exactly (every node is visited, just also cross-checked). *)
+(* [pp_verdict] embeds the node count ("; 92839 nodes"), which is
+   exactly what reduction changes — blank the token before any "nodes"
+   so reduced and unreduced verdicts compare on verdict kind + witness
+   schedule alone. *)
+let strip_node_counts s =
+  let rec go = function
+    | _ :: (b :: _ as rest) when String.length b >= 5 && String.sub b 0 5 = "nodes" ->
+        "N" :: go rest
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  String.concat " " (go (String.split_on_char ' ' s))
+
+let reduce_equivalent ?(min_ratio = 5) ?(max_nodes = 500_000) name () =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let run ~jobs ~steal_grain ~reduce ~reduce_check =
+        let v, s =
+          L.check_strong_stats ~max_nodes ?max_depth:c.default_depth ~jobs ~steal_grain
+            ~reduce ~reduce_check prog
+        in
+        (Format.asprintf "%a" L.pp_verdict v, s.Lincheck.nodes)
+      in
+      let base_v, base_n = run ~jobs:1 ~steal_grain:4 ~reduce:false ~reduce_check:false in
+      let red_v, red_n = run ~jobs:1 ~steal_grain:0 ~reduce:true ~reduce_check:false in
+      Alcotest.(check string) (name ^ ": reduced verdict identical")
+        (strip_node_counts base_v) (strip_node_counts red_v);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: reduction >= %dx (%d vs %d nodes)" name min_ratio base_n red_n)
+        true
+        (red_n * min_ratio <= base_n);
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun steal_grain ->
+              let v, n = run ~jobs ~steal_grain ~reduce:true ~reduce_check:false in
+              Alcotest.(check string)
+                (Printf.sprintf "%s reduced at jobs=%d grain=%d: verdict" name jobs steal_grain)
+                red_v v;
+              Alcotest.(check int)
+                (Printf.sprintf "%s reduced at jobs=%d grain=%d: nodes" name jobs steal_grain)
+                red_n n)
+            [ 0; 4 ])
+        [ 1; 4 ]
+
+let test_reduce_check_cross_validates () =
+  match Registry.find "set-empty-race" with
+  | None -> Alcotest.fail "set-empty-race not registered"
+  | Some (Registry.Checkable c) ->
+      let (module S) = c.spec in
+      let module L = Lincheck.Make (S) in
+      let prog = Harness.program ~make:c.make ~workload:c.workload in
+      let run ~reduce ~reduce_check =
+        let v, s =
+          L.check_strong_stats ~max_nodes:500_000 ?max_depth:c.default_depth ~reduce
+            ~reduce_check prog
+        in
+        (Format.asprintf "%a" L.pp_verdict v, s.Lincheck.nodes)
+      in
+      let base_v, base_n = run ~reduce:false ~reduce_check:false in
+      (* reduce_check implies reduce; it raises on any memo/subtree
+         disagreement, so merely completing is the cross-validation *)
+      let chk_v, chk_n = run ~reduce:false ~reduce_check:true in
+      Alcotest.(check string) "reduce_check verdict identical" base_v chk_v;
+      Alcotest.(check int) "reduce_check re-explores every node" base_n chk_n;
+      let red_v, _ = run ~reduce:true ~reduce_check:false in
+      Alcotest.(check string) "reduced verdict identical" (strip_node_counts base_v)
+        (strip_node_counts red_v)
+
 (* ---------------- heartbeat cadence ----------------------------------- *)
 
 (* With the time cadence disabled ([progress_every_ms:0]), [on_progress]
@@ -244,6 +328,14 @@ let suite =
         (engine_equivalent ?max_nodes name))
     equivalence_objects
   @ [
+      Alcotest.test_case "reduce: hw-queue >= 5x, jobs/grain equivalence" `Slow
+        (reduce_equivalent "hw-queue");
+      Alcotest.test_case "reduce: set-empty-race equivalence" `Slow
+        (reduce_equivalent ~min_ratio:1 "set-empty-race");
+      Alcotest.test_case "reduce: faa-max (SL verdict) equivalence" `Slow
+        (reduce_equivalent ~min_ratio:1 "faa-max");
+      Alcotest.test_case "reduce_check cross-validation" `Slow
+        test_reduce_check_cross_validates;
       Alcotest.test_case "heartbeat cadence" `Quick test_heartbeat_cadence;
       Alcotest.test_case "heartbeat time cadence" `Quick test_heartbeat_time_cadence;
       Alcotest.test_case "extend_info anchored walk" `Quick test_extend_info_chain;

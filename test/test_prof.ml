@@ -338,6 +338,12 @@ let test_diff_directions () =
     (direction_of_metric "speedup_j4_over_j1" = Higher_better);
   Alcotest.(check bool) "ns_per_op is lower-better" true
     (direction_of_metric "ns_per_op" = Lower_better);
+  Alcotest.(check bool) "reduction_ratio is higher-better" true
+    (direction_of_metric "reduction_ratio" = Higher_better);
+  Alcotest.(check bool) "nodes_total is lower-better" true
+    (direction_of_metric "nodes_total" = Lower_better);
+  Alcotest.(check bool) "nodes_per_verdict is lower-better" true
+    (direction_of_metric "nodes_per_verdict" = Lower_better);
   Alcotest.(check bool) "raw phase ns is neutral" true (direction_of_metric "solve_ns" = Neutral);
   Alcotest.(check bool) "wall_ns is neutral" true (direction_of_metric "wall_ns" = Neutral);
   Alcotest.(check bool) "nodes is neutral" true (direction_of_metric "nodes" = Neutral)

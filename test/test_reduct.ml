@@ -1,0 +1,319 @@
+(* Tests for the partial-order-reduction layer ([Reduct]): the static
+   dependency relation, its agreement with the coverage layer's
+   empirical object-pair matrix (PR 7), and the commutation-invariance
+   of the trace fingerprint the engine's [--reduce] memo keys on.
+
+   The reduction is sound only while two facts hold, and both are
+   pinned here:
+   - the static relation never calls a pair commuting that the
+     empirical layer (or the simulator itself) can distinguish;
+   - the fingerprint is invariant under exactly the adjacent swaps the
+     relation allows — equal for commuting reorders, sensitive to
+     conflicting ones. *)
+
+let step proc obj info = Trace.Step { proc; obj; info; noop = false }
+
+(* ---------------- static relation basics ------------------------------- *)
+
+let test_static_relation () =
+  let comm = Reduct.commuting_steps in
+  Alcotest.(check bool) "distinct objects commute" true
+    (comm ~obj1:"a" ~info1:(Some "write") ~obj2:"b" ~info2:(Some "write"));
+  Alcotest.(check bool) "same-object read/read commutes" true
+    (comm ~obj1:"a" ~info1:(Some "read") ~obj2:"a" ~info2:(Some "read"));
+  Alcotest.(check bool) "same-object read/write conflicts" false
+    (comm ~obj1:"a" ~info1:(Some "read") ~obj2:"a" ~info2:(Some "write"));
+  Alcotest.(check bool) "same-object swap/swap conflicts" false
+    (comm ~obj1:"a" ~info1:(Some "swap") ~obj2:"a" ~info2:(Some "swap"));
+  Alcotest.(check bool) "untagged same-object access conflicts" false
+    (comm ~obj1:"a" ~info1:None ~obj2:"a" ~info2:None);
+  (* event level: same process never commutes (program order is real) *)
+  Alcotest.(check bool) "same-process steps never commute" false
+    (Reduct.events_commute (step 0 "a" (Some "read")) (step 0 "b" (Some "read")));
+  (* history events *)
+  let inv p : (string, string) Trace.event = Trace.Invoke { proc = p; op = "op" } in
+  let ret p : (string, string) Trace.event = Trace.Return { proc = p; resp = "r" } in
+  Alcotest.(check bool) "invoke/invoke conflicts (record ids)" false
+    (Reduct.events_commute (inv 0) (inv 1));
+  Alcotest.(check bool) "invoke/return conflicts (precedence)" false
+    (Reduct.events_commute (ret 0) (inv 1));
+  Alcotest.(check bool) "return/return commutes" true (Reduct.events_commute (ret 0) (ret 1));
+  Alcotest.(check bool) "step vs invoke commutes" true
+    (Reduct.events_commute (step 0 "a" (Some "write")) (inv 1));
+  (* dynamic refinement: state-preserving accesses behave like reads *)
+  let noop_cas p = Trace.Step { proc = p; obj = "a"; info = Some "cas"; noop = true } in
+  Alcotest.(check bool) "two same-object noop accesses commute" true
+    (Reduct.events_commute (noop_cas 0) (noop_cas 1));
+  Alcotest.(check bool) "noop vs mutating access conflicts" false
+    (Reduct.events_commute (noop_cas 0) (step 1 "a" (Some "cas")))
+
+(* ---------------- agreement with the coverage layer -------------------- *)
+
+(* Feed a two-step trace into a fresh coverage shard and read the
+   classification back out of the [slin-coverage/v1] matrix.  This goes
+   through [Coverage]'s own (unexported) classifier, so the test fails
+   if the two layers' notions of read-likeness or conflict ever
+   drift. *)
+let coverage_conflicting ~obj1 ~info1 ~obj2 ~info2 =
+  let c = Coverage.create () in
+  let sh = Coverage.shard c ~domain:0 in
+  let tr : (string, string) Trace.t = [ step 0 obj1 info1; step 1 obj2 info2 ] in
+  Coverage.observe_node sh ~depth:2 ~branching:0 tr;
+  let json = Coverage.to_json c ~meta:[] in
+  let rows =
+    match Option.bind (Obs_json.member "matrix" json) Obs_json.to_list with
+    | Some rows -> rows
+    | None -> Alcotest.fail "coverage report has no matrix"
+  in
+  let conf = ref 0 and comm = ref 0 in
+  List.iter
+    (fun row ->
+      let num k =
+        match Option.bind (Obs_json.member k row) Obs_json.to_float with
+        | Some f -> int_of_float f
+        | None -> Alcotest.failf "matrix row missing %s" k
+      in
+      conf := !conf + num "conflicting";
+      comm := !comm + num "commuting")
+    rows;
+  match (!conf, !comm) with
+  | 1, 0 -> true
+  | 0, 1 -> false
+  | c, m -> Alcotest.failf "expected exactly one classified pair, got %d conf + %d comm" c m
+
+let test_matches_coverage_classifier () =
+  let tags = [ Some "read"; Some "scan"; Some "collect"; Some "write"; Some "cas";
+               Some "swap"; Some "fetch&add"; Some "test&set"; Some "update"; None ]
+  in
+  List.iter
+    (fun info1 ->
+      List.iter
+        (fun info2 ->
+          let show i = match i with Some s -> s | None -> "?" in
+          (* same object: the interesting axis *)
+          Alcotest.(check bool)
+            (Printf.sprintf "same-object %s/%s" (show info1) (show info2))
+            (Reduct.conflicting_steps ~obj1:"x" ~info1 ~obj2:"x" ~info2)
+            (coverage_conflicting ~obj1:"x" ~info1 ~obj2:"x" ~info2);
+          (* distinct objects: both layers must say commuting *)
+          Alcotest.(check bool)
+            (Printf.sprintf "distinct-object %s/%s" (show info1) (show info2))
+            false
+            (coverage_conflicting ~obj1:"x" ~info1 ~obj2:"y" ~info2
+            || Reduct.conflicting_steps ~obj1:"x" ~info1 ~obj2:"y" ~info2))
+        tags)
+    tags
+
+(* The committed PR 7 empirical matrix for hw-queue: the static
+   relation's shape must hold in the real data.  Distinct-object rows
+   never conflict; every same-object row of this workload conflicts at
+   least once (each hw-queue object sees writes: F&A on [back], swaps
+   on the slots); and [back] — the one object with a read/F&A mix —
+   also records commuting (read/read) pairs. *)
+let test_against_committed_matrix () =
+  let path =
+    if Sys.file_exists "baselines/coverage-hw-queue-j1.json" then
+      "baselines/coverage-hw-queue-j1.json"
+    else "test/baselines/coverage-hw-queue-j1.json"
+  in
+  let json =
+    Obs_json.of_string_exn (In_channel.with_open_text path In_channel.input_all)
+  in
+  let rows =
+    match Option.bind (Obs_json.member "matrix" json) Obs_json.to_list with
+    | Some rows -> rows
+    | None -> Alcotest.fail "baseline has no matrix"
+  in
+  Alcotest.(check bool) "baseline matrix is non-trivial" true (List.length rows >= 3);
+  List.iter
+    (fun row ->
+      let str k =
+        match Obs_json.member k row with
+        | Some (Obs_json.String s) -> s
+        | _ -> Alcotest.failf "matrix row missing %s" k
+      in
+      let num k =
+        match Option.bind (Obs_json.member k row) Obs_json.to_float with
+        | Some f -> int_of_float f
+        | None -> Alcotest.failf "matrix row missing %s" k
+      in
+      let a = str "a" and b = str "b" in
+      let conf = num "conflicting" and comm = num "commuting" in
+      if not (String.equal a b) then
+        Alcotest.(check int)
+          (Printf.sprintf "distinct objects %s/%s never conflict" a b)
+          0 conf
+      else begin
+        Alcotest.(check bool)
+          (Printf.sprintf "same object %s sees conflicts (it is written)" a)
+          true (conf > 0);
+        if String.equal a "hw.back" then
+          Alcotest.(check bool) "hw.back sees commuting read/read pairs" true (comm > 0)
+      end)
+    rows
+
+(* ---------------- fingerprint commutation-invariance ------------------- *)
+
+(* Random walk over a registry object's schedule tree, recording the
+   event bundle each scheduling step emitted.  Returns the schedule and
+   its per-step bundles. *)
+let random_walk prog rng =
+  let w = Sim.run_schedule prog [] in
+  let sched = ref [] in
+  let bundles = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Sim.enabled w with
+    | [] -> continue := false
+    | ps ->
+        let p = List.nth ps (Random.State.int rng (List.length ps)) in
+        let before = Sim.trace_len w in
+        Sim.step w p;
+        sched := p :: !sched;
+        bundles := Sim.events_from w ~from:before :: !bundles
+  done;
+  (Array.of_list (List.rev !sched), Array.of_list (List.rev !bundles))
+
+let trace_of_schedule prog sched =
+  let w = Sim.run_schedule prog (Array.to_list sched) in
+  Sim.trace w
+
+(* The semantic content of a history: the records (ids, processes,
+   operations, responses) and the real-time precedence relation.  Raw
+   [op_record]s also carry trace positions ([inv_index]/[res_index]),
+   which commuting swaps of course move — the game never reads the
+   positions themselves, only the precedence derived from them. *)
+let hist_sem tr =
+  let recs = History.of_trace tr in
+  let core = List.map (fun r -> (r.History.id, r.History.proc, r.History.op, r.History.resp)) recs in
+  let prec =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if a.History.id <> b.History.id && History.precedes a b then
+              Some (a.History.id, b.History.id)
+            else None)
+          recs)
+      recs
+  in
+  (core, prec)
+
+(* The property the [--reduce] memo rests on: swapping two adjacent
+   scheduling steps whose bundles commute (per [bundles_commute])
+   changes neither the trace fingerprint nor the history.  Conflicting
+   adjacent swaps of base-object accesses must change the fingerprint
+   (that direction is what keeps distinct subtrees from sharing a memo
+   entry; hash collisions are possible in principle but a fixed seeded
+   walk hitting one would be a baked-in soundness bug worth failing
+   on). *)
+let swap_invariance_prop name seed =
+  match Registry.find name with
+  | None -> Alcotest.failf "unknown registry object %s" name
+  | Some (Registry.Checkable c) ->
+  let prog = Harness.program ~make:c.make ~workload:c.workload in
+  let rng = Random.State.make [| seed; 0x0d0e |] in
+  let sched, bundles = random_walk prog rng in
+  let n = Array.length sched in
+  if n < 2 then true
+  else begin
+    let base_tr = trace_of_schedule prog sched in
+    let base_fp = Reduct.fp_of_trace base_tr in
+    let base_hist = hist_sem base_tr in
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      if sched.(i) <> sched.(i + 1) then begin
+        let swapped = Array.copy sched in
+        swapped.(i) <- sched.(i + 1);
+        swapped.(i + 1) <- sched.(i);
+        if Reduct.bundles_commute bundles.(i) bundles.(i + 1) then begin
+          (* A commuting swap leaves both fibers' views unchanged, so
+             the swapped schedule is always legal — [run_schedule]
+             raising here would itself refute commutation. *)
+          let tr' = trace_of_schedule prog swapped in
+          let fp' = Reduct.fp_of_trace tr' in
+          if fp' <> base_fp then begin
+            Printf.printf "commuting swap at %d changed fp (%s)\n" i name;
+            ok := false
+          end;
+          if hist_sem tr' <> base_hist then begin
+            Printf.printf "commuting swap at %d changed history (%s)\n" i name;
+            ok := false
+          end
+        end
+        else begin
+          (* Conflicting swap: only pure Step/Step conflicts must move
+             the fingerprint (history reorders change the records, and
+             mixed bundles can conflict via their history halves while
+             the object chains stay equal).  The reordered run may
+             behave arbitrarily differently — including taking a
+             different number of steps, which makes the tail of the
+             swapped schedule illegal; that derailment is itself the
+             conflict manifesting, not a failure. *)
+          let pure_steps =
+            List.for_all (function Trace.Step _ -> true | _ -> false) bundles.(i)
+            && List.for_all (function Trace.Step _ -> true | _ -> false) bundles.(i + 1)
+          in
+          if pure_steps then begin
+            match trace_of_schedule prog swapped with
+            | tr' ->
+                if Reduct.fp_of_trace tr' = base_fp && tr' <> base_tr then begin
+                  Printf.printf "conflicting swap at %d kept fp (%s)\n" i name;
+                  ok := false
+                end
+            | exception Sim.Invalid_schedule _ -> ()
+          end
+        end
+      end
+    done;
+    !ok
+  end
+
+let prop name ?(count = 60) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let seed_arb = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+(* ---------------- fingerprint unit behaviour --------------------------- *)
+
+let test_fp_reads_commute () =
+  let r p = step p "x" (Some "read") in
+  let w p = step p "x" (Some "write") in
+  let fp evs = Reduct.fp_of_trace (evs : (string, string) Trace.t) in
+  Alcotest.(check bool) "read/read swap keeps fp" true
+    (fp [ r 0; r 1; w 2 ] = fp [ r 1; r 0; w 2 ]);
+  Alcotest.(check bool) "read/write swap changes fp" true
+    (fp [ r 0; w 1 ] <> fp [ w 1; r 0 ]);
+  Alcotest.(check bool) "distinct-object swap keeps fp" true
+    (fp [ step 0 "x" (Some "write"); step 1 "y" (Some "write") ]
+    = fp [ step 1 "y" (Some "write"); step 0 "x" (Some "write") ]);
+  let ret p : (string, string) Trace.event = Trace.Return { proc = p; resp = "r" } in
+  let inv p : (string, string) Trace.event = Trace.Invoke { proc = p; op = "op" } in
+  Alcotest.(check bool) "return/return swap keeps fp" true
+    (fp [ ret 0; ret 1; inv 2 ] = fp [ ret 1; ret 0; inv 2 ]);
+  Alcotest.(check bool) "return/invoke swap changes fp" true
+    (fp [ ret 0; inv 1 ] <> fp [ inv 1; ret 0 ]);
+  Alcotest.(check bool) "invoke/invoke swap changes fp" true
+    (fp [ inv 0; inv 1 ] <> fp [ inv 1; inv 0 ])
+
+(* ---------------- suite ------------------------------------------------ *)
+
+let () =
+  Alcotest.run "reduct"
+    [
+      ( "reduct",
+        [
+          Alcotest.test_case "static relation" `Quick test_static_relation;
+          Alcotest.test_case "agrees with coverage classifier" `Quick
+            test_matches_coverage_classifier;
+          Alcotest.test_case "shape of committed empirical matrix" `Quick
+            test_against_committed_matrix;
+          Alcotest.test_case "fingerprint units" `Quick test_fp_reads_commute;
+          prop "hw-queue: adjacent commuting swaps preserve fp" seed_arb
+            (swap_invariance_prop "hw-queue");
+          prop "agm-stack: adjacent commuting swaps preserve fp" ~count:40 seed_arb
+            (swap_invariance_prop "agm-stack");
+          prop "set-empty-race: adjacent commuting swaps preserve fp" ~count:40 seed_arb
+            (swap_invariance_prop "set-empty-race");
+        ] );
+    ]

@@ -4,7 +4,7 @@
 
 let inv p op = Trace.Invoke { proc = p; op }
 let ret p resp = Trace.Return { proc = p; resp }
-let step p obj = Trace.Step { proc = p; obj; info = None }
+let step p obj = Trace.Step { proc = p; obj; info = None; noop = false }
 
 (* --- Trace ------------------------------------------------------------ *)
 
